@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation — why cap inter-block MWS at four blocks? (Sections 5.2
+ * and 6.1.) Sweeps the cap for a 32-operand bulk OR executed with
+ * inter-block MWS only, reporting sensing latency, peak chip power,
+ * and sensing energy per result page.
+ *
+ * The paper's design point: power must stay below the erase ceiling
+ * (the SSD's provisioned worst case), which caps the fan-in at 4; the
+ * latency loss vs larger fan-ins is modest because the latency curve
+ * (Fig. 13) is flat until 8 blocks.
+ */
+
+#include "bench/bench_util.h"
+#include "nand/power_model.h"
+#include "nand/timing_model.h"
+
+using namespace fcos;
+using nand::PowerModel;
+using nand::TimingModel;
+
+int
+main()
+{
+    bench::header("Ablation: inter-block MWS fan-in cap",
+                  "32-operand bulk OR via inter-block MWS only");
+
+    const std::uint32_t operands = 32;
+    TimingModel tm;
+
+    TablePrinter t("Cap sweep");
+    t.setHeader({"cap", "MWS ops", "sense time", "peak power",
+                 "within erase budget", "sense energy"});
+    for (std::uint32_t cap : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::uint32_t ops = (operands + cap - 1) / cap;
+        Time per_op = tm.mwsLatency(1, cap);
+        Time total = ops * per_op;
+        double power = PowerModel::interBlockMwsPower(cap);
+        double energy = ops * PowerModel::energy(power, per_op);
+        t.addRow({std::to_string(cap), std::to_string(ops),
+                  formatTime(total), TablePrinter::cell(power, 2),
+                  power <= PowerModel::kErasePower ? "yes" : "NO",
+                  formatEnergy(energy)});
+    }
+    t.print();
+    std::printf("\n");
+
+    Time serial = operands * tm.timings().tReadSlc;
+    Time capped4 = 8 * tm.mwsLatency(1, 4);
+    bench::anchor("serial reads (ParaBit) for the same OR", "32 tR",
+                  formatTime(serial));
+    bench::anchor("cap=4 total sensing", "(design point)",
+                  formatTime(capped4));
+    bench::anchor("cap=4 within the erase power budget", "yes",
+                  PowerModel::interBlockMwsPower(4) <=
+                          PowerModel::kErasePower
+                      ? "yes"
+                      : "NO");
+    bench::anchor("cap=8 within the erase power budget", "no",
+                  PowerModel::interBlockMwsPower(8) <=
+                          PowerModel::kErasePower
+                      ? "YES (unexpected)"
+                      : "no");
+    std::printf("\nConclusion: cap=4 cuts sensing 4x vs serial reads "
+                "while staying inside the\npower envelope; larger "
+                "fan-ins violate it for <2x further gain — and the\n"
+                "inverse-storage path (ablation_demorgan) removes the "
+                "cap entirely.\n");
+    return 0;
+}

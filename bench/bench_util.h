@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches.
+ *
+ * Every bench prints (i) the paper's quoted anchor values and (ii) the
+ * values this reproduction measures, so EXPERIMENTS.md rows can be
+ * checked straight from bench output.
+ */
+
+#ifndef FCOS_BENCH_BENCH_UTIL_H
+#define FCOS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.h"
+
+namespace fcos::bench {
+
+/** Standard bench header naming the paper artifact. */
+inline void
+header(const std::string &artifact, const std::string &description)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+    std::printf("================================================="
+                "=============\n\n");
+}
+
+/** One paper-vs-measured comparison line. */
+inline void
+anchor(const std::string &what, const std::string &paper,
+       const std::string &measured)
+{
+    std::printf("  anchor: %-44s paper: %-12s here: %s\n", what.c_str(),
+                paper.c_str(), measured.c_str());
+}
+
+inline std::string
+ratioStr(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+} // namespace fcos::bench
+
+#endif // FCOS_BENCH_BENCH_UTIL_H

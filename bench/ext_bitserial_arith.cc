@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extension — synthesized arithmetic from bulk bitwise operations
+ * (Section 10: the operation set is logically complete; follow-up
+ * frameworks like SIMDRAM build arithmetic on such substrates).
+ *
+ * Demonstrates an element-wise ripple-carry adder and an unsigned
+ * comparator running entirely in flash: every intermediate (carry,
+ * equal-so-far mask) is computed with MWS / latch-XOR chains and
+ * persisted with program-from-latch, never crossing the channel.
+ */
+
+#include "bench/bench_util.h"
+#include "core/arith.h"
+#include "util/rng.h"
+
+using namespace fcos;
+using namespace fcos::core;
+
+int
+main()
+{
+    bench::header("Extension: in-flash bit-serial arithmetic",
+                  "element-wise ADD and GREATER-THAN synthesized from "
+                  "MWS + latch XOR");
+
+    FlashCosmosDrive::Config cfg;
+    cfg.geometry.blocksPerPlane = 512;
+    FlashCosmosDrive drive(cfg);
+    BitSerialEngine engine(drive);
+
+    Rng rng = Rng::seeded(10);
+    const unsigned width = 16;
+    const std::size_t elements = 1000;
+    std::vector<std::uint64_t> va(elements), vb(elements);
+    for (std::size_t e = 0; e < elements; ++e) {
+        va[e] = rng.nextBounded(1ULL << width);
+        vb[e] = rng.nextBounded(1ULL << width);
+    }
+    auto [a, b] = engine.storePair(va, vb, width);
+
+    // ---- ADD -------------------------------------------------------
+    BitSlicedInt sum = engine.add(a, b);
+    auto result = engine.load(sum);
+    std::size_t wrong = 0;
+    for (std::size_t e = 0; e < elements; ++e) {
+        if (result[e] != ((va[e] + vb[e]) & ((1ULL << width) - 1)))
+            ++wrong;
+    }
+    auto add_stats = engine.stats();
+
+    TablePrinter t("16-bit element-wise ADD of 1,000 elements");
+    t.setHeader({"metric", "value"});
+    t.addRow({"incorrect elements", std::to_string(wrong)});
+    t.addRow({"in-flash MWS commands",
+              std::to_string(add_stats.mwsCommands)});
+    t.addRow({"on-chip latch XORs",
+              std::to_string(add_stats.latchXors)});
+    t.addRow({"program-from-latch writes",
+              std::to_string(add_stats.programs)});
+    t.addRow({"NAND busy time", formatTime(add_stats.nandTime)});
+    t.print();
+    std::printf("\n");
+
+    // ---- GREATER-THAN ----------------------------------------------
+    VectorId gt = engine.greaterThan(a, b);
+    BitVector mask = drive.readVector(gt);
+    std::size_t gt_wrong = 0;
+    for (std::size_t e = 0; e < elements; ++e) {
+        if (mask.get(e) != (va[e] > vb[e]))
+            ++gt_wrong;
+    }
+
+    bench::anchor("ADD results vs host arithmetic", "bit-exact",
+                  wrong == 0 ? "bit-exact" : "INCORRECT");
+    bench::anchor("GREATER-THAN mask vs host", "bit-exact",
+                  gt_wrong == 0 ? "bit-exact" : "INCORRECT");
+    bench::anchor("operation set logically complete (Section 10)",
+                  "AND/OR/NOT/XOR suffice",
+                  "adder + comparator synthesized");
+    std::printf("\nNote: each adder level costs ~3 MWS + 1 program; "
+                "full frameworks would\npipeline levels across planes "
+                "(future work in the paper, and here).\n");
+    return 0;
+}

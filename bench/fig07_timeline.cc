@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 7 — channel execution timelines of OSP, ISP and in-flash
+ * processing for a bulk bitwise OR of three 1-MiB vectors on the
+ * illustrative SSD (8 channels x 4 two-plane dies, tR = 60 us,
+ * tDMA = 27 us per 32-KiB die batch, tEXT = 4 us).
+ *
+ * Paper anchors: OSP 471 us (external-I/O bound), ISP 431 us
+ * (internal-I/O bound), IFP 335 us (sensing bound).
+ */
+
+#include "bench/bench_util.h"
+#include "platforms/runner.h"
+
+using namespace fcos;
+
+int
+main()
+{
+    bench::header("Figure 7",
+                  "execution timelines: OSP vs ISP vs in-flash (OR of "
+                  "three 1-MiB vectors)");
+
+    ssd::SsdConfig cfg = ssd::SsdConfig::figure7();
+    plat::PlatformRunner runner(cfg);
+
+    wl::Workload w;
+    w.name = "fig7";
+    w.paramName = "-";
+    wl::OpBatch b;
+    b.andOperands = 0;
+    b.orOperands = 3;
+    b.operandBytes = 1ULL << 20;
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.push_back(b);
+
+    TablePrinter t("Per-channel execution timeline");
+    t.setHeader({"platform", "exec time", "paper", "plane busy",
+                 "channel busy", "external busy", "bottleneck"});
+
+    struct Row
+    {
+        plat::PlatformKind kind;
+        const char *paper;
+    };
+    for (const Row &r :
+         {Row{plat::PlatformKind::Osp, "471 us"},
+          Row{plat::PlatformKind::Isp, "431 us"},
+          Row{plat::PlatformKind::ParaBit, "335 us"}}) {
+        plat::RunResult res = runner.run(r.kind, w);
+        const char *bottleneck = "sensing";
+        if (res.externalBusy >= res.channelBusy &&
+            res.externalBusy >= res.planeBusy)
+            bottleneck = "external I/O";
+        else if (res.channelBusy >= res.planeBusy)
+            bottleneck = "internal I/O";
+        t.addRow({plat::platformName(r.kind), formatTime(res.makespan),
+                  r.paper, formatTime(res.planeBusy),
+                  formatTime(res.channelBusy),
+                  formatTime(res.externalBusy), bottleneck});
+    }
+    t.print();
+
+    std::printf("\n");
+    plat::RunResult osp = runner.run(plat::PlatformKind::Osp, w);
+    plat::RunResult isp = runner.run(plat::PlatformKind::Isp, w);
+    plat::RunResult ifp = runner.run(plat::PlatformKind::ParaBit, w);
+    bench::anchor("OSP execution time", "471 us",
+                  formatTime(osp.makespan));
+    bench::anchor("ISP execution time", "431 us",
+                  formatTime(isp.makespan));
+    bench::anchor("IFP execution time", "335 us",
+                  formatTime(ifp.makespan));
+    bench::anchor("ordering", "OSP > ISP > IFP",
+                  (osp.makespan > isp.makespan &&
+                   isp.makespan > ifp.makespan)
+                      ? "OSP > ISP > IFP"
+                      : "MISMATCH");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 14 — chip power during inter-block MWS vs number of
+ * activated blocks, against the read / program / erase references.
+ *
+ * Paper anchors: +34% from one to two blocks; four blocks stay below
+ * erase power (hence the cap); four-block MWS still saves ~53% energy
+ * vs serial reads.
+ */
+
+#include "bench/bench_util.h"
+#include "nand/power_model.h"
+#include "nand/timing_model.h"
+
+using namespace fcos;
+using nand::PowerModel;
+using nand::TimingModel;
+
+int
+main()
+{
+    bench::header("Figure 14",
+                  "normalized chip power of inter-block MWS vs "
+                  "activated blocks");
+
+    TablePrinter t("Power normalized to a regular page read");
+    t.setHeader({"blocks", "MWS power", "vs read", "vs program",
+                 "vs erase"});
+    for (std::uint32_t n : {1u, 2u, 3u, 4u, 5u}) {
+        double p = PowerModel::interBlockMwsPower(n);
+        t.addRow({std::to_string(n), TablePrinter::cell(p, 3),
+                  bench::ratioStr(p / PowerModel::kReadPower),
+                  p < PowerModel::kProgramPower ? "below" : "above",
+                  p < PowerModel::kErasePower ? "below" : "above"});
+    }
+    t.print();
+
+    std::printf("\nreference lines: read = %.2f, program = %.2f, "
+                "erase = %.2f\n\n",
+                PowerModel::kReadPower, PowerModel::kProgramPower,
+                PowerModel::kErasePower);
+
+    TimingModel tm;
+    double mws4_energy = PowerModel::energy(
+        PowerModel::interBlockMwsPower(4), tm.mwsLatency(1, 4));
+    double serial4_energy =
+        4.0 *
+        PowerModel::energy(PowerModel::kReadPower,
+                           tm.timings().tReadSlc);
+
+    bench::anchor("power increase 1 -> 2 blocks", "+34%",
+                  TablePrinter::cell(
+                      (PowerModel::interBlockMwsPower(2) - 1.0) * 100,
+                      1) +
+                      "%");
+    bench::anchor("power at 4 blocks vs read", "~+80%",
+                  TablePrinter::cell(
+                      (PowerModel::interBlockMwsPower(4) - 1.0) * 100,
+                      1) +
+                      "%");
+    bench::anchor("4 blocks below erase power", "yes",
+                  PowerModel::interBlockMwsPower(4) <
+                          PowerModel::kErasePower
+                      ? "yes"
+                      : "NO");
+    bench::anchor("5 blocks above erase power", "yes",
+                  PowerModel::interBlockMwsPower(5) >
+                          PowerModel::kErasePower
+                      ? "yes"
+                      : "NO");
+    bench::anchor("energy saving of 4-block MWS vs 4 serial reads",
+                  "~53%",
+                  TablePrinter::cell(
+                      (1.0 - mws4_energy / serial4_energy) * 100, 1) +
+                      "%");
+    return 0;
+}

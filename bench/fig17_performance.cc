@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 17 — speedup of ISP, ParaBit and Flash-Cosmos over OSP on
+ * the three real-world workloads (BMI, IMS, KCS) across the paper's
+ * parameter sweeps (via the plat::EvaluationSweep library).
+ *
+ * Paper anchors (averages over all workloads and inputs): FC is 32x
+ * over OSP, 25x over ISP, 3.5x over PB; for BMI specifically FC
+ * reaches 198.4x/150.5x over OSP/ISP while PB stays at 14x/10.7x;
+ * for IMS FC and PB nearly tie.
+ */
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "platforms/sweep.h"
+#include "util/mathutil.h"
+
+using namespace fcos;
+using plat::EvaluationSweep;
+using plat::PlatformKind;
+using plat::SweepSeries;
+
+namespace {
+
+void
+printSeries(const char *title, const SweepSeries &series)
+{
+    TablePrinter t(title);
+    t.setHeader({"param", "OSP time", "ISP x", "PB x", "FC x"});
+    for (const auto &p : series.points) {
+        t.addRow({p.workload.paramName + "=" +
+                      std::to_string(p.workload.paramValue),
+                  formatTime(p.osp.makespan),
+                  TablePrinter::cell(p.speedup(PlatformKind::Isp), 2),
+                  TablePrinter::cell(p.speedup(PlatformKind::ParaBit),
+                                     2),
+                  TablePrinter::cell(
+                      p.speedup(PlatformKind::FlashCosmos), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 17",
+                  "speedup over OSP: ISP vs ParaBit vs Flash-Cosmos "
+                  "(BMI / IMS / KCS sweeps)");
+
+    EvaluationSweep sweep;
+    SweepSeries bmi = sweep.bmiSeries();
+    SweepSeries ims = sweep.imsSeries();
+    SweepSeries kcs = sweep.kcsSeries();
+
+    printSeries("(a) Bitmap index (BMI), 800M users", bmi);
+    printSeries("(b) Image segmentation (IMS), 800x600x4", ims);
+    printSeries("(c) k-clique star listing (KCS), 32M vertices", kcs);
+
+    std::vector<SweepSeries> all{bmi, ims, kcs};
+    std::vector<SweepSeries> bmi_only{bmi};
+
+    auto mean_vs = [&](const std::vector<SweepSeries> &series,
+                       PlatformKind num, PlatformKind den) {
+        std::vector<double> values;
+        for (const auto &s : series) {
+            for (const auto &p : s.points)
+                values.push_back(p.speedup(num) / p.speedup(den));
+        }
+        return geomean(values);
+    };
+
+    bench::anchor(
+        "FC vs OSP (avg all workloads)", "32x",
+        bench::ratioStr(EvaluationSweep::meanSpeedup(
+            all, PlatformKind::FlashCosmos)));
+    bench::anchor("FC vs ISP (avg)", "25x",
+                  bench::ratioStr(mean_vs(all,
+                                          PlatformKind::FlashCosmos,
+                                          PlatformKind::Isp)));
+    bench::anchor("FC vs PB (avg)", "3.5x",
+                  bench::ratioStr(mean_vs(all,
+                                          PlatformKind::FlashCosmos,
+                                          PlatformKind::ParaBit)));
+    bench::anchor("PB vs OSP (avg)", "9.4x",
+                  bench::ratioStr(EvaluationSweep::meanSpeedup(
+                      all, PlatformKind::ParaBit)));
+    bench::anchor("FC vs OSP on BMI", "198.4x",
+                  bench::ratioStr(EvaluationSweep::meanSpeedup(
+                      bmi_only, PlatformKind::FlashCosmos)));
+    bench::anchor("FC vs ISP on BMI", "150.5x",
+                  bench::ratioStr(mean_vs(bmi_only,
+                                          PlatformKind::FlashCosmos,
+                                          PlatformKind::Isp)));
+    bench::anchor("PB vs OSP on BMI", "14x",
+                  bench::ratioStr(EvaluationSweep::meanSpeedup(
+                      bmi_only, PlatformKind::ParaBit)));
+    double ims_fc_pb_max = 0.0;
+    for (const auto &p : ims.points) {
+        ims_fc_pb_max =
+            std::max(ims_fc_pb_max,
+                     p.speedup(PlatformKind::FlashCosmos) /
+                         p.speedup(PlatformKind::ParaBit));
+    }
+    bench::anchor("FC vs PB on IMS", "~1x (transfer-bound)",
+                  bench::ratioStr(ims_fc_pb_max) + " max");
+    return 0;
+}

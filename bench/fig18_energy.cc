@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 18 — energy efficiency (bits computed per joule) of ISP,
+ * ParaBit and Flash-Cosmos, normalized to OSP, across the three
+ * workload sweeps (via the plat::EvaluationSweep library).
+ *
+ * Paper anchors (averages): FC is 95x over OSP, 13.4x over ISP, 3.3x
+ * over PB; maxima 1839x / 222x / 35.5x at BMI m=36; for IMS the
+ * FC-vs-PB saving shrinks to a few percent.
+ */
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "platforms/sweep.h"
+#include "util/mathutil.h"
+
+using namespace fcos;
+using plat::EvaluationSweep;
+using plat::PlatformKind;
+using plat::SweepSeries;
+
+namespace {
+
+void
+printSeries(const char *title, const SweepSeries &series)
+{
+    TablePrinter t(title);
+    t.setHeader({"param", "OSP energy", "ISP x", "PB x", "FC x"});
+    for (const auto &p : series.points) {
+        t.addRow(
+            {p.workload.paramName + "=" +
+                 std::to_string(p.workload.paramValue),
+             formatEnergy(p.osp.energyJ),
+             TablePrinter::cell(p.energyRatio(PlatformKind::Isp), 2),
+             TablePrinter::cell(p.energyRatio(PlatformKind::ParaBit),
+                                2),
+             TablePrinter::cell(
+                 p.energyRatio(PlatformKind::FlashCosmos), 2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Figure 18",
+                  "energy efficiency (bits per joule) normalized to "
+                  "OSP (BMI / IMS / KCS sweeps)");
+
+    EvaluationSweep sweep;
+    SweepSeries bmi = sweep.bmiSeries();
+    SweepSeries ims = sweep.imsSeries();
+    SweepSeries kcs = sweep.kcsSeries();
+
+    printSeries("(a) Bitmap index (BMI)", bmi);
+    printSeries("(b) Image segmentation (IMS)", ims);
+    printSeries("(c) k-clique star listing (KCS)", kcs);
+
+    std::vector<SweepSeries> all{bmi, ims, kcs};
+
+    double max_fc_osp = 0, max_fc_isp = 0, max_fc_pb = 0;
+    std::vector<double> fc_isp, fc_pb;
+    for (const auto &s : all) {
+        for (const auto &p : s.points) {
+            double fo = p.energyRatio(PlatformKind::FlashCosmos);
+            double fi = fo / p.energyRatio(PlatformKind::Isp);
+            double fp = fo / p.energyRatio(PlatformKind::ParaBit);
+            max_fc_osp = std::max(max_fc_osp, fo);
+            max_fc_isp = std::max(max_fc_isp, fi);
+            max_fc_pb = std::max(max_fc_pb, fp);
+            fc_isp.push_back(fi);
+            fc_pb.push_back(fp);
+        }
+    }
+
+    bench::anchor("FC vs OSP energy efficiency (avg)", "95x",
+                  bench::ratioStr(EvaluationSweep::meanEnergyRatio(
+                      all, PlatformKind::FlashCosmos)));
+    bench::anchor("FC vs ISP (avg)", "13.4x",
+                  bench::ratioStr(geomean(fc_isp)));
+    bench::anchor("FC vs PB (avg)", "3.3x",
+                  bench::ratioStr(geomean(fc_pb)));
+    bench::anchor("FC vs OSP maximum (BMI m=36)", "1839x",
+                  bench::ratioStr(max_fc_osp));
+    bench::anchor("FC vs ISP maximum", "222x",
+                  bench::ratioStr(max_fc_isp));
+    bench::anchor("FC vs PB maximum", "35.5x",
+                  bench::ratioStr(max_fc_pb));
+    double ims_fc_pb = 0.0;
+    for (const auto &p : ims.points) {
+        ims_fc_pb = std::max(
+            ims_fc_pb, p.energyRatio(PlatformKind::FlashCosmos) /
+                           p.energyRatio(PlatformKind::ParaBit));
+    }
+    bench::anchor("FC vs PB on IMS", "~2.3% savings",
+                  TablePrinter::cell((ims_fc_pb - 1.0) * 100.0, 1) +
+                      "% savings");
+    return 0;
+}

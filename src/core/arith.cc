@@ -1,0 +1,143 @@
+#include "core/arith.h"
+
+#include "util/log.h"
+
+namespace fcos::core {
+
+BitSlicedInt
+BitSerialEngine::store(const std::vector<std::uint64_t> &values,
+                       unsigned width)
+{
+    fcos_assert(width >= 1 && width <= 64, "width %u out of range",
+                width);
+    BitSlicedInt reg;
+    FlashCosmosDrive::WriteOptions opts;
+    opts.group = next_group_++;
+    for (unsigned bit = 0; bit < width; ++bit) {
+        BitVector slice(values.size());
+        for (std::size_t e = 0; e < values.size(); ++e)
+            slice.set(e, (values[e] >> bit) & 1);
+        reg.slices.push_back(drive_.fcWrite(slice, opts));
+    }
+    return reg;
+}
+
+std::vector<std::uint64_t>
+BitSerialEngine::load(const BitSlicedInt &reg)
+{
+    fcos_assert(!reg.slices.empty(), "empty register");
+    std::size_t elements = drive_.vectorBits(reg.slices[0]);
+    std::vector<std::uint64_t> out(elements, 0);
+    for (unsigned bit = 0; bit < reg.width(); ++bit) {
+        BitVector slice = drive_.readVector(reg.slices[bit]);
+        for (std::size_t e = 0; e < elements; ++e) {
+            if (slice.get(e))
+                out[e] |= 1ULL << bit;
+        }
+    }
+    return out;
+}
+
+std::pair<BitSlicedInt, BitSlicedInt>
+BitSerialEngine::storePair(const std::vector<std::uint64_t> &a,
+                           const std::vector<std::uint64_t> &b,
+                           unsigned width)
+{
+    fcos_assert(a.size() == b.size(), "element counts must match");
+    fcos_assert(width >= 1 && width <= 64, "width %u out of range",
+                width);
+    BitSlicedInt ra, rb;
+    FlashCosmosDrive::WriteOptions opts;
+    opts.group = next_group_++;
+    auto slice_of = [&](const std::vector<std::uint64_t> &vals,
+                        unsigned bit) {
+        BitVector s(vals.size());
+        for (std::size_t e = 0; e < vals.size(); ++e)
+            s.set(e, (vals[e] >> bit) & 1);
+        return s;
+    };
+    for (unsigned bit = 0; bit < width; ++bit) {
+        ra.slices.push_back(drive_.fcWrite(slice_of(a, bit), opts));
+        rb.slices.push_back(drive_.fcWrite(slice_of(b, bit), opts));
+    }
+    return {ra, rb};
+}
+
+VectorId
+BitSerialEngine::compute(const Expr &expr)
+{
+    FlashCosmosDrive::WriteOptions opts;
+    opts.group = next_group_++;
+    FlashCosmosDrive::ReadStats rs;
+    VectorId id = drive_.fcCompute(expr, opts, &rs);
+    stats_.mwsCommands += rs.mwsCommands;
+    stats_.latchXors += rs.latchXors;
+    ++stats_.programs;
+    stats_.nandTime += rs.nandTime;
+    return id;
+}
+
+BitSlicedInt
+BitSerialEngine::add(const BitSlicedInt &a, const BitSlicedInt &b)
+{
+    fcos_assert(a.width() == b.width() && a.width() >= 1,
+                "operand widths must match");
+    BitSlicedInt sum;
+    VectorId carry = 0;
+    bool have_carry = false;
+    for (unsigned i = 0; i < a.width(); ++i) {
+        Expr ai = Expr::leaf(a.slices[i]);
+        Expr bi = Expr::leaf(b.slices[i]);
+        if (!have_carry) {
+            // Half adder at the LSB.
+            sum.slices.push_back(compute(Expr::Xor(ai, bi)));
+            if (i + 1 < a.width()) {
+                carry = compute(Expr::And({ai, bi}));
+                have_carry = true;
+            }
+        } else {
+            Expr ci = Expr::leaf(carry);
+            sum.slices.push_back(
+                compute(Expr::Xor(Expr::Xor(ai, bi), ci)));
+            if (i + 1 < a.width()) {
+                // MAJ(a,b,c) = (a AND b) OR (c AND (a OR b)).
+                carry = compute(
+                    Expr::Or({Expr::And({ai, bi}),
+                              Expr::And({ci, Expr::Or({ai, bi})})}));
+            }
+        }
+    }
+    return sum;
+}
+
+VectorId
+BitSerialEngine::greaterThan(const BitSlicedInt &a, const BitSlicedInt &b)
+{
+    fcos_assert(a.width() == b.width() && a.width() >= 1,
+                "operand widths must match");
+    // MSB-first scan with gt / equal-so-far accumulators.
+    int msb = static_cast<int>(a.width()) - 1;
+    Expr a_m = Expr::leaf(a.slices[static_cast<std::size_t>(msb)]);
+    Expr b_m = Expr::leaf(b.slices[static_cast<std::size_t>(msb)]);
+    VectorId gt = compute(Expr::And({a_m, Expr::Not(b_m)}));
+    if (msb == 0)
+        return gt;
+    VectorId eq = compute(Expr::Xnor(a_m, b_m));
+    for (int i = msb - 1; i >= 0; --i) {
+        Expr ai = Expr::leaf(a.slices[static_cast<std::size_t>(i)]);
+        Expr bi = Expr::leaf(b.slices[static_cast<std::size_t>(i)]);
+        gt = compute(Expr::Or(
+            {Expr::leaf(gt),
+             Expr::And({Expr::leaf(eq), ai, Expr::Not(bi)})}));
+        if (i > 0) {
+            // XNOR needs the latch XOR, which cannot nest inside an
+            // AND chain — persist it, then fold.
+            VectorId xnor_i = compute(Expr::Xnor(ai, bi));
+            eq = compute(
+                Expr::And({Expr::leaf(eq), Expr::leaf(xnor_i)}));
+        }
+    }
+    return gt;
+}
+
+} // namespace fcos::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Bit-serial arithmetic on top of in-flash bulk bitwise operations
+ * (the Section 10 extension: AND/OR/NOT/XOR are logically complete,
+ * so frameworks like SIMDRAM / DualityCache synthesize arithmetic
+ * from them; this is that idea realized for Flash-Cosmos).
+ *
+ * Values are stored *bit-sliced*: an n-bit unsigned vector register
+ * holding E elements is n stored bit vectors ("slices"), slice i
+ * carrying bit i of every element. Addition is a ripple-carry circuit
+ * where each level's carry is computed in flash and persisted with
+ * program-from-latch (fcCompute), so intermediate data never leaves
+ * the dies:
+ *
+ *   sum_i   = a_i XOR b_i XOR c_i          (latch-XOR chain)
+ *   c_{i+1} = MAJ(a_i, b_i, c_i)
+ *           = (a_i AND b_i) OR (c_i AND (a_i OR b_i))
+ *
+ * The comparator runs MSB-first with an "equal-so-far" accumulator:
+ *
+ *   gt  |= eq AND a_i AND NOT b_i
+ *   eq &&= a_i XNOR b_i
+ */
+
+#ifndef FCOS_CORE_ARITH_H
+#define FCOS_CORE_ARITH_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/drive.h"
+
+namespace fcos::core {
+
+/** A bit-sliced unsigned integer vector register (LSB slice first). */
+struct BitSlicedInt
+{
+    std::vector<VectorId> slices;
+
+    std::size_t width() const { return slices.size(); }
+};
+
+class BitSerialEngine
+{
+  public:
+    /**
+     * @param drive          the drive holding operands and scratch
+     * @param scratch_group  base placement group for intermediates;
+     *                       the engine consumes consecutive ids from
+     *                       here
+     */
+    explicit BitSerialEngine(FlashCosmosDrive &drive,
+                             std::uint64_t scratch_group = 1ULL << 40)
+        : drive_(drive), next_group_(scratch_group)
+    {}
+
+    /** Aggregate cost of all in-flash steps issued so far. */
+    struct Stats
+    {
+        std::uint64_t mwsCommands = 0;
+        std::uint64_t latchXors = 0;
+        std::uint64_t programs = 0;
+        Time nandTime = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Store a host-side array of unsigned values as a bit-sliced
+     * register of @p width bits (values are masked to the width).
+     */
+    BitSlicedInt store(const std::vector<std::uint64_t> &values,
+                       unsigned width);
+
+    /**
+     * Store two arrays as registers whose slice pairs (a_i, b_i) are
+     * co-located in one placement group — the Section 6.3 contract
+     * applied to arithmetic: the adder's majority expression then
+     * compiles to a three-command chain instead of falling back.
+     */
+    std::pair<BitSlicedInt, BitSlicedInt>
+    storePair(const std::vector<std::uint64_t> &a,
+              const std::vector<std::uint64_t> &b, unsigned width);
+
+    /** Read a bit-sliced register back into host-side values. */
+    std::vector<std::uint64_t> load(const BitSlicedInt &reg);
+
+    /**
+     * Element-wise addition modulo 2^width (widths must match).
+     * Every sum and carry slice is computed and persisted in flash.
+     */
+    BitSlicedInt add(const BitSlicedInt &a, const BitSlicedInt &b);
+
+    /**
+     * Element-wise a > b (unsigned): returns the id of a stored mask
+     * vector with bit e set where a[e] > b[e].
+     */
+    VectorId greaterThan(const BitSlicedInt &a, const BitSlicedInt &b);
+
+  private:
+    /** fcCompute into a fresh scratch group, tracking stats. */
+    VectorId compute(const Expr &expr);
+
+    FlashCosmosDrive &drive_;
+    std::uint64_t next_group_;
+    Stats stats_;
+};
+
+} // namespace fcos::core
+
+#endif // FCOS_CORE_ARITH_H

@@ -1,0 +1,426 @@
+#include "core/drive.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/log.h"
+
+namespace fcos::core {
+
+FlashCosmosDrive::FlashCosmosDrive() : FlashCosmosDrive(Config{}) {}
+
+FlashCosmosDrive::FlashCosmosDrive(const Config &cfg)
+    : cfg_(cfg), ftl_(cfg.dies, cfg.geometry), planner_(*this)
+{
+    fcos_assert(cfg.dies > 0, "drive needs at least one die");
+    chips_.reserve(cfg.dies);
+    for (std::uint32_t d = 0; d < cfg.dies; ++d)
+        chips_.push_back(
+            std::make_unique<nand::NandChip>(cfg.geometry, cfg.timings));
+    // Reserve one erased wordline per column for the final-NOT trick.
+    erased_ref_ = ftl_.allocateStriped(ftl_.columns());
+}
+
+void
+FlashCosmosDrive::setErrorInjector(nand::ErrorInjector *injector)
+{
+    for (auto &c : chips_)
+        c->setErrorInjector(injector);
+}
+
+nand::NandChip &
+FlashCosmosDrive::chip(std::uint32_t die)
+{
+    fcos_assert(die < chips_.size(), "die %u out of range", die);
+    return *chips_[die];
+}
+
+const FlashCosmosDrive::VectorInfo &
+FlashCosmosDrive::info(VectorId id) const
+{
+    fcos_assert(id < vectors_.size(), "vector id %u out of range", id);
+    return vectors_[id];
+}
+
+bool
+FlashCosmosDrive::isStoredInverted(VectorId id) const
+{
+    return info(id).inverted;
+}
+
+std::uint64_t
+FlashCosmosDrive::stringKey(VectorId id) const
+{
+    const VectorInfo &v = info(id);
+    // Vectors of one group stack wordlines in lockstep; the chain
+    // segment (orderInGroup / wordlinesPerSubBlock) identifies the
+    // shared sub-block.
+    return v.group * 4096 +
+           v.orderInGroup / cfg_.geometry.wordlinesPerSubBlock;
+}
+
+std::size_t
+FlashCosmosDrive::vectorBits(VectorId id) const
+{
+    return info(id).bits;
+}
+
+const std::vector<ssd::PhysPage> &
+FlashCosmosDrive::vectorPages(VectorId id) const
+{
+    return info(id).pages;
+}
+
+VectorId
+FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
+{
+    fcos_assert(!data.empty(), "fcWrite of empty vector");
+    std::uint64_t group = opts.group;
+    if (group == kAutoGroup)
+        group = next_auto_group_++;
+
+    std::uint64_t page_bits = cfg_.geometry.pageBits();
+    std::uint64_t pages =
+        (data.size() + page_bits - 1) / page_bits;
+
+    auto &[count, group_pages] = group_info_[group];
+    if (count == 0) {
+        group_pages = pages;
+    } else {
+        // Lockstep invariant (see class comment).
+        fcos_assert(group_pages == pages,
+                    "group %llu vectors must have equal page counts "
+                    "(%llu vs %llu)",
+                    (unsigned long long)group,
+                    (unsigned long long)group_pages,
+                    (unsigned long long)pages);
+    }
+
+    VectorInfo v;
+    v.bits = data.size();
+    v.inverted = opts.storeInverted;
+    v.group = group;
+    v.orderInGroup = count++;
+    v.pages = ftl_.allocateInGroup(group, pages);
+
+    nand::EspParams esp{cfg_.espFactor};
+    for (std::uint64_t j = 0; j < pages; ++j) {
+        std::uint64_t begin = j * page_bits;
+        std::uint64_t len =
+            std::min<std::uint64_t>(page_bits, data.size() - begin);
+        BitVector page(page_bits, false);
+        page.paste(0, data.slice(begin, len));
+        if (v.inverted)
+            page.invert();
+        const ssd::PhysPage &p = v.pages[j];
+        if (cfg_.defaultMode == nand::ProgramMode::SlcEsp)
+            chips_[p.die]->programPageEsp(p.addr, page, esp);
+        else
+            chips_[p.die]->programPage(p.addr, page, cfg_.defaultMode);
+    }
+
+    VectorId id = static_cast<VectorId>(vectors_.size());
+    vectors_.push_back(std::move(v));
+    return id;
+}
+
+MwsPlan
+FlashCosmosDrive::planFor(const Expr &expr) const
+{
+    return planner_.plan(expr);
+}
+
+void
+FlashCosmosDrive::addOp(ReadStats *stats, const nand::OpResult &op,
+                        bool is_sense)
+{
+    if (!stats)
+        return;
+    stats->nandTime += op.latency;
+    stats->nandEnergyJ += op.energyJ;
+    if (is_sense)
+        ++stats->senses;
+}
+
+BitVector
+FlashCosmosDrive::executeOnColumn(const MwsPlan &plan, const Expr &expr,
+                                  std::size_t page_index,
+                                  ReadStats *stats)
+{
+    // Locate the column (die, plane) from any leaf; validate agreement.
+    std::vector<VectorId> leaves = expr.leafIds();
+    fcos_assert(!leaves.empty(), "expression with no leaves");
+    const ssd::PhysPage &first = info(leaves[0]).pages[page_index];
+    std::uint32_t die = first.die;
+    std::uint32_t plane = first.addr.plane;
+    for (VectorId id : leaves) {
+        const ssd::PhysPage &p = info(id).pages[page_index];
+        fcos_assert(p.die == die && p.addr.plane == plane,
+                    "operands of one expression must stripe identically");
+    }
+    nand::NandChip &chip = *chips_[die];
+
+    auto member_addr = [&](const Literal &l) -> const nand::WordlineAddr & {
+        return info(l.id).pages[page_index].addr;
+    };
+
+    if (plan.kind == MwsPlan::Kind::Xor) {
+        auto sense_lit = [&](const Literal &l, bool extra_invert,
+                             bool first_op) {
+            const nand::WordlineAddr &a = member_addr(l);
+            bool stored_mismatch =
+                info(l.id).inverted != l.negated; // stored != literal
+            nand::MwsCommand cmd;
+            cmd.plane = plane;
+            cmd.flags.inverseRead = stored_mismatch ^ extra_invert;
+            cmd.flags.initSenseLatch = true;
+            cmd.flags.initCacheLatch = first_op;
+            cmd.flags.dumpToCache = first_op;
+            cmd.selections.push_back(nand::WlSelection{
+                a.block, a.subBlock, 1ULL << a.wordline});
+            nand::OpResult op = chip.executeMws(cmd);
+            addOp(stats, op, true);
+            if (stats)
+                ++stats->mwsCommands;
+        };
+        fcos_assert(plan.xorMembers.size() >= 2, "degenerate XOR plan");
+        for (std::size_t i = 0; i < plan.xorMembers.size(); ++i) {
+            bool last = (i + 1 == plan.xorMembers.size());
+            // The overall parity folds into the last member's sense.
+            sense_lit(plan.xorMembers[i], last && plan.xorInvert,
+                      i == 0);
+            if (i > 0) {
+                nand::OpResult op = chip.executeXor(plane);
+                addOp(stats, op, false);
+                if (stats)
+                    ++stats->latchXors;
+            }
+        }
+        return chip.dataOut(plane);
+    }
+
+    if (plan.kind == MwsPlan::Kind::Fallback) {
+        // Serial page reads + controller-side evaluation. Reads use
+        // inverse mode for inverse-stored vectors, recovering logical
+        // values directly.
+        std::map<VectorId, BitVector> page_values;
+        for (VectorId id : leaves) {
+            const nand::WordlineAddr &a = info(id).pages[page_index].addr;
+            nand::OpResult op =
+                chip.readPage(a, info(id).inverted);
+            addOp(stats, op, true);
+            if (stats)
+                ++stats->pageReads;
+            page_values.emplace(id, chip.dataOut(plane));
+        }
+        return expr.evaluate(
+            [&](VectorId id) -> const BitVector & {
+                return page_values.at(id);
+            });
+    }
+
+    // MWS command chain.
+    for (const PlanCommand &pc : plan.commands) {
+        nand::MwsCommand cmd;
+        cmd.plane = plane;
+        cmd.flags.inverseRead = pc.inverse;
+        cmd.flags.initSenseLatch = true;
+        switch (pc.merge) {
+          case MergeMode::Copy:
+            cmd.flags.initCacheLatch = true;
+            cmd.flags.dumpToCache = true;
+            break;
+          case MergeMode::And:
+            cmd.flags.initCacheLatch = false;
+            cmd.flags.dumpToCache = true;
+            break;
+          case MergeMode::Or:
+            cmd.flags.initCacheLatch = false;
+            cmd.flags.dumpToCache = false;
+            break;
+        }
+        for (const PlanString &s : pc.strings) {
+            fcos_assert(!s.members.empty(), "empty plan string");
+            const nand::WordlineAddr &a0 = member_addr(s.members[0]);
+            nand::WlSelection sel{a0.block, a0.subBlock, 0};
+            for (const Literal &m : s.members) {
+                const nand::WordlineAddr &a = member_addr(m);
+                fcos_assert(a.block == sel.block &&
+                                a.subBlock == sel.subBlock,
+                            "string members not co-located "
+                            "(planner/placement bug)");
+                sel.wlMask |= 1ULL << a.wordline;
+            }
+            cmd.selections.push_back(sel);
+        }
+        nand::OpResult op = chip.executeMws(cmd);
+        addOp(stats, op, true);
+        if (stats)
+            ++stats->mwsCommands;
+        if (pc.merge == MergeMode::Or) {
+            // Legacy cache-read OR transfer (Figure 6(c) path).
+            chip.latches(plane).dumpOrMerge();
+        }
+    }
+
+    if (plan.finalInvert) {
+        // Sense the reserved erased wordline (reads all-'1'), then
+        // XOR it into the cache latch: C := NOT C.
+        std::uint32_t column = die * cfg_.geometry.planesPerDie + plane;
+        const nand::WordlineAddr &e = erased_ref_[column].addr;
+        fcos_assert(erased_ref_[column].die == die, "erased ref layout");
+        nand::MwsCommand cmd;
+        cmd.plane = plane;
+        cmd.flags.inverseRead = false;
+        cmd.flags.initSenseLatch = true;
+        cmd.flags.initCacheLatch = false;
+        cmd.flags.dumpToCache = false;
+        cmd.selections.push_back(
+            nand::WlSelection{e.block, e.subBlock, 1ULL << e.wordline});
+        nand::OpResult op = chip.executeMws(cmd);
+        addOp(stats, op, true);
+        if (stats)
+            ++stats->mwsCommands;
+        nand::OpResult xop = chip.executeXor(plane);
+        addOp(stats, xop, false);
+        if (stats)
+            ++stats->latchXors;
+    }
+
+    return chip.dataOut(plane);
+}
+
+BitVector
+FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
+{
+    std::vector<VectorId> leaves = expr.leafIds();
+    fcos_assert(!leaves.empty(), "fcRead of constant expression");
+    std::size_t bits = info(leaves[0]).bits;
+    std::size_t pages = info(leaves[0]).pages.size();
+    for (VectorId id : leaves) {
+        fcos_assert(info(id).bits == bits,
+                    "fcRead operands must have equal sizes");
+        fcos_assert(info(id).pages.size() == pages, "page count mismatch");
+    }
+
+    MwsPlan plan = planner_.plan(expr);
+    if (stats) {
+        stats->planKind = plan.kind;
+        stats->planText = plan.toString();
+    }
+    if (plan.kind == MwsPlan::Kind::Fallback) {
+        fcos_warn("fcRead falling back to serial reads: %s",
+                  plan.fallbackReason.c_str());
+    }
+
+    std::uint64_t page_bits = cfg_.geometry.pageBits();
+    BitVector result(bits);
+    for (std::size_t j = 0; j < pages; ++j) {
+        BitVector page = executeOnColumn(plan, expr, j, stats);
+        if (stats)
+            ++stats->resultPages;
+        std::size_t begin = j * page_bits;
+        std::size_t len = std::min<std::size_t>(page_bits, bits - begin);
+        result.paste(begin, page.slice(0, len));
+    }
+    return result;
+}
+
+VectorId
+FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
+                            ReadStats *stats)
+{
+    std::vector<VectorId> leaves = expr.leafIds();
+    fcos_assert(!leaves.empty(), "fcCompute of constant expression");
+    std::size_t bits = info(leaves[0]).bits;
+    std::size_t pages = info(leaves[0]).pages.size();
+    for (VectorId id : leaves) {
+        fcos_assert(info(id).bits == bits,
+                    "fcCompute operands must have equal sizes");
+        fcos_assert(info(id).pages.size() == pages,
+                    "page count mismatch");
+    }
+
+    // Inverted storage computes the complement into the latch.
+    Expr stored_expr = opts.storeInverted ? Expr::Not(expr) : expr;
+    MwsPlan plan = planner_.plan(stored_expr);
+    if (stats) {
+        stats->planKind = plan.kind;
+        stats->planText = plan.toString();
+    }
+
+    std::uint64_t group = opts.group;
+    if (group == kAutoGroup)
+        group = next_auto_group_++;
+    auto &[count, group_pages] = group_info_[group];
+    if (count == 0) {
+        group_pages = pages;
+    } else {
+        fcos_assert(group_pages == pages,
+                    "group %llu vectors must have equal page counts",
+                    (unsigned long long)group);
+    }
+
+    VectorInfo v;
+    v.bits = bits;
+    v.inverted = opts.storeInverted;
+    v.group = group;
+    v.orderInGroup = count++;
+    v.pages = ftl_.allocateInGroup(group, pages);
+
+    nand::EspParams esp{cfg_.espFactor};
+    for (std::size_t j = 0; j < pages; ++j) {
+        if (plan.kind == MwsPlan::Kind::Fallback) {
+            // Compute controller-side, then write the page normally.
+            fcos_warn("fcCompute falling back to serial reads: %s",
+                      plan.fallbackReason.c_str());
+            BitVector page =
+                executeOnColumn(plan, stored_expr, j, stats);
+            const ssd::PhysPage &dst = v.pages[j];
+            chips_[dst.die]->programPageEsp(dst.addr, page, esp);
+            continue;
+        }
+        executeOnColumn(plan, stored_expr, j, stats);
+        const ssd::PhysPage &dst = v.pages[j];
+        // The operands' column and the destination column round-robin
+        // identically, so the latch holding the result belongs to the
+        // destination's plane.
+        const ssd::PhysPage &src = info(leaves[0]).pages[j];
+        fcos_assert(dst.die == src.die &&
+                        dst.addr.plane == src.addr.plane,
+                    "fcCompute destination must share the plane");
+        nand::OpResult op = chips_[dst.die]->programFromCache(
+            dst.addr, nand::ProgramMode::SlcEsp, esp);
+        addOp(stats, op, false);
+    }
+
+    VectorId id = static_cast<VectorId>(vectors_.size());
+    vectors_.push_back(std::move(v));
+    return id;
+}
+
+BitVector
+FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
+{
+    const VectorInfo &v = info(id);
+    std::uint64_t page_bits = cfg_.geometry.pageBits();
+    BitVector result(v.bits);
+    for (std::size_t j = 0; j < v.pages.size(); ++j) {
+        const ssd::PhysPage &p = v.pages[j];
+        nand::OpResult op =
+            chips_[p.die]->readPage(p.addr, v.inverted);
+        addOp(stats, op, true);
+        if (stats) {
+            ++stats->pageReads;
+            ++stats->resultPages;
+        }
+        const BitVector &page = chips_[p.die]->dataOut(p.addr.plane);
+        std::size_t begin = j * page_bits;
+        std::size_t len =
+            std::min<std::size_t>(page_bits, v.bits - begin);
+        result.paste(begin, page.slice(0, len));
+    }
+    return result;
+}
+
+} // namespace fcos::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * FlashCosmosDrive — the functional, bit-exact Flash-Cosmos SSD
+ * (paper Section 6.3's fc_write / fc_read library, end to end).
+ *
+ * The drive owns a set of NAND dies, places vectors through the
+ * FC-aware FTL, compiles fc_read expressions with the Planner, and
+ * executes the resulting MWS command chains on the dies' latch arrays.
+ * With an error injector attached, computation flows through the same
+ * error-prone sensing path the paper characterizes; without one it is
+ * exact.
+ *
+ * Data placement follows the application-level contract of §6.3:
+ *  - vectors that will be combined must be written into the same
+ *    *group* (co-location in one NAND string set per column);
+ *  - OR-heavy vectors should be stored inverted (De Morgan, §6.1);
+ *  - every vector in a group must have the same length, so group
+ *    wordlines advance in lockstep across all columns.
+ *
+ * Timing realism for full-scale workloads lives in the SSD timing
+ * simulator (platforms/); this class is the functional reference the
+ * tests validate against.
+ */
+
+#ifndef FCOS_CORE_DRIVE_H
+#define FCOS_CORE_DRIVE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/expression.h"
+#include "core/plan.h"
+#include "core/planner.h"
+#include "nand/chip.h"
+#include "ssd/ftl.h"
+#include "util/bitvector.h"
+
+namespace fcos::core {
+
+class FlashCosmosDrive : public StorageResolver
+{
+  public:
+    struct Config
+    {
+        std::uint32_t dies = 2;
+        nand::Geometry geometry = nand::Geometry::tiny();
+        nand::Timings timings{};
+        /** ESP extension used for fcWrite (Table 1: 2.0 -> 400 us). */
+        double espFactor = 2.0;
+        /** Default programming mode for operands. */
+        nand::ProgramMode defaultMode = nand::ProgramMode::SlcEsp;
+    };
+
+    /** Construct with a test-friendly tiny geometry. */
+    FlashCosmosDrive();
+    explicit FlashCosmosDrive(const Config &cfg);
+
+    /** Attach/detach the error model on every die. */
+    void setErrorInjector(nand::ErrorInjector *injector);
+
+    /** Sentinel: fcWrite allocates a fresh private group. */
+    static constexpr std::uint64_t kAutoGroup = ~std::uint64_t{0};
+
+    struct WriteOptions
+    {
+        /** Placement group (vectors combined together must share it). */
+        std::uint64_t group = kAutoGroup;
+        /** Store the complement (enables single-MWS OR via De Morgan). */
+        bool storeInverted = false;
+    };
+
+    /**
+     * Store a bit vector (fc_write). Returns its handle.
+     * Programs with ESP by default.
+     */
+    VectorId fcWrite(const BitVector &data, const WriteOptions &opts);
+    VectorId fcWrite(const BitVector &data)
+    {
+        return fcWrite(data, WriteOptions{});
+    }
+
+    struct ReadStats
+    {
+        MwsPlan::Kind planKind = MwsPlan::Kind::Mws;
+        std::string planText;
+        std::uint64_t mwsCommands = 0; ///< MWS sense commands issued
+        std::uint64_t senses = 0;      ///< total sensing operations
+        std::uint64_t latchXors = 0;   ///< on-chip XOR ops
+        std::uint64_t pageReads = 0;   ///< fallback serial page reads
+        std::uint64_t resultPages = 0; ///< pages read out of the chips
+        Time nandTime = 0;             ///< summed NAND busy time
+        double nandEnergyJ = 0.0;      ///< summed NAND energy
+    };
+
+    /**
+     * Execute a bulk bitwise expression in flash (fc_read) and return
+     * the result vector.
+     */
+    BitVector fcRead(const Expr &expr, ReadStats *stats = nullptr);
+
+    /** The plan fcRead would execute (for inspection/tests). */
+    MwsPlan planFor(const Expr &expr) const;
+
+    /**
+     * Execute an expression in flash and persist the result *without
+     * leaving the dies*: after each page column's command chain, the
+     * cache latch is programmed into a freshly allocated page
+     * (program-from-latch, the copyback write path). This is the
+     * primitive behind Section 10's "logically complete" claim —
+     * computed vectors become operands of later operations, enabling
+     * synthesized multi-step functions (see core/arith.h).
+     *
+     * @param opts  placement of the result vector. storeInverted
+     *              stores the complement (the planner then computes
+     *              NOT(expr) into the latch).
+     */
+    VectorId fcCompute(const Expr &expr, const WriteOptions &opts,
+                       ReadStats *stats = nullptr);
+
+    /** Read a stored vector back through the regular read path. */
+    BitVector readVector(VectorId id, ReadStats *stats = nullptr);
+
+    /** Logical size of a stored vector in bits. */
+    std::size_t vectorBits(VectorId id) const;
+
+    /** Physical pages of a vector (placement inspection). */
+    const std::vector<ssd::PhysPage> &vectorPages(VectorId id) const;
+
+    std::uint32_t dieCount() const
+    {
+        return static_cast<std::uint32_t>(chips_.size());
+    }
+    nand::NandChip &chip(std::uint32_t die);
+
+    // StorageResolver:
+    bool isStoredInverted(VectorId id) const override;
+    std::uint64_t stringKey(VectorId id) const override;
+
+  private:
+    struct VectorInfo
+    {
+        std::size_t bits = 0;
+        bool inverted = false;
+        std::uint64_t group = 0;
+        std::uint64_t orderInGroup = 0;
+        std::vector<ssd::PhysPage> pages;
+    };
+
+    const VectorInfo &info(VectorId id) const;
+
+    /** Execute one plan on the page-column @p page_index. Returns the
+     *  resulting page data (from the cache latch). */
+    BitVector executeOnColumn(const MwsPlan &plan, const Expr &expr,
+                              std::size_t page_index, ReadStats *stats);
+
+    void addOp(ReadStats *stats, const nand::OpResult &op, bool is_sense);
+
+    Config cfg_;
+    std::vector<std::unique_ptr<nand::NandChip>> chips_;
+    ssd::Ftl ftl_;
+    Planner planner_;
+    std::vector<VectorInfo> vectors_;
+    /** Per column: a reserved, never-programmed wordline (senses as
+     *  all-'1'; used by the final-NOT XOR trick). */
+    std::vector<ssd::PhysPage> erased_ref_;
+    /** group id -> {vector count, page count} for lockstep checking. */
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t,
+                                                std::uint64_t>>
+        group_info_;
+    std::uint64_t next_auto_group_ = 1ULL << 32;
+};
+
+} // namespace fcos::core
+
+#endif // FCOS_CORE_DRIVE_H

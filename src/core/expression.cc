@@ -1,0 +1,133 @@
+#include "core/expression.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.h"
+
+namespace fcos::core {
+
+const char *
+bitOpName(BitOp op)
+{
+    switch (op) {
+      case BitOp::Leaf:
+        return "LEAF";
+      case BitOp::Not:
+        return "NOT";
+      case BitOp::And:
+        return "AND";
+      case BitOp::Or:
+        return "OR";
+      case BitOp::Nand:
+        return "NAND";
+      case BitOp::Nor:
+        return "NOR";
+      case BitOp::Xor:
+        return "XOR";
+      case BitOp::Xnor:
+        return "XNOR";
+    }
+    return "?";
+}
+
+Expr
+Expr::leaf(VectorId id)
+{
+    Expr e;
+    e.op_ = BitOp::Leaf;
+    e.id_ = id;
+    e.children_ = std::make_shared<const std::vector<Expr>>();
+    return e;
+}
+
+Expr
+Expr::apply(BitOp op, std::vector<Expr> children)
+{
+    fcos_assert(op != BitOp::Leaf, "apply() cannot build leaves");
+    fcos_assert(!children.empty(), "operator with no operands");
+    if (op == BitOp::Not)
+        fcos_assert(children.size() == 1, "NOT is unary");
+    if (op == BitOp::Xor || op == BitOp::Xnor)
+        fcos_assert(children.size() == 2, "XOR/XNOR are binary");
+    Expr e;
+    e.op_ = op;
+    e.children_ =
+        std::make_shared<const std::vector<Expr>>(std::move(children));
+    return e;
+}
+
+std::vector<VectorId>
+Expr::leafIds() const
+{
+    std::set<VectorId> seen;
+    std::vector<VectorId> out;
+    std::function<void(const Expr &)> walk = [&](const Expr &e) {
+        if (e.op() == BitOp::Leaf) {
+            if (seen.insert(e.id()).second)
+                out.push_back(e.id());
+            return;
+        }
+        for (const Expr &c : e.children())
+            walk(c);
+    };
+    walk(*this);
+    return out;
+}
+
+BitVector
+Expr::evaluate(
+    const std::function<const BitVector &(VectorId)> &lookup) const
+{
+    switch (op_) {
+      case BitOp::Leaf:
+        return lookup(id_);
+      case BitOp::Not:
+        return ~children()[0].evaluate(lookup);
+      case BitOp::And:
+      case BitOp::Nand: {
+        BitVector acc = children()[0].evaluate(lookup);
+        for (std::size_t i = 1; i < children().size(); ++i)
+            acc &= children()[i].evaluate(lookup);
+        if (op_ == BitOp::Nand)
+            acc.invert();
+        return acc;
+      }
+      case BitOp::Or:
+      case BitOp::Nor: {
+        BitVector acc = children()[0].evaluate(lookup);
+        for (std::size_t i = 1; i < children().size(); ++i)
+            acc |= children()[i].evaluate(lookup);
+        if (op_ == BitOp::Nor)
+            acc.invert();
+        return acc;
+      }
+      case BitOp::Xor:
+      case BitOp::Xnor: {
+        BitVector acc = children()[0].evaluate(lookup);
+        acc ^= children()[1].evaluate(lookup);
+        if (op_ == BitOp::Xnor)
+            acc.invert();
+        return acc;
+      }
+    }
+    fcos_panic("bad op");
+}
+
+std::string
+Expr::toString() const
+{
+    if (op_ == BitOp::Leaf)
+        return "v" + std::to_string(id_);
+    std::string s = bitOpName(op_);
+    s += "(";
+    for (std::size_t i = 0; i < children().size(); ++i) {
+        if (i)
+            s += ", ";
+        s += children()[i].toString();
+    }
+    s += ")";
+    return s;
+}
+
+} // namespace fcos::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bulk bitwise expressions over stored bit vectors.
+ *
+ * The Flash-Cosmos public API (fc_read, Section 6.3) takes an
+ * expression tree over vector handles; the planner compiles it to MWS
+ * command chains. Expr is a small immutable AST with a reference
+ * evaluator used by the property tests (plan execution must equal
+ * reference evaluation bit-for-bit).
+ */
+
+#ifndef FCOS_CORE_EXPRESSION_H
+#define FCOS_CORE_EXPRESSION_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace fcos::core {
+
+/** Handle to a stored bit vector. */
+using VectorId = std::uint32_t;
+
+enum class BitOp : std::uint8_t
+{
+    Leaf,
+    Not,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+};
+
+const char *bitOpName(BitOp op);
+
+class Expr
+{
+  public:
+    /** A stored vector. */
+    static Expr leaf(VectorId id);
+
+    /** N-ary operators (n >= 1; Not is unary). */
+    static Expr apply(BitOp op, std::vector<Expr> children);
+
+    static Expr Not(Expr e) { return apply(BitOp::Not, {std::move(e)}); }
+    static Expr And(std::vector<Expr> es)
+    {
+        return apply(BitOp::And, std::move(es));
+    }
+    static Expr Or(std::vector<Expr> es)
+    {
+        return apply(BitOp::Or, std::move(es));
+    }
+    static Expr Nand(std::vector<Expr> es)
+    {
+        return apply(BitOp::Nand, std::move(es));
+    }
+    static Expr Nor(std::vector<Expr> es)
+    {
+        return apply(BitOp::Nor, std::move(es));
+    }
+    static Expr Xor(Expr a, Expr b)
+    {
+        return apply(BitOp::Xor, {std::move(a), std::move(b)});
+    }
+    static Expr Xnor(Expr a, Expr b)
+    {
+        return apply(BitOp::Xnor, {std::move(a), std::move(b)});
+    }
+
+    BitOp op() const { return op_; }
+    VectorId id() const { return id_; }
+    const std::vector<Expr> &children() const { return *children_; }
+
+    /** All leaf vector ids (with duplicates removed). */
+    std::vector<VectorId> leafIds() const;
+
+    /**
+     * Reference evaluation: @p lookup maps ids to their *logical*
+     * values. All vectors must have equal size.
+     */
+    BitVector evaluate(
+        const std::function<const BitVector &(VectorId)> &lookup) const;
+
+    /** Human-readable rendering, e.g. "AND(v0, OR(v1, v2))". */
+    std::string toString() const;
+
+    /** Operator sugar: a & b, a | b, a ^ b, ~a. */
+    friend Expr operator&(Expr a, Expr b)
+    {
+        return And({std::move(a), std::move(b)});
+    }
+    friend Expr operator|(Expr a, Expr b)
+    {
+        return Or({std::move(a), std::move(b)});
+    }
+    friend Expr operator^(Expr a, Expr b)
+    {
+        return Xor(std::move(a), std::move(b));
+    }
+    friend Expr operator~(Expr a) { return Not(std::move(a)); }
+
+  private:
+    Expr() = default;
+
+    BitOp op_ = BitOp::Leaf;
+    VectorId id_ = 0;
+    std::shared_ptr<const std::vector<Expr>> children_;
+};
+
+} // namespace fcos::core
+
+#endif // FCOS_CORE_EXPRESSION_H

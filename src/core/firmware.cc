@@ -1,0 +1,96 @@
+#include "core/firmware.h"
+
+#include "nand/power_model.h"
+#include "util/log.h"
+
+namespace fcos::core {
+
+ssd::SsdConfig
+FcFirmware::mergedConfig(FlashCosmosDrive &drive, ssd::SsdConfig cfg)
+{
+    cfg.geometry = drive.chip(0).geometry();
+    if (cfg.channels * cfg.diesPerChannel != drive.dieCount()) {
+        cfg.channels = 1;
+        cfg.diesPerChannel = drive.dieCount();
+    }
+    return cfg;
+}
+
+FcFirmware::FcFirmware(FlashCosmosDrive &drive, const ssd::SsdConfig &cfg)
+    : drive_(drive), cfg_(mergedConfig(drive, cfg)), sim_(cfg_)
+{
+}
+
+std::uint32_t
+FcFirmware::planeIndex(const ssd::PhysPage &page) const
+{
+    return page.die * cfg_.geometry.planesPerDie + page.addr.plane;
+}
+
+FcFirmware::WriteResult
+FcFirmware::fcWrite(const BitVector &data,
+                    const FlashCosmosDrive::WriteOptions &opts)
+{
+    WriteResult result;
+    result.id = drive_.fcWrite(data, opts);
+
+    const auto &pages = drive_.vectorPages(result.id);
+    Time t_prog = cfg_.timings.tProgEsp;
+    double e_prog = nand::PowerModel::energy(
+        nand::PowerModel::kProgramPower, t_prog);
+    for (const ssd::PhysPage &p : pages) {
+        std::uint32_t plane = planeIndex(p);
+        std::uint64_t bytes = cfg_.geometry.pageBytes;
+        sim_.externalTransfer(bytes, [this, plane, bytes, t_prog,
+                                      e_prog] {
+            sim_.dmaToDie(plane, bytes, [this, plane, t_prog, e_prog] {
+                sim_.planeOp(plane, t_prog, e_prog,
+                             ssd::EnergyComponent::NandProgram,
+                             [this] {
+                                 sim_.noteCompletion(
+                                     sim_.queue().now());
+                             });
+            });
+        });
+    }
+    result.completedAt = sim_.drain();
+    return result;
+}
+
+FcFirmware::ReadResult
+FcFirmware::fcRead(const Expr &expr)
+{
+    ReadResult result;
+    result.data = drive_.fcRead(expr, &result.stats);
+
+    // Charge the timing model with exactly the command stream the
+    // functional execution issued: per result page, the chain's NAND
+    // time, then the result page over channel + external link.
+    fcos_assert(result.stats.resultPages > 0, "no pages read");
+    Time per_page_nand = static_cast<Time>(
+        result.stats.nandTime / result.stats.resultPages);
+    double per_page_energy =
+        result.stats.nandEnergyJ /
+        static_cast<double>(result.stats.resultPages);
+
+    std::vector<VectorId> leaves = expr.leafIds();
+    const auto &pages = drive_.vectorPages(leaves[0]);
+    for (const ssd::PhysPage &p : pages) {
+        std::uint32_t plane = planeIndex(p);
+        std::uint64_t bytes = cfg_.geometry.pageBytes;
+        sim_.planeOp(plane, per_page_nand, per_page_energy,
+                     ssd::EnergyComponent::NandMws,
+                     [this, plane, bytes] {
+                         sim_.dmaFromDie(plane, bytes, [this, bytes] {
+                             sim_.externalTransfer(bytes, [this] {
+                                 sim_.noteCompletion(
+                                     sim_.queue().now());
+                             });
+                         });
+                     });
+    }
+    result.completedAt = sim_.drain();
+    return result;
+}
+
+} // namespace fcos::core

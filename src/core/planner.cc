@@ -1,0 +1,518 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "util/log.h"
+
+namespace fcos::core {
+
+namespace {
+
+std::string
+mergeName(MergeMode m)
+{
+    switch (m) {
+      case MergeMode::Copy:
+        return "copy";
+      case MergeMode::And:
+        return "and";
+      case MergeMode::Or:
+        return "or";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+MwsPlan::toString() const
+{
+    switch (kind) {
+      case Kind::Xor: {
+        std::string s = "XOR plan:";
+        for (std::size_t i = 0; i < xorMembers.size(); ++i) {
+            if (i)
+                s += " ^";
+            s += " ";
+            if (xorMembers[i].negated)
+                s += "!";
+            s += "v" + std::to_string(xorMembers[i].id);
+        }
+        if (xorInvert)
+            s += " [inverted]";
+        return s;
+      }
+      case Kind::Fallback:
+        return "FALLBACK: " + fallbackReason;
+      case Kind::Mws: {
+        std::string s = "MWS plan (" + std::to_string(commands.size()) +
+                        " commands)";
+        for (const auto &c : commands) {
+            s += "\n  [" + mergeName(c.merge) + "]";
+            s += c.inverse ? " inverse" : " normal";
+            for (const auto &str : c.strings) {
+                s += " {";
+                for (std::size_t i = 0; i < str.members.size(); ++i) {
+                    if (i)
+                        s += ",";
+                    if (str.members[i].negated)
+                        s += "!";
+                    s += "v" + std::to_string(str.members[i].id);
+                }
+                s += "}";
+            }
+        }
+        if (finalInvert)
+            s += "\n  [final invert]";
+        return s;
+      }
+    }
+    return "?";
+}
+
+Planner::Nnf
+Planner::toNnf(const Expr &e, bool negate)
+{
+    Nnf n;
+    switch (e.op()) {
+      case BitOp::Leaf:
+        n.kind = Nnf::Kind::Lit;
+        n.lit = Literal{e.id(), negate};
+        return n;
+      case BitOp::Not:
+        return toNnf(e.children()[0], !negate);
+      case BitOp::And:
+      case BitOp::Nand: {
+        bool inner_neg = negate ^ (e.op() == BitOp::Nand);
+        n.kind = inner_neg ? Nnf::Kind::Or : Nnf::Kind::And;
+        for (const Expr &c : e.children())
+            n.children.push_back(toNnf(c, inner_neg));
+        return n;
+      }
+      case BitOp::Or:
+      case BitOp::Nor: {
+        bool inner_neg = negate ^ (e.op() == BitOp::Nor);
+        n.kind = inner_neg ? Nnf::Kind::And : Nnf::Kind::Or;
+        for (const Expr &c : e.children())
+            n.children.push_back(toNnf(c, inner_neg));
+        return n;
+      }
+      case BitOp::Xor:
+      case BitOp::Xnor: {
+        n.kind = Nnf::Kind::Xor;
+        n.xorInvert = negate ^ (e.op() == BitOp::Xnor);
+        n.children.push_back(toNnf(e.children()[0], false));
+        n.children.push_back(toNnf(e.children()[1], false));
+        return n;
+      }
+    }
+    fcos_panic("bad op");
+}
+
+void
+Planner::flatten(Nnf &n)
+{
+    for (Nnf &c : n.children)
+        flatten(c);
+    if (n.kind != Nnf::Kind::And && n.kind != Nnf::Kind::Or)
+        return;
+    // Absorb children of the same kind and unwrap single-child nodes.
+    std::vector<Nnf> merged;
+    for (Nnf &c : n.children) {
+        if (c.kind == n.kind) {
+            for (Nnf &gc : c.children)
+                merged.push_back(std::move(gc));
+        } else {
+            merged.push_back(std::move(c));
+        }
+    }
+    n.children = std::move(merged);
+    if (n.children.size() == 1) {
+        Nnf only = std::move(n.children[0]);
+        n = std::move(only);
+    }
+}
+
+bool
+Planner::normalLiteralOk(const Literal &l) const
+{
+    // The sensed (stored) data must equal the literal's value.
+    return storage_.isStoredInverted(l.id) == l.negated;
+}
+
+bool
+Planner::inverseLiteralOk(const Literal &l) const
+{
+    // The sensed data must equal the literal's complement.
+    return storage_.isStoredInverted(l.id) != l.negated;
+}
+
+std::optional<PlanString>
+Planner::normalString(const Nnf &n) const
+{
+    // A string computes AND of its members' stored data, so it can
+    // realize a single literal or an AND of co-located literals.
+    if (n.kind == Nnf::Kind::Lit) {
+        if (!normalLiteralOk(n.lit))
+            return std::nullopt;
+        return PlanString{{n.lit}};
+    }
+    if (n.kind != Nnf::Kind::And)
+        return std::nullopt;
+    PlanString s;
+    std::uint64_t key = 0;
+    bool first = true;
+    for (const Nnf &c : n.children) {
+        if (c.kind != Nnf::Kind::Lit || !normalLiteralOk(c.lit))
+            return std::nullopt;
+        std::uint64_t k = storage_.stringKey(c.lit.id);
+        if (first) {
+            key = k;
+            first = false;
+        } else if (k != key) {
+            return std::nullopt; // not co-located in one sub-block
+        }
+        s.members.push_back(c.lit);
+    }
+    return s;
+}
+
+std::optional<PlanCommand>
+Planner::singleCommand(const Nnf &n) const
+{
+    switch (n.kind) {
+      case Nnf::Kind::Lit: {
+        PlanCommand cmd;
+        if (normalLiteralOk(n.lit)) {
+            cmd.inverse = false;
+        } else {
+            cmd.inverse = true; // sensed data is the complement
+        }
+        cmd.strings.push_back(PlanString{{n.lit}});
+        return cmd;
+      }
+      case Nnf::Kind::And: {
+        // (i) one co-located string sensed normally;
+        if (auto s = normalString(n)) {
+            PlanCommand cmd;
+            cmd.inverse = false;
+            cmd.strings.push_back(std::move(*s));
+            return cmd;
+        }
+        // (ii) inverse command: AND over strings of OR over each
+        // string's complemented stored data. Children may be literals
+        // (1-member strings) or OR groups of co-located inverse-stored
+        // literals (Figure 16's first command).
+        PlanCommand cmd;
+        cmd.inverse = true;
+        for (const Nnf &c : n.children) {
+            if (c.kind == Nnf::Kind::Lit) {
+                if (!inverseLiteralOk(c.lit))
+                    return std::nullopt;
+                cmd.strings.push_back(PlanString{{c.lit}});
+            } else if (c.kind == Nnf::Kind::Or) {
+                PlanString s;
+                std::uint64_t key = 0;
+                bool first = true;
+                for (const Nnf &gc : c.children) {
+                    if (gc.kind != Nnf::Kind::Lit ||
+                        !inverseLiteralOk(gc.lit))
+                        return std::nullopt;
+                    std::uint64_t k = storage_.stringKey(gc.lit.id);
+                    if (first) {
+                        key = k;
+                        first = false;
+                    } else if (k != key) {
+                        return std::nullopt;
+                    }
+                    s.members.push_back(gc.lit);
+                }
+                cmd.strings.push_back(std::move(s));
+            } else {
+                return std::nullopt;
+            }
+        }
+        if (cmd.strings.size() > PlanCommand::kMaxStrings)
+            return std::nullopt;
+        return cmd;
+      }
+      case Nnf::Kind::Or: {
+        // (a) inverse: one co-located string of inverse-stored
+        // literals — NOT(AND(stored)) == OR(values) (§6.1).
+        {
+            PlanString s;
+            std::uint64_t key = 0;
+            bool first = true;
+            bool ok = true;
+            for (const Nnf &c : n.children) {
+                if (c.kind != Nnf::Kind::Lit ||
+                    !inverseLiteralOk(c.lit)) {
+                    ok = false;
+                    break;
+                }
+                std::uint64_t k = storage_.stringKey(c.lit.id);
+                if (first) {
+                    key = k;
+                    first = false;
+                } else if (k != key) {
+                    ok = false;
+                    break;
+                }
+                s.members.push_back(c.lit);
+            }
+            if (ok) {
+                PlanCommand cmd;
+                cmd.inverse = true;
+                cmd.strings.push_back(std::move(s));
+                return cmd;
+            }
+        }
+        // (b) normal: OR over up to four strings (literals or
+        // co-located AND groups) — inter-block MWS.
+        PlanCommand cmd;
+        cmd.inverse = false;
+        for (const Nnf &c : n.children) {
+            auto s = normalString(c);
+            if (!s)
+                return std::nullopt;
+            cmd.strings.push_back(std::move(*s));
+        }
+        if (cmd.strings.size() > PlanCommand::kMaxStrings)
+            return std::nullopt;
+        return cmd;
+      }
+      case Nnf::Kind::Xor:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<PlanCommand>>
+Planner::planChain(const Nnf &n) const
+{
+    if (n.kind == Nnf::Kind::Lit) {
+        auto cmd = singleCommand(n);
+        if (!cmd)
+            return std::nullopt;
+        return std::vector<PlanCommand>{std::move(*cmd)};
+    }
+    if (n.kind == Nnf::Kind::Xor)
+        return std::nullopt;
+
+    bool is_and = (n.kind == Nnf::Kind::And);
+    MergeMode merge = is_and ? MergeMode::And : MergeMode::Or;
+
+    std::vector<PlanCommand> built;    // commands from batchable factors
+    std::vector<PlanCommand> deep;     // chain of the one deep child
+    bool have_deep = false;
+
+    if (is_and) {
+        // Pools: plain co-located literal groups (one intra-block MWS
+        // each) and inverse strings (literals + OR groups, <= 4 per
+        // inverse command).
+        std::map<std::uint64_t, PlanString> normal_groups;
+        std::vector<PlanString> inverse_pool;
+        for (const Nnf &c : n.children) {
+            if (c.kind == Nnf::Kind::Lit && normalLiteralOk(c.lit)) {
+                normal_groups[storage_.stringKey(c.lit.id)]
+                    .members.push_back(c.lit);
+                continue;
+            }
+            if (c.kind == Nnf::Kind::Lit && inverseLiteralOk(c.lit)) {
+                inverse_pool.push_back(PlanString{{c.lit}});
+                continue;
+            }
+            if (c.kind == Nnf::Kind::Or) {
+                // Try the inverse-string realization for pooling.
+                PlanString s;
+                std::uint64_t key = 0;
+                bool first = true;
+                bool ok = true;
+                for (const Nnf &gc : c.children) {
+                    if (gc.kind != Nnf::Kind::Lit ||
+                        !inverseLiteralOk(gc.lit)) {
+                        ok = false;
+                        break;
+                    }
+                    std::uint64_t k = storage_.stringKey(gc.lit.id);
+                    if (first) {
+                        key = k;
+                        first = false;
+                    } else if (k != key) {
+                        ok = false;
+                        break;
+                    }
+                    s.members.push_back(gc.lit);
+                }
+                if (ok) {
+                    inverse_pool.push_back(std::move(s));
+                    continue;
+                }
+            }
+            if (auto cmd = singleCommand(c)) {
+                built.push_back(std::move(*cmd));
+                continue;
+            }
+            auto chain = planChain(c);
+            if (!chain || have_deep)
+                return std::nullopt; // only one accumulator exists
+            deep = std::move(*chain);
+            have_deep = true;
+        }
+        for (auto &[key, s] : normal_groups) {
+            (void)key;
+            PlanCommand cmd;
+            cmd.inverse = false;
+            cmd.strings.push_back(std::move(s));
+            built.push_back(std::move(cmd));
+        }
+        for (std::size_t i = 0; i < inverse_pool.size();
+             i += PlanCommand::kMaxStrings) {
+            PlanCommand cmd;
+            cmd.inverse = true;
+            for (std::size_t j = i;
+                 j < std::min(inverse_pool.size(),
+                              i + PlanCommand::kMaxStrings);
+                 ++j)
+                cmd.strings.push_back(std::move(inverse_pool[j]));
+            built.push_back(std::move(cmd));
+        }
+    } else {
+        // OR chain. Pools: normal strings (literals and co-located AND
+        // groups, <= 4 strings per inter-block MWS) and co-located
+        // inverse-stored literal groups (one inverse command each).
+        std::vector<PlanString> normal_pool;
+        std::map<std::uint64_t, PlanString> inverse_groups;
+        for (const Nnf &c : n.children) {
+            if (auto s = normalString(c)) {
+                normal_pool.push_back(std::move(*s));
+                continue;
+            }
+            if (c.kind == Nnf::Kind::Lit && inverseLiteralOk(c.lit)) {
+                inverse_groups[storage_.stringKey(c.lit.id)]
+                    .members.push_back(c.lit);
+                continue;
+            }
+            if (auto cmd = singleCommand(c)) {
+                built.push_back(std::move(*cmd));
+                continue;
+            }
+            auto chain = planChain(c);
+            if (!chain || have_deep)
+                return std::nullopt;
+            deep = std::move(*chain);
+            have_deep = true;
+        }
+        for (std::size_t i = 0; i < normal_pool.size();
+             i += PlanCommand::kMaxStrings) {
+            PlanCommand cmd;
+            cmd.inverse = false;
+            for (std::size_t j = i;
+                 j < std::min(normal_pool.size(),
+                              i + PlanCommand::kMaxStrings);
+                 ++j)
+                cmd.strings.push_back(std::move(normal_pool[j]));
+            built.push_back(std::move(cmd));
+        }
+        for (auto &[key, s] : inverse_groups) {
+            (void)key;
+            PlanCommand cmd;
+            cmd.inverse = true;
+            cmd.strings.push_back(std::move(s));
+            built.push_back(std::move(cmd));
+        }
+    }
+
+    std::vector<PlanCommand> chain;
+    if (have_deep) {
+        chain = std::move(deep);
+    } else {
+        fcos_assert(!built.empty(), "chain with no commands");
+        chain.push_back(std::move(built.front()));
+        built.erase(built.begin());
+        chain.front().merge = MergeMode::Copy;
+    }
+    for (auto &cmd : built) {
+        cmd.merge = merge;
+        chain.push_back(std::move(cmd));
+    }
+    return chain;
+}
+
+MwsPlan
+Planner::plan(const Expr &expr) const
+{
+    Nnf nnf = toNnf(expr, false);
+    flatten(nnf);
+
+    // XOR / XNOR chains of stored vectors: on-chip latch XOR. Nested
+    // XOR nodes flatten into one chain; every negation (XNOR nodes,
+    // negated literals) contributes to a single overall parity bit.
+    if (nnf.kind == Nnf::Kind::Xor) {
+        MwsPlan p;
+        p.kind = MwsPlan::Kind::Xor;
+        bool ok = true;
+        std::function<void(const Nnf &)> gather = [&](const Nnf &n) {
+            if (n.kind == Nnf::Kind::Lit) {
+                p.xorMembers.push_back(Literal{n.lit.id, false});
+                p.xorInvert ^= n.lit.negated;
+                return;
+            }
+            if (n.kind == Nnf::Kind::Xor) {
+                p.xorInvert ^= n.xorInvert;
+                for (const Nnf &c : n.children)
+                    gather(c);
+                return;
+            }
+            ok = false;
+        };
+        gather(nnf);
+        if (ok && p.xorMembers.size() >= 2)
+            return p;
+        MwsPlan f;
+        f.kind = MwsPlan::Kind::Fallback;
+        f.fallbackReason =
+            "XOR chain members must be stored vectors (or their "
+            "negations)";
+        return f;
+    }
+
+    if (auto chain = planChain(nnf)) {
+        MwsPlan p;
+        p.commands = std::move(*chain);
+        p.commands.front().merge = MergeMode::Copy;
+        return p;
+    }
+
+    // Try the complement: NOT(expr) may linearize even when expr does
+    // not (e.g. NAND over plain-stored operands).
+    Nnf comp = toNnf(expr, true);
+    flatten(comp);
+    if (comp.kind != Nnf::Kind::Xor) {
+        if (auto chain = planChain(comp)) {
+            MwsPlan p;
+            p.commands = std::move(*chain);
+            p.commands.front().merge = MergeMode::Copy;
+            if (p.commands.size() == 1) {
+                // A single command inverts for free via inverse mode.
+                p.commands.front().inverse =
+                    !p.commands.front().inverse;
+            } else {
+                p.finalInvert = true;
+            }
+            return p;
+        }
+    }
+
+    MwsPlan p;
+    p.kind = MwsPlan::Kind::Fallback;
+    p.fallbackReason =
+        "expression does not linearize onto the single latch "
+        "accumulator with the current data placement: " +
+        expr.toString();
+    return p;
+}
+
+} // namespace fcos::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Compiles bitwise expressions to MWS command chains (Section 6).
+ *
+ * The planner needs to know, for every vector, (i) whether it is
+ * stored inverted (the §6.1 De Morgan trick for OR) and (ii) which
+ * NAND string set it occupies (co-location). It receives both through
+ * the StorageResolver interface so it stays independent of the drive.
+ *
+ * Planning rules (derivation in plan.h):
+ *
+ *  - a *literal* l (v or NOT v) is realizable inside a normal command's
+ *    string iff stored(v) == l, and inside an inverse command's string
+ *    iff stored(v) == NOT l;
+ *  - a normal command computes OR over strings of AND over members'
+ *    stored data;
+ *  - an inverse command computes the complement, i.e. AND over strings
+ *    of OR over members' complemented stored data — this is how one
+ *    command yields (C1+C3)(D2+D4) from inverse-stored operands
+ *    (Figure 16);
+ *  - AND-chains fold with the AND-merge dump; OR-chains fold with the
+ *    legacy OR transfer; at most one operand of any node may itself
+ *    need a multi-command chain (single accumulator);
+ *  - XOR/XNOR of two literals uses the on-chip latch XOR;
+ *  - everything else falls back to serial reads + controller-side
+ *    evaluation, with the reason recorded.
+ */
+
+#ifndef FCOS_CORE_PLANNER_H
+#define FCOS_CORE_PLANNER_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/expression.h"
+#include "core/plan.h"
+
+namespace fcos::core {
+
+/** Storage facts the planner needs about vectors. */
+class StorageResolver
+{
+  public:
+    virtual ~StorageResolver() = default;
+
+    /** True if the vector's pages hold the complement of its value. */
+    virtual bool isStoredInverted(VectorId id) const = 0;
+
+    /**
+     * Opaque key identifying the NAND string set (sub-block chain
+     * position) the vector occupies; vectors with equal keys are
+     * co-located and can share a string.
+     */
+    virtual std::uint64_t stringKey(VectorId id) const = 0;
+};
+
+class Planner
+{
+  public:
+    explicit Planner(const StorageResolver &storage) : storage_(storage)
+    {}
+
+    /**
+     * Compile @p expr. Always succeeds; inspect plan.kind for the
+     * fallback case.
+     */
+    MwsPlan plan(const Expr &expr) const;
+
+  private:
+    /** Negation-normal-form node. */
+    struct Nnf
+    {
+        enum class Kind { Lit, And, Or, Xor } kind = Kind::Lit;
+        Literal lit{};
+        bool xorInvert = false; ///< Kind::Xor: XNOR when true
+        std::vector<Nnf> children;
+    };
+
+    static Nnf toNnf(const Expr &e, bool negate);
+    static void flatten(Nnf &n);
+
+    /** Try to realize a node as a single command. */
+    std::optional<PlanCommand> singleCommand(const Nnf &n) const;
+    /** Try to realize a node as one string of a normal command. */
+    std::optional<PlanString> normalString(const Nnf &n) const;
+    /** Literal usable in a normal-command string? */
+    bool normalLiteralOk(const Literal &l) const;
+    /** Literal usable in an inverse-command string? */
+    bool inverseLiteralOk(const Literal &l) const;
+
+    /** Plan an And/Or node as a command chain; nullopt on failure. */
+    std::optional<std::vector<PlanCommand>> planChain(const Nnf &n) const;
+
+    const StorageResolver &storage_;
+};
+
+} // namespace fcos::core
+
+#endif // FCOS_CORE_PLANNER_H

@@ -1,0 +1,19 @@
+#include "host/host_model.h"
+
+namespace fcos::host {
+
+void
+HostModel::compute(std::uint64_t bytes, std::function<void()> done)
+{
+    Time dur = computeTime(bytes);
+    energy_.add(ssd::EnergyComponent::HostCpu,
+                cfg_.cpuActiveWatts * timeToSec(dur));
+    // Streaming reads the operands and writes results through DRAM.
+    energy_.add(ssd::EnergyComponent::HostDram,
+                cfg_.dramPjPerBit * 1e-12 * static_cast<double>(bytes) *
+                    8.0);
+    Time finish = cpu_.acquire(queue_.now(), dur);
+    queue_.schedule(finish, std::move(done));
+}
+
+} // namespace fcos::host

@@ -1,0 +1,47 @@
+#include "isp/accelerator.h"
+
+#include "util/log.h"
+
+namespace fcos::isp {
+
+void
+IspAccelerator::begin(AccelOp op, std::size_t result_bits)
+{
+    fcos_assert(result_bits > 0, "empty accumulation");
+    if (result_bits > sram_bytes_ * 8) {
+        fcos_fatal("ISP result tile of %zu bits exceeds the %zu-KiB "
+                   "SRAM buffer; split the operation into tiles",
+                   result_bits, sram_bytes_ / 1024);
+    }
+    op_ = op;
+    acc_ = BitVector(result_bits, false);
+    tiles_ = 0;
+    first_ = true;
+}
+
+void
+IspAccelerator::consume(const BitVector &tile)
+{
+    fcos_assert(tile.size() == acc_.size(),
+                "tile size %zu != accumulator size %zu", tile.size(),
+                acc_.size());
+    if (first_) {
+        acc_ = tile;
+        first_ = false;
+    } else {
+        switch (op_) {
+          case AccelOp::And:
+            acc_ &= tile;
+            break;
+          case AccelOp::Or:
+            acc_ |= tile;
+            break;
+          case AccelOp::Xor:
+            acc_ ^= tile;
+            break;
+        }
+    }
+    ++tiles_;
+}
+
+} // namespace fcos::isp

@@ -1,0 +1,148 @@
+#include "nand/cell_array.h"
+
+#include <bit>
+
+#include "util/log.h"
+
+namespace fcos::nand {
+
+std::uint32_t
+WlSelection::wordlineCount() const
+{
+    return static_cast<std::uint32_t>(std::popcount(wlMask));
+}
+
+CellArray::CellArray(const Geometry &geom)
+    : geom_(geom),
+      block_pec_(static_cast<std::size_t>(geom.planesPerDie) *
+                     geom.blocksPerPlane,
+                 0)
+{
+}
+
+void
+CellArray::eraseBlock(std::uint32_t plane, std::uint32_t block)
+{
+    fcos_assert(plane < geom_.planesPerDie && block < geom_.blocksPerPlane,
+                "erase target out of range");
+    for (std::uint32_t sb = 0; sb < geom_.subBlocksPerBlock; ++sb) {
+        for (std::uint32_t wl = 0; wl < geom_.wordlinesPerSubBlock; ++wl) {
+            WordlineAddr a{plane, block, sb, wl};
+            pages_.erase(planeKey(plane, wordlineIndex(geom_, a)));
+        }
+    }
+    ++block_pec_[static_cast<std::size_t>(plane) * geom_.blocksPerPlane +
+                 block];
+}
+
+void
+CellArray::program(const WordlineAddr &addr, const BitVector &data,
+                   const PageMeta &meta)
+{
+    checkAddr(geom_, addr);
+    fcos_assert(data.size() == geom_.pageBits(),
+                "page data %zu bits, expected %llu", data.size(),
+                (unsigned long long)geom_.pageBits());
+    std::uint64_t key = planeKey(addr.plane, wordlineIndex(geom_, addr));
+    if (pages_.count(key)) {
+        fcos_fatal("program of already-programmed page "
+                   "(plane %u blk %u sb %u wl %u) without erase",
+                   addr.plane, addr.block, addr.subBlock, addr.wordline);
+    }
+    PageMeta m = meta;
+    m.pecAtProgram = blockPec(addr.plane, addr.block);
+    pages_.emplace(key, PageState{data, m});
+}
+
+bool
+CellArray::isProgrammed(const WordlineAddr &addr) const
+{
+    checkAddr(geom_, addr);
+    return pages_.count(planeKey(addr.plane, wordlineIndex(geom_, addr))) >
+           0;
+}
+
+const PageState *
+CellArray::page(const WordlineAddr &addr) const
+{
+    checkAddr(geom_, addr);
+    auto it = pages_.find(planeKey(addr.plane, wordlineIndex(geom_, addr)));
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t
+CellArray::blockPec(std::uint32_t plane, std::uint32_t block) const
+{
+    fcos_assert(plane < geom_.planesPerDie && block < geom_.blocksPerPlane,
+                "PEC query out of range");
+    return block_pec_[static_cast<std::size_t>(plane) *
+                          geom_.blocksPerPlane +
+                      block];
+}
+
+void
+CellArray::setBlockPec(std::uint32_t plane, std::uint32_t block,
+                       std::uint32_t pec)
+{
+    fcos_assert(plane < geom_.planesPerDie && block < geom_.blocksPerPlane,
+                "PEC set out of range");
+    block_pec_[static_cast<std::size_t>(plane) * geom_.blocksPerPlane +
+               block] = pec;
+}
+
+BitVector
+CellArray::effectiveData(const WordlineAddr &addr, ErrorInjector *injector,
+                         std::uint64_t read_seq) const
+{
+    const PageState *ps = page(addr);
+    if (!ps)
+        return BitVector(geom_.pageBits(), true); // erased: all '1'
+    BitVector bits = ps->data;
+    if (injector) {
+        std::uint64_t seed =
+            planeKey(addr.plane, wordlineIndex(geom_, addr)) * 0x2545F491ULL +
+            read_seq;
+        injector->inject(bits, ps->meta, seed);
+    }
+    return bits;
+}
+
+BitVector
+CellArray::senseConduction(std::uint32_t plane,
+                           const std::vector<WlSelection> &selections,
+                           ErrorInjector *injector,
+                           std::uint64_t read_seq) const
+{
+    fcos_assert(!selections.empty(), "MWS with empty selection");
+    BitVector result(geom_.pageBits(), false);
+    for (const auto &sel : selections) {
+        fcos_assert(sel.block < geom_.blocksPerPlane &&
+                        sel.subBlock < geom_.subBlocksPerBlock,
+                    "selection out of range (blk %u sb %u)", sel.block,
+                    sel.subBlock);
+        fcos_assert(sel.wlMask != 0, "selection with empty wordline mask");
+        fcos_assert(
+            geom_.wordlinesPerSubBlock >= 64 ||
+                (sel.wlMask >> geom_.wordlinesPerSubBlock) == 0,
+            "wordline mask beyond string length");
+        // AND across target wordlines of the same string.
+        BitVector string_conduction(geom_.pageBits(), true);
+        for (std::uint32_t wl = 0; wl < geom_.wordlinesPerSubBlock; ++wl) {
+            if (!(sel.wlMask & (1ULL << wl)))
+                continue;
+            WordlineAddr a{plane, sel.block, sel.subBlock, wl};
+            string_conduction &= effectiveData(a, injector, read_seq);
+        }
+        // OR across distinct strings sharing the bitlines.
+        result |= string_conduction;
+    }
+    return result;
+}
+
+std::size_t
+CellArray::programmedPages() const
+{
+    return pages_.size();
+}
+
+} // namespace fcos::nand

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Functional model of one die's cell array.
+ *
+ * Stores page payloads sparsely (only programmed wordlines consume
+ * memory), tracks per-block P/E cycle counts, and computes the
+ * per-bitline *string conduction* of an arbitrary set of simultaneously
+ * activated wordlines — the physical primitive behind Multi-Wordline
+ * Sensing (Section 4.1):
+ *
+ *   conduction(bitline) = OR over activated strings of
+ *                         (AND over target cells in the string)
+ *
+ * where a cell contributes '1' when erased (V_TH <= V_REF). Error
+ * injection is delegated to an ErrorInjector so the functional model
+ * stays independent of the reliability model.
+ */
+
+#ifndef FCOS_NAND_CELL_ARRAY_H
+#define FCOS_NAND_CELL_ARRAY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nand/config.h"
+#include "nand/geometry.h"
+#include "util/bitvector.h"
+
+namespace fcos::nand {
+
+/** Programming context of one page, consumed by the error model. */
+struct PageMeta
+{
+    ProgramMode mode = ProgramMode::SlcRegular;
+    /** tESP / tPROG(SLC) in [1, 2]; meaningful only for SlcEsp. */
+    double espFactor = 1.0;
+    /** Whether the stored pattern went through the data randomizer. */
+    bool randomized = false;
+    /** Block P/E cycle count when the page was programmed. */
+    std::uint32_t pecAtProgram = 0;
+};
+
+/** Stored payload plus programming context. */
+struct PageState
+{
+    BitVector data;
+    PageMeta meta;
+};
+
+/**
+ * Error-injection hook: flips bits of a sensed page in place.
+ * Implemented by reliability::VthErrorInjector; a null injector means
+ * error-free sensing.
+ */
+class ErrorInjector
+{
+  public:
+    virtual ~ErrorInjector() = default;
+
+    /**
+     * @param bits  sensed page data to corrupt in place
+     * @param meta  programming context of the page
+     * @param seed  deterministic per-(page, sense) seed
+     */
+    virtual void inject(BitVector &bits, const PageMeta &meta,
+                        std::uint64_t seed) = 0;
+};
+
+/**
+ * One wordline group inside a single NAND string set: the wordlines of
+ * (block, subBlock) selected by @p wlMask are biased at V_REF together.
+ */
+struct WlSelection
+{
+    std::uint32_t block = 0;
+    std::uint32_t subBlock = 0;
+    std::uint64_t wlMask = 0;
+
+    std::uint32_t wordlineCount() const;
+};
+
+class CellArray
+{
+  public:
+    explicit CellArray(const Geometry &geom);
+
+    const Geometry &geometry() const { return geom_; }
+
+    /**
+     * Erase a physical block (all sub-blocks): pages revert to the
+     * erased (all-'1') state and the block's P/E count increments.
+     */
+    void eraseBlock(std::uint32_t plane, std::uint32_t block);
+
+    /**
+     * Program one page. NAND cannot rewrite a programmed page without
+     * an erase; violating that is a user error (fatal).
+     */
+    void program(const WordlineAddr &addr, const BitVector &data,
+                 const PageMeta &meta);
+
+    bool isProgrammed(const WordlineAddr &addr) const;
+
+    /** Stored state of a programmed page, or nullptr if erased. */
+    const PageState *page(const WordlineAddr &addr) const;
+
+    std::uint32_t blockPec(std::uint32_t plane, std::uint32_t block) const;
+
+    /** Artificially raise a block's P/E count (wear stress in tests). */
+    void setBlockPec(std::uint32_t plane, std::uint32_t block,
+                     std::uint32_t pec);
+
+    /**
+     * Stored data of one wordline as the sense amp would see it:
+     * erased pages read all-'1'; programmed pages read their payload
+     * with @p injector errors applied.
+     */
+    BitVector effectiveData(const WordlineAddr &addr,
+                            ErrorInjector *injector,
+                            std::uint64_t read_seq) const;
+
+    /**
+     * Per-bitline conduction of the activated wordline set
+     * (the MWS primitive). @p selections must be non-empty; every
+     * selection must name a distinct string set.
+     */
+    BitVector senseConduction(std::uint32_t plane,
+                              const std::vector<WlSelection> &selections,
+                              ErrorInjector *injector,
+                              std::uint64_t read_seq) const;
+
+    /** Number of programmed pages (for tests / memory accounting). */
+    std::size_t programmedPages() const;
+
+  private:
+    std::uint64_t planeKey(std::uint32_t plane, std::uint64_t wl_idx) const
+    {
+        return static_cast<std::uint64_t>(plane) *
+                   geom_.pagesPerPlane() +
+               wl_idx;
+    }
+
+    Geometry geom_;
+    std::unordered_map<std::uint64_t, PageState> pages_;
+    std::vector<std::uint32_t> block_pec_; // [plane * blocksPerPlane + b]
+};
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_CELL_ARRAY_H

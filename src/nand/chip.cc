@@ -1,0 +1,252 @@
+#include "nand/chip.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace fcos::nand {
+
+NandChip::NandChip(const Geometry &geom, const Timings &timings,
+                   ErrorInjector *injector)
+    : geom_(geom), timing_(timings), cells_(geom), injector_(injector)
+{
+    latches_.reserve(geom.planesPerDie);
+    for (std::uint32_t p = 0; p < geom.planesPerDie; ++p)
+        latches_.emplace_back(geom.pageBits());
+}
+
+OpResult
+NandChip::eraseBlock(std::uint32_t plane, std::uint32_t block)
+{
+    cells_.eraseBlock(plane, block);
+    Time t = timing_.timings().tErase;
+    return {t, PowerModel::energy(PowerModel::kErasePower, t)};
+}
+
+OpResult
+NandChip::programPage(const WordlineAddr &addr, const BitVector &data,
+                      ProgramMode mode, bool randomized)
+{
+    PageMeta meta;
+    meta.mode = mode;
+    meta.randomized = randomized;
+    meta.espFactor = 1.0;
+    cells_.program(addr, data, meta);
+    Time t = timing_.timings().programLatency(mode);
+    return {t, PowerModel::energy(PowerModel::kProgramPower, t)};
+}
+
+OpResult
+NandChip::programPageEsp(const WordlineAddr &addr, const BitVector &data,
+                         const EspParams &esp)
+{
+    PageMeta meta;
+    meta.mode = ProgramMode::SlcEsp;
+    meta.randomized = false; // Flash-Cosmos stores operands unrandomized
+    meta.espFactor = esp.tEspFactor;
+    cells_.program(addr, data, meta);
+    Time t = esp.latency(timing_.timings());
+    return {t, PowerModel::energy(PowerModel::kProgramPower, t)};
+}
+
+OpResult
+NandChip::senseCommon(std::uint32_t plane,
+                      const std::vector<WlSelection> &selections,
+                      const IscmFlags &flags)
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    LatchArray &l = latches_[plane];
+
+    // Precharge step: latch initialization per the ISCM flags.
+    if (flags.initSenseLatch)
+        l.initSense();
+    if (flags.initCacheLatch)
+        l.initCache();
+
+    // Evaluation step: simultaneous sensing of all selected wordlines.
+    BitVector conduction = cells_.senseConduction(
+        plane, selections, injector_, sense_seq_++);
+    l.evaluate(conduction, flags.inverseRead, flags.initSenseLatch);
+
+    if (flags.dumpToCache) {
+        // MWS dump: plain copy when the C-latch was initialized,
+        // AND-merge accumulation otherwise (Figure 16 semantics).
+        if (flags.initCacheLatch)
+            l.dumpCopy();
+        else
+            l.dumpAndMerge();
+    }
+
+    std::uint32_t max_wls = 0;
+    for (const auto &s : selections)
+        max_wls = std::max(max_wls, s.wordlineCount());
+    std::uint32_t strings = static_cast<std::uint32_t>(selections.size());
+
+    Time t = timing_.mwsLatency(max_wls, strings);
+    double power = PowerModel::mwsPower(max_wls, strings);
+    return {t, PowerModel::energy(power, t)};
+}
+
+OpResult
+NandChip::readPage(const WordlineAddr &addr, bool inverse)
+{
+    checkAddr(geom_, addr);
+    IscmFlags flags;
+    flags.inverseRead = inverse;
+    WlSelection sel{addr.block, addr.subBlock, 1ULL << addr.wordline};
+    return senseCommon(addr.plane, {sel}, flags);
+}
+
+OpResult
+NandChip::executeMws(const MwsCommand &cmd)
+{
+    fcos_assert(!cmd.selections.empty(), "MWS without selections");
+    // An inverse read cannot accumulate: it requires S-latch init.
+    if (cmd.flags.inverseRead) {
+        fcos_assert(cmd.flags.initSenseLatch,
+                    "inverse MWS requires S-latch initialization");
+    }
+    return senseCommon(cmd.plane, cmd.selections, cmd.flags);
+}
+
+OpResult
+NandChip::executeMwsBytes(const std::vector<std::uint8_t> &bytes)
+{
+    return executeMws(decodeMws(geom_, bytes));
+}
+
+OpResult
+NandChip::executeXor(std::uint32_t plane)
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    latches_[plane].xorSenseIntoCache();
+    // Latch-to-latch movement is orders of magnitude faster than a
+    // sense; model it as 1 us of array-logic activity.
+    Time t = usToTime(1.0);
+    return {t, PowerModel::energy(0.2, t)};
+}
+
+OpResult
+NandChip::senseParaBit(const WordlineAddr &addr, bool init_sense,
+                       bool dump_or)
+{
+    checkAddr(geom_, addr);
+    LatchArray &l = latches_[addr.plane];
+    if (init_sense)
+        l.initSense();
+    WlSelection sel{addr.block, addr.subBlock, 1ULL << addr.wordline};
+    BitVector conduction =
+        cells_.senseConduction(addr.plane, {sel}, injector_, sense_seq_++);
+    l.evaluate(conduction, false, init_sense);
+    if (dump_or)
+        l.dumpOrMerge();
+    Time t = timing_.timings().tReadSlc;
+    return {t, PowerModel::energy(PowerModel::kReadPower, t)};
+}
+
+OpResult
+NandChip::programFromCache(const WordlineAddr &addr, ProgramMode mode,
+                           const EspParams &esp)
+{
+    checkAddr(geom_, addr);
+    const BitVector &data = latches_[addr.plane].cache();
+    PageMeta meta;
+    meta.mode = mode;
+    meta.randomized = false;
+    meta.espFactor =
+        (mode == ProgramMode::SlcEsp) ? esp.tEspFactor : 1.0;
+    cells_.program(addr, data, meta);
+    Time t = (mode == ProgramMode::SlcEsp)
+                 ? esp.latency(timing_.timings())
+                 : timing_.timings().programLatency(mode);
+    return {t, PowerModel::energy(PowerModel::kProgramPower, t)};
+}
+
+OpResult
+NandChip::copyback(const WordlineAddr &src, const WordlineAddr &dst)
+{
+    checkAddr(geom_, src);
+    checkAddr(geom_, dst);
+    fcos_assert(src.plane == dst.plane,
+                "copyback cannot cross planes (no shared latches)");
+    const PageState *ps = cells_.page(src);
+    ProgramMode mode = ps ? ps->meta.mode : ProgramMode::SlcRegular;
+    EspParams esp{ps ? ps->meta.espFactor : 1.0};
+
+    // Read phase latches the inverse of the stored data...
+    OpResult read = readPage(src, true);
+    // ...and the program phase writes the latch complement back.
+    LatchArray &l = latches_[src.plane];
+    BitVector restored = ~l.cache();
+    PageMeta meta;
+    meta.mode = mode;
+    meta.randomized = ps ? ps->meta.randomized : false;
+    meta.espFactor = esp.tEspFactor;
+    cells_.program(dst, restored, meta);
+    Time t_prog = (mode == ProgramMode::SlcEsp)
+                      ? esp.latency(timing_.timings())
+                      : timing_.timings().programLatency(mode);
+    return {read.latency + t_prog,
+            read.energyJ +
+                PowerModel::energy(PowerModel::kProgramPower, t_prog)};
+}
+
+bool
+NandChip::eraseVerify(std::uint32_t plane, std::uint32_t block,
+                      OpResult *cost)
+{
+    fcos_assert(plane < geom_.planesPerDie && block < geom_.blocksPerPlane,
+                "erase-verify target out of range");
+    std::uint64_t all_wls =
+        (geom_.wordlinesPerSubBlock >= 64)
+            ? ~0ULL
+            : (1ULL << geom_.wordlinesPerSubBlock) - 1;
+    // The conduction of every string must be all-'1' (all cells
+    // erased); any programmed cell blocks its string. Activating all
+    // sub-blocks at once would OR across strings and mask a single
+    // programmed string, so verify each sub-block's AND separately.
+    bool ok = true;
+    OpResult total;
+    for (std::uint32_t sb = 0; sb < geom_.subBlocksPerBlock; ++sb) {
+        MwsCommand per;
+        per.plane = plane;
+        per.selections.push_back(WlSelection{block, sb, all_wls});
+        OpResult r = executeMws(per);
+        total.latency += r.latency;
+        total.energyJ += r.energyJ;
+        ok = ok && dataOut(plane).allOnes();
+    }
+    if (cost)
+        *cost = total;
+    return ok;
+}
+
+void
+NandChip::initCache(std::uint32_t plane)
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    latches_[plane].initCache();
+}
+
+void
+NandChip::dumpCopy(std::uint32_t plane)
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    latches_[plane].dumpCopy();
+}
+
+const BitVector &
+NandChip::dataOut(std::uint32_t plane) const
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    return latches_[plane].cache();
+}
+
+LatchArray &
+NandChip::latches(std::uint32_t plane)
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    return latches_[plane];
+}
+
+} // namespace fcos::nand

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Functional + timing + power model of one NAND flash die.
+ *
+ * The chip executes the regular command set (read / program / erase)
+ * and the three Flash-Cosmos commands (MWS / ESP / XOR) against the
+ * cell array, drives the per-plane latch arrays, and reports the
+ * latency and energy of every operation from the calibrated timing and
+ * power models.
+ *
+ * Two dump paths exist from the sensing latch to the cache latch (see
+ * latch.h): the legacy cache-read path (OR-merge, used by ParaBit's OR
+ * flow) and the MWS command's accumulate path (copy when C-init is on,
+ * AND-merge when off, per the Figure 16 semantics).
+ */
+
+#ifndef FCOS_NAND_CHIP_H
+#define FCOS_NAND_CHIP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/cell_array.h"
+#include "nand/command.h"
+#include "nand/config.h"
+#include "nand/geometry.h"
+#include "nand/latch.h"
+#include "nand/power_model.h"
+#include "nand/timing_model.h"
+#include "util/bitvector.h"
+
+namespace fcos::nand {
+
+/** Latency and energy of one chip operation. */
+struct OpResult
+{
+    Time latency = 0;
+    double energyJ = 0.0;
+};
+
+class NandChip
+{
+  public:
+    /**
+     * @param geom      die geometry
+     * @param timings   latency parameters
+     * @param injector  optional error model (nullptr = error-free)
+     */
+    NandChip(const Geometry &geom, const Timings &timings = Timings{},
+             ErrorInjector *injector = nullptr);
+
+    const Geometry &geometry() const { return geom_; }
+    const TimingModel &timingModel() const { return timing_; }
+    CellArray &cells() { return cells_; }
+    const CellArray &cells() const { return cells_; }
+
+    /** Replace the error model (tests switch between models). */
+    void setErrorInjector(ErrorInjector *injector) { injector_ = injector; }
+
+    /** Erase a physical block. */
+    OpResult eraseBlock(std::uint32_t plane, std::uint32_t block);
+
+    /**
+     * Program one SLC page.
+     * @param randomized  marks that the payload passed the randomizer
+     *                    (affects the error model's pattern factor).
+     */
+    OpResult programPage(const WordlineAddr &addr, const BitVector &data,
+                         ProgramMode mode = ProgramMode::SlcRegular,
+                         bool randomized = false);
+
+    /** Program one page with Enhanced SLC-mode Programming. */
+    OpResult programPageEsp(const WordlineAddr &addr, const BitVector &data,
+                            const EspParams &esp = EspParams{});
+
+    /**
+     * Regular page read: sense one wordline, copy to the cache latch.
+     * @param inverse  inverse-read mode (returns NOT of the data).
+     */
+    OpResult readPage(const WordlineAddr &addr, bool inverse = false);
+
+    /**
+     * Execute a parsed MWS command (Section 6.2): senses all selected
+     * wordlines simultaneously and updates the latches per the ISCM
+     * flags. Latency comes from the fine-grained model (Figs. 12/13).
+     */
+    OpResult executeMws(const MwsCommand &cmd);
+
+    /** Execute an encoded MWS command byte sequence. */
+    OpResult executeMwsBytes(const std::vector<std::uint8_t> &bytes);
+
+    /** Execute the XOR command on @p plane: C := S XOR C. */
+    OpResult executeXor(std::uint32_t plane);
+
+    /**
+     * ParaBit-style sensing (Figure 6): a *regular* single-wordline
+     * sense with explicit latch control. @p init_sense false gives the
+     * S := S AND N accumulation; @p dump_or true OR-merges into the
+     * cache latch after evaluation.
+     */
+    OpResult senseParaBit(const WordlineAddr &addr, bool init_sense,
+                          bool dump_or);
+
+    /**
+     * Program the cache latch contents into @p addr without any
+     * off-chip transfer (the write half of the copyback path; also
+     * how in-flash computed results persist for later operations).
+     */
+    OpResult programFromCache(const WordlineAddr &addr,
+                              ProgramMode mode = ProgramMode::SlcEsp,
+                              const EspParams &esp = EspParams{});
+
+    /**
+     * Copyback (Section 2.1, footnote 3): move a page to another
+     * location in the same plane without off-chip transfer. The read
+     * phase latches the *inverse* of the data; the program phase
+     * writes the latch complement back, restoring the original — the
+     * reason inverse reads exist in commodity chips.
+     */
+    OpResult copyback(const WordlineAddr &src, const WordlineAddr &dst);
+
+    /**
+     * Erase-verify (Section 4.1): after an erase, the chip senses
+     * every wordline of the block simultaneously — an intra-block MWS
+     * over the whole string — and checks that all cells conduct. This
+     * is the pre-existing chip capability Flash-Cosmos builds on.
+     * @return true if the block verifies as erased.
+     */
+    bool eraseVerify(std::uint32_t plane, std::uint32_t block,
+                     OpResult *cost = nullptr);
+
+    /** Initialize the cache latch of @p plane (precharge step). */
+    void initCache(std::uint32_t plane);
+
+    /** Move S-latch to C-latch (cache-read transfer), C := S. */
+    void dumpCopy(std::uint32_t plane);
+
+    /** Data-out: the cache latch contents of @p plane. */
+    const BitVector &dataOut(std::uint32_t plane) const;
+
+    /** Direct latch access for tests. */
+    LatchArray &latches(std::uint32_t plane);
+
+    /** Monotone per-die sense counter (seeds the error model). */
+    std::uint64_t senseCount() const { return sense_seq_; }
+
+  private:
+    OpResult senseCommon(std::uint32_t plane,
+                         const std::vector<WlSelection> &selections,
+                         const IscmFlags &flags);
+
+    Geometry geom_;
+    TimingModel timing_;
+    CellArray cells_;
+    ErrorInjector *injector_;
+    std::vector<LatchArray> latches_;
+    std::uint64_t sense_seq_ = 0;
+};
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_CHIP_H

@@ -1,0 +1,193 @@
+#include "nand/command.h"
+
+#include "util/log.h"
+
+namespace fcos::nand {
+
+std::uint8_t
+IscmFlags::toByte() const
+{
+    return static_cast<std::uint8_t>(
+        (inverseRead ? 0x1 : 0) | (initSenseLatch ? 0x2 : 0) |
+        (initCacheLatch ? 0x4 : 0) | (dumpToCache ? 0x8 : 0));
+}
+
+IscmFlags
+IscmFlags::fromByte(std::uint8_t b)
+{
+    IscmFlags f;
+    f.inverseRead = b & 0x1;
+    f.initSenseLatch = b & 0x2;
+    f.initCacheLatch = b & 0x4;
+    f.dumpToCache = b & 0x8;
+    return f;
+}
+
+bool
+MwsCommand::operator==(const MwsCommand &o) const
+{
+    if (plane != o.plane || !(flags == o.flags) ||
+        selections.size() != o.selections.size())
+        return false;
+    for (std::size_t i = 0; i < selections.size(); ++i) {
+        if (selections[i].block != o.selections[i].block ||
+            selections[i].subBlock != o.selections[i].subBlock ||
+            selections[i].wlMask != o.selections[i].wlMask)
+            return false;
+    }
+    return true;
+}
+
+std::uint8_t
+EspCommand::encodeFactor(double factor)
+{
+    fcos_assert(factor >= 1.0 && factor <= 2.55,
+                "ESP factor %g outside encodable range", factor);
+    return static_cast<std::uint8_t>((factor - 1.0) * 100.0 + 0.5);
+}
+
+namespace {
+
+void
+pushSelection(std::vector<std::uint8_t> &out, const Geometry &geom,
+              std::uint32_t plane, const WlSelection &sel)
+{
+    fcos_assert(plane < geom.planesPerDie, "plane out of range");
+    fcos_assert(sel.block < geom.blocksPerPlane, "block out of range");
+    fcos_assert(sel.subBlock < geom.subBlocksPerBlock, "sub out of range");
+    fcos_assert(sel.wlMask != 0, "empty PBM");
+    fcos_assert(geom.wordlinesPerSubBlock >= 64 ||
+                    (sel.wlMask >> geom.wordlinesPerSubBlock) == 0,
+                "PBM beyond string length");
+    out.push_back(static_cast<std::uint8_t>(plane));
+    out.push_back(static_cast<std::uint8_t>(sel.block & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((sel.block >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(sel.subBlock));
+    for (int i = 0; i < 6; ++i)
+        out.push_back(
+            static_cast<std::uint8_t>((sel.wlMask >> (8 * i)) & 0xFF));
+}
+
+struct SlotReader
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t pos = 0;
+
+    std::uint8_t next()
+    {
+        fcos_assert(pos < bytes.size(), "truncated command");
+        return bytes[pos++];
+    }
+};
+
+WlSelection
+readSelection(SlotReader &r, const Geometry &geom, std::uint32_t &plane_out)
+{
+    plane_out = r.next();
+    WlSelection sel;
+    sel.block = r.next();
+    sel.block |= static_cast<std::uint32_t>(r.next()) << 8;
+    sel.subBlock = r.next();
+    sel.wlMask = 0;
+    for (int i = 0; i < 6; ++i)
+        sel.wlMask |= static_cast<std::uint64_t>(r.next()) << (8 * i);
+    fcos_assert(plane_out < geom.planesPerDie, "decoded plane out of range");
+    fcos_assert(sel.block < geom.blocksPerPlane,
+                "decoded block out of range");
+    fcos_assert(sel.subBlock < geom.subBlocksPerBlock,
+                "decoded sub-block out of range");
+    return sel;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeMws(const Geometry &geom, const MwsCommand &cmd)
+{
+    fcos_assert(!cmd.selections.empty(), "MWS without selections");
+    fcos_assert(cmd.selections.size() <= MwsCommand::kMaxSelections,
+                "MWS with %zu slots exceeds the 4-slot limit",
+                cmd.selections.size());
+    std::vector<std::uint8_t> out;
+    out.push_back(kOpMws);
+    out.push_back(cmd.flags.toByte());
+    for (std::size_t i = 0; i < cmd.selections.size(); ++i) {
+        pushSelection(out, geom, cmd.plane, cmd.selections[i]);
+        out.push_back(i + 1 < cmd.selections.size() ? kSlotCont
+                                                    : kSlotConf);
+    }
+    return out;
+}
+
+MwsCommand
+decodeMws(const Geometry &geom, const std::vector<std::uint8_t> &bytes)
+{
+    SlotReader r{bytes};
+    fcos_assert(r.next() == kOpMws, "not an MWS command");
+    MwsCommand cmd;
+    cmd.flags = IscmFlags::fromByte(r.next());
+    bool more = true;
+    bool first = true;
+    while (more) {
+        std::uint32_t plane = 0;
+        WlSelection sel = readSelection(r, geom, plane);
+        if (first) {
+            cmd.plane = plane;
+            first = false;
+        } else {
+            fcos_assert(plane == cmd.plane,
+                        "MWS slots must target one plane");
+        }
+        cmd.selections.push_back(sel);
+        std::uint8_t slot = r.next();
+        fcos_assert(slot == kSlotCont || slot == kSlotConf,
+                    "bad framing byte 0x%02X", slot);
+        more = (slot == kSlotCont);
+        fcos_assert(cmd.selections.size() <= MwsCommand::kMaxSelections,
+                    "too many MWS slots");
+    }
+    fcos_assert(r.pos == bytes.size(), "trailing bytes after CONF");
+    return cmd;
+}
+
+std::vector<std::uint8_t>
+encodeEsp(const Geometry &geom, const EspCommand &cmd)
+{
+    checkAddr(geom, cmd.addr);
+    std::vector<std::uint8_t> out;
+    out.push_back(kOpEsp);
+    out.push_back(cmd.extensionCode);
+    out.push_back(static_cast<std::uint8_t>(cmd.addr.plane));
+    out.push_back(static_cast<std::uint8_t>(cmd.addr.block & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((cmd.addr.block >> 8) & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(cmd.addr.subBlock));
+    out.push_back(static_cast<std::uint8_t>(cmd.addr.wordline));
+    out.push_back(kSlotConf);
+    return out;
+}
+
+EspCommand
+decodeEsp(const Geometry &geom, const std::vector<std::uint8_t> &bytes)
+{
+    SlotReader r{bytes};
+    fcos_assert(r.next() == kOpEsp, "not an ESP command");
+    EspCommand cmd;
+    cmd.extensionCode = r.next();
+    cmd.addr.plane = r.next();
+    cmd.addr.block = r.next();
+    cmd.addr.block |= static_cast<std::uint32_t>(r.next()) << 8;
+    cmd.addr.subBlock = r.next();
+    cmd.addr.wordline = r.next();
+    fcos_assert(r.next() == kSlotConf, "missing CONF");
+    fcos_assert(r.pos == bytes.size(), "trailing bytes after CONF");
+    checkAddr(geom, cmd.addr);
+    return cmd;
+}
+
+std::vector<std::uint8_t>
+encodeXor()
+{
+    return {kOpXor, kSlotConf};
+}
+
+} // namespace fcos::nand

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Flash-Cosmos NAND command set (paper Section 6.2, Figure 15).
+ *
+ * Three new commands extend the regular read/program interface:
+ *
+ *  - MWS: [opcode][ISCM][addr-slot]([CONT][addr-slot])*[CONF]
+ *    ISCM packs four flags — (i) inverse-read mode, (ii) S-latch
+ *    initialization, (iii) C-latch initialization, (iv) S->C transfer.
+ *    Each address slot carries a block address plus a *page bitmap*
+ *    (PBM) selecting the wordlines to activate, instead of a single
+ *    page index. Up to four address slots are allowed, matching the
+ *    4-block inter-block power cap of Section 5.2.
+ *
+ *  - ESP: the regular program command plus the ISPP extension factor.
+ *
+ *  - XOR: C-latch := S-latch XOR C-latch (no operands).
+ *
+ * The codec below byte-serializes and parses these commands exactly as
+ * a flash controller would latch them, so the command-interface design
+ * is executable and unit-testable.
+ */
+
+#ifndef FCOS_NAND_COMMAND_H
+#define FCOS_NAND_COMMAND_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/cell_array.h"
+#include "nand/config.h"
+#include "nand/geometry.h"
+
+namespace fcos::nand {
+
+/** Command opcodes and framing slots. */
+enum : std::uint8_t
+{
+    kOpMws = 0x78,
+    kOpEsp = 0x7C,
+    kOpXor = 0x7E,
+    kSlotCont = 0x7A, ///< another address slot follows
+    kSlotConf = 0x7B, ///< end of command sequence
+};
+
+/** The four ISCM flags (Figure 15(a)). */
+struct IscmFlags
+{
+    bool inverseRead = false;   ///< (i) inverse-read mode
+    bool initSenseLatch = true; ///< (ii) S-latch initialization
+    bool initCacheLatch = true; ///< (iii) C-latch initialization
+    bool dumpToCache = true;    ///< (iv) transfer S-latch -> C-latch
+
+    std::uint8_t toByte() const;
+    static IscmFlags fromByte(std::uint8_t b);
+
+    bool operator==(const IscmFlags &o) const = default;
+};
+
+/** Parsed MWS command: one target plane, up to four wordline groups. */
+struct MwsCommand
+{
+    std::uint32_t plane = 0;
+    IscmFlags flags;
+    std::vector<WlSelection> selections;
+
+    /** Maximum address slots per command (Figure 15). */
+    static constexpr std::size_t kMaxSelections = 4;
+
+    bool operator==(const MwsCommand &o) const;
+};
+
+/** Parsed ESP program command. */
+struct EspCommand
+{
+    WordlineAddr addr;
+    /** ISPP extension quantized in 1% steps of tPROG: 0 => 1.00x,
+     *  100 => 2.00x. */
+    std::uint8_t extensionCode = 100;
+
+    double espFactor() const { return 1.0 + extensionCode / 100.0; }
+    static std::uint8_t encodeFactor(double factor);
+
+    bool operator==(const EspCommand &o) const = default;
+};
+
+/** Byte-serialize an MWS command. Validates slot count and masks. */
+std::vector<std::uint8_t> encodeMws(const Geometry &geom,
+                                    const MwsCommand &cmd);
+
+/** Parse an MWS command; fatal on malformed input (controller bug). */
+MwsCommand decodeMws(const Geometry &geom,
+                     const std::vector<std::uint8_t> &bytes);
+
+/** Byte-serialize an ESP command. */
+std::vector<std::uint8_t> encodeEsp(const Geometry &geom,
+                                    const EspCommand &cmd);
+
+/** Parse an ESP command. */
+EspCommand decodeEsp(const Geometry &geom,
+                     const std::vector<std::uint8_t> &bytes);
+
+/** The XOR command has no operands: a fixed two-byte sequence. */
+std::vector<std::uint8_t> encodeXor();
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_COMMAND_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * NAND flash geometry and physical addressing (paper Section 2.1).
+ *
+ * Layout of one chip (die):
+ *
+ *   die -> planes -> blocks -> sub-blocks -> wordlines
+ *
+ * A *NAND string* is the serial stack of cells on one bitline within one
+ * sub-block; it therefore contains wordlinesPerSubBlock cells. All
+ * strings of a plane share the plane's bitlines, so simultaneously
+ * activated wordlines behave as:
+ *
+ *   - AND across wordlines of the same (block, sub-block) — same string;
+ *   - OR  across different (block, sub-block) pairs — different strings
+ *     on the same bitline (Equation 1 of the paper).
+ *
+ * The paper refers to a sub-block as a "block" for simplicity; this
+ * model keeps both levels explicit because erase operates on the
+ * physical block (all sub-blocks) while MWS string semantics follow the
+ * sub-block.
+ */
+
+#ifndef FCOS_NAND_GEOMETRY_H
+#define FCOS_NAND_GEOMETRY_H
+
+#include <cstdint>
+
+#include "util/log.h"
+
+namespace fcos::nand {
+
+struct Geometry
+{
+    std::uint32_t planesPerDie = 2;
+    std::uint32_t blocksPerPlane = 2048;
+    std::uint32_t subBlocksPerBlock = 4;
+    std::uint32_t wordlinesPerSubBlock = 48;
+    std::uint32_t pageBytes = 16 * 1024;
+
+    /** Bits per page (== bitlines in a plane for this model). */
+    std::uint64_t pageBits() const
+    {
+        return static_cast<std::uint64_t>(pageBytes) * 8;
+    }
+
+    /** Wordlines (== SLC pages) in a physical block. */
+    std::uint32_t wordlinesPerBlock() const
+    {
+        return subBlocksPerBlock * wordlinesPerSubBlock;
+    }
+
+    /** SLC pages per plane. */
+    std::uint64_t pagesPerPlane() const
+    {
+        return static_cast<std::uint64_t>(blocksPerPlane) *
+               wordlinesPerBlock();
+    }
+
+    /** SLC capacity of a die in bytes. */
+    std::uint64_t dieBytesSlc() const
+    {
+        return static_cast<std::uint64_t>(planesPerDie) * pagesPerPlane() *
+               pageBytes;
+    }
+
+    /** A geometry small enough for exhaustive functional tests. */
+    static Geometry tiny()
+    {
+        Geometry g;
+        g.planesPerDie = 2;
+        g.blocksPerPlane = 8;
+        g.subBlocksPerBlock = 2;
+        g.wordlinesPerSubBlock = 8;
+        g.pageBytes = 32;
+        return g;
+    }
+
+    /** The 48-layer 3D TLC geometry of Table 1 (one die). */
+    static Geometry table1()
+    {
+        return Geometry{};
+    }
+};
+
+/** Address of one wordline (== one SLC page) within a die. */
+struct WordlineAddr
+{
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0;
+    std::uint32_t subBlock = 0;
+    std::uint32_t wordline = 0;
+
+    bool operator==(const WordlineAddr &o) const = default;
+
+    /** True if @p o lies in the same NAND string set (same sub-block). */
+    bool sameString(const WordlineAddr &o) const
+    {
+        return plane == o.plane && block == o.block &&
+               subBlock == o.subBlock;
+    }
+};
+
+/** Validate @p a against @p g; panics on violation (library bug). */
+inline void
+checkAddr(const Geometry &g, const WordlineAddr &a)
+{
+    fcos_assert(a.plane < g.planesPerDie, "plane %u out of range", a.plane);
+    fcos_assert(a.block < g.blocksPerPlane, "block %u out of range",
+                a.block);
+    fcos_assert(a.subBlock < g.subBlocksPerBlock, "sub-block %u", a.subBlock);
+    fcos_assert(a.wordline < g.wordlinesPerSubBlock, "wordline %u",
+                a.wordline);
+}
+
+/** Dense index of a wordline within its plane. */
+inline std::uint64_t
+wordlineIndex(const Geometry &g, const WordlineAddr &a)
+{
+    return (static_cast<std::uint64_t>(a.block) * g.subBlocksPerBlock +
+            a.subBlock) *
+               g.wordlinesPerSubBlock +
+           a.wordline;
+}
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_GEOMETRY_H

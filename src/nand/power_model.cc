@@ -1,0 +1,41 @@
+#include "nand/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace fcos::nand {
+
+double
+PowerModel::interBlockMwsPower(std::uint32_t blocks)
+{
+    fcos_assert(blocks >= 1, "MWS needs >= 1 block");
+    if (blocks == 1)
+        return kReadPower;
+    return kReadPower +
+           kInterCoeff *
+               std::pow(static_cast<double>(blocks - 1), kInterExp);
+}
+
+double
+PowerModel::intraBlockMwsPower(std::uint32_t wordlines)
+{
+    fcos_assert(wordlines >= 1, "MWS needs >= 1 wordline");
+    double p = kReadPower -
+               kIntraSlopePerWl * static_cast<double>(wordlines - 1);
+    return std::max(p, 0.5 * kReadPower);
+}
+
+double
+PowerModel::mwsPower(std::uint32_t wordlines, std::uint32_t blocks)
+{
+    // The inter-block WL-precharge load dominates; the intra-block
+    // V_REF-vs-V_PASS saving applies to the sensed string's wordlines.
+    double inter = interBlockMwsPower(blocks);
+    double intra_delta =
+        kReadPower - intraBlockMwsPower(wordlines);
+    return std::max(inter - intra_delta, 0.5 * kReadPower);
+}
+
+} // namespace fcos::nand

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * NAND chip power/energy model calibrated to Figure 14 and Section 5.2.
+ *
+ * All powers are normalized to the average power of a regular page read
+ * (= 1.0); an absolute scale converts to watts for energy accounting.
+ * Anchors from the paper:
+ *
+ *  - activating a second block raises power by ~34%;
+ *  - four activated blocks cost ~+80% vs. a read, still below erase;
+ *  - five blocks exceed erase power (hence the 4-block cap);
+ *  - intra-block MWS draws slightly *less* than a read because target
+ *    wordlines get V_REF instead of the much higher V_PASS.
+ */
+
+#ifndef FCOS_NAND_POWER_MODEL_H
+#define FCOS_NAND_POWER_MODEL_H
+
+#include <cstdint>
+
+#include "nand/config.h"
+#include "util/units.h"
+
+namespace fcos::nand {
+
+class PowerModel
+{
+  public:
+    /** Normalized average power of a regular page read. */
+    static constexpr double kReadPower = 1.0;
+
+    /** Normalized program power (between read and erase). */
+    static constexpr double kProgramPower = 1.5;
+
+    /** Normalized erase power; the 4-block MWS budget sits just below. */
+    static constexpr double kErasePower = 1.85;
+
+    /** Absolute scale: watts corresponding to normalized power 1.0.
+     *  82.5 mW is a typical 3D-NAND read power (25 mA at 3.3 V), giving
+     *  ~1.86 uJ per 16-KiB page read. */
+    static constexpr double kReadWatts = 0.0825;
+
+    /**
+     * Normalized power of an inter-block MWS activating @p blocks
+     * blocks. Fig. 14 fit: 1 + 0.34*(m-1)^0.78.
+     */
+    static double interBlockMwsPower(std::uint32_t blocks);
+
+    /**
+     * Normalized power of an intra-block MWS sensing @p wordlines
+     * wordlines of one string (slightly below read power).
+     */
+    static double intraBlockMwsPower(std::uint32_t wordlines);
+
+    /**
+     * Normalized power of a combined MWS: @p blocks strings activated,
+     * each sensing up to @p wordlines wordlines.
+     */
+    static double mwsPower(std::uint32_t wordlines, std::uint32_t blocks);
+
+    /** Energy (joules) of an operation with normalized power @p power
+     *  lasting @p duration. */
+    static double energy(double power, Time duration)
+    {
+        return power * kReadWatts * timeToSec(duration);
+    }
+
+  private:
+    // Fig. 14 anchors.
+    static constexpr double kInterCoeff = 0.34;
+    static constexpr double kInterExp = 0.78;
+    static constexpr double kIntraSlopePerWl = 0.0015;
+};
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_POWER_MODEL_H

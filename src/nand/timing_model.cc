@@ -1,0 +1,53 @@
+#include "nand/timing_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace fcos::nand {
+
+double
+TimingModel::intraBlockFactor(std::uint32_t wordlines)
+{
+    fcos_assert(wordlines >= 1, "intra-block MWS needs >= 1 wordline");
+    if (wordlines == 1)
+        return 1.0;
+    return 1.0 +
+           kIntraCoeff * std::pow(static_cast<double>(wordlines - 1),
+                                  kIntraExp);
+}
+
+double
+TimingModel::interBlockFactor(std::uint32_t blocks)
+{
+    fcos_assert(blocks >= 1, "inter-block MWS needs >= 1 block");
+    if (blocks == 1)
+        return 1.0;
+    if (blocks <= kInterHideBlocks) {
+        return 1.0 +
+               kInterHiddenCoeff *
+                   std::pow(static_cast<double>(blocks - 1),
+                            kInterHiddenExp);
+    }
+    double at_threshold =
+        1.0 + kInterHiddenCoeff *
+                  std::pow(static_cast<double>(kInterHideBlocks - 1),
+                           kInterHiddenExp);
+    return at_threshold +
+           kInterLinearPerBlock *
+               static_cast<double>(blocks - kInterHideBlocks);
+}
+
+Time
+TimingModel::mwsLatency(std::uint32_t max_wordlines_per_string,
+                        std::uint32_t blocks) const
+{
+    double factor = std::max(intraBlockFactor(max_wordlines_per_string),
+                             interBlockFactor(blocks));
+    return static_cast<Time>(static_cast<double>(timings_.tReadSlc) *
+                                 factor +
+                             0.5);
+}
+
+} // namespace fcos::nand

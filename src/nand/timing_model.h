@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fine-grained MWS latency model calibrated to the paper's real-device
+ * measurements (Figures 12 and 13).
+ *
+ * The paper measures tMWS, the minimum latency for a *reliable* MWS
+ * operation (zero bit errors across all tested blocks), as a multiple of
+ * the regular SLC read latency tR:
+ *
+ *  - Intra-block MWS (Fig. 12): reading n wordlines of one NAND string
+ *    raises the string resistance because the n target wordlines are
+ *    biased at V_REF instead of V_PASS. Measured: <1% extra latency for
+ *    n <= 8, +3.3% for n = 48.
+ *
+ *  - Inter-block MWS (Fig. 13): activating m blocks multiplies the
+ *    wordline-precharge load. The extra WL-precharge time hides under
+ *    the BL-precharge time until m = 8, then grows roughly linearly:
+ *    +36.3% at m = 32.
+ *
+ * Both effects are fit with smooth monotone curves anchored exactly on
+ * the quoted data points; the constants below are named after their
+ * anchors.
+ */
+
+#ifndef FCOS_NAND_TIMING_MODEL_H
+#define FCOS_NAND_TIMING_MODEL_H
+
+#include <cstdint>
+
+#include "nand/config.h"
+#include "util/units.h"
+
+namespace fcos::nand {
+
+class TimingModel
+{
+  public:
+    explicit TimingModel(Timings timings = Timings{})
+        : timings_(timings)
+    {}
+
+    const Timings &timings() const { return timings_; }
+
+    /**
+     * Latency multiplier (relative to tR) for an intra-block MWS that
+     * senses @p wordlines wordlines of a single NAND string.
+     * Fig. 12: f(1)=1.000, f(8)~1.008, f(48)=1.033.
+     */
+    static double intraBlockFactor(std::uint32_t wordlines);
+
+    /**
+     * Latency multiplier for an inter-block MWS activating @p blocks
+     * blocks (one or more wordlines each).
+     * Fig. 13: f(1)=1.000, f(8)=1.033, f(32)=1.363.
+     */
+    static double interBlockFactor(std::uint32_t blocks);
+
+    /**
+     * Latency of a reliable MWS operation sensing @p blocks strings with
+     * at most @p max_wordlines_per_string target wordlines each. The
+     * slower of the two mechanisms dominates.
+     */
+    Time mwsLatency(std::uint32_t max_wordlines_per_string,
+                    std::uint32_t blocks) const;
+
+    /**
+     * The fixed command latency the SSD uses when the inter-block count
+     * is capped at 4 (Table 1: tMWS = 25 us): a single conservative
+     * value covering every legal MWS shape, as Section 5.2 concludes.
+     */
+    Time mwsLatencyFixed() const { return timings_.tMwsFixed; }
+
+  private:
+    // Fig. 12 anchors: 1 + kIntraCoeff * (n-1)^kIntraExp.
+    static constexpr double kIntraCoeff = 0.0018809;
+    static constexpr double kIntraExp = 0.744;
+
+    // Fig. 13 anchors: below the hide threshold the WL-precharge grows
+    // inside the BL-precharge shadow; beyond it, linearly.
+    static constexpr std::uint32_t kInterHideBlocks = 8;
+    static constexpr double kInterHiddenCoeff = 0.033 / 3.895; // ^0.7 fit
+    static constexpr double kInterHiddenExp = 0.7;
+    static constexpr double kInterLinearPerBlock = 0.01375;
+
+    Timings timings_;
+};
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_TIMING_MODEL_H

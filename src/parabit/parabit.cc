@@ -1,0 +1,53 @@
+#include "parabit/parabit.h"
+
+#include "util/log.h"
+
+namespace fcos::pb {
+
+std::uint32_t
+ParaBitEngine::commonPlane(
+    const std::vector<nand::WordlineAddr> &operands) const
+{
+    fcos_assert(!operands.empty(), "ParaBit needs at least one operand");
+    std::uint32_t plane = operands[0].plane;
+    for (const auto &a : operands)
+        fcos_assert(a.plane == plane,
+                    "ParaBit operands must share a plane (bitlines)");
+    return plane;
+}
+
+nand::OpResult
+ParaBitEngine::bulkAnd(const std::vector<nand::WordlineAddr> &operands)
+{
+    std::uint32_t plane = commonPlane(operands);
+    nand::OpResult total;
+    for (std::size_t i = 0; i < operands.size(); ++i) {
+        // First sense initializes the latch; later senses accumulate
+        // (Fig. 6(b): no re-initialization, no M3).
+        nand::OpResult op =
+            chip_.senseParaBit(operands[i], i == 0, false);
+        total.latency += op.latency;
+        total.energyJ += op.energyJ;
+        ++senses_;
+    }
+    chip_.dumpCopy(plane); // move the result to the cache latch
+    return total;
+}
+
+nand::OpResult
+ParaBitEngine::bulkOr(const std::vector<nand::WordlineAddr> &operands)
+{
+    std::uint32_t plane = commonPlane(operands);
+    chip_.initCache(plane); // C := 0, the OR identity
+    nand::OpResult total;
+    for (const auto &a : operands) {
+        // Fig. 6(c): re-initialized sense, then M3 OR-merges into C.
+        nand::OpResult op = chip_.senseParaBit(a, true, true);
+        total.latency += op.latency;
+        total.energyJ += op.energyJ;
+        ++senses_;
+    }
+    return total;
+}
+
+} // namespace fcos::pb

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ParaBit (MICRO'21) — the state-of-the-art in-flash processing
+ * baseline (paper Section 3.1, Figure 6).
+ *
+ * ParaBit performs bulk bitwise operations by *serially* sensing one
+ * operand wordline at a time with regular reads and accumulating in
+ * the latch pair:
+ *
+ *  - AND: sense each operand without re-initializing the sensing
+ *    latch; evaluation can only pull OUT_S down, so S accumulates the
+ *    conjunction (Fig. 6(b)); the result moves to the cache latch at
+ *    the end.
+ *  - OR: initialize the cache latch once, then for each operand
+ *    (re-initialized sense + M3 transfer) the cache latch accumulates
+ *    the disjunction (Fig. 6(c)).
+ *
+ * Every operand costs one full tR sensing operation — the bottleneck
+ * Flash-Cosmos's MWS removes. ParaBit also reads raw cell data, so it
+ * inherits the full RBER of the programming mode used (no ECC, no
+ * randomization), which Section 3.2 quantifies.
+ */
+
+#ifndef FCOS_PARABIT_PARABIT_H
+#define FCOS_PARABIT_PARABIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/chip.h"
+#include "nand/geometry.h"
+
+namespace fcos::pb {
+
+class ParaBitEngine
+{
+  public:
+    explicit ParaBitEngine(nand::NandChip &chip) : chip_(chip) {}
+
+    /**
+     * Bitwise AND of the given wordlines (all in one plane), by serial
+     * sensing with S-latch accumulation. Result lands in the cache
+     * latch; returns the summed latency/energy of all operations.
+     */
+    nand::OpResult bulkAnd(const std::vector<nand::WordlineAddr> &operands);
+
+    /**
+     * Bitwise OR of the given wordlines by serial sensing with C-latch
+     * accumulation. Result lands in the cache latch.
+     */
+    nand::OpResult bulkOr(const std::vector<nand::WordlineAddr> &operands);
+
+    /** Result of the last bulk operation (the plane's cache latch). */
+    const BitVector &result(std::uint32_t plane) const
+    {
+        return chip_.dataOut(plane);
+    }
+
+    /** Sensing operations performed since construction. */
+    std::uint64_t senseCount() const { return senses_; }
+
+  private:
+    std::uint32_t commonPlane(
+        const std::vector<nand::WordlineAddr> &operands) const;
+
+    nand::NandChip &chip_;
+    std::uint64_t senses_ = 0;
+};
+
+} // namespace fcos::pb
+
+#endif // FCOS_PARABIT_PARABIT_H

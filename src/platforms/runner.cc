@@ -1,0 +1,293 @@
+#include "platforms/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nand/power_model.h"
+#include "ssd/ssd_sim.h"
+#include "util/log.h"
+
+namespace fcos::plat {
+
+const char *
+platformName(PlatformKind k)
+{
+    switch (k) {
+      case PlatformKind::Osp:
+        return "OSP";
+      case PlatformKind::Isp:
+        return "ISP";
+      case PlatformKind::ParaBit:
+        return "PB";
+      case PlatformKind::FlashCosmos:
+        return "FC";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Page-chunking of one plane's row range. */
+struct ChunkShape
+{
+    std::uint64_t rows = 0;   ///< result rows per plane
+    std::uint64_t granule = 1; ///< rows per chunk
+    std::uint64_t chunks = 0;
+
+    std::uint64_t rowsOf(std::uint64_t chunk) const
+    {
+        std::uint64_t begin = chunk * granule;
+        return std::min(granule, rows - begin);
+    }
+};
+
+ChunkShape
+shapeFor(std::uint64_t operand_bytes, const ssd::SsdConfig &cfg)
+{
+    std::uint64_t stripe =
+        static_cast<std::uint64_t>(cfg.geometry.pageBytes) *
+        cfg.totalPlanes();
+    ChunkShape s;
+    s.rows = std::max<std::uint64_t>(
+        1, (operand_bytes + stripe - 1) / stripe);
+    // <= 16 pages per chunk keeps the ISP tile inside the 256-KiB SRAM
+    // and bounds event counts; <= 32 chunks keeps pipelines smooth.
+    s.granule = std::clamp<std::uint64_t>((s.rows + 31) / 32, 1, 16);
+    s.chunks = (s.rows + s.granule - 1) / s.granule;
+    return s;
+}
+
+double
+pageReadEnergy(const ssd::SsdConfig &cfg)
+{
+    return nand::PowerModel::energy(nand::PowerModel::kReadPower,
+                                    cfg.timings.tReadSlc);
+}
+
+} // namespace
+
+std::uint64_t
+PlatformRunner::fcSensesPerRow(std::uint64_t and_operands,
+                               std::uint64_t or_operands,
+                               std::uint32_t max_wordlines,
+                               std::uint32_t max_strings)
+{
+    fcos_assert(max_wordlines >= 1 && max_strings >= 1, "bad MWS limits");
+    if (and_operands == 0 && or_operands == 0)
+        return 0;
+    if (and_operands == 0) {
+        // Pure OR over inverse-stored operands: one inverse intra-block
+        // MWS per string's worth, OR-merged (Section 6.1).
+        return (or_operands + max_wordlines - 1) / max_wordlines;
+    }
+    std::uint64_t and_cmds =
+        (and_operands + max_wordlines - 1) / max_wordlines;
+    if (or_operands == 0)
+        return and_cmds;
+    if (and_cmds == 1 && or_operands <= max_strings - 1) {
+        // The OR operands ride along as extra strings of the single
+        // AND command: (AND-group) OR o1 OR ... (the KCS fusion).
+        return 1;
+    }
+    // Otherwise the OR operands are folded afterwards with OR-merge
+    // commands, up to (max_strings) plain strings each.
+    return and_cmds + (or_operands + max_strings - 1) / max_strings;
+}
+
+RunResult
+PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
+{
+    // Per-channel symmetric simulation (see file comment).
+    ssd::SsdConfig chan_cfg = cfg_;
+    chan_cfg.channels = 1;
+    chan_cfg.externalGBps = cfg_.externalGBps / cfg_.channels;
+    host::HostConfig host_cfg = host_cfg_;
+    host_cfg.streamGBps = host_cfg_.streamGBps / cfg_.channels;
+
+    ssd::SsdSim sim(chan_cfg);
+    host::HostModel host(sim.queue(), sim.energy(), host_cfg);
+
+    const std::uint64_t page_bytes = cfg_.geometry.pageBytes;
+    const std::uint32_t planes = chan_cfg.totalPlanes();
+    const Time t_read = cfg_.timings.tReadSlc;
+    const Time t_mws = cfg_.timings.tMwsFixed;
+    const double e_read = pageReadEnergy(cfg_);
+
+    std::uint64_t sense_ops = 0;
+
+    auto finish = [&sim]() { sim.noteCompletion(sim.queue().now()); };
+
+    for (const wl::OpBatch &batch : workload.batches) {
+        ChunkShape shape = shapeFor(batch.operandBytes, cfg_);
+        std::uint64_t operands = batch.totalOperands();
+
+        switch (kind) {
+          case PlatformKind::Osp: {
+            // Operand-major streaming: sense -> DMA -> external -> host
+            // fold. The host result never re-crosses the link.
+            for (std::uint64_t op = 0; op < operands; ++op) {
+                for (std::uint64_t c = 0; c < shape.chunks; ++c) {
+                    std::uint64_t rows = shape.rowsOf(c);
+                    std::uint64_t bytes = rows * page_bytes;
+                    for (std::uint32_t p = 0; p < planes; ++p) {
+                        sense_ops += rows;
+                        sim.planeOp(
+                            p, rows * t_read, rows * e_read,
+                            ssd::EnergyComponent::NandRead,
+                            [&, p, bytes] {
+                                sim.dmaFromDie(p, bytes, [&, bytes] {
+                                    sim.externalTransfer(
+                                        bytes, [&, bytes] {
+                                            host.compute(bytes, finish);
+                                        });
+                                });
+                            });
+                    }
+                }
+            }
+            break;
+          }
+          case PlatformKind::Isp: {
+            // sense -> DMA -> accelerator; the last operand's tiles
+            // carry the finished result out through the external link.
+            for (std::uint64_t op = 0; op < operands; ++op) {
+                bool last = (op + 1 == operands);
+                for (std::uint64_t c = 0; c < shape.chunks; ++c) {
+                    std::uint64_t rows = shape.rowsOf(c);
+                    std::uint64_t bytes = rows * page_bytes;
+                    for (std::uint32_t p = 0; p < planes; ++p) {
+                        sense_ops += rows;
+                        bool to_host = last && batch.resultToHost;
+                        bool post = batch.hostPostProcess;
+                        sim.planeOp(
+                            p, rows * t_read, rows * e_read,
+                            ssd::EnergyComponent::NandRead,
+                            [&, p, bytes, to_host, post] {
+                                sim.dmaFromDie(p, bytes, [&, bytes,
+                                                          to_host,
+                                                          post] {
+                                    sim.accelCompute(
+                                        0, bytes,
+                                        [&, bytes, to_host, post] {
+                                            if (!to_host) {
+                                                finish();
+                                                return;
+                                            }
+                                            sim.externalTransfer(
+                                                bytes,
+                                                [&, bytes, post] {
+                                                    if (post) {
+                                                        host.compute(
+                                                            bytes,
+                                                            finish);
+                                                    } else {
+                                                        host.receive(
+                                                            bytes);
+                                                        finish();
+                                                    }
+                                                });
+                                        });
+                                });
+                            });
+                    }
+                }
+            }
+            break;
+          }
+          case PlatformKind::ParaBit:
+          case PlatformKind::FlashCosmos: {
+            // In-flash processing: per result row, PB senses every
+            // operand serially; FC senses via MWS command chains.
+            std::uint64_t senses_per_row;
+            Time t_sense;
+            double e_sense;
+            if (kind == PlatformKind::ParaBit) {
+                senses_per_row = operands;
+                t_sense = t_read;
+                e_sense = e_read;
+            } else {
+                senses_per_row = fcSensesPerRow(
+                    batch.andOperands, batch.orOperands,
+                    cfg_.maxIntraMwsWordlines(), cfg_.maxInterBlockMws);
+                t_sense = t_mws;
+                // Conservative MWS power: a full string plus the
+                // typical string count of this batch's commands.
+                std::uint32_t strings = std::min<std::uint32_t>(
+                    cfg_.maxInterBlockMws,
+                    static_cast<std::uint32_t>(
+                        1 + std::min<std::uint64_t>(batch.orOperands,
+                                                    3)));
+                e_sense = nand::PowerModel::energy(
+                    nand::PowerModel::mwsPower(
+                        cfg_.maxIntraMwsWordlines(), strings),
+                    t_mws);
+            }
+            for (std::uint64_t c = 0; c < shape.chunks; ++c) {
+                std::uint64_t rows = shape.rowsOf(c);
+                std::uint64_t bytes = rows * page_bytes;
+                for (std::uint32_t p = 0; p < planes; ++p) {
+                    sense_ops += rows * senses_per_row;
+                    bool to_host = batch.resultToHost;
+                    bool post = batch.hostPostProcess;
+                    sim.planeOp(
+                        p, rows * senses_per_row * t_sense,
+                        static_cast<double>(rows * senses_per_row) *
+                            e_sense,
+                        kind == PlatformKind::ParaBit
+                            ? ssd::EnergyComponent::NandRead
+                            : ssd::EnergyComponent::NandMws,
+                        [&, p, bytes, to_host, post] {
+                            if (!to_host) {
+                                finish();
+                                return;
+                            }
+                            sim.dmaFromDie(p, bytes, [&, bytes, post] {
+                                sim.externalTransfer(
+                                    bytes, [&, bytes, post] {
+                                        if (post) {
+                                            host.compute(bytes, finish);
+                                        } else {
+                                            host.receive(bytes);
+                                            finish();
+                                        }
+                                    });
+                            });
+                        });
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    Time makespan = sim.drain();
+
+    RunResult r;
+    r.makespan = makespan;
+    r.planeBusy = sim.maxPlaneBusyTime();
+    r.channelBusy = sim.channelBusyTime(0);
+    r.externalBusy = sim.externalBusyTime();
+    r.hostBusy = host.busyTime();
+    r.senseOps = sense_ops * cfg_.channels;
+
+    // Scale per-channel energies to the whole SSD; host CPU time-based
+    // energy and the (single) controller are not per-channel.
+    ssd::EnergyMeter &m = sim.energy();
+    double ch = static_cast<double>(cfg_.channels);
+    for (ssd::EnergyComponent c :
+         {ssd::EnergyComponent::NandRead, ssd::EnergyComponent::NandMws,
+          ssd::EnergyComponent::NandProgram,
+          ssd::EnergyComponent::NandErase,
+          ssd::EnergyComponent::ChannelDma,
+          ssd::EnergyComponent::ExternalLink,
+          ssd::EnergyComponent::IspAccel,
+          ssd::EnergyComponent::HostDram})
+        m.scale(c, ch);
+    m.add(ssd::EnergyComponent::Controller,
+          cfg_.controllerActiveWatts * timeToSec(makespan));
+    r.meter = m;
+    r.energyJ = m.total();
+    return r;
+}
+
+} // namespace fcos::plat

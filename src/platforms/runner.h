@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The four evaluated computing platforms (paper Section 7), as
+ * event-driven drivers over the SSD timing simulator:
+ *
+ *  - OSP (outside-storage processing): every operand page is sensed,
+ *    moved over its channel, shipped across the external link, and
+ *    folded by the host CPU. External I/O is the bottleneck (Fig. 7b).
+ *
+ *  - ISP (in-storage processing): operands stop at the per-channel
+ *    accelerator (bitwise logic + 256-KiB SRAM); only results cross
+ *    the external link. Internal channel I/O becomes the bottleneck
+ *    (Fig. 7c).
+ *
+ *  - PB (ParaBit): in-flash serial sensing — one tR per operand — with
+ *    latch accumulation; only result pages leave the dies (Fig. 7d).
+ *
+ *  - FC (Flash-Cosmos): MWS senses up to a NAND string's worth of
+ *    operands per tMWS, with latch accumulation across commands
+ *    (Section 6.1); only result pages leave the dies.
+ *
+ * Channel symmetry: workloads stripe uniformly, so one channel is
+ * simulated and shared resources (external link, host stream rate)
+ * are given their per-channel fair share; energies that scale with
+ * channel count are scaled back afterwards. Page streams are chunked
+ * (<= 16 pages) to bound event counts at full workload scale; the
+ * pipeline fill/drain behaviour is preserved.
+ */
+
+#ifndef FCOS_PLATFORMS_RUNNER_H
+#define FCOS_PLATFORMS_RUNNER_H
+
+#include <cstdint>
+
+#include "host/host_model.h"
+#include "ssd/config.h"
+#include "ssd/energy.h"
+#include "workloads/workload.h"
+
+namespace fcos::plat {
+
+enum class PlatformKind : std::uint8_t
+{
+    Osp,
+    Isp,
+    ParaBit,
+    FlashCosmos,
+};
+
+const char *platformName(PlatformKind k);
+
+struct RunResult
+{
+    Time makespan = 0;
+    double energyJ = 0.0;
+    ssd::EnergyMeter meter; ///< scaled to the whole SSD
+    std::uint64_t senseOps = 0; ///< sensing operations, whole SSD
+    /** Per-channel resource busy times (bottleneck analysis). */
+    Time planeBusy = 0;
+    Time channelBusy = 0;
+    Time externalBusy = 0;
+    Time hostBusy = 0;
+
+    /** Bits per joule (Figure 18's metric, before normalization). */
+    double bitsPerJoule(double computed_bits) const
+    {
+        return computed_bits / energyJ;
+    }
+};
+
+class PlatformRunner
+{
+  public:
+    explicit PlatformRunner(
+        const ssd::SsdConfig &cfg = ssd::SsdConfig::table1(),
+        const host::HostConfig &host_cfg = host::HostConfig{})
+        : cfg_(cfg), host_cfg_(host_cfg)
+    {}
+
+    const ssd::SsdConfig &config() const { return cfg_; }
+
+    /** Execute @p workload on platform @p kind and report time/energy. */
+    RunResult run(PlatformKind kind, const wl::Workload &workload) const;
+
+    /**
+     * Sensing operations per result row for Flash-Cosmos, given the
+     * batch shape (exposed for tests and the ablation benches).
+     * @param max_wordlines  intra-block MWS width (string length)
+     * @param max_strings    strings per command (inter-block cap)
+     */
+    static std::uint64_t fcSensesPerRow(std::uint64_t and_operands,
+                                        std::uint64_t or_operands,
+                                        std::uint32_t max_wordlines,
+                                        std::uint32_t max_strings);
+
+  private:
+    ssd::SsdConfig cfg_;
+    host::HostConfig host_cfg_;
+};
+
+} // namespace fcos::plat
+
+#endif // FCOS_PLATFORMS_RUNNER_H

@@ -1,0 +1,105 @@
+#include "platforms/sweep.h"
+
+#include "util/log.h"
+#include "util/mathutil.h"
+
+namespace fcos::plat {
+
+namespace {
+
+const RunResult &
+resultFor(const SweepPoint &p, PlatformKind k)
+{
+    switch (k) {
+      case PlatformKind::Osp:
+        return p.osp;
+      case PlatformKind::Isp:
+        return p.isp;
+      case PlatformKind::ParaBit:
+        return p.pb;
+      case PlatformKind::FlashCosmos:
+        return p.fc;
+    }
+    fcos_panic("bad platform");
+}
+
+} // namespace
+
+double
+SweepPoint::speedup(PlatformKind k) const
+{
+    return static_cast<double>(osp.makespan) /
+           static_cast<double>(resultFor(*this, k).makespan);
+}
+
+double
+SweepPoint::energyRatio(PlatformKind k) const
+{
+    return osp.energyJ / resultFor(*this, k).energyJ;
+}
+
+SweepPoint
+EvaluationSweep::runPoint(const wl::Workload &workload) const
+{
+    SweepPoint p;
+    p.workload = workload;
+    p.osp = runner_.run(PlatformKind::Osp, workload);
+    p.isp = runner_.run(PlatformKind::Isp, workload);
+    p.pb = runner_.run(PlatformKind::ParaBit, workload);
+    p.fc = runner_.run(PlatformKind::FlashCosmos, workload);
+    return p;
+}
+
+SweepSeries
+EvaluationSweep::bmiSeries() const
+{
+    SweepSeries s;
+    s.name = "BMI";
+    for (std::uint32_t m : {1u, 3u, 6u, 12u, 24u, 36u})
+        s.points.push_back(runPoint(wl::makeBmi(m)));
+    return s;
+}
+
+SweepSeries
+EvaluationSweep::imsSeries() const
+{
+    SweepSeries s;
+    s.name = "IMS";
+    for (std::uint64_t i : {10000ULL, 50000ULL, 100000ULL, 200000ULL})
+        s.points.push_back(runPoint(wl::makeIms(i)));
+    return s;
+}
+
+SweepSeries
+EvaluationSweep::kcsSeries() const
+{
+    SweepSeries s;
+    s.name = "KCS";
+    for (std::uint32_t k : {8u, 16u, 24u, 32u, 48u, 64u})
+        s.points.push_back(runPoint(wl::makeKcs(k)));
+    return s;
+}
+
+double
+EvaluationSweep::meanSpeedup(const std::vector<SweepSeries> &series,
+                             PlatformKind kind)
+{
+    std::vector<double> values;
+    for (const auto &s : series)
+        for (const auto &p : s.points)
+            values.push_back(p.speedup(kind));
+    return geomean(values);
+}
+
+double
+EvaluationSweep::meanEnergyRatio(const std::vector<SweepSeries> &series,
+                                 PlatformKind kind)
+{
+    std::vector<double> values;
+    for (const auto &s : series)
+        for (const auto &p : s.points)
+            values.push_back(p.energyRatio(kind));
+    return geomean(values);
+}
+
+} // namespace fcos::plat

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Evaluation sweeps (paper Section 8): run the three workloads across
+ * the paper's parameter ranges on all four platforms and aggregate
+ * speedup / energy-efficiency statistics. Shared by the Figure 17 and
+ * Figure 18 benches and usable as a library API for new studies.
+ */
+
+#ifndef FCOS_PLATFORMS_SWEEP_H
+#define FCOS_PLATFORMS_SWEEP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platforms/runner.h"
+#include "workloads/workload.h"
+
+namespace fcos::plat {
+
+/** Results of all four platforms on one workload point. */
+struct SweepPoint
+{
+    wl::Workload workload;
+    RunResult osp, isp, pb, fc;
+
+    double speedup(PlatformKind k) const;
+    double energyRatio(PlatformKind k) const;
+};
+
+/** One workload's sweep (e.g. BMI over m). */
+struct SweepSeries
+{
+    std::string name;
+    std::vector<SweepPoint> points;
+};
+
+class EvaluationSweep
+{
+  public:
+    explicit EvaluationSweep(
+        const PlatformRunner &runner = PlatformRunner{})
+        : runner_(runner)
+    {}
+
+    /** Run all four platforms on @p workload. */
+    SweepPoint runPoint(const wl::Workload &workload) const;
+
+    /** The paper's BMI sweep: m in {1,3,6,12,24,36}. */
+    SweepSeries bmiSeries() const;
+    /** The paper's IMS sweep: I in {10,50,100,200} thousand. */
+    SweepSeries imsSeries() const;
+    /** The paper's KCS sweep: k in {8,16,24,32,48,64}. */
+    SweepSeries kcsSeries() const;
+
+    /** Geometric-mean speedup of @p kind over OSP across series. */
+    static double meanSpeedup(const std::vector<SweepSeries> &series,
+                              PlatformKind kind);
+    /** Geometric-mean energy-efficiency ratio over OSP. */
+    static double meanEnergyRatio(const std::vector<SweepSeries> &series,
+                                  PlatformKind kind);
+
+  private:
+    PlatformRunner runner_;
+};
+
+} // namespace fcos::plat
+
+#endif // FCOS_PLATFORMS_SWEEP_H

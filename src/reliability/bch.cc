@@ -1,0 +1,308 @@
+#include "reliability/bch.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.h"
+
+namespace fcos::rel {
+
+namespace {
+
+/** Primitive polynomials (bit i = coefficient of x^i). */
+unsigned
+primitivePoly(unsigned m)
+{
+    switch (m) {
+      case 3:
+        return 0x0B; // x^3+x+1
+      case 4:
+        return 0x13; // x^4+x+1
+      case 5:
+        return 0x25; // x^5+x^2+1
+      case 6:
+        return 0x43; // x^6+x+1
+      case 7:
+        return 0x89; // x^7+x^3+1
+      case 8:
+        return 0x11D; // x^8+x^4+x^3+x^2+1
+      case 9:
+        return 0x211; // x^9+x^4+1
+      case 10:
+        return 0x409; // x^10+x^3+1
+      case 11:
+        return 0x805; // x^11+x^2+1
+      case 12:
+        return 0x1053; // x^12+x^6+x^4+x+1
+      case 13:
+        return 0x201B; // x^13+x^4+x^3+x+1
+      case 14:
+        return 0x402B; // x^14+x^5+x^3+x+1
+      default:
+        fcos_fatal("unsupported GF degree m=%u (need 3..14)", m);
+    }
+}
+
+/** Multiply binary polynomials (coefficients in GF(2)). */
+std::vector<std::uint8_t>
+polyMulGf2(const std::vector<std::uint8_t> &a,
+           const std::vector<std::uint8_t> &b)
+{
+    std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i])
+            continue;
+        for (std::size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= b[j];
+    }
+    return out;
+}
+
+} // namespace
+
+GaloisField::GaloisField(unsigned m) : m_(m), n_((1u << m) - 1)
+{
+    fcos_assert(m >= 3 && m <= 14, "GF degree %u out of range", m);
+    log_.assign(n_ + 1, 0);
+    antilog_.assign(n_, 0);
+    unsigned poly = primitivePoly(m);
+    unsigned x = 1;
+    for (unsigned i = 0; i < n_; ++i) {
+        antilog_[i] = x;
+        log_[x] = i;
+        x <<= 1;
+        if (x & (1u << m))
+            x ^= poly;
+    }
+}
+
+unsigned
+GaloisField::mul(unsigned a, unsigned b) const
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return antilog_[(log_[a] + log_[b]) % n_];
+}
+
+unsigned
+GaloisField::div(unsigned a, unsigned b) const
+{
+    fcos_assert(b != 0, "GF division by zero");
+    if (a == 0)
+        return 0;
+    return antilog_[(log_[a] + n_ - log_[b]) % n_];
+}
+
+unsigned
+GaloisField::inv(unsigned a) const
+{
+    fcos_assert(a != 0, "GF inverse of zero");
+    return antilog_[(n_ - log_[a]) % n_];
+}
+
+unsigned
+GaloisField::logAlpha(unsigned a) const
+{
+    fcos_assert(a != 0 && a <= n_, "log of invalid element %u", a);
+    return log_[a];
+}
+
+BchCode::BchCode(unsigned m, unsigned t) : gf_(m), t_(t)
+{
+    fcos_assert(t >= 1, "BCH needs t >= 1");
+    // Generator = LCM of minimal polynomials of alpha^1 .. alpha^(2t).
+    std::set<unsigned> covered; // exponents already in some cyclotomic coset
+    gen_ = {1};
+    for (unsigned i = 1; i <= 2 * t; ++i) {
+        if (covered.count(i % gf_.n()))
+            continue;
+        // Cyclotomic coset of i: {i, 2i, 4i, ...} mod n.
+        std::vector<unsigned> coset;
+        unsigned e = i % gf_.n();
+        do {
+            coset.push_back(e);
+            covered.insert(e);
+            e = (2 * e) % gf_.n();
+        } while (e != i % gf_.n());
+        // Minimal polynomial = prod (x - alpha^e) over the coset,
+        // computed with GF(2^m) coefficients; the result is binary.
+        std::vector<unsigned> mp{1}; // coefficients in GF(2^m)
+        for (unsigned exp : coset) {
+            unsigned root = gf_.alphaPow(exp);
+            std::vector<unsigned> next(mp.size() + 1, 0);
+            for (std::size_t d = 0; d < mp.size(); ++d) {
+                next[d + 1] ^= mp[d];           // x * mp
+                next[d] ^= gf_.mul(mp[d], root); // root * mp
+            }
+            mp = std::move(next);
+        }
+        std::vector<std::uint8_t> mp2(mp.size());
+        for (std::size_t d = 0; d < mp.size(); ++d) {
+            fcos_assert(mp[d] <= 1,
+                        "minimal polynomial has non-binary coefficient");
+            mp2[d] = static_cast<std::uint8_t>(mp[d]);
+        }
+        gen_ = polyMulGf2(gen_, mp2);
+    }
+    unsigned deg = static_cast<unsigned>(gen_.size() - 1);
+    fcos_assert(deg < gf_.n(), "degenerate BCH parameters");
+    k_ = gf_.n() - deg;
+}
+
+BitVector
+BchCode::encode(const BitVector &data) const
+{
+    fcos_assert(data.size() == k_, "encode expects %u data bits, got %zu",
+                k_, data.size());
+    unsigned r = parityBits();
+    BitVector cw(n(), false);
+    // Systematic placement: data occupies the high-order positions.
+    for (unsigned i = 0; i < k_; ++i)
+        cw.set(r + i, data.get(i));
+    // Parity = remainder of x^r * d(x) mod g(x); long division in GF(2).
+    std::vector<std::uint8_t> rem(r, 0);
+    for (int i = static_cast<int>(k_) - 1; i >= 0; --i) {
+        std::uint8_t feedback =
+            static_cast<std::uint8_t>(data.get(i)) ^ rem[r - 1];
+        for (int j = static_cast<int>(r) - 1; j > 0; --j)
+            rem[j] = rem[j - 1] ^ (feedback ? gen_[j] : 0);
+        rem[0] = feedback ? gen_[0] : 0;
+    }
+    for (unsigned j = 0; j < r; ++j)
+        cw.set(j, rem[j]);
+    return cw;
+}
+
+std::vector<unsigned>
+BchCode::syndromes(const BitVector &word) const
+{
+    std::vector<unsigned> syn(2 * t_, 0);
+    for (unsigned e = 0; e < n(); ++e) {
+        if (!word.get(e))
+            continue;
+        for (unsigned j = 0; j < 2 * t_; ++j)
+            syn[j] ^= gf_.alphaPow(e * (j + 1));
+    }
+    return syn;
+}
+
+BchDecodeResult
+BchCode::decode(BitVector &word) const
+{
+    fcos_assert(word.size() == n(), "decode expects %u bits, got %zu", n(),
+                word.size());
+    std::vector<unsigned> syn = syndromes(word);
+    bool clean = std::all_of(syn.begin(), syn.end(),
+                             [](unsigned s) { return s == 0; });
+    if (clean)
+        return {true, 0};
+
+    // Berlekamp-Massey: find the error-locator polynomial sigma(x).
+    std::vector<unsigned> sigma{1}, prev{1};
+    unsigned l = 0, m_gap = 1;
+    unsigned b = 1;
+    for (unsigned iter = 0; iter < 2 * t_; ++iter) {
+        unsigned d = syn[iter];
+        for (unsigned i = 1; i <= l && i < sigma.size(); ++i)
+            d ^= gf_.mul(sigma[i], syn[iter - i]);
+        if (d == 0) {
+            ++m_gap;
+            continue;
+        }
+        std::vector<unsigned> t_poly = sigma;
+        unsigned coef = gf_.div(d, b);
+        if (sigma.size() < prev.size() + m_gap)
+            sigma.resize(prev.size() + m_gap, 0);
+        for (std::size_t i = 0; i < prev.size(); ++i)
+            sigma[i + m_gap] ^= gf_.mul(coef, prev[i]);
+        if (2 * l <= iter) {
+            l = iter + 1 - l;
+            prev = std::move(t_poly);
+            b = d;
+            m_gap = 1;
+        } else {
+            ++m_gap;
+        }
+    }
+    if (l > t_)
+        return {false, 0}; // more errors than the code can locate
+
+    // Chien search: roots of sigma are the inverse error locations.
+    std::vector<unsigned> positions;
+    for (unsigned e = 0; e < n(); ++e) {
+        unsigned x = gf_.alphaPow((gf_.n() - e) % gf_.n()); // alpha^-e
+        unsigned acc = 0, xp = 1;
+        for (std::size_t i = 0; i < sigma.size(); ++i) {
+            acc ^= gf_.mul(sigma[i], xp);
+            xp = gf_.mul(xp, x);
+        }
+        if (acc == 0)
+            positions.push_back(e);
+    }
+    if (positions.size() != l)
+        return {false, 0}; // locator does not split: uncorrectable
+
+    for (unsigned e : positions)
+        word.set(e, !word.get(e));
+
+    // Verify: all syndromes must vanish after correction.
+    std::vector<unsigned> syn2 = syndromes(word);
+    bool ok = std::all_of(syn2.begin(), syn2.end(),
+                          [](unsigned s) { return s == 0; });
+    return {ok, ok ? static_cast<unsigned>(positions.size()) : 0};
+}
+
+BitVector
+BchCode::extractData(const BitVector &word) const
+{
+    fcos_assert(word.size() == n(), "extract expects %u bits", n());
+    return word.slice(parityBits(), k_);
+}
+
+std::size_t
+PageCodec::encodedBits(std::size_t data_bits) const
+{
+    std::size_t chunks = (data_bits + code_.k() - 1) / code_.k();
+    return chunks * code_.n();
+}
+
+BitVector
+PageCodec::encodePage(const BitVector &data) const
+{
+    std::size_t chunks = (data.size() + code_.k() - 1) / code_.k();
+    BitVector out(chunks * code_.n());
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t begin = c * code_.k();
+        std::size_t len = std::min<std::size_t>(code_.k(),
+                                                data.size() - begin);
+        BitVector chunk(code_.k(), false);
+        chunk.paste(0, data.slice(begin, len));
+        out.paste(c * code_.n(), code_.encode(chunk));
+    }
+    return out;
+}
+
+BchDecodeResult
+PageCodec::decodePage(const BitVector &encoded, std::size_t data_bits,
+                      BitVector *data_out) const
+{
+    std::size_t chunks = (data_bits + code_.k() - 1) / code_.k();
+    fcos_assert(encoded.size() == chunks * code_.n(),
+                "encoded page has %zu bits, expected %zu", encoded.size(),
+                chunks * code_.n());
+    BchDecodeResult total{true, 0};
+    BitVector data(chunks * code_.k());
+    for (std::size_t c = 0; c < chunks; ++c) {
+        BitVector cw = encoded.slice(c * code_.n(), code_.n());
+        BchDecodeResult r = code_.decode(cw);
+        if (!r.ok)
+            total.ok = false;
+        total.corrected += r.corrected;
+        data.paste(c * code_.k(), code_.extractData(cw));
+    }
+    if (data_out)
+        *data_out = data.slice(0, data_bits);
+    return total;
+}
+
+} // namespace fcos::rel

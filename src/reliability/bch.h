@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Binary BCH error-correcting code over GF(2^m).
+ *
+ * Modern SSDs protect every page with strong ECC (the paper cites LDPC;
+ * BCH is the classic hard-decision workhorse with the same relevant
+ * property: codewords are *linear in GF(2)* — closed under XOR — but
+ * NOT closed under AND/OR). This codec exists for two reasons:
+ *
+ *  1. Substrate completeness: the OSP/ISP baselines read ECC-protected
+ *     data; the SSD model charges decode work to the controller.
+ *  2. Section 3.2's argument, made executable: AND-ing two valid
+ *     codewords inside the flash array yields a word that decodes to
+ *     the wrong payload (or fails outright), which is why ParaBit
+ *     cannot keep ECC and why Flash-Cosmos needs ESP's zero-error
+ *     storage instead. See bench/ablation_ecc_randomization.
+ *
+ * Implementation: standard table-driven GF(2^m) arithmetic, generator
+ * polynomial from the LCM of minimal polynomials of alpha^1..alpha^2t,
+ * systematic encoding, and syndrome / Berlekamp-Massey / Chien-search
+ * decoding.
+ */
+
+#ifndef FCOS_RELIABILITY_BCH_H
+#define FCOS_RELIABILITY_BCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace fcos::rel {
+
+/** GF(2^m) arithmetic with log/antilog tables. */
+class GaloisField
+{
+  public:
+    /** @param m  field degree, 3..14. */
+    explicit GaloisField(unsigned m);
+
+    unsigned m() const { return m_; }
+    /** Field size minus one == multiplicative order of alpha. */
+    unsigned n() const { return n_; }
+
+    unsigned mul(unsigned a, unsigned b) const;
+    unsigned div(unsigned a, unsigned b) const;
+    unsigned inv(unsigned a) const;
+    /** alpha^e with e taken mod n (e may exceed n). */
+    unsigned alphaPow(unsigned e) const { return antilog_[e % n_]; }
+    /** Discrete log base alpha; a must be non-zero. */
+    unsigned logAlpha(unsigned a) const;
+
+  private:
+    unsigned m_;
+    unsigned n_;
+    std::vector<unsigned> log_;
+    std::vector<unsigned> antilog_;
+};
+
+/** Outcome of a decode attempt. */
+struct BchDecodeResult
+{
+    /** True when the word was accepted (zero or correctable errors). */
+    bool ok = false;
+    /** Number of bit corrections applied. */
+    unsigned corrected = 0;
+};
+
+class BchCode
+{
+  public:
+    /**
+     * @param m  GF degree; codeword length n = 2^m - 1
+     * @param t  guaranteed correctable errors per codeword
+     */
+    BchCode(unsigned m, unsigned t);
+
+    unsigned n() const { return gf_.n(); }
+    unsigned k() const { return k_; }
+    unsigned t() const { return t_; }
+    unsigned parityBits() const { return n() - k(); }
+
+    /**
+     * Systematic encode: @p data (k bits) -> codeword (n bits) with the
+     * data in positions [parityBits, n).
+     */
+    BitVector encode(const BitVector &data) const;
+
+    /**
+     * Decode @p word (n bits) in place. Returns ok=false when more than
+     * t errors are detected (decode failure); the word may then be
+     * partially modified — callers treat it as lost.
+     */
+    BchDecodeResult decode(BitVector &word) const;
+
+    /** Extract the systematic data bits from a codeword. */
+    BitVector extractData(const BitVector &word) const;
+
+    /** Generator polynomial coefficients, g[0] = constant term. */
+    const std::vector<std::uint8_t> &generator() const { return gen_; }
+
+  private:
+    std::vector<unsigned> syndromes(const BitVector &word) const;
+
+    GaloisField gf_;
+    unsigned t_;
+    unsigned k_;
+    std::vector<std::uint8_t> gen_;
+};
+
+/**
+ * Page-level codec: chops a page payload into k-bit chunks, protecting
+ * each with one BCH codeword. Mirrors how SSD controllers protect
+ * 16-KiB pages with per-1-KiB codewords.
+ */
+class PageCodec
+{
+  public:
+    explicit PageCodec(BchCode code) : code_(std::move(code)) {}
+
+    const BchCode &code() const { return code_; }
+
+    /** Encoded size (bits) for a @p data_bits payload. */
+    std::size_t encodedBits(std::size_t data_bits) const;
+
+    /** Encode a payload of any size (last chunk zero-padded). */
+    BitVector encodePage(const BitVector &data) const;
+
+    /**
+     * Decode an encoded page. @p data_bits is the original payload
+     * length. ok=false when any chunk fails.
+     */
+    BchDecodeResult decodePage(const BitVector &encoded,
+                               std::size_t data_bits,
+                               BitVector *data_out) const;
+
+  private:
+    BchCode code_;
+};
+
+} // namespace fcos::rel
+
+#endif // FCOS_RELIABILITY_BCH_H

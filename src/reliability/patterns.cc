@@ -1,0 +1,64 @@
+#include "reliability/patterns.h"
+
+#include <bit>
+
+#include "util/log.h"
+
+namespace fcos::rel {
+
+std::vector<BitVector>
+worstCaseMwsPattern(std::uint32_t wordlines, std::size_t page_bits,
+                    std::uint64_t target_mask, Rng &rng)
+{
+    fcos_assert(wordlines >= 1 && wordlines <= 64,
+                "string length %u out of range", wordlines);
+    fcos_assert(target_mask != 0, "no target wordlines");
+    fcos_assert((target_mask >> wordlines) == 0,
+                "target mask beyond string length");
+
+    std::vector<std::uint32_t> targets;
+    for (std::uint32_t wl = 0; wl < wordlines; ++wl) {
+        if (target_mask & (1ULL << wl))
+            targets.push_back(wl);
+    }
+
+    std::vector<BitVector> pages(wordlines, BitVector(page_bits, false));
+    for (std::size_t bl = 0; bl < page_bits; ++bl) {
+        // Per string: at most one '1' cell, and only on a target
+        // wordline (roughly half the strings get one).
+        if (rng.bernoulli(0.5)) {
+            std::uint32_t wl = targets[static_cast<std::size_t>(
+                rng.nextBounded(targets.size()))];
+            pages[wl].set(bl, true);
+        }
+    }
+    return pages;
+}
+
+bool
+satisfiesWorstCaseConstraints(const std::vector<BitVector> &pages,
+                              std::uint64_t target_mask)
+{
+    if (pages.empty())
+        return false;
+    std::size_t page_bits = pages[0].size();
+    for (const BitVector &p : pages) {
+        if (p.size() != page_bits)
+            return false;
+    }
+    for (std::size_t bl = 0; bl < page_bits; ++bl) {
+        int ones = 0;
+        for (std::uint32_t wl = 0; wl < pages.size(); ++wl) {
+            if (pages[wl].get(bl)) {
+                ++ones;
+                if (!(target_mask & (1ULL << wl)))
+                    return false; // '1' on a non-target wordline
+            }
+        }
+        if (ones >= 2)
+            return false; // the "< 2 ones per string" constraint
+    }
+    return true;
+}
+
+} // namespace fcos::rel

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Characterization data patterns (paper Section 5.1/5.2).
+ *
+ * The paper stresses chips with two adversarial patterns:
+ *
+ *  - the *checkered* pattern — adjacent cells alternate between the
+ *    highest and lowest V_TH state — worst case for program disturb
+ *    and interference (used to accumulate P/E wear; available as
+ *    BitVector::fillCheckered);
+ *
+ *  - the *MWS worst-case* pattern, which maximizes NAND-string
+ *    resistance during multi-wordline sensing: per string (bitline
+ *    column), fewer than two cells store '1', and if a string has a
+ *    '1' cell it sits on one of the MWS target wordlines. This makes
+ *    the sensed current path as weak as possible, bounding tMWS.
+ */
+
+#ifndef FCOS_RELIABILITY_PATTERNS_H
+#define FCOS_RELIABILITY_PATTERNS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace fcos::rel {
+
+/**
+ * Generate per-wordline page data for one NAND string set under the
+ * MWS worst-case constraints.
+ *
+ * @param wordlines   string length (pages returned, index = wordline)
+ * @param page_bits   bitline count
+ * @param target_mask which wordlines the MWS will sense
+ * @param rng         random source (which target holds the '1')
+ * @return one page per wordline
+ */
+std::vector<BitVector> worstCaseMwsPattern(std::uint32_t wordlines,
+                                           std::size_t page_bits,
+                                           std::uint64_t target_mask,
+                                           Rng &rng);
+
+/**
+ * Check the Section 5.2 constraints on a string set's contents:
+ * fewer than two '1' cells per string, all of them on target
+ * wordlines. Used by tests and by the characterization benches.
+ */
+bool satisfiesWorstCaseConstraints(const std::vector<BitVector> &pages,
+                                   std::uint64_t target_mask);
+
+} // namespace fcos::rel
+
+#endif // FCOS_RELIABILITY_PATTERNS_H

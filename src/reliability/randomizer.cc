@@ -1,0 +1,37 @@
+#include "reliability/randomizer.h"
+
+namespace fcos::rel {
+
+namespace {
+
+/** splitmix64: cheap, well-distributed keystream generator. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+Randomizer::keystreamWord(std::uint64_t page_key, std::size_t idx) const
+{
+    return mix(device_seed_ ^ mix(page_key) ^
+               (0xA5A5A5A5A5A5A5A5ULL * (idx + 1)));
+}
+
+void
+Randomizer::apply(BitVector &page, std::uint64_t page_key) const
+{
+    auto &words = page.words();
+    for (std::size_t i = 0; i < words.size(); ++i)
+        words[i] ^= keystreamWord(page_key, i);
+    // Keep the tail invariant: re-zero bits beyond size().
+    if (page.size() & 63)
+        words.back() &= (~0ULL) >> (64 - (page.size() & 63));
+}
+
+} // namespace fcos::rel

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Data randomizer (paper Section 2.2).
+ *
+ * Modern SSD controllers XOR page data with a pseudo-random keystream
+ * (seeded per physical page) before programming, to avoid worst-case
+ * program-disturb patterns, and XOR again after reading to recover the
+ * data. Because the scrambling is an XOR involution,
+ * derandomize(randomize(x)) == x.
+ *
+ * Crucially for this paper (Section 3.2): bitwise AND/OR performed *on
+ * the randomized cells* does not commute with the XOR keystream —
+ * derandomize(randomize(A) AND randomize(B)) != A AND B in general —
+ * which is why ParaBit must disable randomization and why Flash-Cosmos
+ * pairs MWS with ESP instead. The ablation bench
+ * (bench/ablation_ecc_randomization) demonstrates this directly.
+ */
+
+#ifndef FCOS_RELIABILITY_RANDOMIZER_H
+#define FCOS_RELIABILITY_RANDOMIZER_H
+
+#include <cstdint>
+
+#include "util/bitvector.h"
+
+namespace fcos::rel {
+
+class Randomizer
+{
+  public:
+    explicit Randomizer(std::uint64_t device_seed = 0x5EED5EEDULL)
+        : device_seed_(device_seed)
+    {}
+
+    /**
+     * XOR @p page with the keystream of physical page @p page_key.
+     * Applying the same call twice restores the original data.
+     */
+    void apply(BitVector &page, std::uint64_t page_key) const;
+
+    /** Keystream word @p idx for page @p page_key (tests). */
+    std::uint64_t keystreamWord(std::uint64_t page_key,
+                                std::size_t idx) const;
+
+  private:
+    std::uint64_t device_seed_;
+};
+
+} // namespace fcos::rel
+
+#endif // FCOS_RELIABILITY_RANDOMIZER_H

@@ -1,0 +1,66 @@
+#include "reliability/read_retry.h"
+
+#include <cmath>
+
+#include "util/log.h"
+#include "util/mathutil.h"
+
+namespace fcos::rel {
+
+double
+ReadRetry::rberSlcAtRef(const VthModel &model,
+                        const OperatingCondition &cond, double vref,
+                        double quality)
+{
+    VthModel::SlcStates s = model.slcStates(cond, quality);
+    // Erased cells reading '0': V_TH above the reference.
+    double erased_err = gaussianQ((vref - s.erasedMean) / s.erasedSigma);
+    // Programmed cells reading '1': V_TH below the reference.
+    double prog_err = gaussianQ((s.progMean - vref) / s.progSigma);
+    return 0.5 * (erased_err + prog_err);
+}
+
+double
+ReadRetry::optimalSlcRef(const VthModel &model,
+                         const OperatingCondition &cond, double quality)
+{
+    VthModel::SlcStates s = model.slcStates(cond, quality);
+    double lo = s.erasedMean, hi = s.progMean;
+    // Golden-section search on the (unimodal) RBER curve.
+    const double phi = 0.6180339887498949;
+    double a = lo, b = hi;
+    double c = b - phi * (b - a);
+    double d = a + phi * (b - a);
+    for (int i = 0; i < 120; ++i) {
+        if (rberSlcAtRef(model, cond, c, quality) <
+            rberSlcAtRef(model, cond, d, quality)) {
+            b = d;
+        } else {
+            a = c;
+        }
+        c = b - phi * (b - a);
+        d = a + phi * (b - a);
+    }
+    return 0.5 * (a + b);
+}
+
+unsigned
+ReadRetry::retryStepsNeeded(const VthModel &model,
+                            const OperatingCondition &cond,
+                            double step_volts, double tolerance)
+{
+    fcos_assert(step_volts > 0.0 && tolerance >= 0.0,
+                "bad retry parameters");
+    // The factory default is the optimum of the pristine device.
+    double start =
+        model.slcStates(OperatingCondition{0, 0.0, cond.randomized})
+            .readRef;
+    double target = optimalSlcRef(model, cond);
+    double distance = std::abs(target - start);
+    if (distance <= tolerance)
+        return 0;
+    return static_cast<unsigned>(
+        std::ceil((distance - tolerance) / step_volts));
+}
+
+} // namespace fcos::rel

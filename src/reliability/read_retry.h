@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Read-retry reference-voltage optimization.
+ *
+ * Modern controllers re-read pages at shifted reference voltages
+ * until ECC succeeds, effectively tracking the optimal V_REF as the
+ * states drift (the paper cites this line of work [64] and its
+ * characterization reads at tuned references). VthModel's analytic
+ * RBER assumes that optimum; this module makes the assumption
+ * explicit and testable:
+ *
+ *  - rberSlcAtRef() evaluates the RBER at an arbitrary reference;
+ *  - optimalSlcRef() recovers the best reference by golden-section
+ *    search, which must agree with the model's noise-weighted
+ *    midpoint;
+ *  - the gap between "factory default" and optimal reference shows
+ *    why read-retry exists (errors grow one-sidedly as retention
+ *    pulls the programmed state down).
+ */
+
+#ifndef FCOS_RELIABILITY_READ_RETRY_H
+#define FCOS_RELIABILITY_READ_RETRY_H
+
+#include "reliability/vth_model.h"
+
+namespace fcos::rel {
+
+class ReadRetry
+{
+  public:
+    /** SLC RBER when reading at reference voltage @p vref. */
+    static double rberSlcAtRef(const VthModel &model,
+                               const OperatingCondition &cond,
+                               double vref, double quality = 1.0);
+
+    /** Best reference for the given condition (golden-section). */
+    static double optimalSlcRef(const VthModel &model,
+                                const OperatingCondition &cond,
+                                double quality = 1.0);
+
+    /**
+     * Number of retry steps a controller starting from the pristine
+     * default reference needs to come within @p tolerance of the
+     * optimal reference, stepping by @p step_volts per retry.
+     */
+    static unsigned retryStepsNeeded(const VthModel &model,
+                                     const OperatingCondition &cond,
+                                     double step_volts = 0.1,
+                                     double tolerance = 0.05);
+};
+
+} // namespace fcos::rel
+
+#endif // FCOS_RELIABILITY_READ_RETRY_H

@@ -1,0 +1,227 @@
+#include "reliability/vth_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/mathutil.h"
+
+namespace fcos::rel {
+
+namespace {
+
+/** Gray-code bit patterns of the four MLC states E,P1,P2,P3. */
+constexpr std::uint8_t kMlcGray[4] = {0b11, 0b01, 0b00, 0b10};
+
+/** 3-bit Gray map of the eight TLC states E,P1..P7 (2-3-2 coding). */
+constexpr std::uint8_t kTlcGray[8] = {0b111, 0b110, 0b100, 0b101,
+                                      0b001, 0b000, 0b010, 0b011};
+
+int
+hamming2(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t x = a ^ b;
+    return (x & 1) + ((x >> 1) & 1) + ((x >> 2) & 1);
+}
+
+/**
+ * Average RBER of equiprobable Gaussian states read against
+ * noise-weighted midpoint references, with Gray penalties.
+ */
+double
+multiStateRber(const std::vector<double> &means,
+               const std::vector<double> &sigmas,
+               const std::uint8_t *codes, int bits_per_cell)
+{
+    std::size_t s_count = means.size();
+    // References between adjacent states, weighted so both neighbours
+    // see the same z-score (optimal read level).
+    std::vector<double> refs(s_count - 1);
+    for (std::size_t i = 0; i + 1 < s_count; ++i) {
+        refs[i] = (means[i] * sigmas[i + 1] + means[i + 1] * sigmas[i]) /
+                  (sigmas[i] + sigmas[i + 1]);
+    }
+    double rber = 0.0;
+    for (std::size_t s = 0; s < s_count; ++s) {
+        // Probability of landing in region r (between refs r-1 and r).
+        for (std::size_t r = 0; r < s_count; ++r) {
+            if (r == s)
+                continue;
+            double lo = (r == 0)
+                            ? -1e9
+                            : (refs[r - 1] - means[s]) / sigmas[s];
+            double hi = (r + 1 == s_count)
+                            ? 1e9
+                            : (refs[r] - means[s]) / sigmas[s];
+            double prob = gaussianQ(lo) - gaussianQ(hi);
+            if (prob <= 0.0)
+                continue;
+            rber += prob * hamming2(codes[s], codes[r]) /
+                    static_cast<double>(bits_per_cell);
+        }
+    }
+    return rber / static_cast<double>(s_count);
+}
+
+} // namespace
+
+double
+VthModel::pecTerm(std::uint32_t pec) const
+{
+    if (pec == 0)
+        return 0.0;
+    return std::pow(static_cast<double>(pec) / 1e4, p_.kPecExp);
+}
+
+double
+VthModel::retentionShift(double k_ret, const OperatingCondition &c) const
+{
+    double wear = p_.kRetFloor + (1.0 - p_.kRetFloor) * pecTerm(c.pec);
+    return k_ret * wear * std::log1p(c.retentionMonths / p_.kRetTauMonths);
+}
+
+double
+VthModel::disturbShift(double k_dist, const OperatingCondition &c) const
+{
+    double wear = p_.kDistFloor + (1.0 - p_.kDistFloor) * pecTerm(c.pec);
+    return k_dist * wear;
+}
+
+VthModel::SlcStates
+VthModel::slcStates(const OperatingCondition &cond, double quality) const
+{
+    double sigma_mult = (1.0 + p_.kWearSigmaSlc * pecTerm(cond.pec)) *
+                        (cond.randomized ? 1.0 : p_.kPatternSigmaSlc) *
+                        quality;
+    SlcStates s;
+    s.erasedMean = p_.erasedMean + disturbShift(p_.kDistSlc, cond);
+    s.erasedSigma = p_.slcSigma * sigma_mult;
+    s.progMean = p_.slcProgMean - retentionShift(p_.kRetSlc, cond);
+    s.progSigma = p_.slcSigma * sigma_mult;
+    s.readRef = (s.erasedMean * s.progSigma + s.progMean * s.erasedSigma) /
+                (s.erasedSigma + s.progSigma);
+    return s;
+}
+
+double
+VthModel::rberSlc(const OperatingCondition &cond, double quality) const
+{
+    SlcStates s = slcStates(cond, quality);
+    // Encoding: erased = '1', programmed = '0' (one bit per cell).
+    std::vector<double> means{s.erasedMean, s.progMean};
+    std::vector<double> sigmas{s.erasedSigma, s.progSigma};
+    static constexpr std::uint8_t codes[2] = {1, 0};
+    return multiStateRber(means, sigmas, codes, 1);
+}
+
+double
+VthModel::rberMlc(const OperatingCondition &cond, double quality) const
+{
+    double sigma_mult = (1.0 + p_.kWearSigmaMlc * pecTerm(cond.pec)) *
+                        (cond.randomized ? 1.0 : p_.kPatternSigmaMlc) *
+                        quality;
+    double ret = retentionShift(p_.kRetMlc, cond);
+    double dist = disturbShift(p_.kDistMlc, cond);
+
+    std::vector<double> means(4), sigmas(4);
+    for (int s = 0; s < 4; ++s) {
+        // Retention loss scales with stored charge (state level).
+        double level = static_cast<double>(s) / 3.0;
+        means[s] = p_.mlcMeans[s] - ret * level * 3.0;
+        if (s == 0)
+            means[s] += dist; // disturbance raises the erased state
+        sigmas[s] = p_.mlcSigma * sigma_mult;
+    }
+    return multiStateRber(means, sigmas, kMlcGray, 2);
+}
+
+double
+VthModel::rberTlc(const OperatingCondition &cond, double quality) const
+{
+    // TLC stresses the same mechanisms as MLC but with eight states in
+    // the window; pattern sensitivity matches the MLC factor (both are
+    // multi-level ISPP sequences).
+    double sigma_mult = (1.0 + p_.kWearSigmaMlc * pecTerm(cond.pec)) *
+                        (cond.randomized ? 1.0 : p_.kPatternSigmaMlc) *
+                        quality;
+    double ret = retentionShift(p_.kRetMlc, cond);
+    double dist = disturbShift(p_.kDistMlc, cond);
+
+    std::vector<double> means(8), sigmas(8);
+    for (int s = 0; s < 8; ++s) {
+        double level = static_cast<double>(s) / 7.0;
+        means[s] = p_.tlcMeans[s] - ret * level * 3.0;
+        if (s == 0)
+            means[s] += dist;
+        sigmas[s] = p_.tlcSigma * sigma_mult;
+    }
+    return multiStateRber(means, sigmas, kTlcGray, 3);
+}
+
+double
+VthModel::rberMlcLsb(const OperatingCondition &cond, double quality) const
+{
+    double sigma_mult = (1.0 + p_.kWearSigmaMlc * pecTerm(cond.pec)) *
+                        (cond.randomized ? 1.0 : p_.kPatternSigmaMlc) *
+                        quality;
+    double ret = retentionShift(p_.kRetMlc, cond);
+    double dist = disturbShift(p_.kDistMlc, cond);
+
+    std::vector<double> means(4), sigmas(4);
+    for (int s = 0; s < 4; ++s) {
+        double level = static_cast<double>(s) / 3.0;
+        means[s] = p_.mlcMeans[s] - ret * level * 3.0;
+        if (s == 0)
+            means[s] += dist;
+        sigmas[s] = p_.mlcSigma * sigma_mult;
+    }
+    // LSB Gray codes: E=1, P1=1, P2=0, P3=0; only the V_REF2 boundary
+    // (between P1 and P2) matters, as in an SLC read.
+    double ref =
+        (means[1] * sigmas[2] + means[2] * sigmas[1]) /
+        (sigmas[1] + sigmas[2]);
+    double rber = 0.0;
+    for (int s = 0; s < 4; ++s) {
+        bool lsb_one = (s <= 1);
+        double z = lsb_one ? (ref - means[s]) / sigmas[s]
+                           : (means[s] - ref) / sigmas[s];
+        rber += 0.25 * gaussianQ(z);
+    }
+    return rber;
+}
+
+double
+VthModel::rberEsp(double esp_factor, const OperatingCondition &cond,
+                  double quality) const
+{
+    fcos_assert(esp_factor >= 1.0 && esp_factor <= 2.5,
+                "ESP factor %g out of range", esp_factor);
+    // Base: regular SLC programming of the same (non-randomized) data.
+    OperatingCondition base_cond = cond;
+    base_cond.randomized = false;
+    double base = rberSlc(base_cond, quality);
+    double decades =
+        p_.kEspDecades * std::pow(esp_factor - 1.0, p_.kEspExp);
+    return base * std::pow(10.0, -decades);
+}
+
+double
+VthModel::rberFor(const nand::PageMeta &meta,
+                  const OperatingCondition &cond, double quality) const
+{
+    OperatingCondition c = cond;
+    c.randomized = meta.randomized;
+    switch (meta.mode) {
+      case nand::ProgramMode::SlcRegular:
+        return rberSlc(c, quality);
+      case nand::ProgramMode::SlcEsp:
+        return rberEsp(meta.espFactor, c, quality);
+      case nand::ProgramMode::Mlc:
+        return rberMlc(c, quality);
+      case nand::ProgramMode::Tlc:
+        return rberTlc(c, quality);
+    }
+    fcos_panic("unknown program mode");
+}
+
+} // namespace fcos::rel

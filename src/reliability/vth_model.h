@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Threshold-voltage (V_TH) reliability model (paper Sections 2.2, 3.2,
+ * 4.2 and 5.2).
+ *
+ * Each cell state is a Gaussian V_TH distribution inside the chip's
+ * voltage window. Error mechanisms move and widen the states:
+ *
+ *  - retention loss   : programmed states drift down over log-time,
+ *                       scaled by P/E wear (charge leaks through the
+ *                       damaged tunnel oxide);
+ *  - disturbance /    : the erased state drifts up with reads and
+ *    program interference  neighbour programming;
+ *  - P/E cycling      : widens every state;
+ *  - no randomization : worst-case data patterns amplify cell-to-cell
+ *                       interference, widening states; the effect is
+ *                       stronger in MLC mode (more program steps and
+ *                       tighter margins), which is how the paper's
+ *                       1.91x (SLC) and 4.92x (MLC) factors arise.
+ *
+ * The read reference sits at the noise-weighted midpoint of adjacent
+ * states (modern controllers track the optimal read level via read
+ * retry), so raw bit errors come from margin shrink and sigma growth.
+ *
+ * ESP (Section 4.2) adds ISPP steps with a raised target voltage and a
+ * finer step: the paper's Figure 11 shows the resulting RBER gain is
+ * extremely convex in tESP — one decade at tESP = 1.6x tPROG but
+ * observed-zero errors (RBER < 2.07e-12) at 1.9x. We therefore model
+ * the ESP gain directly in log-RBER space with a power-law fitted
+ * through exactly those two anchors (see kEspDecades/kEspExp).
+ *
+ * All constants live in VthParams and are exercised by the calibration
+ * test (tests/reliability/calibration_test.cc) that pins the paper's
+ * quoted anchors.
+ */
+
+#ifndef FCOS_RELIABILITY_VTH_MODEL_H
+#define FCOS_RELIABILITY_VTH_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/cell_array.h"
+#include "nand/config.h"
+
+namespace fcos::rel {
+
+/** Wear / retention / pattern conditions of a read. */
+struct OperatingCondition
+{
+    std::uint32_t pec = 0;        ///< program/erase cycles
+    double retentionMonths = 0.0; ///< time since program (30 C equiv.)
+    bool randomized = false;      ///< data randomizer enabled?
+};
+
+/** Model constants; defaults reproduce the paper's anchors. */
+struct VthParams
+{
+    // --- State placement (volts) ---
+    double erasedMean = -2.0;
+    double slcProgMean = 2.5;
+    double slcSigma = 0.31;
+    double mlcMeans[4] = {-2.0, 0.9, 2.25, 3.6}; ///< 11,01,00,10 (Gray)
+    double mlcSigma = 0.225;
+    /** TLC: erased + P1..P7 across the same window (native mode of
+     *  the characterized 48-layer chips). */
+    double tlcMeans[8] = {-2.0, 0.4, 1.05, 1.7, 2.35, 3.0, 3.65, 4.3};
+    double tlcSigma = 0.16;
+
+    // --- Degradation terms ---
+    /** PEC saturation: pecTerm = (pec/1e4)^kPecExp. */
+    double kPecExp = 0.20;
+    /** Retention shift = kRet*(kRetFloor + (1-kRetFloor)*pecTerm)
+     *                    * ln(1 + months/kRetTauMonths). */
+    double kRetSlc = 0.355;
+    double kRetMlc = 0.05;
+    double kRetFloor = 0.25;
+    double kRetTauMonths = 0.25;
+    /** Erased-state disturb shift = kDist*(kDistFloor + ...*pecTerm). */
+    double kDistSlc = 0.72;
+    double kDistMlc = 0.55;
+    double kDistFloor = 0.30;
+    /** Sigma growth: sigma *= 1 + kWearSigma * pecTerm. */
+    double kWearSigmaSlc = 0.30;
+    double kWearSigmaMlc = 0.10;
+    /** Pattern factors: sigma multiplier without randomization. */
+    double kPatternSigmaSlc = 1.075;
+    double kPatternSigmaMlc = 1.32;
+
+    // --- ESP gain (Figure 11 fit) ---
+    /** RBER decades removed: kEspDecades * (f-1)^kEspExp, f=tESP/tPROG. */
+    double kEspDecades = 18.5;
+    double kEspExp = 5.42;
+
+    /** Per-block quality spread (lognormal sigma of the multiplier on
+     *  state sigmas); models process variation across blocks/chips. */
+    double blockQualitySigma = 0.06;
+};
+
+/**
+ * Analytic RBER computation for every mode the paper characterizes.
+ * @p quality is the per-block sigma multiplier (1.0 = typical block).
+ */
+class VthModel
+{
+  public:
+    explicit VthModel(VthParams params = VthParams{}) : p_(params) {}
+
+    const VthParams &params() const { return p_; }
+
+    /** RBER of regular SLC-mode programming (Fig. 8(a)). */
+    double rberSlc(const OperatingCondition &cond,
+                   double quality = 1.0) const;
+
+    /** RBER of MLC-mode programming, averaged over LSB/MSB pages
+     *  (Fig. 8(b)). */
+    double rberMlc(const OperatingCondition &cond,
+                   double quality = 1.0) const;
+
+    /**
+     * RBER of the LSB page alone in MLC mode (Section 9, footnote 15):
+     * an LSB read senses only the V_REF2 boundary between P1 and P2 —
+     * mechanically an SLC-style read — so storing Flash-Cosmos
+     * operands in LSB pages gives ParaBit-level (not ESP-level)
+     * reliability on MLC parts.
+     */
+    double rberMlcLsb(const OperatingCondition &cond,
+                      double quality = 1.0) const;
+
+    /**
+     * RBER of native TLC-mode programming (3 bits/cell, 8 states),
+     * averaged over the three pages of a wordline. TLC is the mode
+     * used to accumulate P/E stress in the characterization
+     * (Section 5.1) and the densest mode the capacity comparison of
+     * Section 8.3 refers to.
+     */
+    double rberTlc(const OperatingCondition &cond,
+                   double quality = 1.0) const;
+
+    /**
+     * RBER of ESP with extension factor @p esp_factor = tESP/tPROG in
+     * [1, 2] (Fig. 11). ESP data is stored without randomization.
+     */
+    double rberEsp(double esp_factor, const OperatingCondition &cond,
+                   double quality = 1.0) const;
+
+    /** Dispatch on a page's programming metadata. */
+    double rberFor(const nand::PageMeta &meta,
+                   const OperatingCondition &cond,
+                   double quality = 1.0) const;
+
+    /** SLC state means/sigma and optimal read reference (for plots and
+     *  distribution-level tests). */
+    struct SlcStates
+    {
+        double erasedMean, erasedSigma;
+        double progMean, progSigma;
+        double readRef;
+    };
+    SlcStates slcStates(const OperatingCondition &cond,
+                        double quality = 1.0) const;
+
+  private:
+    double pecTerm(std::uint32_t pec) const;
+    double retentionShift(double k_ret, const OperatingCondition &c) const;
+    double disturbShift(double k_dist, const OperatingCondition &c) const;
+
+    VthParams p_;
+};
+
+} // namespace fcos::rel
+
+#endif // FCOS_RELIABILITY_VTH_MODEL_H

@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include "util/log.h"
+
+namespace fcos {
+
+void
+EventQueue::schedule(Time when, Callback cb)
+{
+    fcos_assert(when >= now_, "schedule into the past: %llu < %llu",
+                (unsigned long long)when, (unsigned long long)now_);
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, safe
+    // because we pop immediately after.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+}
+
+Time
+EventQueue::runUntil(Time deadline)
+{
+    while (!heap_.empty() && heap_.top().when <= deadline)
+        runOne();
+    if (now_ < deadline && heap_.empty())
+        now_ = deadline;
+    return now_;
+}
+
+} // namespace fcos

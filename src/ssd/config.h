@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SSD configuration (paper Table 1 and the Figure 7 example).
+ */
+
+#ifndef FCOS_SSD_CONFIG_H
+#define FCOS_SSD_CONFIG_H
+
+#include <cstdint>
+
+#include "nand/config.h"
+#include "nand/geometry.h"
+#include "util/units.h"
+
+namespace fcos::ssd {
+
+struct SsdConfig
+{
+    std::uint32_t channels = 8;
+    std::uint32_t diesPerChannel = 8;
+    nand::Geometry geometry = nand::Geometry::table1();
+    nand::Timings timings{};
+
+    /** Channel I/O rate between dies and the controller (Table 1). */
+    double channelGBps = 1.2;
+    /** External I/O bandwidth, 4-lane PCIe Gen4 (Table 1). */
+    double externalGBps = 8.0;
+
+    /** Power cap on simultaneously activated blocks in inter-block MWS
+     *  (Section 5.2 conclusion). */
+    std::uint32_t maxInterBlockMws = 4;
+
+    /** Max wordlines per intra-block MWS (= NAND string length). */
+    std::uint32_t maxIntraMwsWordlines() const
+    {
+        return geometry.wordlinesPerSubBlock;
+    }
+
+    // --- SSD-side energy constants (see platforms/energy_model.h for
+    //     the host-side constants and sources) ---
+    double channelPjPerBit = 2.0;  ///< die <-> controller movement
+    double externalPjPerBit = 10.0; ///< PCIe link + PHY
+    double controllerActiveWatts = 2.0; ///< controller while SSD busy
+    /** ISP accelerator energy per 64-B bitwise operation (Table 1). */
+    double accelPjPer64B = 93.0;
+
+    std::uint32_t totalDies() const { return channels * diesPerChannel; }
+    std::uint32_t totalPlanes() const
+    {
+        return totalDies() * geometry.planesPerDie;
+    }
+
+    /** Channel time to move one page between a die and the controller. */
+    Time pageDmaTime() const
+    {
+        return transferTime(geometry.pageBytes, channelGBps);
+    }
+
+    /** External-link time to move one page to/from the host. */
+    Time pageExternalTime() const
+    {
+        return transferTime(geometry.pageBytes, externalGBps);
+    }
+
+    /** The evaluated configuration (Table 1). */
+    static SsdConfig table1() { return SsdConfig{}; }
+
+    /**
+     * The illustrative SSD of Figure 7: 8 channels x 4 dies x 2 planes,
+     * tR = 60 us, so that tDMA = 27 us per 32-KiB die batch and
+     * tEXT = 4 us per batch, reproducing the 471/431/335 us timelines.
+     */
+    static SsdConfig figure7()
+    {
+        SsdConfig c;
+        c.diesPerChannel = 4;
+        c.timings.tReadSlc = usToTime(60.0);
+        return c;
+    }
+};
+
+} // namespace fcos::ssd
+
+#endif // FCOS_SSD_CONFIG_H

@@ -1,0 +1,56 @@
+#include "ssd/energy.h"
+
+#include "util/log.h"
+#include "util/units.h"
+
+namespace fcos::ssd {
+
+const char *
+energyComponentName(EnergyComponent c)
+{
+    switch (c) {
+      case EnergyComponent::NandRead:
+        return "nand.read";
+      case EnergyComponent::NandProgram:
+        return "nand.program";
+      case EnergyComponent::NandErase:
+        return "nand.erase";
+      case EnergyComponent::NandMws:
+        return "nand.mws";
+      case EnergyComponent::ChannelDma:
+        return "ssd.channel_dma";
+      case EnergyComponent::ExternalLink:
+        return "ssd.external_link";
+      case EnergyComponent::Controller:
+        return "ssd.controller";
+      case EnergyComponent::IspAccel:
+        return "ssd.isp_accel";
+      case EnergyComponent::HostCpu:
+        return "host.cpu";
+      case EnergyComponent::HostDram:
+        return "host.dram";
+      case EnergyComponent::kCount:
+        break;
+    }
+    fcos_panic("bad energy component");
+}
+
+std::string
+EnergyMeter::breakdown() const
+{
+    std::string out;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(EnergyComponent::kCount); ++i) {
+        if (joules_[i] == 0.0)
+            continue;
+        out += "  ";
+        out += energyComponentName(static_cast<EnergyComponent>(i));
+        out += ": ";
+        out += formatEnergy(joules_[i]);
+        out += "\n";
+    }
+    out += "  total: " + formatEnergy(total()) + "\n";
+    return out;
+}
+
+} // namespace fcos::ssd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Energy accounting across the storage/compute hierarchy.
+ *
+ * Each simulated activity books joules against a named component; the
+ * Figure 18 bench reports bits-per-joule ratios from these meters.
+ */
+
+#ifndef FCOS_SSD_ENERGY_H
+#define FCOS_SSD_ENERGY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace fcos::ssd {
+
+enum class EnergyComponent : std::uint8_t
+{
+    NandRead,
+    NandProgram,
+    NandErase,
+    NandMws,
+    ChannelDma,
+    ExternalLink,
+    Controller,
+    IspAccel,
+    HostCpu,
+    HostDram,
+    kCount,
+};
+
+const char *energyComponentName(EnergyComponent c);
+
+class EnergyMeter
+{
+  public:
+    void add(EnergyComponent c, double joules)
+    {
+        joules_[static_cast<std::size_t>(c)] += joules;
+    }
+
+    double get(EnergyComponent c) const
+    {
+        return joules_[static_cast<std::size_t>(c)];
+    }
+
+    double total() const
+    {
+        double t = 0.0;
+        for (double j : joules_)
+            t += j;
+        return t;
+    }
+
+    void reset() { joules_.fill(0.0); }
+
+    /** Multiply one component (channel-symmetry rescaling). */
+    void scale(EnergyComponent c, double factor)
+    {
+        joules_[static_cast<std::size_t>(c)] *= factor;
+    }
+
+    /** Multi-line breakdown for reports. */
+    std::string breakdown() const;
+
+  private:
+    std::array<double, static_cast<std::size_t>(EnergyComponent::kCount)>
+        joules_{};
+};
+
+} // namespace fcos::ssd
+
+#endif // FCOS_SSD_ENERGY_H

@@ -1,0 +1,93 @@
+#include "ssd/ftl.h"
+
+#include "util/log.h"
+
+namespace fcos::ssd {
+
+Ftl::Ftl(std::uint32_t dies, const nand::Geometry &geom)
+    : dies_(dies), geom_(geom), bump_(columns(), 0),
+      striped_open_(columns())
+{
+    fcos_assert(dies > 0, "FTL needs at least one die");
+}
+
+Ftl::SubBlockRef
+Ftl::nextSubBlock(std::uint32_t column)
+{
+    std::uint64_t idx = bump_[column]++;
+    std::uint32_t block =
+        static_cast<std::uint32_t>(idx / geom_.subBlocksPerBlock);
+    std::uint32_t sub =
+        static_cast<std::uint32_t>(idx % geom_.subBlocksPerBlock);
+    if (block >= geom_.blocksPerPlane) {
+        fcos_fatal("FTL out of space on die %u plane %u "
+                   "(GC is out of scope; use a larger geometry)",
+                   dieOfColumn(column), planeOfColumn(column));
+    }
+    return {block, sub};
+}
+
+std::vector<PhysPage>
+Ftl::allocateStriped(std::uint64_t pages)
+{
+    std::vector<PhysPage> out;
+    out.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        std::uint32_t column = static_cast<std::uint32_t>(i % columns());
+        GroupSlot &slot = striped_open_[column];
+        if (!slot.open ||
+            slot.nextWordline >= geom_.wordlinesPerSubBlock) {
+            slot.sb = nextSubBlock(column);
+            slot.nextWordline = 0;
+            slot.open = true;
+        }
+        PhysPage p;
+        p.die = dieOfColumn(column);
+        p.addr = nand::WordlineAddr{planeOfColumn(column), slot.sb.block,
+                                    slot.sb.subBlock,
+                                    slot.nextWordline++};
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<PhysPage>
+Ftl::allocateInGroup(std::uint64_t group, std::uint64_t pages)
+{
+    auto &per_column = groups_[group];
+    if (per_column.empty())
+        per_column.resize(columns());
+    std::vector<PhysPage> out;
+    out.reserve(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        std::uint32_t column = static_cast<std::uint32_t>(i % columns());
+        std::size_t row = static_cast<std::size_t>(i / columns());
+        auto &slots = per_column[column];
+        if (slots.size() <= row)
+            slots.resize(row + 1);
+        GroupSlot &slot = slots[row];
+        if (!slot.open ||
+            slot.nextWordline >= geom_.wordlinesPerSubBlock) {
+            slot.sb = nextSubBlock(column);
+            slot.nextWordline = 0;
+            slot.open = true;
+        }
+        PhysPage p;
+        p.die = dieOfColumn(column);
+        p.addr = nand::WordlineAddr{planeOfColumn(column), slot.sb.block,
+                                    slot.sb.subBlock,
+                                    slot.nextWordline++};
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::uint64_t
+Ftl::usedSubBlocks(std::uint32_t die, std::uint32_t plane) const
+{
+    std::uint32_t column = die * geom_.planesPerDie + plane;
+    fcos_assert(column < columns(), "column out of range");
+    return bump_[column];
+}
+
+} // namespace fcos::ssd

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal page-granularity FTL with Flash-Cosmos-aware placement
+ * (paper Section 6.3).
+ *
+ * Two allocation policies:
+ *
+ *  - Striped: pages of a vector round-robin across every (die, plane)
+ *    column for maximum read parallelism — how all four evaluated
+ *    platforms lay out regular data.
+ *
+ *  - Grouped: operands that will feed the same bulk bitwise operations
+ *    are co-located so that, per column, operand k of the group sits at
+ *    wordline k of the *same sub-block* (NAND string set). This is the
+ *    storage-layout requirement that lets one intra-block MWS sense all
+ *    operands at once; a group column grows extra sub-blocks every
+ *    wordlinesPerSubBlock vectors.
+ *
+ * Garbage collection and wear levelling are intentionally out of scope
+ * for this reproduction (the evaluated workloads are write-once,
+ * compute-many); the allocator is a bump allocator over sub-blocks.
+ */
+
+#ifndef FCOS_SSD_FTL_H
+#define FCOS_SSD_FTL_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nand/geometry.h"
+
+namespace fcos::ssd {
+
+/** Physical location of one page: die index plus in-die address. */
+struct PhysPage
+{
+    std::uint32_t die = 0;
+    nand::WordlineAddr addr;
+
+    bool operator==(const PhysPage &o) const
+    {
+        return die == o.die && addr == o.addr;
+    }
+};
+
+class Ftl
+{
+  public:
+    Ftl(std::uint32_t dies, const nand::Geometry &geom);
+
+    std::uint32_t dies() const { return dies_; }
+    const nand::Geometry &geometry() const { return geom_; }
+
+    /** Number of (die, plane) columns data stripes across. */
+    std::uint32_t columns() const
+    {
+        return dies_ * geom_.planesPerDie;
+    }
+
+    /** Allocate @p pages pages striped across all columns. */
+    std::vector<PhysPage> allocateStriped(std::uint64_t pages);
+
+    /**
+     * Allocate @p pages pages for one vector of group @p group.
+     * Successive vectors of the same group stack at successive
+     * wordlines of shared sub-blocks (see file comment).
+     */
+    std::vector<PhysPage> allocateInGroup(std::uint64_t group,
+                                          std::uint64_t pages);
+
+    /** Sub-blocks consumed on (die, plane) so far. */
+    std::uint64_t usedSubBlocks(std::uint32_t die,
+                                std::uint32_t plane) const;
+
+  private:
+    struct SubBlockRef
+    {
+        std::uint32_t block;
+        std::uint32_t subBlock;
+    };
+
+    struct GroupSlot
+    {
+        SubBlockRef sb{0, 0};
+        std::uint32_t nextWordline = 0;
+        bool open = false;
+    };
+
+    /** Bump-allocate the next fresh sub-block of a column. */
+    SubBlockRef nextSubBlock(std::uint32_t column);
+
+    std::uint32_t dieOfColumn(std::uint32_t column) const
+    {
+        return column / geom_.planesPerDie;
+    }
+    std::uint32_t planeOfColumn(std::uint32_t column) const
+    {
+        return column % geom_.planesPerDie;
+    }
+
+    std::uint32_t dies_;
+    nand::Geometry geom_;
+    /** Per-column count of consumed sub-blocks. */
+    std::vector<std::uint64_t> bump_;
+    /** Per-column open sub-block for striped data. */
+    std::vector<GroupSlot> striped_open_;
+    /** group -> per-column list of slots (one per stripe row). */
+    std::unordered_map<std::uint64_t, std::vector<std::vector<GroupSlot>>>
+        groups_;
+};
+
+} // namespace fcos::ssd
+
+#endif // FCOS_SSD_FTL_H

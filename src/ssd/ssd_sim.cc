@@ -1,0 +1,113 @@
+#include "ssd/ssd_sim.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace fcos::ssd {
+
+SsdSim::SsdSim(const SsdConfig &cfg) : cfg_(cfg), external_("external")
+{
+    planes_.reserve(cfg.totalPlanes());
+    for (std::uint32_t i = 0; i < cfg.totalPlanes(); ++i)
+        planes_.emplace_back("plane");
+    channels_.reserve(cfg.channels);
+    accel_ports_.reserve(cfg.channels);
+    for (std::uint32_t i = 0; i < cfg.channels; ++i) {
+        channels_.emplace_back("channel");
+        accel_ports_.emplace_back("accel");
+    }
+}
+
+std::uint32_t
+SsdSim::channelOfPlane(std::uint32_t plane_idx) const
+{
+    fcos_assert(plane_idx < planeCount(), "plane %u out of range",
+                plane_idx);
+    std::uint32_t die = plane_idx / cfg_.geometry.planesPerDie;
+    return die / cfg_.diesPerChannel;
+}
+
+void
+SsdSim::planeOp(std::uint32_t plane_idx, Time duration, double joules,
+                EnergyComponent comp, Callback done)
+{
+    fcos_assert(plane_idx < planeCount(), "plane %u out of range",
+                plane_idx);
+    energy_.add(comp, joules);
+    Time finish = planes_[plane_idx].acquire(queue_.now(), duration);
+    queue_.schedule(finish, std::move(done));
+}
+
+void
+SsdSim::dmaFromDie(std::uint32_t plane_idx, std::uint64_t bytes,
+                   Callback done)
+{
+    std::uint32_t ch = channelOfPlane(plane_idx);
+    energy_.add(EnergyComponent::ChannelDma,
+                cfg_.channelPjPerBit * 1e-12 *
+                    static_cast<double>(bytes) * 8.0);
+    Time dur = transferTime(bytes, cfg_.channelGBps);
+    Time finish = channels_[ch].acquire(queue_.now(), dur);
+    queue_.schedule(finish, std::move(done));
+}
+
+void
+SsdSim::externalTransfer(std::uint64_t bytes, Callback done)
+{
+    energy_.add(EnergyComponent::ExternalLink,
+                cfg_.externalPjPerBit * 1e-12 *
+                    static_cast<double>(bytes) * 8.0);
+    Time dur = transferTime(bytes, cfg_.externalGBps);
+    Time finish = external_.acquire(queue_.now(), dur);
+    queue_.schedule(finish, std::move(done));
+}
+
+void
+SsdSim::accelCompute(std::uint32_t channel, std::uint64_t bytes,
+                     Callback done)
+{
+    fcos_assert(channel < cfg_.channels, "channel %u out of range",
+                channel);
+    energy_.add(EnergyComponent::IspAccel,
+                cfg_.accelPjPer64B * 1e-12 *
+                    (static_cast<double>(bytes) / 64.0));
+    // The accelerator streams at channel rate; its port is per channel,
+    // so accelerator work never outruns its input.
+    Time dur = transferTime(bytes, cfg_.channelGBps);
+    Time finish = accel_ports_[channel].acquire(queue_.now(), dur);
+    queue_.schedule(finish, std::move(done));
+}
+
+Time
+SsdSim::drain()
+{
+    queue_.run();
+    makespan_ = std::max(makespan_, queue_.now());
+    return makespan_;
+}
+
+void
+SsdSim::noteCompletion(Time t)
+{
+    makespan_ = std::max(makespan_, t);
+}
+
+Time
+SsdSim::channelBusyTime(std::uint32_t channel) const
+{
+    fcos_assert(channel < cfg_.channels, "channel %u out of range",
+                channel);
+    return channels_[channel].busyTime();
+}
+
+Time
+SsdSim::maxPlaneBusyTime() const
+{
+    Time m = 0;
+    for (const auto &p : planes_)
+        m = std::max(m, p.busyTime());
+    return m;
+}
+
+} // namespace fcos::ssd

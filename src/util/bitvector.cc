@@ -1,0 +1,221 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fcos {
+
+BitVector::BitVector(std::size_t n, bool value)
+    : nbits_(n), words_(wordsFor(n), value ? ~0ULL : 0ULL)
+{
+    clearTail();
+}
+
+BitVector
+BitVector::fromString(const std::string &bits)
+{
+    BitVector v(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        fcos_assert(bits[i] == '0' || bits[i] == '1',
+                    "bad bit char '%c'", bits[i]);
+        v.set(i, bits[i] == '1');
+    }
+    return v;
+}
+
+bool
+BitVector::get(std::size_t i) const
+{
+    fcos_assert(i < nbits_, "bit index %zu out of range %zu", i, nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+void
+BitVector::set(std::size_t i, bool value)
+{
+    fcos_assert(i < nbits_, "bit index %zu out of range %zu", i, nbits_);
+    std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+        words_[i >> 6] |= mask;
+    else
+        words_[i >> 6] &= ~mask;
+}
+
+void
+BitVector::fill(bool value)
+{
+    for (auto &w : words_)
+        w = value ? ~0ULL : 0ULL;
+    clearTail();
+}
+
+void
+BitVector::resize(std::size_t n, bool value)
+{
+    std::size_t old_bits = nbits_;
+    nbits_ = n;
+    words_.resize(wordsFor(n), value ? ~0ULL : 0ULL);
+    if (value && old_bits < n && (old_bits & 63)) {
+        // Fill the partial old tail word's new bits.
+        std::uint64_t mask = ~0ULL << (old_bits & 63);
+        words_[old_bits >> 6] |= mask;
+    }
+    clearTail();
+}
+
+std::size_t
+BitVector::popcount() const
+{
+    std::size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+bool
+BitVector::allOnes() const
+{
+    if (nbits_ == 0)
+        return true;
+    std::size_t full = nbits_ / 64;
+    for (std::size_t i = 0; i < full; ++i) {
+        if (words_[i] != ~0ULL)
+            return false;
+    }
+    if (nbits_ & 63) {
+        std::uint64_t mask = (~0ULL) >> (64 - (nbits_ & 63));
+        if ((words_[full] & mask) != mask)
+            return false;
+    }
+    return true;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &o)
+{
+    fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
+                o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= o.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &o)
+{
+    fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
+                o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= o.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator^=(const BitVector &o)
+{
+    fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
+                o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= o.words_[i];
+    return *this;
+}
+
+void
+BitVector::invert()
+{
+    for (auto &w : words_)
+        w = ~w;
+    clearTail();
+}
+
+BitVector
+BitVector::operator~() const
+{
+    BitVector v = *this;
+    v.invert();
+    return v;
+}
+
+bool
+BitVector::operator==(const BitVector &o) const
+{
+    return nbits_ == o.nbits_ && words_ == o.words_;
+}
+
+std::size_t
+BitVector::hammingDistance(const BitVector &o) const
+{
+    fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
+                o.nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        n += static_cast<std::size_t>(std::popcount(words_[i] ^ o.words_[i]));
+    return n;
+}
+
+void
+BitVector::randomize(Rng &rng, double p_one)
+{
+    if (p_one == 0.5) {
+        for (auto &w : words_)
+            w = rng.nextU64();
+    } else {
+        for (std::size_t i = 0; i < nbits_; ++i)
+            set(i, rng.bernoulli(p_one));
+    }
+    clearTail();
+}
+
+void
+BitVector::fillCheckered(bool first)
+{
+    // 0101.. pattern: even bits take `first`.
+    std::uint64_t even = 0x5555555555555555ULL;
+    std::uint64_t w = first ? even : ~even;
+    for (auto &word : words_)
+        word = w;
+    clearTail();
+}
+
+BitVector
+BitVector::slice(std::size_t begin, std::size_t len) const
+{
+    fcos_assert(begin + len <= nbits_, "slice [%zu,+%zu) out of %zu bits",
+                begin, len, nbits_);
+    BitVector v(len);
+    for (std::size_t i = 0; i < len; ++i)
+        v.set(i, get(begin + i));
+    return v;
+}
+
+void
+BitVector::paste(std::size_t begin, const BitVector &src)
+{
+    fcos_assert(begin + src.size() <= nbits_,
+                "paste [%zu,+%zu) out of %zu bits", begin, src.size(),
+                nbits_);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        set(begin + i, src.get(i));
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s(nbits_, '0');
+    for (std::size_t i = 0; i < nbits_; ++i) {
+        if (get(i))
+            s[i] = '1';
+    }
+    return s;
+}
+
+void
+BitVector::clearTail()
+{
+    if (nbits_ & 63)
+        words_[nbits_ >> 6] &= (~0ULL) >> (64 - (nbits_ & 63));
+}
+
+} // namespace fcos

@@ -1,0 +1,69 @@
+#include "util/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fcos {
+
+namespace {
+bool quiet_warnings = false;
+} // namespace
+
+bool
+quietWarnings()
+{
+    return quiet_warnings;
+}
+
+bool
+setQuietWarnings(bool quiet)
+{
+    bool prev = quiet_warnings;
+    quiet_warnings = quiet;
+    return prev;
+}
+
+namespace detail {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+void
+logPrint(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+}
+
+void
+logAbort(const char *kind, const char *file, int line,
+         const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::abort();
+}
+
+void
+logExit(const char *kind, const char *file, int line,
+        const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", kind, file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace fcos

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * - panic():  something happened that should never happen regardless of
+ *             what the user does (a library bug). Aborts.
+ * - fatal():  the run cannot continue due to a user-level error (bad
+ *             configuration, invalid arguments). Exits with code 1.
+ * - warn():   functionality is approximated; results may still be useful.
+ * - inform(): normal operating status the user should see.
+ */
+
+#ifndef FCOS_UTIL_LOG_H
+#define FCOS_UTIL_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace fcos {
+
+namespace detail {
+
+[[noreturn]] void logAbort(const char *kind, const char *file, int line,
+                           const std::string &msg);
+[[noreturn]] void logExit(const char *kind, const char *file, int line,
+                          const std::string &msg);
+void logPrint(const char *kind, const std::string &msg);
+
+/** Minimal printf-style formatter returning std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** True once warn() output is suppressed (used by tests and benches). */
+bool quietWarnings();
+
+/** Enable/disable warn() output. Returns the previous setting. */
+bool setQuietWarnings(bool quiet);
+
+} // namespace fcos
+
+#define fcos_panic(...)                                                     \
+    ::fcos::detail::logAbort("panic", __FILE__, __LINE__,                   \
+                             ::fcos::detail::format(__VA_ARGS__))
+
+#define fcos_fatal(...)                                                     \
+    ::fcos::detail::logExit("fatal", __FILE__, __LINE__,                    \
+                            ::fcos::detail::format(__VA_ARGS__))
+
+#define fcos_warn(...)                                                      \
+    do {                                                                    \
+        if (!::fcos::quietWarnings())                                       \
+            ::fcos::detail::logPrint("warn",                                \
+                                     ::fcos::detail::format(__VA_ARGS__));  \
+    } while (0)
+
+#define fcos_inform(...)                                                    \
+    ::fcos::detail::logPrint("info", ::fcos::detail::format(__VA_ARGS__))
+
+/**
+ * Invariant check that stays on in release builds. Use for conditions
+ * that indicate a library bug, not user error.
+ */
+#define fcos_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::fcos::detail::logAbort(                                       \
+                "panic", __FILE__, __LINE__,                                \
+                std::string("assertion failed: ") + #cond + "; " +          \
+                    ::fcos::detail::format(__VA_ARGS__));                   \
+    } while (0)
+
+#endif // FCOS_UTIL_LOG_H

@@ -1,0 +1,67 @@
+#include "util/mathutil.h"
+
+#include "util/log.h"
+
+namespace fcos {
+
+double
+gaussianQInv(double p)
+{
+    fcos_assert(p > 0.0 && p <= 0.5, "QInv domain: p=%g", p);
+    double lo = 0.0, hi = 40.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (gaussianQ(mid) > p)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+interpolate(const std::vector<double> &xs, const std::vector<double> &ys,
+            double x)
+{
+    fcos_assert(xs.size() == ys.size() && !xs.empty(),
+                "interpolate needs matching non-empty tables");
+    if (x <= xs.front())
+        return ys.front();
+    if (x >= xs.back())
+        return ys.back();
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        if (x <= xs[i]) {
+            double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+            return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+        }
+    }
+    return ys.back();
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    fcos_assert(!values.empty(), "percentile of empty set");
+    fcos_assert(pct >= 0.0 && pct <= 100.0, "pct=%g", pct);
+    std::sort(values.begin(), values.end());
+    double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        fcos_assert(v > 0.0, "geomean needs positive values, got %g", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace fcos

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Numerics shared by the reliability models.
+ */
+
+#ifndef FCOS_UTIL_MATHUTIL_H
+#define FCOS_UTIL_MATHUTIL_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace fcos {
+
+/**
+ * Gaussian upper-tail probability Q(x) = P(N(0,1) > x).
+ *
+ * Numerically stable for the large arguments (x ~ 7) that arise when
+ * showing ESP's "zero bit errors" regime (RBER < 2.07e-12).
+ */
+inline double
+gaussianQ(double x)
+{
+    return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+/** Inverse of gaussianQ via bisection; valid for p in (0, 0.5]. */
+double gaussianQInv(double p);
+
+/** Clamp helper. */
+template <typename T>
+T
+clampVal(T v, T lo, T hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/**
+ * Linear interpolation of y at @p x over sorted sample points (xs, ys).
+ * Extrapolates flat beyond the ends.
+ */
+double interpolate(const std::vector<double> &xs,
+                   const std::vector<double> &ys, double x);
+
+/** Percentile (0..100) of a sample set, linear interpolation. */
+double percentile(std::vector<double> values, double pct);
+
+/** Geometric mean of positive values; returns 0 for an empty set. */
+double geomean(const std::vector<double> &values);
+
+} // namespace fcos
+
+#endif // FCOS_UTIL_MATHUTIL_H

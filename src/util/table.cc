@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.h"
+
+namespace fcos {
+
+void
+TablePrinter::setHeader(std::vector<std::string> names)
+{
+    fcos_assert(rows_.empty(), "setHeader after rows were added");
+    header_ = std::move(names);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    fcos_assert(header_.empty() || cells.size() == header_.size(),
+                "row width %zu != header width %zu", cells.size(),
+                header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::cell(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::cellSci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::cellInt(long long v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::string out;
+    out += "== " + title_ + " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::size_t pad = widths[i] - cells[i].size();
+            out += cells[i];
+            out.append(pad, ' ');
+            out += (i + 1 < cells.size()) ? "  " : "";
+        }
+        out += "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        out.append(total, '-');
+        out += "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out;
+}
+
+void
+TablePrinter::print(std::FILE *out) const
+{
+    std::string s = toString();
+    std::fwrite(s.data(), 1, s.size(), out);
+    std::fflush(out);
+}
+
+void
+printBanner(const std::string &text, std::FILE *out)
+{
+    std::fprintf(out, "\n############ %s ############\n\n", text.c_str());
+    std::fflush(out);
+}
+
+} // namespace fcos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Aligned text tables for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * a text table; TablePrinter keeps that output consistent and legible.
+ */
+
+#ifndef FCOS_UTIL_TABLE_H
+#define FCOS_UTIL_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fcos {
+
+class TablePrinter
+{
+  public:
+    /** @param title   heading printed above the table. */
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set column headers; must be called before rows are added. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a row of pre-formatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience cell formatters. */
+    static std::string cell(double v, int precision = 3);
+    static std::string cellSci(double v, int precision = 2);
+    static std::string cellInt(long long v);
+
+    /** Render to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Render to a string (used by tests). */
+    std::string toString() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner used between experiment phases. */
+void printBanner(const std::string &text, std::FILE *out = stdout);
+
+} // namespace fcos
+
+#endif // FCOS_UTIL_TABLE_H

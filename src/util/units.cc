@@ -1,0 +1,57 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace fcos {
+
+namespace {
+
+std::string
+formatWith(double v, const char *unit)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g %s", v, unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatTime(Time t)
+{
+    double ns = static_cast<double>(t);
+    if (ns < 1e3)
+        return formatWith(ns, "ns");
+    if (ns < 1e6)
+        return formatWith(ns / 1e3, "us");
+    if (ns < 1e9)
+        return formatWith(ns / 1e6, "ms");
+    return formatWith(ns / 1e9, "s");
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    double b = static_cast<double>(bytes);
+    if (b < 1024.0)
+        return formatWith(b, "B");
+    if (b < 1024.0 * 1024.0)
+        return formatWith(b / 1024.0, "KiB");
+    if (b < 1024.0 * 1024.0 * 1024.0)
+        return formatWith(b / (1024.0 * 1024.0), "MiB");
+    return formatWith(b / (1024.0 * 1024.0 * 1024.0), "GiB");
+}
+
+std::string
+formatEnergy(double joules)
+{
+    if (joules < 1e-6)
+        return formatWith(joules * 1e9, "nJ");
+    if (joules < 1e-3)
+        return formatWith(joules * 1e6, "uJ");
+    if (joules < 1.0)
+        return formatWith(joules * 1e3, "mJ");
+    return formatWith(joules, "J");
+}
+
+} // namespace fcos

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Time, size, bandwidth, and energy unit helpers.
+ *
+ * The simulator's master clock is an unsigned 64-bit count of nanoseconds
+ * (Time). All NAND latencies in the paper are exact multiples of 0.5 us,
+ * so nanoseconds represent them without rounding.
+ *
+ * Bandwidth uses the convenient identity 1 GB/s == 1 byte/ns (decimal GB,
+ * matching how the paper quotes "8 GB/s" PCIe and "1.2 GB/s" channels).
+ */
+
+#ifndef FCOS_UTIL_UNITS_H
+#define FCOS_UTIL_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace fcos {
+
+/** Simulated time in nanoseconds. */
+using Time = std::uint64_t;
+
+/** Sentinel for "no deadline". */
+inline constexpr Time kTimeMax = ~Time{0};
+
+inline constexpr Time operator""_ns(unsigned long long v) { return v; }
+inline constexpr Time operator""_us(unsigned long long v)
+{
+    return v * 1000ULL;
+}
+inline constexpr Time operator""_ms(unsigned long long v)
+{
+    return v * 1000000ULL;
+}
+inline constexpr Time operator""_s(unsigned long long v)
+{
+    return v * 1000000000ULL;
+}
+
+/** Sizes in bytes. */
+inline constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * 1024ULL;
+}
+inline constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL;
+}
+inline constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/** Convert a time expressed in (possibly fractional) microseconds. */
+constexpr Time
+usToTime(double us)
+{
+    return static_cast<Time>(us * 1000.0 + 0.5);
+}
+
+/** Time -> microseconds as a double (for reporting). */
+constexpr double
+timeToUs(Time t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/** Time -> milliseconds as a double (for reporting). */
+constexpr double
+timeToMs(Time t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Time -> seconds as a double (for reporting). */
+constexpr double
+timeToSec(Time t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/**
+ * Transfer duration for @p bytes at @p gbPerSec (decimal GB/s).
+ * 1 GB/s == 1 byte/ns, so duration_ns = bytes / gbPerSec.
+ */
+constexpr Time
+transferTime(std::uint64_t bytes, double gb_per_sec)
+{
+    return static_cast<Time>(static_cast<double>(bytes) / gb_per_sec + 0.5);
+}
+
+/** Pretty-print a duration with an auto-selected unit. */
+std::string formatTime(Time t);
+
+/** Pretty-print a byte count with an auto-selected binary unit. */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Pretty-print an energy in joules with an auto-selected unit. */
+std::string formatEnergy(double joules);
+
+} // namespace fcos
+
+#endif // FCOS_UTIL_UNITS_H

@@ -1,0 +1,89 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+
+#include "util/log.h"
+
+namespace fcos::wl {
+
+std::uint64_t
+Workload::totalOperandBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : batches)
+        total += b.totalOperands() * b.operandBytes;
+    return total;
+}
+
+std::uint64_t
+Workload::totalResultBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : batches)
+        total += b.operandBytes;
+    return total;
+}
+
+double
+Workload::computedBits() const
+{
+    return static_cast<double>(totalOperandBytes()) * 8.0;
+}
+
+Workload
+makeBmi(std::uint32_t months, std::uint64_t users)
+{
+    fcos_assert(months >= 1, "BMI needs >= 1 month");
+    Workload w;
+    w.name = "BMI";
+    w.paramName = "m";
+    w.paramValue = months;
+    // Days in the past `months` months: m=1 -> 30 ... m=36 -> 1095.
+    std::uint64_t days = static_cast<std::uint64_t>(
+        std::floor(months * 365.25 / 12.0));
+    OpBatch b;
+    b.andOperands = days;
+    b.orOperands = 0;
+    b.operandBytes = users / 8;
+    b.resultToHost = true;
+    b.hostPostProcess = true; // bit-count on the host
+    w.batches.push_back(b);
+    return w;
+}
+
+Workload
+makeIms(std::uint64_t images)
+{
+    Workload w;
+    w.name = "IMS";
+    w.paramName = "I";
+    w.paramValue = images;
+    OpBatch b;
+    b.andOperands = 3; // Y(p,C), U(p,C), V(p,C)
+    b.orOperands = 0;
+    b.operandBytes = images * 800ULL * 600ULL * 4ULL / 8ULL;
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.push_back(b);
+    return w;
+}
+
+Workload
+makeKcs(std::uint32_t k, std::uint32_t cliques, std::uint64_t vertices)
+{
+    fcos_assert(k >= 2, "a clique needs >= 2 vertices");
+    Workload w;
+    w.name = "KCS";
+    w.paramName = "k";
+    w.paramValue = k;
+    OpBatch b;
+    b.andOperands = k;  // adjacency vectors of the clique members
+    b.orOperands = 1;   // the clique-membership vector
+    b.operandBytes = vertices / 8;
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.assign(cliques, b);
+    return w;
+}
+
+} // namespace fcos::wl

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Bit-serial arithmetic tests: in-flash synthesized addition and
+ * comparison against host arithmetic (the Section 10 extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arith.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fcos::core {
+namespace {
+
+/** A drive roomy enough for arithmetic scratch vectors. */
+FlashCosmosDrive::Config
+arithConfig()
+{
+    FlashCosmosDrive::Config cfg;
+    cfg.geometry.blocksPerPlane = 512;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+randomValues(Rng &rng, std::size_t n, unsigned width)
+{
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng.nextBounded(1ULL << width);
+    return v;
+}
+
+TEST(BitSerialTest, StoreLoadRoundTrip)
+{
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    Rng rng = Rng::seeded(1);
+    auto values = randomValues(rng, 100, 12);
+    BitSlicedInt reg = engine.store(values, 12);
+    EXPECT_EQ(reg.width(), 12u);
+    EXPECT_EQ(engine.load(reg), values);
+}
+
+TEST(BitSerialTest, AdditionMatchesHost)
+{
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    Rng rng = Rng::seeded(2);
+    const unsigned width = 8;
+    auto va = randomValues(rng, 200, width);
+    auto vb = randomValues(rng, 200, width);
+    auto [a, b] = engine.storePair(va, vb, width);
+
+    BitSlicedInt sum = engine.add(a, b);
+    auto result = engine.load(sum);
+    for (std::size_t e = 0; e < va.size(); ++e)
+        EXPECT_EQ(result[e], (va[e] + vb[e]) & 0xFF) << "element " << e;
+
+    // All steps compiled to MWS/XOR chains (no fallback would have
+    // produced warnings); the adder issues a bounded number of
+    // in-flash programs: width sums + width-1 carries.
+    EXPECT_EQ(engine.stats().programs, 2u * width - 1);
+    EXPECT_GT(engine.stats().latchXors, 0u);
+}
+
+TEST(BitSerialTest, AdditionCarriesRippleFully)
+{
+    // 0xFF + 1 exercises the full carry chain.
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    std::vector<std::uint64_t> va(64, 0xFF), vb(64, 1);
+    auto [a, b] = engine.storePair(va, vb, 8);
+    auto result = engine.load(engine.add(a, b));
+    for (auto r : result)
+        EXPECT_EQ(r, 0u); // wraps modulo 256
+}
+
+TEST(BitSerialTest, SingleBitAddIsXor)
+{
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    std::vector<std::uint64_t> va{0, 0, 1, 1}, vb{0, 1, 0, 1};
+    auto [a, b] = engine.storePair(va, vb, 1);
+    auto result = engine.load(engine.add(a, b));
+    EXPECT_EQ(result, (std::vector<std::uint64_t>{0, 1, 1, 0}));
+}
+
+TEST(BitSerialTest, GreaterThanMatchesHost)
+{
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    Rng rng = Rng::seeded(3);
+    const unsigned width = 6;
+    auto va = randomValues(rng, 150, width);
+    auto vb = randomValues(rng, 150, width);
+    auto [a, b] = engine.storePair(va, vb, width);
+
+    VectorId gt = engine.greaterThan(a, b);
+    BitVector mask = drive.readVector(gt);
+    for (std::size_t e = 0; e < va.size(); ++e)
+        EXPECT_EQ(mask.get(e), va[e] > vb[e]) << "element " << e;
+}
+
+TEST(BitSerialTest, GreaterThanWidthOne)
+{
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    std::vector<std::uint64_t> va{0, 0, 1, 1}, vb{0, 1, 0, 1};
+    auto [a, b] = engine.storePair(va, vb, 1);
+    BitVector mask = drive.readVector(engine.greaterThan(a, b));
+    EXPECT_EQ(mask.toString(), "0010");
+}
+
+TEST(BitSerialTest, ComputedVectorsAreReusableOperands)
+{
+    // fcCompute results feed later fcReads — the key property behind
+    // multi-step synthesized functions.
+    FlashCosmosDrive drive(arithConfig());
+    Rng rng = Rng::seeded(4);
+    FlashCosmosDrive::WriteOptions group;
+    group.group = 9;
+    BitVector x(500), y(500);
+    x.randomize(rng);
+    y.randomize(rng);
+    VectorId vx = drive.fcWrite(x, group);
+    VectorId vy = drive.fcWrite(y, group);
+
+    FlashCosmosDrive::WriteOptions scratch;
+    scratch.group = 10;
+    VectorId v_and =
+        drive.fcCompute(Expr::And({Expr::leaf(vx), Expr::leaf(vy)}),
+                        scratch);
+    EXPECT_EQ(drive.readVector(v_and), x & y);
+
+    VectorId v_next = drive.fcCompute(
+        Expr::Xor(Expr::leaf(v_and), Expr::leaf(vx)), scratch);
+    EXPECT_EQ(drive.readVector(v_next), (x & y) ^ x);
+}
+
+TEST(BitSerialTest, FcComputeInvertedStorage)
+{
+    FlashCosmosDrive drive(arithConfig());
+    Rng rng = Rng::seeded(5);
+    FlashCosmosDrive::WriteOptions group;
+    group.group = 20;
+    BitVector x(300), y(300);
+    x.randomize(rng);
+    y.randomize(rng);
+    VectorId vx = drive.fcWrite(x, group);
+    VectorId vy = drive.fcWrite(y, group);
+
+    FlashCosmosDrive::WriteOptions inv;
+    inv.group = 21;
+    inv.storeInverted = true;
+    VectorId v =
+        drive.fcCompute(Expr::Or({Expr::leaf(vx), Expr::leaf(vy)}),
+                        inv);
+    EXPECT_TRUE(drive.isStoredInverted(v));
+    EXPECT_EQ(drive.readVector(v), x | y);
+}
+
+TEST(BitSerialTest, ChainedAdditionsAccumulate)
+{
+    // (a + b) + a — the output register of one in-flash addition is a
+    // first-class operand of the next.
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    Rng rng = Rng::seeded(6);
+    auto va = randomValues(rng, 64, 6);
+    auto vb = randomValues(rng, 64, 6);
+    auto [a, b] = engine.storePair(va, vb, 6);
+    BitSlicedInt ab = engine.add(a, b);
+    // Mixed placement (scratch + original groups) may route through
+    // the fallback path; suppress its warnings for this test.
+    bool prev = setQuietWarnings(true);
+    BitSlicedInt aba = engine.add(ab, a);
+    setQuietWarnings(prev);
+    auto result = engine.load(aba);
+    for (std::size_t e = 0; e < va.size(); ++e)
+        EXPECT_EQ(result[e], (va[e] + vb[e] + va[e]) & 0x3F);
+}
+
+TEST(BitSerialTest, MismatchedWidthsPanic)
+{
+    FlashCosmosDrive drive(arithConfig());
+    BitSerialEngine engine(drive);
+    auto a = engine.store({1, 2, 3}, 4);
+    auto b = engine.store({1, 2, 3}, 5);
+    EXPECT_DEATH(engine.add(a, b), "widths");
+}
+
+} // namespace
+} // namespace fcos::core

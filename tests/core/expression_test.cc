@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Expression AST and reference-evaluator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/expression.h"
+#include "util/rng.h"
+
+namespace fcos::core {
+namespace {
+
+class ExpressionTest : public ::testing::Test
+{
+  protected:
+    BitVector vec(const std::string &bits)
+    {
+        return BitVector::fromString(bits);
+    }
+
+    std::map<VectorId, BitVector> vals;
+
+    BitVector eval(const Expr &e)
+    {
+        return e.evaluate([&](VectorId id) -> const BitVector & {
+            return vals.at(id);
+        });
+    }
+};
+
+TEST_F(ExpressionTest, LeafEvaluatesToItsVector)
+{
+    vals[0] = vec("1010");
+    EXPECT_EQ(eval(Expr::leaf(0)), vec("1010"));
+}
+
+TEST_F(ExpressionTest, BasicOperators)
+{
+    vals[0] = vec("1100");
+    vals[1] = vec("1010");
+    Expr a = Expr::leaf(0), b = Expr::leaf(1);
+    EXPECT_EQ(eval(Expr::And({a, b})), vec("1000"));
+    EXPECT_EQ(eval(Expr::Or({a, b})), vec("1110"));
+    EXPECT_EQ(eval(Expr::Xor(a, b)), vec("0110"));
+    EXPECT_EQ(eval(Expr::Nand({a, b})), vec("0111"));
+    EXPECT_EQ(eval(Expr::Nor({a, b})), vec("0001"));
+    EXPECT_EQ(eval(Expr::Xnor(a, b)), vec("1001"));
+    EXPECT_EQ(eval(Expr::Not(a)), vec("0011"));
+}
+
+TEST_F(ExpressionTest, MultiOperandAndOr)
+{
+    vals[0] = vec("1111");
+    vals[1] = vec("1110");
+    vals[2] = vec("1101");
+    Expr e = Expr::And({Expr::leaf(0), Expr::leaf(1), Expr::leaf(2)});
+    EXPECT_EQ(eval(e), vec("1100"));
+    Expr o = Expr::Or({Expr::leaf(0), Expr::leaf(1), Expr::leaf(2)});
+    EXPECT_EQ(eval(o), vec("1111"));
+}
+
+TEST_F(ExpressionTest, NestedExpression)
+{
+    vals[0] = vec("10101010");
+    vals[1] = vec("11001100");
+    vals[2] = vec("11110000");
+    Expr e = Expr::Or({Expr::And({Expr::leaf(0), Expr::leaf(1)}),
+                       Expr::Not(Expr::leaf(2))});
+    BitVector expected =
+        (vals[0] & vals[1]) | ~vals[2];
+    EXPECT_EQ(eval(e), expected);
+}
+
+TEST_F(ExpressionTest, LeafIdsDeduplicates)
+{
+    Expr e = Expr::And({Expr::leaf(3), Expr::Or({Expr::leaf(1),
+                                                 Expr::leaf(3)})});
+    auto ids = e.leafIds();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], 3u);
+    EXPECT_EQ(ids[1], 1u);
+}
+
+TEST_F(ExpressionTest, ToStringRendersStructure)
+{
+    Expr e = Expr::And({Expr::leaf(0), Expr::Not(Expr::leaf(1))});
+    EXPECT_EQ(e.toString(), "AND(v0, NOT(v1))");
+}
+
+TEST_F(ExpressionTest, OperatorSugarBuildsEquivalentTrees)
+{
+    vals[0] = vec("1100");
+    vals[1] = vec("1010");
+    vals[2] = vec("0110");
+    Expr a = Expr::leaf(0), b = Expr::leaf(1), c = Expr::leaf(2);
+    EXPECT_EQ(eval((a & b) | ~c), eval(Expr::Or(
+                                      {Expr::And({a, b}),
+                                       Expr::Not(c)})));
+    EXPECT_EQ(eval(a ^ b), vals[0] ^ vals[1]);
+    // Chained operators nest; the planner flattens same-op nests.
+    EXPECT_EQ(eval(a & b & c), vals[0] & vals[1] & vals[2]);
+}
+
+TEST_F(ExpressionTest, DeMorganIdentitiesHoldOnRandomData)
+{
+    Rng rng = Rng::seeded(77);
+    for (int round = 0; round < 20; ++round) {
+        vals[0] = BitVector(257);
+        vals[1] = BitVector(257);
+        vals[2] = BitVector(257);
+        vals[0].randomize(rng);
+        vals[1].randomize(rng);
+        vals[2].randomize(rng);
+        Expr a = Expr::leaf(0), b = Expr::leaf(1), c = Expr::leaf(2);
+        // NOT(a AND b AND c) == (NOT a) OR (NOT b) OR (NOT c)
+        EXPECT_EQ(eval(Expr::Not(Expr::And({a, b, c}))),
+                  eval(Expr::Or({Expr::Not(a), Expr::Not(b),
+                                 Expr::Not(c)})));
+        // NOT(a OR b) == NOT a AND NOT b
+        EXPECT_EQ(eval(Expr::Not(Expr::Or({a, b}))),
+                  eval(Expr::And({Expr::Not(a), Expr::Not(b)})));
+    }
+}
+
+} // namespace
+} // namespace fcos::core

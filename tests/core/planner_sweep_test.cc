@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Planner sweep: for AND/OR expressions of every operand count, the
+ * compiled command count must match the analytic formula the timing
+ * simulator charges (PlatformRunner::fcSensesPerRow) — keeping the
+ * functional and timing paths honest against each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/planner.h"
+#include "platforms/runner.h"
+
+namespace fcos::core {
+namespace {
+
+/** Storage layout mimicking group allocation with @p string_len
+ *  wordlines per sub-block. */
+class GroupedStorage : public StorageResolver
+{
+  public:
+    GroupedStorage(std::uint32_t string_len, bool inverted)
+        : string_len_(string_len), inverted_(inverted)
+    {}
+
+    VectorId add()
+    {
+        VectorId id = next_++;
+        return id;
+    }
+
+    bool isStoredInverted(VectorId) const override { return inverted_; }
+    std::uint64_t stringKey(VectorId id) const override
+    {
+        return id / string_len_;
+    }
+
+  private:
+    std::uint32_t string_len_;
+    bool inverted_;
+    VectorId next_ = 0;
+};
+
+class AndSweepTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(AndSweepTest, CommandCountMatchesAnalyticModel)
+{
+    const std::uint32_t operands = GetParam();
+    const std::uint32_t string_len = 48;
+    GroupedStorage storage(string_len, false);
+    std::vector<Expr> leaves;
+    for (std::uint32_t i = 0; i < operands; ++i)
+        leaves.push_back(Expr::leaf(storage.add()));
+    Planner planner(storage);
+    MwsPlan plan = planner.plan(operands == 1 ? leaves[0]
+                                              : Expr::And(leaves));
+    ASSERT_EQ(plan.kind, MwsPlan::Kind::Mws);
+    std::uint64_t analytic = plat::PlatformRunner::fcSensesPerRow(
+        operands, 0, string_len, 4);
+    EXPECT_EQ(plan.senseCount(), analytic) << operands << " operands";
+}
+
+TEST_P(AndSweepTest, InverseStoredOrMatchesAnalyticModel)
+{
+    const std::uint32_t operands = GetParam();
+    if (operands < 2)
+        GTEST_SKIP() << "OR needs two operands";
+    const std::uint32_t string_len = 48;
+    GroupedStorage storage(string_len, true);
+    std::vector<Expr> leaves;
+    for (std::uint32_t i = 0; i < operands; ++i)
+        leaves.push_back(Expr::leaf(storage.add()));
+    Planner planner(storage);
+    MwsPlan plan = planner.plan(Expr::Or(leaves));
+    ASSERT_EQ(plan.kind, MwsPlan::Kind::Mws);
+    std::uint64_t analytic = plat::PlatformRunner::fcSensesPerRow(
+        0, operands, string_len, 4);
+    EXPECT_EQ(plan.senseCount(), analytic) << operands << " operands";
+}
+
+INSTANTIATE_TEST_SUITE_P(OperandCounts, AndSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 9u, 16u,
+                                           47u, 48u, 49u, 95u, 96u,
+                                           97u, 192u, 1095u));
+
+TEST(KcsPlanSweepTest, FusionMatchesAnalyticModelAcrossK)
+{
+    // KCS: AND(k co-located adjacency rows) OR clique vector.
+    const std::uint32_t string_len = 48;
+    for (std::uint32_t k : {2u, 8u, 16u, 32u, 48u, 49u, 64u, 96u}) {
+        GroupedStorage storage(string_len, false);
+        std::vector<Expr> adj;
+        for (std::uint32_t i = 0; i < k; ++i)
+            adj.push_back(Expr::leaf(storage.add()));
+        // Clique vector in its own (far) string.
+        VectorId clique = 1000000;
+        struct CliqueStorage : StorageResolver
+        {
+            const GroupedStorage &inner;
+            explicit CliqueStorage(const GroupedStorage &g) : inner(g) {}
+            bool isStoredInverted(VectorId id) const override
+            {
+                return id < 1000000 ? inner.isStoredInverted(id) : false;
+            }
+            std::uint64_t stringKey(VectorId id) const override
+            {
+                return id < 1000000 ? inner.stringKey(id) : 999999;
+            }
+        } wrapped(storage);
+        Planner planner(wrapped);
+        MwsPlan plan = planner.plan(
+            Expr::Or({Expr::And(adj), Expr::leaf(clique)}));
+        ASSERT_EQ(plan.kind, MwsPlan::Kind::Mws) << "k=" << k;
+        std::uint64_t analytic = plat::PlatformRunner::fcSensesPerRow(
+            k, 1, string_len, 4);
+        EXPECT_EQ(plan.senseCount(), analytic) << "k=" << k;
+    }
+}
+
+} // namespace
+} // namespace fcos::core

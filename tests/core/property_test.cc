@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property-based tests: randomly generated expressions over randomly
+ * placed vectors must evaluate identically in-flash (through the
+ * planner + latch model) and on the reference evaluator — whatever
+ * plan shape the planner picks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/drive.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fcos::core {
+namespace {
+
+struct Scenario
+{
+    std::uint64_t seed;
+    std::size_t bits;
+};
+
+class PlanPropertyTest : public ::testing::TestWithParam<Scenario>
+{
+};
+
+/** Build a random expression over the given leaves. */
+Expr
+randomExpr(Rng &rng, const std::vector<VectorId> &ids, int depth)
+{
+    if (depth == 0 || rng.nextDouble() < 0.3) {
+        Expr leaf = Expr::leaf(
+            ids[static_cast<std::size_t>(rng.nextBounded(ids.size()))]);
+        return rng.nextDouble() < 0.25 ? Expr::Not(leaf) : leaf;
+    }
+    int arity = 2 + static_cast<int>(rng.nextBounded(3));
+    std::vector<Expr> children;
+    for (int i = 0; i < arity; ++i)
+        children.push_back(randomExpr(rng, ids, depth - 1));
+    switch (rng.nextBounded(4)) {
+      case 0:
+        return Expr::And(std::move(children));
+      case 1:
+        return Expr::Or(std::move(children));
+      case 2:
+        return Expr::Nand(std::move(children));
+      default:
+        return Expr::Nor(std::move(children));
+    }
+}
+
+TEST_P(PlanPropertyTest, InFlashMatchesReference)
+{
+    setQuietWarnings(true);
+    const Scenario sc = GetParam();
+    Rng rng = Rng::seeded(sc.seed);
+
+    FlashCosmosDrive drive;
+    std::map<VectorId, BitVector> truth;
+    std::vector<VectorId> ids;
+
+    // A few placement groups, mixing plain and inverted storage.
+    for (std::uint64_t g = 0; g < 3; ++g) {
+        FlashCosmosDrive::WriteOptions opts;
+        opts.group = g;
+        opts.storeInverted = (g == 1);
+        int members = 2 + static_cast<int>(rng.nextBounded(5));
+        for (int i = 0; i < members; ++i) {
+            BitVector v(sc.bits);
+            v.randomize(rng);
+            VectorId id = drive.fcWrite(v, opts);
+            truth.emplace(id, std::move(v));
+            ids.push_back(id);
+        }
+    }
+
+    for (int round = 0; round < 12; ++round) {
+        Expr expr = randomExpr(rng, ids, 2);
+        BitVector expected = expr.evaluate(
+            [&](VectorId id) -> const BitVector & {
+                return truth.at(id);
+            });
+        FlashCosmosDrive::ReadStats stats;
+        BitVector actual = drive.fcRead(expr, &stats);
+        ASSERT_EQ(actual, expected)
+            << "expr: " << expr.toString() << "\nplan: "
+            << stats.planText;
+    }
+    setQuietWarnings(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomScenarios, PlanPropertyTest,
+    ::testing::Values(Scenario{101, 64}, Scenario{202, 100},
+                      Scenario{303, 256}, Scenario{404, 300},
+                      Scenario{505, 513}, Scenario{606, 1000},
+                      Scenario{707, 31}, Scenario{808, 2048}),
+    [](const ::testing::TestParamInfo<Scenario> &info) {
+        return "seed" + std::to_string(info.param.seed) + "_bits" +
+               std::to_string(info.param.bits);
+    });
+
+/** Every supported operator, executed at every size, must match. */
+class OperatorSweepTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(OperatorSweepTest, AllOperatorsMatchReference)
+{
+    std::size_t bits = GetParam();
+    Rng rng = Rng::seeded(bits * 31 + 7);
+    FlashCosmosDrive drive;
+
+    FlashCosmosDrive::WriteOptions plain, inverted;
+    plain.group = 1;
+    inverted.group = 2;
+    inverted.storeInverted = true;
+
+    BitVector a(bits), b(bits), c(bits), d(bits);
+    a.randomize(rng);
+    b.randomize(rng);
+    c.randomize(rng);
+    d.randomize(rng);
+    VectorId ia = drive.fcWrite(a, plain);
+    VectorId ib = drive.fcWrite(b, plain);
+    VectorId ic = drive.fcWrite(c, inverted);
+    VectorId id = drive.fcWrite(d, inverted);
+
+    Expr ea = Expr::leaf(ia), eb = Expr::leaf(ib);
+    Expr ec = Expr::leaf(ic), ed = Expr::leaf(id);
+
+    EXPECT_EQ(drive.fcRead(Expr::And({ea, eb})), a & b);
+    EXPECT_EQ(drive.fcRead(Expr::Or({ec, ed})), c | d);
+    EXPECT_EQ(drive.fcRead(Expr::Nand({ea, eb})), ~(a & b));
+    EXPECT_EQ(drive.fcRead(Expr::Nor({ec, ed})), ~(c | d));
+    EXPECT_EQ(drive.fcRead(Expr::Xor(ea, eb)), a ^ b);
+    EXPECT_EQ(drive.fcRead(Expr::Xnor(ea, eb)), ~(a ^ b));
+    EXPECT_EQ(drive.fcRead(Expr::Not(ea)), ~a);
+    EXPECT_EQ(drive.fcRead(Expr::And({ea, eb, Expr::Or({ec, ed})})),
+              a & b & (c | d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OperatorSweepTest,
+                         ::testing::Values(1, 63, 64, 65, 255, 256, 257,
+                                           512, 1023));
+
+} // namespace
+} // namespace fcos::core

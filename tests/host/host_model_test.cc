@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Host model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/host_model.h"
+
+namespace fcos::host {
+namespace {
+
+TEST(HostModelTest, ComputeTimeMatchesStreamRate)
+{
+    EventQueue q;
+    ssd::EnergyMeter e;
+    HostModel host(q, e);
+    // 24 GB/s default: 24 KB in 1 us.
+    EXPECT_EQ(host.computeTime(24000), 1000u);
+}
+
+TEST(HostModelTest, ComputeSerializesAndBooksEnergy)
+{
+    EventQueue q;
+    ssd::EnergyMeter e;
+    HostConfig cfg;
+    cfg.streamGBps = 1.0; // 1 B/ns for easy numbers
+    cfg.cpuActiveWatts = 10.0;
+    HostModel host(q, e, cfg);
+    Time t1 = 0, t2 = 0;
+    host.compute(1000, [&] { t1 = q.now(); });
+    host.compute(1000, [&] { t2 = q.now(); });
+    q.run();
+    EXPECT_EQ(t1, 1000u);
+    EXPECT_EQ(t2, 2000u);
+    EXPECT_EQ(host.busyTime(), 2000u);
+    // 10 W for 2 us = 20 uJ of CPU energy.
+    EXPECT_NEAR(e.get(ssd::EnergyComponent::HostCpu), 2e-5, 1e-9);
+    EXPECT_GT(e.get(ssd::EnergyComponent::HostDram), 0.0);
+}
+
+TEST(HostModelTest, ReceiveBooksDramOnly)
+{
+    EventQueue q;
+    ssd::EnergyMeter e;
+    HostModel host(q, e);
+    host.receive(1 << 20);
+    EXPECT_DOUBLE_EQ(e.get(ssd::EnergyComponent::HostCpu), 0.0);
+    // 1 MiB * 8 bits * 20 pJ = 167.8 uJ.
+    EXPECT_NEAR(e.get(ssd::EnergyComponent::HostDram), 1.678e-4, 1e-6);
+    EXPECT_EQ(host.busyTime(), 0u);
+}
+
+TEST(HostModelTest, DefaultConfigMatchesTable1Host)
+{
+    HostConfig cfg;
+    // DDR4-3600 x 4 channels = 115.2 GB/s peak.
+    EXPECT_NEAR(cfg.dramGBps, 115.2, 0.1);
+    // Streaming bitwise rate is DRAM-bound, far above the SSD's 8-GB/s
+    // external link — which is why OSP is link-bottlenecked (Fig. 7).
+    EXPECT_GT(cfg.streamGBps, 8.0);
+}
+
+} // namespace
+} // namespace fcos::host

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ISP accelerator functional tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isp/accelerator.h"
+#include "util/rng.h"
+
+namespace fcos::isp {
+namespace {
+
+TEST(IspAcceleratorTest, AccumulatesAndOrXor)
+{
+    Rng rng = Rng::seeded(1);
+    BitVector a(4096), b(4096), c(4096);
+    a.randomize(rng);
+    b.randomize(rng);
+    c.randomize(rng);
+
+    IspAccelerator accel;
+    accel.begin(AccelOp::And, 4096);
+    accel.consume(a);
+    accel.consume(b);
+    accel.consume(c);
+    EXPECT_EQ(accel.result(), a & b & c);
+    EXPECT_EQ(accel.tilesConsumed(), 3u);
+
+    accel.begin(AccelOp::Or, 4096);
+    accel.consume(a);
+    accel.consume(b);
+    EXPECT_EQ(accel.result(), a | b);
+
+    accel.begin(AccelOp::Xor, 4096);
+    accel.consume(a);
+    accel.consume(b);
+    EXPECT_EQ(accel.result(), a ^ b);
+}
+
+TEST(IspAcceleratorTest, SingleOperandPassesThrough)
+{
+    Rng rng = Rng::seeded(2);
+    BitVector a(128);
+    a.randomize(rng);
+    IspAccelerator accel;
+    accel.begin(AccelOp::And, 128);
+    accel.consume(a);
+    EXPECT_EQ(accel.result(), a);
+}
+
+TEST(IspAcceleratorTest, SramCapacityEnforced)
+{
+    IspAccelerator accel(1024); // 1 KiB SRAM
+    accel.begin(AccelOp::And, 8192); // exactly fits
+    EXPECT_EXIT(accel.begin(AccelOp::And, 8193),
+                ::testing::ExitedWithCode(1), "SRAM");
+}
+
+TEST(IspAcceleratorTest, TileSizeMismatchPanics)
+{
+    IspAccelerator accel;
+    accel.begin(AccelOp::And, 128);
+    BitVector wrong(64);
+    EXPECT_DEATH(accel.consume(wrong), "tile size");
+}
+
+TEST(IspAcceleratorTest, BeginResetsState)
+{
+    Rng rng = Rng::seeded(3);
+    BitVector a(64), b(64);
+    a.randomize(rng);
+    b.randomize(rng);
+    IspAccelerator accel;
+    accel.begin(AccelOp::And, 64);
+    accel.consume(a);
+    accel.begin(AccelOp::Or, 64);
+    accel.consume(b);
+    EXPECT_EQ(accel.result(), b);
+    EXPECT_EQ(accel.tilesConsumed(), 1u);
+}
+
+} // namespace
+} // namespace fcos::isp

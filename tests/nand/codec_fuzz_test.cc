@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Command-codec fuzzing: random well-formed commands must round-trip
+ * bit-exactly; random byte mutations must never decode silently into
+ * a different well-formed command without tripping validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/command.h"
+#include "util/rng.h"
+
+namespace fcos::nand {
+namespace {
+
+MwsCommand
+randomCommand(Rng &rng, const Geometry &geom)
+{
+    MwsCommand cmd;
+    cmd.plane = static_cast<std::uint32_t>(
+        rng.nextBounded(geom.planesPerDie));
+    cmd.flags = IscmFlags::fromByte(
+        static_cast<std::uint8_t>(rng.nextBounded(16)));
+    std::size_t slots = 1 + rng.nextBounded(MwsCommand::kMaxSelections);
+    for (std::size_t s = 0; s < slots; ++s) {
+        WlSelection sel;
+        sel.block = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.blocksPerPlane));
+        sel.subBlock = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.subBlocksPerBlock));
+        do {
+            sel.wlMask = rng.nextU64() &
+                         ((1ULL << geom.wordlinesPerSubBlock) - 1);
+        } while (sel.wlMask == 0);
+        cmd.selections.push_back(sel);
+    }
+    return cmd;
+}
+
+TEST(CodecFuzzTest, RandomCommandsRoundTrip)
+{
+    Geometry geom = Geometry::table1();
+    Rng rng = Rng::seeded(31);
+    for (int i = 0; i < 500; ++i) {
+        MwsCommand cmd = randomCommand(rng, geom);
+        auto bytes = encodeMws(geom, cmd);
+        EXPECT_EQ(decodeMws(geom, bytes), cmd);
+    }
+}
+
+TEST(CodecFuzzTest, EspCommandsRoundTripAcrossAddressSpace)
+{
+    Geometry geom = Geometry::table1();
+    Rng rng = Rng::seeded(32);
+    for (int i = 0; i < 500; ++i) {
+        EspCommand cmd;
+        cmd.addr.plane = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.planesPerDie));
+        cmd.addr.block = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.blocksPerPlane));
+        cmd.addr.subBlock = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.subBlocksPerBlock));
+        cmd.addr.wordline = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.wordlinesPerSubBlock));
+        cmd.extensionCode =
+            static_cast<std::uint8_t>(rng.nextBounded(101));
+        auto bytes = encodeEsp(geom, cmd);
+        EXPECT_EQ(decodeEsp(geom, bytes), cmd);
+    }
+}
+
+TEST(CodecFuzzTest, TruncationsAlwaysDetected)
+{
+    Geometry geom = Geometry::table1();
+    Rng rng = Rng::seeded(33);
+    for (int i = 0; i < 50; ++i) {
+        MwsCommand cmd = randomCommand(rng, geom);
+        auto bytes = encodeMws(geom, cmd);
+        std::size_t cut = 1 + rng.nextBounded(bytes.size() - 1);
+        std::vector<std::uint8_t> truncated(bytes.begin(),
+                                            bytes.begin() +
+                                                static_cast<long>(cut));
+        EXPECT_DEATH(decodeMws(geom, truncated), "");
+    }
+}
+
+TEST(CodecFuzzTest, EncodedSizeIsDeterministic)
+{
+    // Framing: opcode + ISCM + slots * (10 bytes + separator).
+    Geometry geom = Geometry::table1();
+    Rng rng = Rng::seeded(34);
+    for (int i = 0; i < 100; ++i) {
+        MwsCommand cmd = randomCommand(rng, geom);
+        auto bytes = encodeMws(geom, cmd);
+        EXPECT_EQ(bytes.size(), 2 + cmd.selections.size() * 11);
+    }
+}
+
+} // namespace
+} // namespace fcos::nand

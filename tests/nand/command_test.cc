@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Flash-Cosmos command codec tests (Figure 15 framing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/command.h"
+
+namespace fcos::nand {
+namespace {
+
+class CommandTest : public ::testing::Test
+{
+  protected:
+    Geometry geom = Geometry::table1();
+};
+
+TEST_F(CommandTest, IscmFlagsRoundTrip)
+{
+    for (int bits = 0; bits < 16; ++bits) {
+        IscmFlags f;
+        f.inverseRead = bits & 1;
+        f.initSenseLatch = bits & 2;
+        f.initCacheLatch = bits & 4;
+        f.dumpToCache = bits & 8;
+        EXPECT_EQ(IscmFlags::fromByte(f.toByte()), f);
+    }
+}
+
+TEST_F(CommandTest, MwsSingleSlotRoundTrip)
+{
+    MwsCommand cmd;
+    cmd.plane = 1;
+    cmd.flags = IscmFlags{true, true, false, true};
+    cmd.selections.push_back(WlSelection{1234, 2, 0x0000A5A5A5A5ULL});
+    auto bytes = encodeMws(geom, cmd);
+    EXPECT_EQ(bytes.front(), kOpMws);
+    EXPECT_EQ(bytes.back(), kSlotConf);
+    EXPECT_EQ(decodeMws(geom, bytes), cmd);
+}
+
+TEST_F(CommandTest, MwsFourSlotRoundTrip)
+{
+    MwsCommand cmd;
+    cmd.plane = 0;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        cmd.selections.push_back(WlSelection{100 * i, i % 4, 1ULL << i});
+    auto bytes = encodeMws(geom, cmd);
+    // Three CONT separators and one CONF terminator.
+    int conts = 0;
+    for (auto b : bytes)
+        conts += (b == kSlotCont);
+    EXPECT_EQ(conts, 3);
+    EXPECT_EQ(decodeMws(geom, bytes), cmd);
+}
+
+TEST_F(CommandTest, MwsRejectsTooManySlots)
+{
+    MwsCommand cmd;
+    for (std::uint32_t i = 0; i < 5; ++i)
+        cmd.selections.push_back(WlSelection{i, 0, 1});
+    EXPECT_DEATH(encodeMws(geom, cmd), "4-slot");
+}
+
+TEST_F(CommandTest, MwsRejectsEmptyBitmapAndBadAddress)
+{
+    MwsCommand cmd;
+    cmd.selections.push_back(WlSelection{0, 0, 0});
+    EXPECT_DEATH(encodeMws(geom, cmd), "empty PBM");
+    cmd.selections[0] = WlSelection{999999, 0, 1};
+    EXPECT_DEATH(encodeMws(geom, cmd), "block out of range");
+}
+
+TEST_F(CommandTest, MwsDecodeRejectsTruncation)
+{
+    MwsCommand cmd;
+    cmd.selections.push_back(WlSelection{5, 1, 0b111});
+    auto bytes = encodeMws(geom, cmd);
+    bytes.pop_back();
+    EXPECT_DEATH(decodeMws(geom, bytes), "truncated");
+}
+
+TEST_F(CommandTest, MwsDecodeRejectsCrossPlaneSlots)
+{
+    // Hand-build two slots naming different planes.
+    MwsCommand a;
+    a.plane = 0;
+    a.selections.push_back(WlSelection{1, 0, 1});
+    a.selections.push_back(WlSelection{2, 0, 1});
+    auto bytes = encodeMws(geom, a);
+    // Patch the second slot's plane byte (slot layout: 10 bytes each;
+    // first slot starts at offset 2, second at 2 + 10 + 1).
+    bytes[2 + 10 + 1] = 1;
+    EXPECT_DEATH(decodeMws(geom, bytes), "one plane");
+}
+
+TEST_F(CommandTest, EspRoundTrip)
+{
+    EspCommand cmd;
+    cmd.addr = WordlineAddr{1, 2047, 3, 47};
+    cmd.extensionCode = EspCommand::encodeFactor(1.9);
+    auto bytes = encodeEsp(geom, cmd);
+    EXPECT_EQ(bytes.front(), kOpEsp);
+    EXPECT_EQ(decodeEsp(geom, bytes), cmd);
+    EXPECT_NEAR(cmd.espFactor(), 1.9, 1e-9);
+}
+
+TEST_F(CommandTest, EspFactorEncoding)
+{
+    EXPECT_EQ(EspCommand::encodeFactor(1.0), 0);
+    EXPECT_EQ(EspCommand::encodeFactor(2.0), 100);
+    EXPECT_EQ(EspCommand::encodeFactor(1.55), 55);
+    EXPECT_DEATH(EspCommand::encodeFactor(0.5), "range");
+}
+
+TEST_F(CommandTest, XorEncoding)
+{
+    auto bytes = encodeXor();
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(bytes[0], kOpXor);
+    EXPECT_EQ(bytes[1], kSlotConf);
+}
+
+} // namespace
+} // namespace fcos::nand

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Geometry and addressing tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nand/geometry.h"
+
+namespace fcos::nand {
+namespace {
+
+TEST(GeometryTest, Table1Derivations)
+{
+    Geometry g = Geometry::table1();
+    EXPECT_EQ(g.wordlinesPerBlock(), 192u); // 4 x 48 (Table 1)
+    EXPECT_EQ(g.pageBits(), 16u * 1024 * 8);
+    EXPECT_EQ(g.pagesPerPlane(), 2048u * 192u);
+    // 8 ch x 8 dies x 2 planes x that, at 16 KiB, is the 2-TB class.
+    double tb = static_cast<double>(g.dieBytesSlc()) * 64.0 / 1e12;
+    EXPECT_NEAR(tb, 0.82, 0.1); // SLC capacity; TLC mode triples it
+}
+
+TEST(GeometryTest, WordlineIndexIsDense)
+{
+    Geometry g = Geometry::tiny();
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t b = 0; b < g.blocksPerPlane; ++b)
+        for (std::uint32_t s = 0; s < g.subBlocksPerBlock; ++s)
+            for (std::uint32_t w = 0; w < g.wordlinesPerSubBlock; ++w) {
+                WordlineAddr a{0, b, s, w};
+                auto idx = wordlineIndex(g, a);
+                EXPECT_LT(idx, g.pagesPerPlane());
+                EXPECT_TRUE(seen.insert(idx).second);
+            }
+    EXPECT_EQ(seen.size(), g.pagesPerPlane());
+}
+
+TEST(GeometryTest, SameStringPredicate)
+{
+    WordlineAddr a{0, 1, 2, 3};
+    WordlineAddr b{0, 1, 2, 7};
+    WordlineAddr c{0, 1, 3, 3};
+    WordlineAddr d{1, 1, 2, 3};
+    EXPECT_TRUE(a.sameString(b));
+    EXPECT_FALSE(a.sameString(c)); // different sub-block
+    EXPECT_FALSE(a.sameString(d)); // different plane
+}
+
+TEST(GeometryTest, CheckAddrPanicsOutOfRange)
+{
+    Geometry g = Geometry::tiny();
+    EXPECT_DEATH(checkAddr(g, WordlineAddr{9, 0, 0, 0}), "plane");
+    EXPECT_DEATH(checkAddr(g, WordlineAddr{0, 99, 0, 0}), "block");
+    EXPECT_DEATH(checkAddr(g, WordlineAddr{0, 0, 9, 0}), "sub-block");
+    EXPECT_DEATH(checkAddr(g, WordlineAddr{0, 0, 0, 99}), "wordline");
+}
+
+} // namespace
+} // namespace fcos::nand

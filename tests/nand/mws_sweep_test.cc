@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Exhaustive MWS shape sweep: for every (wordlines-per-string x
+ * strings) combination the chip supports, the sensed result must
+ * equal the reference OR-of-ANDs (Equation 1), in both normal and
+ * inverse mode, and latency/power must grow monotonically with the
+ * activation footprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/chip.h"
+#include "nand/power_model.h"
+#include "util/rng.h"
+
+namespace fcos::nand {
+namespace {
+
+struct MwsShape
+{
+    std::uint32_t wordlines; // per string
+    std::uint32_t strings;   // distinct sub-blocks activated
+};
+
+class MwsShapeTest : public ::testing::TestWithParam<MwsShape>
+{
+  protected:
+    static Geometry geometry()
+    {
+        Geometry g = Geometry::tiny();
+        g.blocksPerPlane = 16;
+        return g;
+    }
+};
+
+TEST_P(MwsShapeTest, MatchesEquationOneBothPolarities)
+{
+    const MwsShape shape = GetParam();
+    NandChip chip(geometry());
+    Rng rng = Rng::seeded(shape.wordlines * 100 + shape.strings);
+
+    // Program random data; string s lives in block s, sub-block 0.
+    std::vector<std::vector<BitVector>> data(shape.strings);
+    MwsCommand cmd;
+    cmd.plane = 0;
+    for (std::uint32_t s = 0; s < shape.strings; ++s) {
+        std::uint64_t mask = 0;
+        for (std::uint32_t w = 0; w < shape.wordlines; ++w) {
+            BitVector v(chip.geometry().pageBits());
+            v.randomize(rng);
+            chip.programPage({0, s, 0, w}, v);
+            data[s].push_back(std::move(v));
+            mask |= 1ULL << w;
+        }
+        cmd.selections.push_back(WlSelection{s, 0, mask});
+    }
+
+    // Reference: OR over strings of AND over wordlines (Equation 1).
+    BitVector expected(chip.geometry().pageBits(), false);
+    for (std::uint32_t s = 0; s < shape.strings; ++s) {
+        BitVector conj(chip.geometry().pageBits(), true);
+        for (const BitVector &v : data[s])
+            conj &= v;
+        expected |= conj;
+    }
+
+    OpResult normal = chip.executeMws(cmd);
+    EXPECT_EQ(chip.dataOut(0), expected);
+
+    cmd.flags.inverseRead = true;
+    OpResult inverse = chip.executeMws(cmd);
+    EXPECT_EQ(chip.dataOut(0), ~expected);
+    EXPECT_EQ(normal.latency, inverse.latency);
+
+    // Latency bounded by the characterized extremes.
+    EXPECT_GE(normal.latency, usToTime(22.5));
+    EXPECT_LE(normal.latency, usToTime(22.5) * 15 / 10);
+}
+
+std::vector<MwsShape>
+allShapes()
+{
+    std::vector<MwsShape> shapes;
+    for (std::uint32_t w : {1u, 2u, 3u, 5u, 8u})
+        for (std::uint32_t s : {1u, 2u, 3u, 4u, 8u})
+            shapes.push_back({w, s});
+    return shapes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MwsShapeTest, ::testing::ValuesIn(allShapes()),
+    [](const ::testing::TestParamInfo<MwsShape> &info) {
+        return "wl" + std::to_string(info.param.wordlines) + "_str" +
+               std::to_string(info.param.strings);
+    });
+
+TEST(MwsMonotonicityTest, LatencyAndPowerGrowWithFootprint)
+{
+    TimingModel tm;
+    for (std::uint32_t w = 2; w <= 48; ++w)
+        EXPECT_GE(tm.mwsLatency(w, 1), tm.mwsLatency(w - 1, 1));
+    for (std::uint32_t s = 2; s <= 32; ++s) {
+        EXPECT_GE(tm.mwsLatency(1, s), tm.mwsLatency(1, s - 1));
+        EXPECT_GT(PowerModel::interBlockMwsPower(s),
+                  PowerModel::interBlockMwsPower(s - 1));
+    }
+}
+
+TEST(MwsMixedSubBlockTest, StringsAcrossSubBlocksOfOneBlock)
+{
+    // "Inter-block" semantics also hold between sub-blocks of the same
+    // physical block: different NAND strings on the same bitlines.
+    NandChip chip(Geometry::tiny());
+    Rng rng = Rng::seeded(7);
+    BitVector a(chip.geometry().pageBits()), b(chip.geometry().pageBits());
+    a.randomize(rng);
+    b.randomize(rng);
+    chip.programPage({0, 0, 0, 2}, a);
+    chip.programPage({0, 0, 1, 5}, b);
+    MwsCommand cmd;
+    cmd.plane = 0;
+    cmd.selections.push_back(WlSelection{0, 0, 1ULL << 2});
+    cmd.selections.push_back(WlSelection{0, 1, 1ULL << 5});
+    chip.executeMws(cmd);
+    EXPECT_EQ(chip.dataOut(0), a | b);
+}
+
+} // namespace
+} // namespace fcos::nand

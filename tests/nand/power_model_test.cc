@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Power model tests: pinned to the paper's Figure 14 anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/power_model.h"
+
+namespace fcos::nand {
+namespace {
+
+TEST(PowerModelTest, InterBlockAnchors)
+{
+    // Fig. 14: one block == a read; +34% at two; ~+80% at four.
+    EXPECT_DOUBLE_EQ(PowerModel::interBlockMwsPower(1), 1.0);
+    EXPECT_NEAR(PowerModel::interBlockMwsPower(2), 1.34, 0.001);
+    EXPECT_NEAR(PowerModel::interBlockMwsPower(4), 1.80, 0.02);
+}
+
+TEST(PowerModelTest, FourBlocksBelowEraseFiveAbove)
+{
+    // Section 5.2: the 4-block cap keeps MWS below erase power.
+    EXPECT_LT(PowerModel::interBlockMwsPower(4), PowerModel::kErasePower);
+    EXPECT_GT(PowerModel::interBlockMwsPower(5), PowerModel::kErasePower);
+}
+
+TEST(PowerModelTest, IntraBlockDrawsLessThanRead)
+{
+    // Target wordlines get V_REF instead of the larger V_PASS.
+    for (std::uint32_t n = 2; n <= 48; ++n)
+        EXPECT_LT(PowerModel::intraBlockMwsPower(n),
+                  PowerModel::kReadPower);
+    EXPECT_DOUBLE_EQ(PowerModel::intraBlockMwsPower(1),
+                     PowerModel::kReadPower);
+}
+
+TEST(PowerModelTest, PowerOrderingReadProgramErase)
+{
+    EXPECT_LT(PowerModel::kReadPower, PowerModel::kProgramPower);
+    EXPECT_LT(PowerModel::kProgramPower, PowerModel::kErasePower);
+}
+
+TEST(PowerModelTest, EnergyIsPowerTimesTime)
+{
+    // 1.0 normalized power at 82.5 mW for 22.5 us = 1.856 uJ/page.
+    double e = PowerModel::energy(PowerModel::kReadPower, usToTime(22.5));
+    EXPECT_NEAR(e, 1.856e-6, 1e-8);
+    EXPECT_DOUBLE_EQ(PowerModel::energy(2.0, usToTime(10.0)),
+                     2.0 * PowerModel::energy(1.0, usToTime(10.0)));
+}
+
+TEST(PowerModelTest, FourBlockMwsMoreEfficientThanSerialReads)
+{
+    // Section 5.2: ~80% more power but 4x fewer sensings -> ~53% less
+    // energy than four serial reads.
+    Timings t;
+    double mws_energy = PowerModel::energy(
+        PowerModel::interBlockMwsPower(4),
+        static_cast<Time>(t.tReadSlc * 1.033));
+    double serial_energy =
+        4.0 * PowerModel::energy(PowerModel::kReadPower, t.tReadSlc);
+    EXPECT_NEAR(1.0 - mws_energy / serial_energy, 0.53, 0.05);
+}
+
+TEST(PowerModelTest, CombinedMwsPower)
+{
+    // The inter-block load dominates; the intra saving subtracts.
+    double p = PowerModel::mwsPower(48, 4);
+    EXPECT_LT(p, PowerModel::interBlockMwsPower(4));
+    EXPECT_GT(p, PowerModel::interBlockMwsPower(4) - 0.15);
+}
+
+} // namespace
+} // namespace fcos::nand

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * MWS latency model tests: pinned to the paper's Figure 12/13 anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/timing_model.h"
+
+namespace fcos::nand {
+namespace {
+
+TEST(TimingModelTest, IntraBlockAnchors)
+{
+    // Fig. 12: f(1)=1.000, f(8)~1.008 (<1%), f(48)=1.033.
+    EXPECT_DOUBLE_EQ(TimingModel::intraBlockFactor(1), 1.0);
+    EXPECT_NEAR(TimingModel::intraBlockFactor(8), 1.008, 0.002);
+    EXPECT_LT(TimingModel::intraBlockFactor(8), 1.01);
+    EXPECT_NEAR(TimingModel::intraBlockFactor(48), 1.033, 0.001);
+}
+
+TEST(TimingModelTest, IntraBlockMonotone)
+{
+    double prev = 0.0;
+    for (std::uint32_t n = 1; n <= 48; ++n) {
+        double f = TimingModel::intraBlockFactor(n);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(TimingModelTest, InterBlockAnchors)
+{
+    // Fig. 13: f(1)=1.000, hidden until 8 (f(8)=1.033), f(32)=1.363.
+    EXPECT_DOUBLE_EQ(TimingModel::interBlockFactor(1), 1.0);
+    EXPECT_NEAR(TimingModel::interBlockFactor(8), 1.033, 0.001);
+    EXPECT_NEAR(TimingModel::interBlockFactor(32), 1.363, 0.003);
+    // Mostly hidden below 8 blocks.
+    EXPECT_LT(TimingModel::interBlockFactor(4), 1.02);
+}
+
+TEST(TimingModelTest, InterBlockMonotoneAndContinuousAtThreshold)
+{
+    double prev = 0.0;
+    for (std::uint32_t n = 1; n <= 32; ++n) {
+        double f = TimingModel::interBlockFactor(n);
+        EXPECT_GT(f, prev) << "n=" << n;
+        prev = f;
+    }
+    double below = TimingModel::interBlockFactor(8);
+    double above = TimingModel::interBlockFactor(9);
+    EXPECT_NEAR(above - below, 0.01375, 0.002);
+}
+
+TEST(TimingModelTest, MwsLatencyTakesTheSlowerMechanism)
+{
+    TimingModel tm;
+    Time t_r = tm.timings().tReadSlc;
+    // 48 wordlines, one block: intra dominates.
+    EXPECT_NEAR(timeToUs(tm.mwsLatency(48, 1)),
+                timeToUs(t_r) * 1.033, 0.05);
+    // 1 wordline each, 32 blocks: inter dominates.
+    EXPECT_NEAR(timeToUs(tm.mwsLatency(1, 32)),
+                timeToUs(t_r) * 1.363, 0.1);
+    // Single regular read.
+    EXPECT_EQ(tm.mwsLatency(1, 1), t_r);
+}
+
+TEST(TimingModelTest, FixedCommandLatencyCoversCappedShapes)
+{
+    // Table 1: tMWS = 25 us covers any MWS with <= 4 blocks and <= 48
+    // wordlines per string.
+    TimingModel tm;
+    EXPECT_EQ(tm.mwsLatencyFixed(), usToTime(25.0));
+    for (std::uint32_t blocks = 1; blocks <= 4; ++blocks)
+        for (std::uint32_t wls : {1u, 8u, 48u})
+            EXPECT_LE(tm.mwsLatency(wls, blocks), tm.mwsLatencyFixed());
+}
+
+TEST(TimingModelTest, MwsFarCheaperThanSerialReads)
+{
+    // Reading 32 wordlines via inter-block MWS is ~1.363 tR vs 32 tR
+    // serially (Section 5.2).
+    TimingModel tm;
+    Time mws = tm.mwsLatency(1, 32);
+    Time serial = 32 * tm.timings().tReadSlc;
+    EXPECT_LT(mws * 20, serial);
+}
+
+TEST(TimingModelTest, ProgramLatenciesMatchTable1)
+{
+    Timings t;
+    EXPECT_EQ(t.programLatency(ProgramMode::SlcRegular), usToTime(200.0));
+    EXPECT_EQ(t.programLatency(ProgramMode::SlcEsp), usToTime(400.0));
+    EXPECT_EQ(t.programLatency(ProgramMode::Mlc), usToTime(500.0));
+    EXPECT_EQ(t.programLatency(ProgramMode::Tlc), usToTime(700.0));
+}
+
+} // namespace
+} // namespace fcos::nand

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ParaBit baseline tests (Figure 6 flows) and the comparison points
+ * the paper draws against it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/timing_model.h"
+#include "parabit/parabit.h"
+#include "reliability/error_injector.h"
+#include "util/rng.h"
+
+namespace fcos::pb {
+namespace {
+
+class ParaBitTest : public ::testing::Test
+{
+  protected:
+    ParaBitTest() : chip(nand::Geometry::tiny()) {}
+
+    BitVector randomPage(Rng &rng)
+    {
+        BitVector v(chip.geometry().pageBits());
+        v.randomize(rng);
+        return v;
+    }
+
+    nand::NandChip chip;
+};
+
+TEST_F(ParaBitTest, BulkAndMatchesReference)
+{
+    Rng rng = Rng::seeded(1);
+    std::vector<nand::WordlineAddr> ops;
+    BitVector expected(chip.geometry().pageBits(), true);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        BitVector v = randomPage(rng);
+        nand::WordlineAddr a{0, i / 2, i % 2, i};
+        chip.programPage(a, v);
+        ops.push_back(a);
+        expected &= v;
+    }
+    ParaBitEngine pb(chip);
+    pb.bulkAnd(ops);
+    EXPECT_EQ(pb.result(0), expected);
+    EXPECT_EQ(pb.senseCount(), 6u);
+}
+
+TEST_F(ParaBitTest, BulkOrMatchesReference)
+{
+    Rng rng = Rng::seeded(2);
+    std::vector<nand::WordlineAddr> ops;
+    BitVector expected(chip.geometry().pageBits(), false);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        BitVector v = randomPage(rng);
+        nand::WordlineAddr a{1, i, 0, 0};
+        chip.programPage(a, v);
+        ops.push_back(a);
+        expected |= v;
+    }
+    ParaBitEngine pb(chip);
+    pb.bulkOr(ops);
+    EXPECT_EQ(pb.result(1), expected);
+}
+
+TEST_F(ParaBitTest, LatencyScalesLinearlyWithOperands)
+{
+    // The Section 3.2 bottleneck: one full tR per operand.
+    Rng rng = Rng::seeded(3);
+    std::vector<nand::WordlineAddr> ops;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        nand::WordlineAddr a{0, 0, 0, i};
+        chip.programPage(a, randomPage(rng));
+        ops.push_back(a);
+    }
+    ParaBitEngine pb(chip);
+    nand::OpResult r = pb.bulkAnd(ops);
+    EXPECT_EQ(r.latency, 8 * usToTime(22.5));
+}
+
+TEST_F(ParaBitTest, MwsBeatsParaBitOnLatency)
+{
+    // Same 8-operand AND: ParaBit needs 8 tR; one intra-block MWS
+    // needs ~1.008 tR (Figures 12 / Section 8.1).
+    Rng rng = Rng::seeded(4);
+    std::vector<nand::WordlineAddr> ops;
+    std::uint64_t mask = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        nand::WordlineAddr a{0, 0, 0, i};
+        chip.programPage(a, randomPage(rng));
+        ops.push_back(a);
+        mask |= 1ULL << i;
+    }
+    ParaBitEngine pb(chip);
+    Time pb_latency = pb.bulkAnd(ops).latency;
+    BitVector pb_result = pb.result(0);
+
+    nand::MwsCommand cmd;
+    cmd.plane = 0;
+    cmd.selections.push_back(nand::WlSelection{0, 0, mask});
+    Time mws_latency = chip.executeMws(cmd).latency;
+
+    EXPECT_EQ(chip.dataOut(0), pb_result); // identical result
+    EXPECT_GT(pb_latency, 7 * mws_latency); // ~8x slower
+}
+
+TEST_F(ParaBitTest, OperandsMustSharePlane)
+{
+    ParaBitEngine pb(chip);
+    std::vector<nand::WordlineAddr> ops{{0, 0, 0, 0}, {1, 0, 0, 0}};
+    EXPECT_DEATH(pb.bulkAnd(ops), "share a plane");
+    EXPECT_DEATH(pb.bulkAnd({}), "at least one");
+}
+
+TEST_F(ParaBitTest, InheritsRawBitErrorsUnlikeEsp)
+{
+    // Section 3.2: ParaBit reads raw (regular-SLC) cells and cannot
+    // use ECC, so multi-operand ANDs accumulate errors; the same data
+    // stored with ESP computes without error.
+    rel::VthModel model;
+    rel::OperatingCondition worst{10000, 12.0, false};
+    rel::VthErrorInjector inj(model, worst);
+    nand::Geometry geom = nand::Geometry::tiny();
+    geom.pageBytes = 8192;
+    nand::NandChip echip(geom, nand::Timings{}, &inj);
+
+    Rng rng = Rng::seeded(5);
+    BitVector expected(geom.pageBits(), true);
+    std::vector<nand::WordlineAddr> slc_ops, esp_ops;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        BitVector v(geom.pageBits());
+        v.randomize(rng);
+        expected &= v;
+        nand::WordlineAddr slc_a{0, 0, 0, i};
+        nand::WordlineAddr esp_a{0, 1, 0, i};
+        echip.programPage(slc_a, v, nand::ProgramMode::SlcRegular);
+        echip.programPageEsp(esp_a, v, nand::EspParams{2.0});
+        slc_ops.push_back(slc_a);
+        esp_ops.push_back(esp_a);
+    }
+    ParaBitEngine pb(echip);
+    pb.bulkAnd(slc_ops);
+    std::size_t parabit_errors =
+        pb.result(0).hammingDistance(expected);
+    pb.bulkAnd(esp_ops);
+    std::size_t esp_errors = pb.result(0).hammingDistance(expected);
+    EXPECT_GT(parabit_errors, 0u);
+    EXPECT_EQ(esp_errors, 0u);
+}
+
+} // namespace
+} // namespace fcos::pb

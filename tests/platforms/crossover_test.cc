@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bottleneck-crossover tests: the qualitative transitions Section 8.1
+ * describes must emerge from the timing simulator, not be hard-coded.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/runner.h"
+
+namespace fcos::plat {
+namespace {
+
+wl::Workload
+andWorkload(std::uint64_t operands, std::uint64_t bytes)
+{
+    wl::Workload w;
+    w.name = "sweep";
+    w.paramName = "n";
+    w.paramValue = operands;
+    wl::OpBatch b;
+    b.andOperands = operands;
+    b.operandBytes = bytes;
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.push_back(b);
+    return w;
+}
+
+class CrossoverTest : public ::testing::Test
+{
+  protected:
+    PlatformRunner runner{ssd::SsdConfig::table1()};
+};
+
+TEST_F(CrossoverTest, ParaBitShiftsFromTransferToSenseBound)
+{
+    // Section 8.1, fourth observation: PB's bottleneck moves to serial
+    // sensing as operands grow — makespan becomes linear in operands.
+    const std::uint64_t bytes = 50000000; // 50-MB vectors
+    Time t4 = runner.run(PlatformKind::ParaBit, andWorkload(4, bytes))
+                  .makespan;
+    Time t64 = runner.run(PlatformKind::ParaBit, andWorkload(64, bytes))
+                   .makespan;
+    Time t128 =
+        runner.run(PlatformKind::ParaBit, andWorkload(128, bytes))
+            .makespan;
+    // Deep in the sense-bound regime, doubling operands ~doubles time.
+    double growth = static_cast<double>(t128) / static_cast<double>(t64);
+    EXPECT_GT(growth, 1.8);
+    EXPECT_LT(growth, 2.2);
+    // The small-operand point is NOT 32x cheaper than the large one:
+    // transfer keeps a floor under it.
+    EXPECT_GT(static_cast<double>(t4),
+              static_cast<double>(t128) / 32.0);
+}
+
+TEST_F(CrossoverTest, FlashCosmosStaysTransferBoundAcrossOperands)
+{
+    // FC senses ceil(n/48) times per row: between 48 and 96 operands
+    // nothing changes except one extra MWS — makespan nearly flat.
+    const std::uint64_t bytes = 50000000;
+    Time t48 = runner.run(PlatformKind::FlashCosmos,
+                          andWorkload(48, bytes))
+                   .makespan;
+    Time t96 = runner.run(PlatformKind::FlashCosmos,
+                          andWorkload(96, bytes))
+                   .makespan;
+    EXPECT_LT(static_cast<double>(t96) / static_cast<double>(t48),
+              1.25);
+}
+
+TEST_F(CrossoverTest, FcAdvantageGrowsThenSaturatesWithOperands)
+{
+    // FC/PB speedup approaches the string length (48) but cannot
+    // exceed it per command.
+    const std::uint64_t bytes = 50000000;
+    double prev_ratio = 0.0;
+    for (std::uint64_t n : {4ULL, 16ULL, 48ULL}) {
+        Time pb = runner.run(PlatformKind::ParaBit,
+                             andWorkload(n, bytes))
+                      .makespan;
+        Time fc = runner.run(PlatformKind::FlashCosmos,
+                             andWorkload(n, bytes))
+                      .makespan;
+        double ratio =
+            static_cast<double>(pb) / static_cast<double>(fc);
+        EXPECT_GT(ratio, prev_ratio);
+        EXPECT_LT(ratio, 49.0);
+        prev_ratio = ratio;
+    }
+}
+
+TEST_F(CrossoverTest, SmallResultsMakeExternalLinkIrrelevantForFc)
+{
+    // BMI vs IMS contrast (Section 8.1, fifth observation): with many
+    // operands and a small result (BMI m=36 has 1095 operands), FC's
+    // time tracks sensing; with few operands and a huge result (IMS),
+    // it tracks the external link.
+    wl::Workload small = andWorkload(1095, 10000000); // 10-MB result
+    wl::Workload large = andWorkload(3, 10000000000); // 10-GB result
+    RunResult r_small =
+        runner.run(PlatformKind::FlashCosmos, small);
+    RunResult r_large =
+        runner.run(PlatformKind::FlashCosmos, large);
+    EXPECT_GT(r_small.planeBusy, r_small.externalBusy);
+    EXPECT_GT(r_large.externalBusy, r_large.planeBusy);
+}
+
+TEST_F(CrossoverTest, IspBoundByChannelRegardlessOfOperands)
+{
+    for (std::uint64_t n : {4ULL, 64ULL}) {
+        RunResult r =
+            runner.run(PlatformKind::Isp, andWorkload(n, 50000000));
+        EXPECT_GT(r.channelBusy, r.externalBusy) << n << " operands";
+    }
+}
+
+} // namespace
+} // namespace fcos::plat

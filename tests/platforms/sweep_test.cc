@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Evaluation-sweep library tests (on reduced workloads for speed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/sweep.h"
+
+namespace fcos::plat {
+namespace {
+
+TEST(SweepTest, PointRunsAllPlatformsCoherently)
+{
+    EvaluationSweep sweep;
+    SweepPoint p = sweep.runPoint(wl::makeKcs(16, 4, 8000000ULL));
+    EXPECT_GT(p.osp.makespan, 0u);
+    // Speedup of OSP over itself is 1 by construction.
+    EXPECT_DOUBLE_EQ(p.speedup(PlatformKind::Osp), 1.0);
+    EXPECT_DOUBLE_EQ(p.energyRatio(PlatformKind::Osp), 1.0);
+    // FC dominates on this AND-heavy workload.
+    EXPECT_GT(p.speedup(PlatformKind::FlashCosmos),
+              p.speedup(PlatformKind::ParaBit));
+    EXPECT_GT(p.speedup(PlatformKind::ParaBit),
+              p.speedup(PlatformKind::Isp));
+    EXPECT_GT(p.energyRatio(PlatformKind::FlashCosmos), 1.0);
+}
+
+TEST(SweepTest, MeansAggregateAcrossSeries)
+{
+    EvaluationSweep sweep;
+    SweepSeries a{"A",
+                  {sweep.runPoint(wl::makeKcs(8, 2, 8000000ULL)),
+                   sweep.runPoint(wl::makeKcs(16, 2, 8000000ULL))}};
+    SweepSeries b{"B", {sweep.runPoint(wl::makeBmi(1, 80000000ULL))}};
+    std::vector<SweepSeries> series{a, b};
+
+    double fc = EvaluationSweep::meanSpeedup(series,
+                                             PlatformKind::FlashCosmos);
+    double pb =
+        EvaluationSweep::meanSpeedup(series, PlatformKind::ParaBit);
+    EXPECT_GT(fc, pb);
+    EXPECT_GT(pb, 1.0);
+    EXPECT_DOUBLE_EQ(
+        EvaluationSweep::meanSpeedup(series, PlatformKind::Osp), 1.0);
+
+    double fc_e = EvaluationSweep::meanEnergyRatio(
+        series, PlatformKind::FlashCosmos);
+    EXPECT_GT(fc_e, 1.0);
+}
+
+TEST(SweepTest, SeriesCoverThePaperParameters)
+{
+    // Check the parameter lists without running them (expensive).
+    EvaluationSweep sweep;
+    // Spot-run the smallest point of each series generator's family.
+    SweepPoint bmi = sweep.runPoint(wl::makeBmi(1));
+    EXPECT_EQ(bmi.workload.name, "BMI");
+    EXPECT_EQ(bmi.workload.batches[0].andOperands, 30u);
+    SweepPoint ims = sweep.runPoint(wl::makeIms(10000));
+    EXPECT_EQ(ims.workload.name, "IMS");
+    SweepPoint kcs = sweep.runPoint(wl::makeKcs(8, 16));
+    EXPECT_EQ(kcs.workload.name, "KCS");
+}
+
+} // namespace
+} // namespace fcos::plat

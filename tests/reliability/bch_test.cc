@@ -1,0 +1,188 @@
+/**
+ * @file
+ * BCH codec tests: GF arithmetic, encode/decode round trips, error
+ * correction up to t, failure beyond t, and the Section 3.2 claim
+ * that in-flash AND breaks ECC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "reliability/bch.h"
+#include "util/rng.h"
+
+namespace fcos::rel {
+namespace {
+
+TEST(GaloisFieldTest, BasicAxioms)
+{
+    GaloisField gf(8);
+    EXPECT_EQ(gf.n(), 255u);
+    Rng rng = Rng::seeded(1);
+    for (int i = 0; i < 200; ++i) {
+        unsigned a = 1 + static_cast<unsigned>(rng.nextBounded(255));
+        unsigned b = 1 + static_cast<unsigned>(rng.nextBounded(255));
+        // Multiplicative inverse and associativity spot checks.
+        EXPECT_EQ(gf.mul(a, gf.inv(a)), 1u);
+        EXPECT_EQ(gf.div(gf.mul(a, b), b), a);
+        EXPECT_EQ(gf.mul(a, 1), a);
+        EXPECT_EQ(gf.mul(a, 0), 0u);
+    }
+}
+
+TEST(GaloisFieldTest, AlphaPowersCycle)
+{
+    GaloisField gf(5);
+    EXPECT_EQ(gf.alphaPow(0), 1u);
+    EXPECT_EQ(gf.alphaPow(gf.n()), 1u);
+    // All non-zero elements appear exactly once in one period.
+    std::set<unsigned> seen;
+    for (unsigned e = 0; e < gf.n(); ++e)
+        EXPECT_TRUE(seen.insert(gf.alphaPow(e)).second);
+}
+
+class BchParamTest
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(BchParamTest, CorrectsUpToTErrors)
+{
+    auto [m, t] = GetParam();
+    BchCode code(m, t);
+    EXPECT_EQ(code.n(), (1u << m) - 1);
+    EXPECT_LE(code.parityBits(), m * t);
+
+    Rng rng = Rng::seeded(m * 100 + t);
+    for (int round = 0; round < 8; ++round) {
+        BitVector data(code.k());
+        data.randomize(rng);
+        BitVector cw = code.encode(data);
+        EXPECT_EQ(code.extractData(cw), data);
+
+        // Inject exactly t errors at distinct positions.
+        BitVector corrupted = cw;
+        std::set<std::size_t> positions;
+        while (positions.size() < t)
+            positions.insert(
+                static_cast<std::size_t>(rng.nextBounded(code.n())));
+        for (auto p : positions)
+            corrupted.set(p, !corrupted.get(p));
+
+        BchDecodeResult r = code.decode(corrupted);
+        EXPECT_TRUE(r.ok);
+        EXPECT_EQ(r.corrected, t);
+        EXPECT_EQ(corrupted, cw);
+        EXPECT_EQ(code.extractData(corrupted), data);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, BchParamTest,
+    ::testing::Values(std::pair{5u, 1u}, std::pair{6u, 2u},
+                      std::pair{8u, 2u}, std::pair{8u, 4u},
+                      std::pair{10u, 4u}, std::pair{10u, 8u},
+                      std::pair{13u, 8u}));
+
+TEST(BchTest, CleanWordDecodesWithZeroCorrections)
+{
+    BchCode code(8, 3);
+    Rng rng = Rng::seeded(5);
+    BitVector data(code.k());
+    data.randomize(rng);
+    BitVector cw = code.encode(data);
+    BchDecodeResult r = code.decode(cw);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.corrected, 0u);
+}
+
+TEST(BchTest, DetectsUncorrectableOverload)
+{
+    // Far more errors than t: decode must not silently "succeed" into
+    // the original data.
+    BchCode code(8, 2);
+    Rng rng = Rng::seeded(6);
+    int failures_or_miscorrections = 0;
+    for (int round = 0; round < 10; ++round) {
+        BitVector data(code.k());
+        data.randomize(rng);
+        BitVector cw = code.encode(data);
+        BitVector corrupted = cw;
+        for (int e = 0; e < 12; ++e) {
+            auto p = static_cast<std::size_t>(rng.nextBounded(code.n()));
+            corrupted.set(p, !corrupted.get(p));
+        }
+        BchDecodeResult r = code.decode(corrupted);
+        if (!r.ok || code.extractData(corrupted) != data)
+            ++failures_or_miscorrections;
+    }
+    EXPECT_EQ(failures_or_miscorrections, 10);
+}
+
+TEST(BchTest, CodewordsClosedUnderXorButNotAnd)
+{
+    // Linearity in GF(2): XOR of codewords is a codeword; AND is not
+    // (the executable core of Section 3.2's ECC argument).
+    BchCode code(8, 2);
+    Rng rng = Rng::seeded(7);
+    int and_valid = 0;
+    for (int round = 0; round < 20; ++round) {
+        BitVector d1(code.k()), d2(code.k());
+        d1.randomize(rng);
+        d2.randomize(rng);
+        BitVector c1 = code.encode(d1), c2 = code.encode(d2);
+
+        BitVector x = c1 ^ c2;
+        BchDecodeResult rx = code.decode(x);
+        EXPECT_TRUE(rx.ok);
+        EXPECT_EQ(rx.corrected, 0u);
+        EXPECT_EQ(code.extractData(x), d1 ^ d2);
+
+        BitVector a = c1 & c2;
+        BchDecodeResult ra = code.decode(a);
+        if (ra.ok && ra.corrected == 0)
+            ++and_valid;
+    }
+    EXPECT_EQ(and_valid, 0);
+}
+
+TEST(PageCodecTest, PageRoundTripWithScatteredErrors)
+{
+    PageCodec codec(BchCode(10, 4));
+    Rng rng = Rng::seeded(8);
+    BitVector page(4096);
+    page.randomize(rng);
+    BitVector enc = codec.encodePage(page);
+    EXPECT_EQ(enc.size(), codec.encodedBits(page.size()));
+
+    // Up to t errors in each chunk remain correctable.
+    for (std::size_t c = 0; c < enc.size() / codec.code().n(); ++c) {
+        for (int e = 0; e < 4; ++e) {
+            std::size_t p = c * codec.code().n() +
+                            static_cast<std::size_t>(rng.nextBounded(
+                                codec.code().n()));
+            enc.set(p, !enc.get(p));
+        }
+    }
+    BitVector out;
+    BchDecodeResult r = codec.decodePage(enc, page.size(), &out);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(out, page);
+}
+
+TEST(PageCodecTest, PartialLastChunkPads)
+{
+    PageCodec codec(BchCode(6, 2));
+    Rng rng = Rng::seeded(9);
+    BitVector page(100); // not a multiple of k
+    page.randomize(rng);
+    BitVector enc = codec.encodePage(page);
+    BitVector out;
+    BchDecodeResult r = codec.decodePage(enc, page.size(), &out);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(out, page);
+}
+
+} // namespace
+} // namespace fcos::rel

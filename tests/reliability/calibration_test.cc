@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Reliability-model calibration: the default VthParams must reproduce
+ * the quantitative anchors the paper quotes from its 160-chip
+ * characterization (Sections 3.2 and 5.2). If a model change moves
+ * these, the Figure 8/11 benches silently drift — this test is the
+ * guardrail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reliability/vth_model.h"
+
+namespace fcos::rel {
+namespace {
+
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    /** The Figure 8 measurement grid. */
+    std::vector<std::uint32_t> pecs{0, 1000, 2000, 3000, 6000, 10000};
+    std::vector<double> months{0, 1, 2, 3, 6, 12};
+
+    double gridAverage(nand::ProgramMode mode, bool randomized) const
+    {
+        VthModel m;
+        double sum = 0.0;
+        int n = 0;
+        for (auto pec : std::vector<std::uint32_t>{0, 1000, 2000, 3000,
+                                                   6000, 10000}) {
+            for (double mo : {0.0, 1.0, 2.0, 3.0, 6.0, 12.0}) {
+                OperatingCondition c{pec, mo, randomized};
+                sum += (mode == nand::ProgramMode::Mlc) ? m.rberMlc(c)
+                                                        : m.rberSlc(c);
+                ++n;
+            }
+        }
+        return sum / n;
+    }
+
+    VthModel model;
+};
+
+TEST_F(CalibrationTest, SlcRandomizationFactorNearPaper)
+{
+    // Section 3.2: disabling randomization raises SLC RBER by 1.91x.
+    double with_r = gridAverage(nand::ProgramMode::SlcRegular, true);
+    double without_r = gridAverage(nand::ProgramMode::SlcRegular, false);
+    double factor = without_r / with_r;
+    EXPECT_GT(factor, 1.5);
+    EXPECT_LT(factor, 2.4);
+}
+
+TEST_F(CalibrationTest, MlcRandomizationFactorNearPaper)
+{
+    // Section 3.2: 4.92x for MLC.
+    double with_r = gridAverage(nand::ProgramMode::Mlc, true);
+    double without_r = gridAverage(nand::ProgramMode::Mlc, false);
+    double factor = without_r / with_r;
+    EXPECT_GT(factor, 3.5);
+    EXPECT_LT(factor, 6.5);
+}
+
+TEST_F(CalibrationTest, MlcWorseThanSlcByUpToFourX)
+{
+    // Section 3.2: MLC-mode programming up to ~4x the RBER of SLC.
+    OperatingCondition worst{10000, 12.0, true};
+    double slc = model.rberSlc(worst);
+    double mlc = model.rberMlc(worst);
+    EXPECT_GT(mlc / slc, 2.0);
+    EXPECT_LT(mlc / slc, 6.0);
+}
+
+TEST_F(CalibrationTest, WorstCaseRberRangeMatchesSection32)
+{
+    // "a bit error rate range of 8.6e-4 to 1.6e-2 (the RBER range
+    // across the two plots in Figure 8(b))" — MLC, with and without
+    // randomization.
+    double lo = 1e9, hi = 0.0;
+    for (auto pec : pecs) {
+        for (double mo : months) {
+            for (bool r : {true, false}) {
+                double v = model.rberMlc({pec, mo, r});
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+        }
+    }
+    EXPECT_GT(hi, 8e-3);
+    EXPECT_LT(hi, 3.2e-2);
+    EXPECT_LT(lo, 2.5e-3);
+}
+
+TEST_F(CalibrationTest, SlcWorstCaseOnMilliScale)
+{
+    // Figure 8(a)'s axis tops out at 6e-3: the worst SLC point
+    // (10K PEC, 12 months) must sit on that scale.
+    double worst = model.rberSlc({10000, 12.0, true});
+    EXPECT_GT(worst, 1e-3);
+    EXPECT_LT(worst, 6e-3);
+}
+
+TEST_F(CalibrationTest, SlcPristineIsNearZero)
+{
+    // Fresh blocks at retention 0 show ~0 on the Figure 8 axes.
+    EXPECT_LT(model.rberSlc({0, 0.0, true}), 1e-6);
+}
+
+TEST_F(CalibrationTest, RberMonotoneInPecAndRetention)
+{
+    for (bool randomized : {true, false}) {
+        double prev = -1.0;
+        for (auto pec : pecs) {
+            double v = model.rberSlc({pec, 12.0, randomized});
+            EXPECT_GE(v, prev);
+            prev = v;
+        }
+        prev = -1.0;
+        for (double mo : months) {
+            double v = model.rberMlc({10000, mo, randomized});
+            EXPECT_GE(v, prev);
+            prev = v;
+        }
+    }
+}
+
+TEST_F(CalibrationTest, EspOrderOfMagnitudeAtSixtyPercent)
+{
+    // Section 5.2: "increasing tESP by 60% achieves an order of
+    // magnitude RBER reduction" for the median block.
+    OperatingCondition worst{10000, 12.0, false};
+    double base = model.rberEsp(1.0, worst);
+    double at16 = model.rberEsp(1.6, worst);
+    double decades = std::log10(base / at16);
+    EXPECT_GT(decades, 0.8);
+    EXPECT_LT(decades, 2.0);
+}
+
+TEST_F(CalibrationTest, EspZeroErrorRegimeAtNinetyPercent)
+{
+    // Section 5.2: zero errors across 4.83e11 bits at tESP >= 1.9x,
+    // i.e. statistical RBER below 2.07e-12.
+    OperatingCondition worst{10000, 12.0, false};
+    for (double f : {1.9, 1.95, 2.0}) {
+        double rber = model.rberEsp(f, worst);
+        // Even a pessimistic (quality = 1.3) block stays under the
+        // paper's bound.
+        EXPECT_LT(model.rberEsp(f, worst, 1.3), 2.07e-12) << "f=" << f;
+        EXPECT_LT(rber, 2.07e-12) << "f=" << f;
+    }
+}
+
+TEST_F(CalibrationTest, EspMonotoneInExtension)
+{
+    OperatingCondition worst{10000, 12.0, false};
+    double prev = 1.0;
+    for (double f = 1.0; f <= 2.0; f += 0.1) {
+        double v = model.rberEsp(f, worst);
+        EXPECT_LE(v, prev) << "f=" << f;
+        prev = v;
+    }
+}
+
+TEST_F(CalibrationTest, EspAtBaselineEqualsRegularSlc)
+{
+    OperatingCondition c{10000, 12.0, false};
+    EXPECT_DOUBLE_EQ(model.rberEsp(1.0, c), model.rberSlc(c));
+}
+
+} // namespace
+} // namespace fcos::rel

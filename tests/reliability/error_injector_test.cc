@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Error-injector tests: statistical faithfulness and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nand/chip.h"
+#include "reliability/error_injector.h"
+
+namespace fcos::rel {
+namespace {
+
+TEST(ErrorInjectorTest, ZeroRateInjectsNothing)
+{
+    VthModel model;
+    VthErrorInjector inj(model, {0, 0.0, true});
+    BitVector page(1 << 16, true);
+    nand::PageMeta meta;
+    meta.mode = nand::ProgramMode::SlcRegular;
+    meta.randomized = true;
+    BitVector copy = page;
+    inj.inject(page, meta, 1);
+    // Pristine SLC RBER is ~1e-13; 64K bits should see zero flips.
+    EXPECT_EQ(page, copy);
+    EXPECT_EQ(inj.injectedErrors(), 0u);
+    EXPECT_EQ(inj.sensedBits(), page.size());
+}
+
+TEST(ErrorInjectorTest, FlipCountTracksAnalyticRate)
+{
+    VthModel model;
+    OperatingCondition worst{10000, 12.0, false};
+    VthErrorInjector inj(model, worst);
+    nand::PageMeta meta;
+    meta.mode = nand::ProgramMode::Mlc;
+    meta.randomized = false;
+    double p = model.rberMlc(worst);
+
+    const std::size_t bits = 1 << 18;
+    std::uint64_t flips = 0;
+    for (int round = 0; round < 16; ++round) {
+        BitVector page(bits, true);
+        BitVector copy = page;
+        inj.inject(page, meta, static_cast<std::uint64_t>(round));
+        flips += page.hammingDistance(copy);
+    }
+    double expected = p * bits * 16;
+    EXPECT_NEAR(static_cast<double>(flips), expected,
+                5.0 * std::sqrt(expected) + 10);
+}
+
+TEST(ErrorInjectorTest, DeterministicPerSeed)
+{
+    VthModel model;
+    OperatingCondition worst{10000, 12.0, false};
+    nand::PageMeta meta;
+    meta.mode = nand::ProgramMode::Mlc;
+
+    VthErrorInjector inj1(model, worst, 1.0, 99);
+    VthErrorInjector inj2(model, worst, 1.0, 99);
+    BitVector a(1 << 16, true), b(1 << 16, true);
+    inj1.inject(a, meta, 7);
+    inj2.inject(b, meta, 7);
+    EXPECT_EQ(a, b);
+
+    BitVector c(1 << 16, true);
+    inj1.inject(c, meta, 8); // different per-read seed -> different flips
+    EXPECT_NE(a, c);
+}
+
+TEST(ErrorInjectorTest, EspPagesSeeNoErrorsThroughChip)
+{
+    // End-to-end: an ESP-programmed page read under worst-case
+    // conditions returns exactly the stored data (the paper's
+    // zero-bit-error property), while a regular SLC page of the same
+    // size accumulates visible errors across many reads.
+    VthModel model;
+    OperatingCondition worst{10000, 12.0, false};
+    VthErrorInjector inj(model, worst);
+
+    nand::Geometry geom = nand::Geometry::tiny();
+    geom.pageBytes = 4096; // larger page: sharper statistics
+    nand::NandChip chip(geom, nand::Timings{}, &inj);
+
+    Rng rng = Rng::seeded(3);
+    BitVector data(geom.pageBits());
+    data.randomize(rng);
+    chip.programPageEsp({0, 0, 0, 0}, data, nand::EspParams{2.0});
+    chip.programPage({0, 1, 0, 0}, data, nand::ProgramMode::SlcRegular);
+
+    std::uint64_t esp_errors = 0, slc_errors = 0;
+    for (int reads = 0; reads < 50; ++reads) {
+        chip.readPage({0, 0, 0, 0});
+        esp_errors += chip.dataOut(0).hammingDistance(data);
+        chip.readPage({0, 1, 0, 0});
+        slc_errors += chip.dataOut(0).hammingDistance(data);
+    }
+    EXPECT_EQ(esp_errors, 0u);
+    EXPECT_GT(slc_errors, 0u);
+}
+
+TEST(ErrorInjectorTest, MwsOnEspOperandsIsExact)
+{
+    // Multi-operand MWS multiplies exposure (every operand cell can
+    // err); with ESP it still comes out exact.
+    VthModel model;
+    OperatingCondition worst{10000, 12.0, false};
+    VthErrorInjector inj(model, worst);
+    nand::NandChip chip(nand::Geometry::tiny(), nand::Timings{}, &inj);
+
+    Rng rng = Rng::seeded(4);
+    BitVector expected(chip.geometry().pageBits(), true);
+    std::uint64_t mask = 0;
+    for (std::uint32_t wl = 0; wl < 8; ++wl) {
+        BitVector v(chip.geometry().pageBits());
+        v.randomize(rng);
+        chip.programPageEsp({0, 0, 0, wl}, v, nand::EspParams{2.0});
+        expected &= v;
+        mask |= 1ULL << wl;
+    }
+    nand::MwsCommand cmd;
+    cmd.plane = 0;
+    cmd.selections.push_back(nand::WlSelection{0, 0, mask});
+    chip.executeMws(cmd);
+    EXPECT_EQ(chip.dataOut(0), expected);
+}
+
+} // namespace
+} // namespace fcos::rel

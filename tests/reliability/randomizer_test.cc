@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Data randomizer tests, including the Section 3.2 incompatibility
+ * of randomization with in-flash AND/OR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/randomizer.h"
+#include "util/rng.h"
+
+namespace fcos::rel {
+namespace {
+
+TEST(RandomizerTest, ApplyTwiceIsIdentity)
+{
+    Randomizer r;
+    Rng rng = Rng::seeded(1);
+    BitVector page(1000);
+    page.randomize(rng);
+    BitVector original = page;
+    r.apply(page, 42);
+    EXPECT_NE(page, original);
+    r.apply(page, 42);
+    EXPECT_EQ(page, original);
+}
+
+TEST(RandomizerTest, DifferentPagesGetDifferentKeystreams)
+{
+    Randomizer r;
+    BitVector a(512, false), b(512, false);
+    r.apply(a, 1);
+    r.apply(b, 2);
+    EXPECT_NE(a, b);
+    EXPECT_NE(r.keystreamWord(1, 0), r.keystreamWord(2, 0));
+    EXPECT_NE(r.keystreamWord(1, 0), r.keystreamWord(1, 1));
+}
+
+TEST(RandomizerTest, BreaksWorstCasePatterns)
+{
+    // An all-zeros page (every cell programmed — a disturb-hostile
+    // pattern) scrambles to roughly half ones.
+    Randomizer r;
+    BitVector page(8192, false);
+    r.apply(page, 7);
+    double ones = static_cast<double>(page.popcount());
+    EXPECT_GT(ones, 8192 * 0.40);
+    EXPECT_LT(ones, 8192 * 0.60);
+}
+
+TEST(RandomizerTest, TailBitsStayClean)
+{
+    Randomizer r;
+    BitVector page(70, false);
+    r.apply(page, 3);
+    EXPECT_LE(page.popcount(), 70u);
+    BitVector copy = page;
+    copy.invert();
+    EXPECT_EQ(copy.popcount(), 70u - page.popcount());
+}
+
+TEST(RandomizerTest, AndDoesNotCommuteWithScrambling)
+{
+    // Section 3.2: derandomize(randomize(A) AND randomize(B)) != A AND B,
+    // which is why ParaBit must disable randomization.
+    Randomizer r;
+    Rng rng = Rng::seeded(2);
+    BitVector a(2048), b(2048);
+    a.randomize(rng);
+    b.randomize(rng);
+
+    BitVector sa = a, sb = b;
+    r.apply(sa, 10); // as stored on wordline 10
+    r.apply(sb, 11); // as stored on wordline 11
+
+    BitVector in_flash_and = sa & sb; // what MWS would sense
+    // The controller would derandomize the result with *some* page's
+    // keystream — neither choice recovers A AND B.
+    BitVector attempt1 = in_flash_and;
+    r.apply(attempt1, 10);
+    BitVector attempt2 = in_flash_and;
+    r.apply(attempt2, 11);
+    BitVector truth = a & b;
+    EXPECT_NE(attempt1, truth);
+    EXPECT_NE(attempt2, truth);
+    // And the damage is massive, not a few bits.
+    EXPECT_GT(attempt1.hammingDistance(truth), 2048u / 8);
+}
+
+TEST(RandomizerTest, DeviceSeedChangesKeystream)
+{
+    Randomizer r1(111), r2(222);
+    BitVector a(256, false), b(256, false);
+    r1.apply(a, 5);
+    r2.apply(b, 5);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace fcos::rel

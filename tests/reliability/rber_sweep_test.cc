@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Parameterized sweeps over the full Figure 8 grid: structural
+ * properties of the reliability model that must hold at *every* grid
+ * point, not only at the calibrated anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/vth_model.h"
+
+namespace fcos::rel {
+namespace {
+
+struct GridPoint
+{
+    std::uint32_t pec;
+    double months;
+};
+
+class RberGridTest : public ::testing::TestWithParam<GridPoint>
+{
+  protected:
+    VthModel model;
+};
+
+TEST_P(RberGridTest, RandomizationNeverHurts)
+{
+    const GridPoint g = GetParam();
+    OperatingCondition with{g.pec, g.months, true};
+    OperatingCondition without{g.pec, g.months, false};
+    EXPECT_LE(model.rberSlc(with), model.rberSlc(without));
+    EXPECT_LE(model.rberMlc(with), model.rberMlc(without));
+    EXPECT_LE(model.rberMlcLsb(with), model.rberMlcLsb(without));
+}
+
+TEST_P(RberGridTest, ModeOrderingSlcBeatsMlc)
+{
+    const GridPoint g = GetParam();
+    for (bool r : {true, false}) {
+        OperatingCondition c{g.pec, g.months, r};
+        EXPECT_LE(model.rberSlc(c), model.rberMlc(c) * 1.05)
+            << "pec=" << g.pec << " months=" << g.months;
+    }
+}
+
+TEST_P(RberGridTest, EspAlwaysNoWorseThanRegularSlc)
+{
+    const GridPoint g = GetParam();
+    OperatingCondition c{g.pec, g.months, false};
+    double slc = model.rberSlc(c);
+    for (double f : {1.0, 1.3, 1.7, 2.0})
+        EXPECT_LE(model.rberEsp(f, c), slc * (1.0 + 1e-9));
+}
+
+TEST_P(RberGridTest, QualityOrderingHolds)
+{
+    const GridPoint g = GetParam();
+    OperatingCondition c{g.pec, g.months, false};
+    EXPECT_LE(model.rberSlc(c, 0.85), model.rberSlc(c, 1.0));
+    EXPECT_LE(model.rberSlc(c, 1.0), model.rberSlc(c, 1.25));
+    EXPECT_LE(model.rberMlc(c, 0.85), model.rberMlc(c, 1.25));
+}
+
+TEST_P(RberGridTest, RatesAreProbabilities)
+{
+    const GridPoint g = GetParam();
+    for (bool r : {true, false}) {
+        OperatingCondition c{g.pec, g.months, r};
+        for (double v :
+             {model.rberSlc(c), model.rberMlc(c), model.rberMlcLsb(c),
+              model.rberEsp(1.5, c)}) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LT(v, 0.5); // never worse than a coin flip
+        }
+    }
+}
+
+std::vector<GridPoint>
+figure8Grid()
+{
+    std::vector<GridPoint> grid;
+    for (std::uint32_t pec : {0u, 1000u, 2000u, 3000u, 6000u, 10000u})
+        for (double mo : {0.0, 1.0, 3.0, 12.0})
+            grid.push_back({pec, mo});
+    return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure8Grid, RberGridTest, ::testing::ValuesIn(figure8Grid()),
+    [](const ::testing::TestParamInfo<GridPoint> &info) {
+        return "pec" + std::to_string(info.param.pec) + "_mo" +
+               std::to_string(static_cast<int>(info.param.months));
+    });
+
+} // namespace
+} // namespace fcos::rel

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Read-retry and data-pattern tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reliability/patterns.h"
+#include "reliability/read_retry.h"
+
+namespace fcos::rel {
+namespace {
+
+TEST(ReadRetryTest, OptimumMatchesNoiseWeightedMidpoint)
+{
+    VthModel model;
+    for (std::uint32_t pec : {0u, 3000u, 10000u}) {
+        OperatingCondition c{pec, 6.0, false};
+        double searched = ReadRetry::optimalSlcRef(model, c);
+        double analytic = model.slcStates(c).readRef;
+        EXPECT_NEAR(searched, analytic, 0.02) << "pec=" << pec;
+    }
+}
+
+TEST(ReadRetryTest, RberIsUnimodalAroundOptimum)
+{
+    VthModel model;
+    OperatingCondition c{10000, 12.0, false};
+    double best = ReadRetry::optimalSlcRef(model, c);
+    double at_best = ReadRetry::rberSlcAtRef(model, c, best);
+    for (double off : {0.2, 0.5, 1.0}) {
+        EXPECT_GT(ReadRetry::rberSlcAtRef(model, c, best + off),
+                  at_best);
+        EXPECT_GT(ReadRetry::rberSlcAtRef(model, c, best - off),
+                  at_best);
+    }
+}
+
+TEST(ReadRetryTest, StaleDefaultReferenceCostsErrors)
+{
+    // Why read-retry exists: reading an aged page at the pristine
+    // default reference is much worse than at the tracked optimum.
+    VthModel model;
+    OperatingCondition aged{10000, 12.0, false};
+    double pristine_ref =
+        model.slcStates(OperatingCondition{0, 0.0, false}).readRef;
+    double stale = ReadRetry::rberSlcAtRef(model, aged, pristine_ref);
+    double tracked = ReadRetry::rberSlcAtRef(
+        model, aged, ReadRetry::optimalSlcRef(model, aged));
+    EXPECT_GT(stale, 3.0 * tracked);
+}
+
+TEST(ReadRetryTest, RetryStepsGrowWithDegradation)
+{
+    VthModel model;
+    unsigned fresh = ReadRetry::retryStepsNeeded(
+        model, OperatingCondition{0, 0.0, false});
+    unsigned aged = ReadRetry::retryStepsNeeded(
+        model, OperatingCondition{10000, 12.0, false});
+    EXPECT_EQ(fresh, 0u);
+    EXPECT_GT(aged, 0u);
+    EXPECT_LT(aged, 30u); // sane magnitude
+}
+
+TEST(PatternTest, WorstCasePatternSatisfiesConstraints)
+{
+    Rng rng = Rng::seeded(3);
+    for (std::uint64_t mask : {0x1ULL, 0xFFULL, 0xA5ULL}) {
+        auto pages = worstCaseMwsPattern(8, 512, mask, rng);
+        ASSERT_EQ(pages.size(), 8u);
+        EXPECT_TRUE(satisfiesWorstCaseConstraints(pages, mask));
+    }
+}
+
+TEST(PatternTest, ConstraintCheckerCatchesViolations)
+{
+    Rng rng = Rng::seeded(4);
+    auto pages = worstCaseMwsPattern(8, 256, 0x0F, rng);
+    // Violation 1: a '1' on a non-target wordline.
+    auto bad1 = pages;
+    bad1[7].set(0, true);
+    EXPECT_FALSE(satisfiesWorstCaseConstraints(bad1, 0x0F));
+    // Violation 2: two '1's in one string.
+    auto bad2 = pages;
+    bad2[0].set(5, true);
+    bad2[1].set(5, true);
+    EXPECT_FALSE(satisfiesWorstCaseConstraints(bad2, 0x0F));
+}
+
+TEST(PatternTest, PatternActuallyWeakensStrings)
+{
+    // Roughly half the strings carry exactly one conducting target
+    // cell; none carry two.
+    Rng rng = Rng::seeded(5);
+    auto pages = worstCaseMwsPattern(8, 4096, 0xFF, rng);
+    std::size_t ones = 0;
+    for (const auto &p : pages)
+        ones += p.popcount();
+    EXPECT_GT(ones, 4096u * 3 / 10);
+    EXPECT_LT(ones, 4096u * 7 / 10);
+}
+
+} // namespace
+} // namespace fcos::rel

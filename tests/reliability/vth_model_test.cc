@@ -1,0 +1,151 @@
+/**
+ * @file
+ * V_TH model structural tests (state placement, quality scaling,
+ * mode dispatch).
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/vth_model.h"
+
+namespace fcos::rel {
+namespace {
+
+TEST(VthModelTest, SlcStatesDegradeAsExpected)
+{
+    VthModel m;
+    auto fresh = m.slcStates({0, 0.0, true});
+    auto aged = m.slcStates({10000, 12.0, true});
+    // Retention drops the programmed state; disturb raises erased.
+    EXPECT_LT(aged.progMean, fresh.progMean);
+    EXPECT_GT(aged.erasedMean, fresh.erasedMean);
+    // Wear widens the distributions.
+    EXPECT_GT(aged.progSigma, fresh.progSigma);
+    // The optimal read reference stays between the states.
+    EXPECT_GT(aged.readRef, aged.erasedMean);
+    EXPECT_LT(aged.readRef, aged.progMean);
+}
+
+TEST(VthModelTest, QualityScalesRber)
+{
+    VthModel m;
+    OperatingCondition c{10000, 12.0, true};
+    double good = m.rberSlc(c, 0.9);
+    double typical = m.rberSlc(c, 1.0);
+    double bad = m.rberSlc(c, 1.2);
+    EXPECT_LT(good, typical);
+    EXPECT_LT(typical, bad);
+}
+
+TEST(VthModelTest, PatternFactorOnlyAffectsUnrandomized)
+{
+    VthModel m;
+    OperatingCondition r{10000, 12.0, true};
+    OperatingCondition nr{10000, 12.0, false};
+    EXPECT_GT(m.rberSlc(nr), m.rberSlc(r));
+    EXPECT_GT(m.rberMlc(nr), m.rberMlc(r));
+}
+
+TEST(VthModelTest, RberForDispatchesOnMode)
+{
+    VthModel m;
+    OperatingCondition c{10000, 12.0, false};
+    nand::PageMeta meta;
+    meta.mode = nand::ProgramMode::SlcRegular;
+    meta.randomized = false;
+    EXPECT_DOUBLE_EQ(m.rberFor(meta, c), m.rberSlc(c));
+
+    meta.mode = nand::ProgramMode::SlcEsp;
+    meta.espFactor = 2.0;
+    EXPECT_DOUBLE_EQ(m.rberFor(meta, c), m.rberEsp(2.0, c));
+
+    meta.mode = nand::ProgramMode::Mlc;
+    EXPECT_DOUBLE_EQ(m.rberFor(meta, c), m.rberMlc(c));
+
+    meta.mode = nand::ProgramMode::Tlc;
+    EXPECT_GT(m.rberFor(meta, c), m.rberMlc(c));
+}
+
+TEST(VthModelTest, MetaRandomizationOverridesCondition)
+{
+    // rberFor takes the randomization fact from the page metadata,
+    // not from the caller's condition.
+    VthModel m;
+    OperatingCondition c{10000, 12.0, true};
+    nand::PageMeta meta;
+    meta.mode = nand::ProgramMode::SlcRegular;
+    meta.randomized = false;
+    EXPECT_DOUBLE_EQ(m.rberFor(meta, c),
+                     m.rberSlc({10000, 12.0, false}));
+}
+
+TEST(VthModelTest, RetentionIsLogarithmicInTime)
+{
+    VthModel m;
+    double d1 = m.rberSlc({10000, 1.0, true});
+    double d2 = m.rberSlc({10000, 2.0, true});
+    double d12 = m.rberSlc({10000, 12.0, true});
+    // Doubling time grows RBER far less than 12x the 1-month value.
+    EXPECT_LT(d2 / d1, 4.0);
+    EXPECT_GT(d12, d2);
+}
+
+TEST(VthModelTest, MlcLsbPageIsMlcClassSingleBoundary)
+{
+    // Footnote 15: the LSB read is mechanically an SLC read (one
+    // boundary), but margins stay MLC-class — comparable to the
+    // full-MLC average, orders above ESP.
+    VthModel m;
+    OperatingCondition worst{10000, 12.0, false};
+    double lsb = m.rberMlcLsb(worst);
+    double mlc = m.rberMlc(worst);
+    EXPECT_GT(lsb, 0.2 * mlc);
+    EXPECT_LT(lsb, 2.0 * mlc);
+    EXPECT_GT(lsb, 1e6 * m.rberEsp(2.0, worst));
+    // Monotone in degradation like every other mode.
+    EXPECT_LT(m.rberMlcLsb({0, 0.0, true}), lsb);
+}
+
+TEST(VthModelTest, TlcWorseThanMlcEverywhere)
+{
+    // Eight states in the same window: strictly tighter margins.
+    VthModel m;
+    for (std::uint32_t pec : {0u, 3000u, 10000u}) {
+        for (double mo : {0.0, 3.0, 12.0}) {
+            for (bool r : {true, false}) {
+                OperatingCondition c{pec, mo, r};
+                EXPECT_GE(m.rberTlc(c), m.rberMlc(c))
+                    << "pec=" << pec << " mo=" << mo << " r=" << r;
+                EXPECT_LT(m.rberTlc(c), 0.5);
+            }
+        }
+    }
+}
+
+TEST(VthModelTest, TlcPristineStillErrorProne)
+{
+    // Section 3.2's premise: even fresh high-density modes carry RBER
+    // far above any UBER target, which is why SSDs need strong ECC.
+    VthModel m;
+    EXPECT_GT(m.rberTlc({0, 0.0, true}), 1e-5);
+}
+
+TEST(VthModelTest, TlcDispatchesThroughRberFor)
+{
+    VthModel m;
+    OperatingCondition c{10000, 12.0, false};
+    nand::PageMeta meta;
+    meta.mode = nand::ProgramMode::Tlc;
+    meta.randomized = false;
+    EXPECT_DOUBLE_EQ(m.rberFor(meta, c), m.rberTlc(c));
+}
+
+TEST(VthModelTest, EspRejectsOutOfRangeFactor)
+{
+    VthModel m;
+    EXPECT_DEATH(m.rberEsp(0.5, {0, 0.0, false}), "range");
+    EXPECT_DEATH(m.rberEsp(3.0, {0, 0.0, false}), "range");
+}
+
+} // namespace
+} // namespace fcos::rel

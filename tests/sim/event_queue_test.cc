@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Event queue and facility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace fcos {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, FifoTieBreakAtEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.scheduleAfter(5, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, [] {}), "past");
+}
+
+TEST(FacilityTest, SerializesOverlappingBookings)
+{
+    Facility f("bus");
+    EXPECT_EQ(f.acquire(0, 10), 10u);
+    EXPECT_EQ(f.acquire(0, 10), 20u);  // queued behind the first
+    EXPECT_EQ(f.acquire(5, 10), 30u);  // still queued
+    EXPECT_EQ(f.acquire(100, 10), 110u); // idle gap: starts at 100
+    EXPECT_EQ(f.busyTime(), 40u);
+    EXPECT_EQ(f.grants(), 4u);
+}
+
+TEST(FacilityTest, ResetClearsState)
+{
+    Facility f;
+    f.acquire(0, 50);
+    f.reset();
+    EXPECT_EQ(f.readyAt(), 0u);
+    EXPECT_EQ(f.busyTime(), 0u);
+    EXPECT_EQ(f.acquire(0, 5), 5u);
+}
+
+TEST(FacilityTest, PipelineThroughEventQueue)
+{
+    // Two-stage pipeline: stage A (10 each) feeds stage B (15 each);
+    // three jobs; makespan = 10 + 3*15 = 55.
+    EventQueue q;
+    Facility a("A"), b("B");
+    Time last = 0;
+    for (int i = 0; i < 3; ++i) {
+        Time done_a = a.acquire(0, 10);
+        q.schedule(done_a, [&q, &b, &last] {
+            Time done_b = b.acquire(q.now(), 15);
+            q.schedule(done_b, [&q, &last] { last = q.now(); });
+        });
+    }
+    q.run();
+    EXPECT_EQ(last, 55u);
+}
+
+} // namespace
+} // namespace fcos

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Energy meter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/energy.h"
+
+namespace fcos::ssd {
+namespace {
+
+TEST(EnergyMeterTest, AccumulatesPerComponent)
+{
+    EnergyMeter m;
+    m.add(EnergyComponent::NandRead, 1.0);
+    m.add(EnergyComponent::NandRead, 2.0);
+    m.add(EnergyComponent::HostCpu, 4.0);
+    EXPECT_DOUBLE_EQ(m.get(EnergyComponent::NandRead), 3.0);
+    EXPECT_DOUBLE_EQ(m.get(EnergyComponent::HostCpu), 4.0);
+    EXPECT_DOUBLE_EQ(m.get(EnergyComponent::NandErase), 0.0);
+    EXPECT_DOUBLE_EQ(m.total(), 7.0);
+}
+
+TEST(EnergyMeterTest, ScaleAffectsOneComponent)
+{
+    EnergyMeter m;
+    m.add(EnergyComponent::ChannelDma, 2.0);
+    m.add(EnergyComponent::HostCpu, 1.0);
+    m.scale(EnergyComponent::ChannelDma, 8.0);
+    EXPECT_DOUBLE_EQ(m.get(EnergyComponent::ChannelDma), 16.0);
+    EXPECT_DOUBLE_EQ(m.get(EnergyComponent::HostCpu), 1.0);
+}
+
+TEST(EnergyMeterTest, ResetZeroesEverything)
+{
+    EnergyMeter m;
+    m.add(EnergyComponent::Controller, 5.0);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(EnergyMeterTest, BreakdownListsNonZeroComponents)
+{
+    EnergyMeter m;
+    m.add(EnergyComponent::NandMws, 1e-6);
+    std::string b = m.breakdown();
+    EXPECT_NE(b.find("nand.mws"), std::string::npos);
+    EXPECT_EQ(b.find("nand.erase"), std::string::npos);
+    EXPECT_NE(b.find("total"), std::string::npos);
+}
+
+TEST(EnergyMeterTest, ComponentNamesAreStable)
+{
+    EXPECT_STREQ(energyComponentName(EnergyComponent::NandRead),
+                 "nand.read");
+    EXPECT_STREQ(energyComponentName(EnergyComponent::ExternalLink),
+                 "ssd.external_link");
+    EXPECT_STREQ(energyComponentName(EnergyComponent::HostDram),
+                 "host.dram");
+}
+
+} // namespace
+} // namespace fcos::ssd

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * FTL placement tests: striping and FC-aware group co-location.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssd/ftl.h"
+
+namespace fcos::ssd {
+namespace {
+
+class FtlTest : public ::testing::Test
+{
+  protected:
+    FtlTest() : geom(nand::Geometry::tiny()), ftl(4, geom) {}
+
+    nand::Geometry geom;
+    Ftl ftl;
+};
+
+TEST_F(FtlTest, StripedAllocationRoundRobinsColumns)
+{
+    auto pages = ftl.allocateStriped(16);
+    ASSERT_EQ(pages.size(), 16u);
+    // 4 dies x 2 planes = 8 columns; page i -> column i % 8.
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        EXPECT_EQ(pages[i].die, (i % 8) / 2);
+        EXPECT_EQ(pages[i].addr.plane, (i % 8) % 2);
+    }
+    // Second lap lands on the next wordline of the same sub-block.
+    EXPECT_EQ(pages[8].addr.block, pages[0].addr.block);
+    EXPECT_EQ(pages[8].addr.subBlock, pages[0].addr.subBlock);
+    EXPECT_EQ(pages[8].addr.wordline, pages[0].addr.wordline + 1);
+}
+
+TEST_F(FtlTest, GroupMembersStackInOneString)
+{
+    // Successive vectors of one group take successive wordlines of the
+    // same sub-block in every column — the MWS co-location contract.
+    auto v0 = ftl.allocateInGroup(7, 8);
+    auto v1 = ftl.allocateInGroup(7, 8);
+    auto v2 = ftl.allocateInGroup(7, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(v0[i].die, v1[i].die);
+        EXPECT_EQ(v0[i].addr.plane, v1[i].addr.plane);
+        EXPECT_EQ(v0[i].addr.block, v1[i].addr.block);
+        EXPECT_EQ(v0[i].addr.subBlock, v1[i].addr.subBlock);
+        EXPECT_EQ(v1[i].addr.wordline, v0[i].addr.wordline + 1);
+        EXPECT_EQ(v2[i].addr.wordline, v0[i].addr.wordline + 2);
+    }
+}
+
+TEST_F(FtlTest, GroupOverflowsToFreshSubBlock)
+{
+    // tiny geometry: 8 wordlines per sub-block; the 9th vector of a
+    // group starts a new sub-block.
+    std::vector<std::vector<PhysPage>> vs;
+    for (int i = 0; i < 9; ++i)
+        vs.push_back(ftl.allocateInGroup(1, 8));
+    auto &first = vs[0][0].addr;
+    auto &ninth = vs[8][0].addr;
+    EXPECT_TRUE(first.block != ninth.block ||
+                first.subBlock != ninth.subBlock);
+    EXPECT_EQ(ninth.wordline, 0u);
+}
+
+TEST_F(FtlTest, DistinctGroupsUseDistinctSubBlocks)
+{
+    auto a = ftl.allocateInGroup(1, 8);
+    auto b = ftl.allocateInGroup(2, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(a[i].addr.block != b[i].addr.block ||
+                    a[i].addr.subBlock != b[i].addr.subBlock);
+    }
+}
+
+TEST_F(FtlTest, MultiRowGroupVectorsKeepLockstep)
+{
+    // Vectors longer than one stripe row: each row has its own
+    // sub-block chain, still in lockstep across vectors.
+    auto v0 = ftl.allocateInGroup(3, 20); // 8 columns -> 3 rows
+    auto v1 = ftl.allocateInGroup(3, 20);
+    for (std::size_t i = 0; i < 20; ++i) {
+        EXPECT_EQ(v0[i].die, v1[i].die);
+        EXPECT_EQ(v0[i].addr.block, v1[i].addr.block);
+        EXPECT_EQ(v0[i].addr.subBlock, v1[i].addr.subBlock);
+        EXPECT_EQ(v1[i].addr.wordline, v0[i].addr.wordline + 1);
+    }
+    // Different rows of one vector use different sub-blocks.
+    EXPECT_TRUE(v0[0].addr.block != v0[8].addr.block ||
+                v0[0].addr.subBlock != v0[8].addr.subBlock);
+}
+
+TEST_F(FtlTest, UsedSubBlockAccounting)
+{
+    EXPECT_EQ(ftl.usedSubBlocks(0, 0), 0u);
+    ftl.allocateStriped(8);
+    EXPECT_EQ(ftl.usedSubBlocks(0, 0), 1u);
+    ftl.allocateInGroup(9, 8);
+    EXPECT_EQ(ftl.usedSubBlocks(0, 0), 2u);
+}
+
+TEST_F(FtlTest, ExhaustionIsFatal)
+{
+    // tiny geometry: 8 blocks x 2 sub-blocks x 8 wordlines per plane.
+    Ftl small(1, geom);
+    EXPECT_EXIT(
+        {
+            for (int i = 0; i < 1000; ++i)
+                small.allocateStriped(2 * 8 * 2 * 8);
+        },
+        ::testing::ExitedWithCode(1), "out of space");
+}
+
+TEST_F(FtlTest, AddressesStayInGeometryBounds)
+{
+    // tiny geometry: 16 sub-blocks per plane; 4 groups x 3 rows fits.
+    for (int i = 0; i < 4; ++i) {
+        auto pages = ftl.allocateInGroup(100 + i, 24);
+        for (const auto &p : pages) {
+            EXPECT_LT(p.die, 4u);
+            nand::checkAddr(geom, p.addr); // panics if out of range
+        }
+    }
+}
+
+} // namespace
+} // namespace fcos::ssd

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * SSD timing-simulator tests: resource serialization, pipelining, and
+ * the Figure 7 component times.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ssd/ssd_sim.h"
+
+namespace fcos::ssd {
+namespace {
+
+TEST(SsdSimTest, PlaneOpsOnSamePlaneSerialize)
+{
+    SsdSim sim(SsdConfig::table1());
+    Time t1 = 0, t2 = 0;
+    sim.planeOp(0, 100, 0.0, EnergyComponent::NandRead,
+                [&] { t1 = sim.queue().now(); });
+    sim.planeOp(0, 100, 0.0, EnergyComponent::NandRead,
+                [&] { t2 = sim.queue().now(); });
+    sim.drain();
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 200u);
+}
+
+TEST(SsdSimTest, DifferentPlanesRunConcurrently)
+{
+    SsdSim sim(SsdConfig::table1());
+    Time t1 = 0, t2 = 0;
+    sim.planeOp(0, 100, 0.0, EnergyComponent::NandRead,
+                [&] { t1 = sim.queue().now(); });
+    sim.planeOp(1, 100, 0.0, EnergyComponent::NandRead,
+                [&] { t2 = sim.queue().now(); });
+    sim.drain();
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 100u);
+}
+
+TEST(SsdSimTest, ChannelSharedByDiesOfThatChannel)
+{
+    SsdConfig cfg = SsdConfig::table1();
+    SsdSim sim(cfg);
+    // Planes 0 and 2 are dies 0 and 1 of channel 0; their DMAs
+    // serialize. A plane on another channel does not interfere.
+    std::uint32_t other_channel_plane =
+        cfg.diesPerChannel * cfg.geometry.planesPerDie; // first of ch 1
+    Time t1 = 0, t2 = 0, t3 = 0;
+    sim.dmaFromDie(0, 16 * 1024, [&] { t1 = sim.queue().now(); });
+    sim.dmaFromDie(2, 16 * 1024, [&] { t2 = sim.queue().now(); });
+    sim.dmaFromDie(other_channel_plane, 16 * 1024,
+                   [&] { t3 = sim.queue().now(); });
+    sim.drain();
+    Time page_dma = cfg.pageDmaTime();
+    EXPECT_EQ(t1, page_dma);
+    EXPECT_EQ(t2, 2 * page_dma);
+    EXPECT_EQ(t3, page_dma);
+    EXPECT_EQ(sim.channelOfPlane(0), 0u);
+    EXPECT_EQ(sim.channelOfPlane(other_channel_plane), 1u);
+}
+
+TEST(SsdSimTest, PageTimesMatchPaper)
+{
+    SsdConfig cfg = SsdConfig::table1();
+    // 16 KiB at 1.2 GB/s ~ 13.65 us; at 8 GB/s ~ 2.05 us.
+    EXPECT_NEAR(timeToUs(cfg.pageDmaTime()), 13.65, 0.05);
+    EXPECT_NEAR(timeToUs(cfg.pageExternalTime()), 2.05, 0.05);
+}
+
+TEST(SsdSimTest, ExternalLinkSerializesAcrossEverything)
+{
+    SsdSim sim(SsdConfig::table1());
+    Time t1 = 0, t2 = 0;
+    sim.externalTransfer(8000, [&] { t1 = sim.queue().now(); });
+    sim.externalTransfer(8000, [&] { t2 = sim.queue().now(); });
+    sim.drain();
+    EXPECT_EQ(t1, 1000u); // 8000 B at 8 GB/s = 1 us
+    EXPECT_EQ(t2, 2000u);
+    EXPECT_EQ(sim.externalBusyTime(), 2000u);
+}
+
+TEST(SsdSimTest, EnergyBookkeeping)
+{
+    SsdSim sim(SsdConfig::table1());
+    sim.planeOp(0, 100, 1.5e-6, EnergyComponent::NandMws, [] {});
+    sim.dmaFromDie(0, 16 * 1024, [] {});
+    sim.externalTransfer(16 * 1024, [] {});
+    sim.drain();
+    EXPECT_DOUBLE_EQ(sim.energy().get(EnergyComponent::NandMws), 1.5e-6);
+    // 16 KiB * 8 bits * 2 pJ = 0.262 uJ on the channel.
+    EXPECT_NEAR(sim.energy().get(EnergyComponent::ChannelDma), 2.62e-7,
+                1e-9);
+    // 16 KiB * 8 bits * 10 pJ = 1.31 uJ on the external link.
+    EXPECT_NEAR(sim.energy().get(EnergyComponent::ExternalLink), 1.31e-6,
+                5e-9);
+}
+
+TEST(SsdSimTest, AccelPortPipelinesPerChannel)
+{
+    SsdSim sim(SsdConfig::table1());
+    Time t1 = 0, t2 = 0;
+    sim.accelCompute(0, 16 * 1024, [&] { t1 = sim.queue().now(); });
+    sim.accelCompute(1, 16 * 1024, [&] { t2 = sim.queue().now(); });
+    sim.drain();
+    EXPECT_EQ(t1, t2); // separate channels, parallel ports
+    EXPECT_GT(sim.energy().get(EnergyComponent::IspAccel), 0.0);
+}
+
+TEST(SsdSimTest, SenseDmaPipelineOverlaps)
+{
+    // Cache-read pipelining: the next sense can start while the
+    // previous page crosses the channel (Section 3.1).
+    SsdConfig cfg = SsdConfig::table1();
+    SsdSim sim(cfg);
+    Time tR = cfg.timings.tReadSlc;
+    Time dma = cfg.pageDmaTime();
+    Time last_dma_done = 0;
+    for (int i = 0; i < 3; ++i) {
+        sim.planeOp(0, tR, 0.0, EnergyComponent::NandRead, [&] {
+            sim.dmaFromDie(0, cfg.geometry.pageBytes,
+                           [&] { last_dma_done = sim.queue().now(); });
+        });
+    }
+    sim.drain();
+    // Senses serialize (3 tR); the last DMA follows the last sense.
+    EXPECT_EQ(last_dma_done, 3 * tR + dma);
+}
+
+TEST(SsdSimTest, DrainReturnsMakespan)
+{
+    SsdSim sim(SsdConfig::table1());
+    sim.planeOp(0, 500, 0.0, EnergyComponent::NandRead, [&] {
+        sim.queue().scheduleAfter(
+            250, [&] { sim.noteCompletion(sim.queue().now()); });
+    });
+    EXPECT_EQ(sim.drain(), 750u);
+}
+
+} // namespace
+} // namespace fcos::ssd

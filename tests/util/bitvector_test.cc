@@ -1,0 +1,173 @@
+/**
+ * @file
+ * BitVector unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace fcos {
+namespace {
+
+TEST(BitVectorTest, ConstructionAndSize)
+{
+    BitVector v;
+    EXPECT_TRUE(v.empty());
+    BitVector w(100);
+    EXPECT_EQ(w.size(), 100u);
+    EXPECT_TRUE(w.allZeros());
+    BitVector x(100, true);
+    EXPECT_TRUE(x.allOnes());
+    EXPECT_EQ(x.popcount(), 100u);
+}
+
+TEST(BitVectorTest, SetGetRoundTrip)
+{
+    BitVector v(130);
+    v.set(0, true);
+    v.set(64, true);
+    v.set(129, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(129));
+    EXPECT_EQ(v.popcount(), 3u);
+    v.set(64, false);
+    EXPECT_FALSE(v.get(64));
+    EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVectorTest, FromStringAndToString)
+{
+    BitVector v = BitVector::fromString("10110");
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.toString(), "10110");
+}
+
+TEST(BitVectorTest, BitwiseOperators)
+{
+    BitVector a = BitVector::fromString("1100");
+    BitVector b = BitVector::fromString("1010");
+    EXPECT_EQ((a & b).toString(), "1000");
+    EXPECT_EQ((a | b).toString(), "1110");
+    EXPECT_EQ((a ^ b).toString(), "0110");
+    EXPECT_EQ((~a).toString(), "0011");
+}
+
+TEST(BitVectorTest, TailBitsStayClean)
+{
+    // Inversion must not set bits beyond size(); popcount would
+    // otherwise leak ghost bits from the last partial word.
+    BitVector v(70);
+    v.invert();
+    EXPECT_EQ(v.popcount(), 70u);
+    EXPECT_TRUE(v.allOnes());
+    v.fill(true);
+    EXPECT_EQ(v.popcount(), 70u);
+}
+
+TEST(BitVectorTest, InPlaceOperatorsMatchOutOfPlace)
+{
+    Rng rng = Rng::seeded(5);
+    BitVector a(200), b(200);
+    a.randomize(rng);
+    b.randomize(rng);
+    BitVector c = a;
+    c &= b;
+    EXPECT_EQ(c, a & b);
+    c = a;
+    c |= b;
+    EXPECT_EQ(c, a | b);
+    c = a;
+    c ^= b;
+    EXPECT_EQ(c, a ^ b);
+}
+
+TEST(BitVectorTest, HammingDistance)
+{
+    BitVector a = BitVector::fromString("110010");
+    BitVector b = BitVector::fromString("101010");
+    EXPECT_EQ(a.hammingDistance(b), 2u);
+    EXPECT_EQ(a.hammingDistance(a), 0u);
+}
+
+TEST(BitVectorTest, SliceAndPaste)
+{
+    BitVector v = BitVector::fromString("0011010111");
+    BitVector s = v.slice(2, 5);
+    EXPECT_EQ(s.toString(), "11010");
+    BitVector w(10);
+    w.paste(3, s);
+    EXPECT_EQ(w.toString(), "0001101000");
+}
+
+TEST(BitVectorTest, ResizePreservesAndExtends)
+{
+    BitVector v = BitVector::fromString("101");
+    v.resize(6, true);
+    EXPECT_EQ(v.toString(), "101111");
+    v.resize(2);
+    EXPECT_EQ(v.toString(), "10");
+}
+
+TEST(BitVectorTest, ResizeAcrossWordBoundaryWithOnes)
+{
+    BitVector v(60, false);
+    v.resize(130, true);
+    EXPECT_EQ(v.popcount(), 70u);
+    for (std::size_t i = 0; i < 60; ++i)
+        EXPECT_FALSE(v.get(i));
+    for (std::size_t i = 60; i < 130; ++i)
+        EXPECT_TRUE(v.get(i));
+}
+
+TEST(BitVectorTest, CheckeredPattern)
+{
+    BitVector v(10);
+    v.fillCheckered(true);
+    EXPECT_EQ(v.toString(), "1010101010");
+    v.fillCheckered(false);
+    EXPECT_EQ(v.toString(), "0101010101");
+}
+
+TEST(BitVectorTest, RandomizeIsSeedDeterministic)
+{
+    Rng r1 = Rng::seeded(9), r2 = Rng::seeded(9);
+    BitVector a(500), b(500);
+    a.randomize(r1);
+    b.randomize(r2);
+    EXPECT_EQ(a, b);
+    // Roughly half ones.
+    EXPECT_NEAR(static_cast<double>(a.popcount()), 250.0, 60.0);
+}
+
+TEST(BitVectorTest, RandomizeBiased)
+{
+    Rng rng = Rng::seeded(10);
+    BitVector v(2000);
+    v.randomize(rng, 0.1);
+    EXPECT_LT(v.popcount(), 400u);
+    EXPECT_GT(v.popcount(), 50u);
+}
+
+TEST(BitVectorTest, EqualityRequiresSameSize)
+{
+    BitVector a(10), b(11);
+    EXPECT_NE(a, b);
+}
+
+TEST(BitVectorTest, DeathOnOutOfRange)
+{
+    BitVector v(8);
+    EXPECT_DEATH(v.get(8), "out of range");
+    EXPECT_DEATH(v.set(9, true), "out of range");
+    BitVector w(4);
+    EXPECT_DEATH(v.hammingDistance(w), "size mismatch");
+}
+
+} // namespace
+} // namespace fcos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Numerics tests (Q function, interpolation, percentiles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/mathutil.h"
+
+namespace fcos {
+namespace {
+
+TEST(MathUtilTest, GaussianQKnownValues)
+{
+    EXPECT_NEAR(gaussianQ(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(gaussianQ(1.0), 0.158655, 1e-5);
+    EXPECT_NEAR(gaussianQ(3.0), 1.349898e-3, 1e-8);
+    // The deep-tail regime of the ESP zero-error demonstration.
+    EXPECT_NEAR(gaussianQ(7.0), 1.28e-12, 3e-13);
+    EXPECT_GT(gaussianQ(-2.0), 0.97);
+}
+
+TEST(MathUtilTest, GaussianQMonotone)
+{
+    double prev = 1.0;
+    for (double x = -3.0; x < 9.0; x += 0.25) {
+        double q = gaussianQ(x);
+        EXPECT_LT(q, prev);
+        prev = q;
+    }
+}
+
+TEST(MathUtilTest, GaussianQInvRoundTrip)
+{
+    for (double p : {0.5, 0.1, 1e-3, 1e-6, 1e-12}) {
+        double x = gaussianQInv(p);
+        EXPECT_NEAR(gaussianQ(x), p, p * 1e-3);
+    }
+}
+
+TEST(MathUtilTest, InterpolateInsideAndOutside)
+{
+    std::vector<double> xs{0.0, 1.0, 2.0};
+    std::vector<double> ys{10.0, 20.0, 40.0};
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 0.5), 15.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.5), 30.0);
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, -1.0), 10.0); // flat left
+    EXPECT_DOUBLE_EQ(interpolate(xs, ys, 5.0), 40.0);  // flat right
+}
+
+TEST(MathUtilTest, Percentiles)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+}
+
+TEST(MathUtilTest, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MathUtilTest, ClampVal)
+{
+    EXPECT_EQ(clampVal(5, 0, 10), 5);
+    EXPECT_EQ(clampVal(-5, 0, 10), 0);
+    EXPECT_EQ(clampVal(15, 0, 10), 10);
+}
+
+} // namespace
+} // namespace fcos

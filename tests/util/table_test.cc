@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table printer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace fcos {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    TablePrinter t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("name    value"), std::string::npos);
+    EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatters)
+{
+    EXPECT_EQ(TablePrinter::cell(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::cellInt(42), "42");
+    EXPECT_EQ(TablePrinter::cellSci(0.00123, 2), "1.23e-03");
+}
+
+TEST(TableTest, RowWidthMustMatchHeader)
+{
+    TablePrinter t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TableTest, WorksWithoutHeader)
+{
+    TablePrinter t("raw");
+    t.addRow({"x", "y", "z"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("x  y  z"), std::string::npos);
+}
+
+} // namespace
+} // namespace fcos

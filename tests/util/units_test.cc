@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit helpers tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace fcos {
+namespace {
+
+TEST(UnitsTest, Literals)
+{
+    EXPECT_EQ(1_us, 1000u);
+    EXPECT_EQ(1_ms, 1000000u);
+    EXPECT_EQ(1_s, 1000000000u);
+    EXPECT_EQ(16_KiB, 16384u);
+    EXPECT_EQ(1_MiB, 1048576u);
+}
+
+TEST(UnitsTest, UsConversionRoundTrips)
+{
+    EXPECT_EQ(usToTime(22.5), 22500u);
+    EXPECT_DOUBLE_EQ(timeToUs(22500), 22.5);
+    EXPECT_DOUBLE_EQ(timeToMs(3500000), 3.5);
+    EXPECT_DOUBLE_EQ(timeToSec(2_s), 2.0);
+}
+
+TEST(UnitsTest, TransferTimeMatchesPaperNumbers)
+{
+    // 16-KiB page over the 1.2-GB/s channel: ~13.65 us; the paper's
+    // Figure 7 quotes 27 us for a 2-plane (32-KiB) die batch.
+    EXPECT_NEAR(timeToUs(transferTime(16_KiB, 1.2)), 13.65, 0.02);
+    EXPECT_NEAR(timeToUs(transferTime(32_KiB, 1.2)), 27.3, 0.05);
+    // 32 KiB over 8-GB/s PCIe: the paper's 4 us.
+    EXPECT_NEAR(timeToUs(transferTime(32_KiB, 8.0)), 4.1, 0.05);
+}
+
+TEST(UnitsTest, Formatting)
+{
+    EXPECT_EQ(formatTime(500), "500 ns");
+    EXPECT_EQ(formatTime(22500), "22.5 us");
+    EXPECT_EQ(formatTime(3500000), "3.5 ms");
+    EXPECT_EQ(formatBytes(16384), "16 KiB");
+    EXPECT_EQ(formatEnergy(1.86e-6), "1.86 uJ");
+}
+
+} // namespace
+} // namespace fcos

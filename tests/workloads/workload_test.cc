@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload generator tests (Section 7 parameters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace fcos::wl {
+namespace {
+
+TEST(WorkloadTest, BmiOperandCountsMatchPaper)
+{
+    // "operands (from 30 to 1,095)" across m = 1..36.
+    EXPECT_EQ(makeBmi(1).batches[0].andOperands, 30u);
+    EXPECT_EQ(makeBmi(12).batches[0].andOperands, 365u);
+    EXPECT_EQ(makeBmi(36).batches[0].andOperands, 1095u);
+}
+
+TEST(WorkloadTest, BmiVectorIs100MB)
+{
+    // 800M users at one bit each.
+    Workload w = makeBmi(1);
+    EXPECT_EQ(w.batches[0].operandBytes, 100000000u);
+    EXPECT_TRUE(w.batches[0].hostPostProcess); // bit-count on host
+    EXPECT_TRUE(w.batches[0].resultToHost);
+    // Result vector: 100 MB (Section 8.1's "only 100 MB" remark).
+    EXPECT_EQ(w.totalResultBytes(), 100000000u);
+}
+
+TEST(WorkloadTest, ImsSizesMatchPaper)
+{
+    // I=200,000 images: bit-vectors of I*800*600*4 bits ~ 44.7 GiB
+    // ("up to 44GiB result vector", Section 8.1).
+    Workload w = makeIms(200000);
+    double gib = static_cast<double>(w.batches[0].operandBytes) /
+                 (1024.0 * 1024.0 * 1024.0);
+    EXPECT_NEAR(gib, 44.7, 0.1);
+    EXPECT_EQ(w.batches[0].andOperands, 3u);
+    EXPECT_FALSE(w.batches[0].hostPostProcess);
+}
+
+TEST(WorkloadTest, KcsShape)
+{
+    Workload w = makeKcs(32);
+    EXPECT_EQ(w.batches.size(), 1024u); // 1,024 k-cliques
+    EXPECT_EQ(w.batches[0].andOperands, 32u);
+    EXPECT_EQ(w.batches[0].orOperands, 1u); // the clique vector
+    // 32M vertices at one bit each = 4 MB adjacency vectors.
+    EXPECT_EQ(w.batches[0].operandBytes, 4000000u);
+    // Total results: 1024 x 4 MB ~ 4 GB (Section 8.1).
+    EXPECT_NEAR(static_cast<double>(w.totalResultBytes()) / 1e9, 4.1,
+                0.1);
+}
+
+TEST(WorkloadTest, TotalsAggregateBatches)
+{
+    Workload w = makeKcs(8, 10, 8000000ULL);
+    EXPECT_EQ(w.batches.size(), 10u);
+    EXPECT_EQ(w.totalOperandBytes(), 10u * 9u * 1000000u);
+    EXPECT_EQ(w.totalResultBytes(), 10u * 1000000u);
+    EXPECT_DOUBLE_EQ(w.computedBits(), 10.0 * 9.0 * 1000000.0 * 8.0);
+}
+
+TEST(WorkloadTest, ParameterMetadata)
+{
+    EXPECT_EQ(makeBmi(6).paramName, "m");
+    EXPECT_EQ(makeBmi(6).paramValue, 6u);
+    EXPECT_EQ(makeIms(50000).paramName, "I");
+    EXPECT_EQ(makeKcs(16).paramName, "k");
+}
+
+} // namespace
+} // namespace fcos::wl
