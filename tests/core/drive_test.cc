@@ -9,24 +9,13 @@
 #include <set>
 
 #include "core/drive.h"
-#include "util/rng.h"
+#include "tests/support/random_fixture.h"
 
 namespace fcos::core {
 namespace {
 
-class DriveTest : public ::testing::Test
+class DriveTest : public test::RandomTest
 {
-  protected:
-    void SetUp() override { rng = Rng::seeded(123); }
-
-    BitVector randomVec(std::size_t bits)
-    {
-        BitVector v(bits);
-        v.randomize(rng);
-        return v;
-    }
-
-    Rng rng{1};
 };
 
 TEST_F(DriveTest, WriteAndReadBackSingleVector)

@@ -6,15 +6,18 @@
 #include <gtest/gtest.h>
 
 #include "core/firmware.h"
-#include "util/rng.h"
+#include "tests/support/random_fixture.h"
 
 namespace fcos::core {
 namespace {
 
-class FirmwareTest : public ::testing::Test
+class FirmwareTest : public test::RandomTest
 {
   protected:
-    FirmwareTest() : drive(driveConfig()), fw(drive, ssdConfig()) {}
+    FirmwareTest()
+        : test::RandomTest(/*seed=*/5), drive(driveConfig()),
+          fw(drive, ssdConfig())
+    {}
 
     static FlashCosmosDrive::Config driveConfig()
     {
@@ -27,16 +30,8 @@ class FirmwareTest : public ::testing::Test
         return ssd::SsdConfig::table1();
     }
 
-    BitVector randomVec(std::size_t bits)
-    {
-        BitVector v(bits);
-        v.randomize(rng);
-        return v;
-    }
-
     FlashCosmosDrive drive;
     FcFirmware fw;
-    Rng rng = Rng::seeded(5);
 };
 
 TEST_F(FirmwareTest, ConfigAdoptsDriveGeometry)

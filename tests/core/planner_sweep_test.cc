@@ -8,40 +8,14 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "core/planner.h"
 #include "platforms/runner.h"
+#include "tests/support/scripted_storage.h"
 
 namespace fcos::core {
 namespace {
 
-/** Storage layout mimicking group allocation with @p string_len
- *  wordlines per sub-block. */
-class GroupedStorage : public StorageResolver
-{
-  public:
-    GroupedStorage(std::uint32_t string_len, bool inverted)
-        : string_len_(string_len), inverted_(inverted)
-    {}
-
-    VectorId add()
-    {
-        VectorId id = next_++;
-        return id;
-    }
-
-    bool isStoredInverted(VectorId) const override { return inverted_; }
-    std::uint64_t stringKey(VectorId id) const override
-    {
-        return id / string_len_;
-    }
-
-  private:
-    std::uint32_t string_len_;
-    bool inverted_;
-    VectorId next_ = 0;
-};
+using test::ScriptedStorage;
 
 class AndSweepTest : public ::testing::TestWithParam<std::uint32_t>
 {
@@ -51,7 +25,7 @@ TEST_P(AndSweepTest, CommandCountMatchesAnalyticModel)
 {
     const std::uint32_t operands = GetParam();
     const std::uint32_t string_len = 48;
-    GroupedStorage storage(string_len, false);
+    ScriptedStorage storage = ScriptedStorage::grouped(string_len, false);
     std::vector<Expr> leaves;
     for (std::uint32_t i = 0; i < operands; ++i)
         leaves.push_back(Expr::leaf(storage.add()));
@@ -70,7 +44,7 @@ TEST_P(AndSweepTest, InverseStoredOrMatchesAnalyticModel)
     if (operands < 2)
         GTEST_SKIP() << "OR needs two operands";
     const std::uint32_t string_len = 48;
-    GroupedStorage storage(string_len, true);
+    ScriptedStorage storage = ScriptedStorage::grouped(string_len, true);
     std::vector<Expr> leaves;
     for (std::uint32_t i = 0; i < operands; ++i)
         leaves.push_back(Expr::leaf(storage.add()));
@@ -92,26 +66,15 @@ TEST(KcsPlanSweepTest, FusionMatchesAnalyticModelAcrossK)
     // KCS: AND(k co-located adjacency rows) OR clique vector.
     const std::uint32_t string_len = 48;
     for (std::uint32_t k : {2u, 8u, 16u, 32u, 48u, 49u, 64u, 96u}) {
-        GroupedStorage storage(string_len, false);
+        ScriptedStorage storage =
+            ScriptedStorage::grouped(string_len, false);
         std::vector<Expr> adj;
         for (std::uint32_t i = 0; i < k; ++i)
             adj.push_back(Expr::leaf(storage.add()));
-        // Clique vector in its own (far) string.
+        // Clique vector explicitly placed in its own (far) string.
         VectorId clique = 1000000;
-        struct CliqueStorage : StorageResolver
-        {
-            const GroupedStorage &inner;
-            explicit CliqueStorage(const GroupedStorage &g) : inner(g) {}
-            bool isStoredInverted(VectorId id) const override
-            {
-                return id < 1000000 ? inner.isStoredInverted(id) : false;
-            }
-            std::uint64_t stringKey(VectorId id) const override
-            {
-                return id < 1000000 ? inner.stringKey(id) : 999999;
-            }
-        } wrapped(storage);
-        Planner planner(wrapped);
+        storage.place(clique, /*key=*/999999, false);
+        Planner planner(storage);
         MwsPlan plan = planner.plan(
             Expr::Or({Expr::And(adj), Expr::leaf(clique)}));
         ASSERT_EQ(plan.kind, MwsPlan::Kind::Mws) << "k=" << k;

@@ -6,42 +6,17 @@
 
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "core/plan.h"
 #include "core/planner.h"
+#include "tests/support/scripted_storage.h"
 
 namespace fcos::core {
 namespace {
 
-/** Scripted storage facts. */
-class FakeStorage : public StorageResolver
-{
-  public:
-    void add(VectorId id, std::uint64_t string_key, bool inverted)
-    {
-        keys_[id] = string_key;
-        inverted_[id] = inverted;
-    }
-
-    bool isStoredInverted(VectorId id) const override
-    {
-        return inverted_.at(id);
-    }
-    std::uint64_t stringKey(VectorId id) const override
-    {
-        return keys_.at(id);
-    }
-
-  private:
-    std::map<VectorId, std::uint64_t> keys_;
-    std::map<VectorId, bool> inverted_;
-};
-
 class PlannerTest : public ::testing::Test
 {
   protected:
-    FakeStorage storage;
+    test::ScriptedStorage storage;
 
     MwsPlan plan(const Expr &e)
     {
@@ -52,7 +27,7 @@ class PlannerTest : public ::testing::Test
 
 TEST_F(PlannerTest, SingleLeafPlainIsOneNormalCommand)
 {
-    storage.add(0, 1, false);
+    storage.place(0, 1, false);
     MwsPlan p = plan(Expr::leaf(0));
     ASSERT_EQ(p.kind, MwsPlan::Kind::Mws);
     ASSERT_EQ(p.commands.size(), 1u);
@@ -63,7 +38,7 @@ TEST_F(PlannerTest, SingleLeafPlainIsOneNormalCommand)
 
 TEST_F(PlannerTest, SingleLeafInvertedSensesInverse)
 {
-    storage.add(0, 1, true);
+    storage.place(0, 1, true);
     MwsPlan p = plan(Expr::leaf(0));
     ASSERT_EQ(p.kind, MwsPlan::Kind::Mws);
     ASSERT_EQ(p.commands.size(), 1u);
@@ -73,7 +48,7 @@ TEST_F(PlannerTest, SingleLeafInvertedSensesInverse)
 TEST_F(PlannerTest, AndOfColocatedPlainIsOneIntraBlockMws)
 {
     for (VectorId v = 0; v < 10; ++v)
-        storage.add(v, /*key=*/7, false);
+        storage.place(v, /*key=*/7, false);
     std::vector<Expr> leaves;
     for (VectorId v = 0; v < 10; ++v)
         leaves.push_back(Expr::leaf(v));
@@ -90,7 +65,7 @@ TEST_F(PlannerTest, AndAcrossTwoStringsAccumulatesTwoCommands)
     // 96 operands spanning two sub-block chains (Section 6.1:
     // "accumulate the results of multiple intra-block MWS").
     for (VectorId v = 0; v < 96; ++v)
-        storage.add(v, v / 48, false);
+        storage.place(v, v / 48, false);
     std::vector<Expr> leaves;
     for (VectorId v = 0; v < 96; ++v)
         leaves.push_back(Expr::leaf(v));
@@ -110,7 +85,7 @@ TEST_F(PlannerTest, OrOfInverseStoredIsSingleInverseMws)
     // Section 6.1: OR of inverse-stored co-located operands is one
     // inverse intra-block MWS via De Morgan.
     for (VectorId v = 0; v < 20; ++v)
-        storage.add(v, 3, true);
+        storage.place(v, 3, true);
     std::vector<Expr> leaves;
     for (VectorId v = 0; v < 20; ++v)
         leaves.push_back(Expr::leaf(v));
@@ -125,7 +100,7 @@ TEST_F(PlannerTest, OrOfInverseStoredIsSingleInverseMws)
 TEST_F(PlannerTest, OrOfPlainLeavesUsesInterBlockStrings)
 {
     for (VectorId v = 0; v < 3; ++v)
-        storage.add(v, 10 + v, false);
+        storage.place(v, 10 + v, false);
     MwsPlan p =
         plan(Expr::Or({Expr::leaf(0), Expr::leaf(1), Expr::leaf(2)}));
     ASSERT_EQ(p.kind, MwsPlan::Kind::Mws);
@@ -139,7 +114,7 @@ TEST_F(PlannerTest, WideOrOfPlainLeavesChainsWithOrMerge)
     // 9 plain singleton strings -> ceil(9/4) = 3 commands, OR-merged.
     std::vector<Expr> leaves;
     for (VectorId v = 0; v < 9; ++v) {
-        storage.add(v, 100 + v, false);
+        storage.place(v, 100 + v, false);
         leaves.push_back(Expr::leaf(v));
     }
     MwsPlan p = plan(Expr::Or(leaves));
@@ -153,13 +128,13 @@ TEST_F(PlannerTest, WideOrOfPlainLeavesChainsWithOrMerge)
 TEST_F(PlannerTest, Figure16ExpressionTakesTwoCommands)
 {
     // {A1 + (B1 B2 B3 B4)} (C1+C3) (D2+D4), with C/D inverse-stored.
-    storage.add(0, 0, false); // A1
+    storage.place(0, 0, false); // A1
     for (VectorId v = 1; v <= 4; ++v)
-        storage.add(v, 1, false); // B1..B4 co-located
-    storage.add(5, 2, true);      // C1
-    storage.add(6, 2, true);      // C3
-    storage.add(7, 3, true);      // D2
-    storage.add(8, 3, true);      // D4
+        storage.place(v, 1, false); // B1..B4 co-located
+    storage.place(5, 2, true);      // C1
+    storage.place(6, 2, true);      // C3
+    storage.place(7, 3, true);      // D2
+    storage.place(8, 3, true);      // D4
 
     Expr expr = Expr::And(
         {Expr::Or({Expr::leaf(0),
@@ -191,7 +166,7 @@ TEST_F(PlannerTest, Figure16ExpressionTakesTwoCommands)
 TEST_F(PlannerTest, NandOfColocatedPlainIsSingleInverseCommand)
 {
     for (VectorId v = 0; v < 5; ++v)
-        storage.add(v, 4, false);
+        storage.place(v, 4, false);
     std::vector<Expr> leaves;
     for (VectorId v = 0; v < 5; ++v)
         leaves.push_back(Expr::leaf(v));
@@ -205,7 +180,7 @@ TEST_F(PlannerTest, NandOfColocatedPlainIsSingleInverseCommand)
 TEST_F(PlannerTest, NorOfPlainLeavesIsSingleInverseCommand)
 {
     for (VectorId v = 0; v < 3; ++v)
-        storage.add(v, 20 + v, false);
+        storage.place(v, 20 + v, false);
     MwsPlan p =
         plan(Expr::Nor({Expr::leaf(0), Expr::leaf(1), Expr::leaf(2)}));
     ASSERT_EQ(p.kind, MwsPlan::Kind::Mws);
@@ -217,8 +192,8 @@ TEST_F(PlannerTest, NorOfPlainLeavesIsSingleInverseCommand)
 
 TEST_F(PlannerTest, XorOfTwoLeavesUsesLatchXor)
 {
-    storage.add(0, 0, false);
-    storage.add(1, 1, false);
+    storage.place(0, 0, false);
+    storage.place(1, 1, false);
     MwsPlan p = plan(Expr::Xor(Expr::leaf(0), Expr::leaf(1)));
     ASSERT_EQ(p.kind, MwsPlan::Kind::Xor);
     EXPECT_EQ(p.xorMembers.size(), 2u);
@@ -236,7 +211,7 @@ TEST_F(PlannerTest, XorOfTwoLeavesUsesLatchXor)
 TEST_F(PlannerTest, NestedXorChainsFlatten)
 {
     for (VectorId v = 0; v < 4; ++v)
-        storage.add(v, v, false);
+        storage.place(v, v, false);
     // ((a ^ b) ^ (c ^ d)) -> one 4-member chain, no parity.
     MwsPlan p = plan(
         Expr::Xor(Expr::Xor(Expr::leaf(0), Expr::leaf(1)),
@@ -264,8 +239,8 @@ TEST_F(PlannerTest, KcsFusionAndGroupPlusOrLeafInOneCommand)
     // AND of co-located adjacency vectors OR'd with a clique vector in
     // another block: a single two-string command (Section 7, KCS).
     for (VectorId v = 0; v < 8; ++v)
-        storage.add(v, 5, false);
-    storage.add(8, 6, false); // clique vector, different block
+        storage.place(v, 5, false);
+    storage.place(8, 6, false); // clique vector, different block
     std::vector<Expr> adj;
     for (VectorId v = 0; v < 8; ++v)
         adj.push_back(Expr::leaf(v));
@@ -280,8 +255,8 @@ TEST_F(PlannerTest, DeepAndChainFollowedByOrMerge)
     // (AND of 96 across two strings) OR clique: AND-chain first, then
     // an OR-merge command (cannot fold into the multi-command chain).
     for (VectorId v = 0; v < 96; ++v)
-        storage.add(v, v / 48, false);
-    storage.add(96, 9, false);
+        storage.place(v, v / 48, false);
+    storage.place(96, 9, false);
     std::vector<Expr> adj;
     for (VectorId v = 0; v < 96; ++v)
         adj.push_back(Expr::leaf(v));
@@ -298,9 +273,9 @@ TEST_F(PlannerTest, TwoDeepChildrenFallBack)
     // Two multi-command subexpressions cannot share the one latch
     // accumulator.
     for (VectorId v = 0; v < 96; ++v)
-        storage.add(v, v / 48, false);
+        storage.place(v, v / 48, false);
     for (VectorId v = 96; v < 192; ++v)
-        storage.add(v, 10 + (v - 96) / 48, false);
+        storage.place(v, 10 + (v - 96) / 48, false);
     std::vector<Expr> a, b;
     for (VectorId v = 0; v < 96; ++v)
         a.push_back(Expr::leaf(v));
@@ -315,8 +290,8 @@ TEST_F(PlannerTest, MixedPolarityAndUsesInversePool)
 {
     // AND(a, NOT b) with both plain-stored: NOT b realizes in the
     // inverse pool; a stays a normal intra-block string.
-    storage.add(0, 0, false);
-    storage.add(1, 1, false);
+    storage.place(0, 0, false);
+    storage.place(1, 1, false);
     MwsPlan p =
         plan(Expr::And({Expr::leaf(0), Expr::Not(Expr::leaf(1))}));
     ASSERT_EQ(p.kind, MwsPlan::Kind::Mws);
@@ -326,7 +301,7 @@ TEST_F(PlannerTest, MixedPolarityAndUsesInversePool)
 TEST_F(PlannerTest, SenseCountMatchesCommands)
 {
     for (VectorId v = 0; v < 4; ++v)
-        storage.add(v, 0, false);
+        storage.place(v, 0, false);
     std::vector<Expr> leaves;
     for (VectorId v = 0; v < 4; ++v)
         leaves.push_back(Expr::leaf(v));

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "nand/chip.h"
-#include "util/rng.h"
+#include "tests/support/random_fixture.h"
 
 namespace fcos::nand {
 namespace {
@@ -19,9 +19,7 @@ class ChipTest : public ::testing::Test
 
     BitVector randomPage(Rng &rng)
     {
-        BitVector v(chip.geometry().pageBits());
-        v.randomize(rng);
-        return v;
+        return test::randomPage(rng, chip.geometry());
     }
 
     NandChip chip;

@@ -8,33 +8,25 @@
 #include <gtest/gtest.h>
 
 #include "nand/command.h"
-#include "util/rng.h"
+#include "tests/support/command_corpus.h"
 
 namespace fcos::nand {
 namespace {
 
-MwsCommand
-randomCommand(Rng &rng, const Geometry &geom)
+using test::randomCommand;
+
+TEST(CodecFuzzTest, PinnedCorpusRoundTripsBitExactly)
 {
-    MwsCommand cmd;
-    cmd.plane = static_cast<std::uint32_t>(
-        rng.nextBounded(geom.planesPerDie));
-    cmd.flags = IscmFlags::fromByte(
-        static_cast<std::uint8_t>(rng.nextBounded(16)));
-    std::size_t slots = 1 + rng.nextBounded(MwsCommand::kMaxSelections);
-    for (std::size_t s = 0; s < slots; ++s) {
-        WlSelection sel;
-        sel.block = static_cast<std::uint32_t>(
-            rng.nextBounded(geom.blocksPerPlane));
-        sel.subBlock = static_cast<std::uint32_t>(
-            rng.nextBounded(geom.subBlocksPerBlock));
-        do {
-            sel.wlMask = rng.nextU64() &
-                         ((1ULL << geom.wordlinesPerSubBlock) - 1);
-        } while (sel.wlMask == 0);
-        cmd.selections.push_back(sel);
+    // The corpus under tests/data pins encoder framing: every entry
+    // must decode to a well-formed command and re-encode to the exact
+    // same bytes, so CI catches silent codec drift reproducibly.
+    Geometry geom = Geometry::table1();
+    auto corpus = test::loadCorpus("codec_corpus.txt");
+    ASSERT_FALSE(corpus.empty());
+    for (const auto &bytes : corpus) {
+        MwsCommand cmd = decodeMws(geom, bytes);
+        EXPECT_EQ(encodeMws(geom, cmd), bytes);
     }
-    return cmd;
 }
 
 TEST(CodecFuzzTest, RandomCommandsRoundTrip)

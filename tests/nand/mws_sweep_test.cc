@@ -11,7 +11,7 @@
 
 #include "nand/chip.h"
 #include "nand/power_model.h"
-#include "util/rng.h"
+#include "tests/support/nand_builders.h"
 
 namespace fcos::nand {
 namespace {
@@ -27,42 +27,31 @@ class MwsShapeTest : public ::testing::TestWithParam<MwsShape>
   protected:
     static Geometry geometry()
     {
-        Geometry g = Geometry::tiny();
-        g.blocksPerPlane = 16;
-        return g;
+        return test::GeometryBuilder().blocks(16).build();
     }
 };
 
 TEST_P(MwsShapeTest, MatchesEquationOneBothPolarities)
 {
     const MwsShape shape = GetParam();
-    NandChip chip(geometry());
-    Rng rng = Rng::seeded(shape.wordlines * 100 + shape.strings);
+    test::ProgrammedChip programmed(
+        geometry(), /*seed=*/shape.wordlines * 100 + shape.strings);
+    NandChip &chip = programmed.chip();
 
     // Program random data; string s lives in block s, sub-block 0.
-    std::vector<std::vector<BitVector>> data(shape.strings);
     MwsCommand cmd;
     cmd.plane = 0;
     for (std::uint32_t s = 0; s < shape.strings; ++s) {
         std::uint64_t mask = 0;
         for (std::uint32_t w = 0; w < shape.wordlines; ++w) {
-            BitVector v(chip.geometry().pageBits());
-            v.randomize(rng);
-            chip.programPage({0, s, 0, w}, v);
-            data[s].push_back(std::move(v));
+            programmed.programRandom({0, s, 0, w});
             mask |= 1ULL << w;
         }
         cmd.selections.push_back(WlSelection{s, 0, mask});
     }
 
     // Reference: OR over strings of AND over wordlines (Equation 1).
-    BitVector expected(chip.geometry().pageBits(), false);
-    for (std::uint32_t s = 0; s < shape.strings; ++s) {
-        BitVector conj(chip.geometry().pageBits(), true);
-        for (const BitVector &v : data[s])
-            conj &= v;
-        expected |= conj;
-    }
+    BitVector expected = programmed.referenceMws(cmd);
 
     OpResult normal = chip.executeMws(cmd);
     EXPECT_EQ(chip.dataOut(0), expected);
@@ -110,19 +99,16 @@ TEST(MwsMixedSubBlockTest, StringsAcrossSubBlocksOfOneBlock)
 {
     // "Inter-block" semantics also hold between sub-blocks of the same
     // physical block: different NAND strings on the same bitlines.
-    NandChip chip(Geometry::tiny());
-    Rng rng = Rng::seeded(7);
-    BitVector a(chip.geometry().pageBits()), b(chip.geometry().pageBits());
-    a.randomize(rng);
-    b.randomize(rng);
-    chip.programPage({0, 0, 0, 2}, a);
-    chip.programPage({0, 0, 1, 5}, b);
+    test::ProgrammedChip programmed(Geometry::tiny(), /*seed=*/7);
+    const BitVector &a = programmed.programRandom({0, 0, 0, 2});
+    const BitVector &b = programmed.programRandom({0, 0, 1, 5});
     MwsCommand cmd;
     cmd.plane = 0;
     cmd.selections.push_back(WlSelection{0, 0, 1ULL << 2});
     cmd.selections.push_back(WlSelection{0, 1, 1ULL << 5});
-    chip.executeMws(cmd);
-    EXPECT_EQ(chip.dataOut(0), a | b);
+    programmed.chip().executeMws(cmd);
+    EXPECT_EQ(programmed.chip().dataOut(0), a | b);
+    EXPECT_EQ(programmed.chip().dataOut(0), programmed.referenceMws(cmd));
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "reliability/vth_model.h"
+#include "tests/support/grids.h"
 
 namespace fcos::rel {
 namespace {
@@ -21,22 +22,19 @@ class CalibrationTest : public ::testing::Test
 {
   protected:
     /** The Figure 8 measurement grid. */
-    std::vector<std::uint32_t> pecs{0, 1000, 2000, 3000, 6000, 10000};
-    std::vector<double> months{0, 1, 2, 3, 6, 12};
+    std::vector<std::uint32_t> pecs = test::figure8Pecs();
+    std::vector<double> months = test::figure8Months();
 
     double gridAverage(nand::ProgramMode mode, bool randomized) const
     {
         VthModel m;
         double sum = 0.0;
         int n = 0;
-        for (auto pec : std::vector<std::uint32_t>{0, 1000, 2000, 3000,
-                                                   6000, 10000}) {
-            for (double mo : {0.0, 1.0, 2.0, 3.0, 6.0, 12.0}) {
-                OperatingCondition c{pec, mo, randomized};
-                sum += (mode == nand::ProgramMode::Mlc) ? m.rberMlc(c)
-                                                        : m.rberSlc(c);
-                ++n;
-            }
+        for (test::GridPoint g : test::figure8Grid()) {
+            OperatingCondition c{g.pec, g.months, randomized};
+            sum += (mode == nand::ProgramMode::Mlc) ? m.rberMlc(c)
+                                                    : m.rberSlc(c);
+            ++n;
         }
         return sum / n;
     }

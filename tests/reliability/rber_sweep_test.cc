@@ -8,15 +8,12 @@
 #include <gtest/gtest.h>
 
 #include "reliability/vth_model.h"
+#include "tests/support/grids.h"
 
 namespace fcos::rel {
 namespace {
 
-struct GridPoint
-{
-    std::uint32_t pec;
-    double months;
-};
+using test::GridPoint;
 
 class RberGridTest : public ::testing::TestWithParam<GridPoint>
 {
@@ -76,22 +73,9 @@ TEST_P(RberGridTest, RatesAreProbabilities)
     }
 }
 
-std::vector<GridPoint>
-figure8Grid()
-{
-    std::vector<GridPoint> grid;
-    for (std::uint32_t pec : {0u, 1000u, 2000u, 3000u, 6000u, 10000u})
-        for (double mo : {0.0, 1.0, 3.0, 12.0})
-            grid.push_back({pec, mo});
-    return grid;
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Figure8Grid, RberGridTest, ::testing::ValuesIn(figure8Grid()),
-    [](const ::testing::TestParamInfo<GridPoint> &info) {
-        return "pec" + std::to_string(info.param.pec) + "_mo" +
-               std::to_string(static_cast<int>(info.param.months));
-    });
+INSTANTIATE_TEST_SUITE_P(Figure8Grid, RberGridTest,
+                         ::testing::ValuesIn(test::figure8SweepGrid()),
+                         test::gridPointName);
 
 } // namespace
 } // namespace fcos::rel

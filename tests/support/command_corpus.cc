@@ -1,0 +1,103 @@
+#include "tests/support/command_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/support/golden.h"
+
+namespace fcos::test {
+
+nand::MwsCommand
+randomCommand(Rng &rng, const nand::Geometry &geom)
+{
+    nand::MwsCommand cmd;
+    cmd.plane =
+        static_cast<std::uint32_t>(rng.nextBounded(geom.planesPerDie));
+    cmd.flags = nand::IscmFlags::fromByte(
+        static_cast<std::uint8_t>(rng.nextBounded(16)));
+    std::size_t slots =
+        1 + rng.nextBounded(nand::MwsCommand::kMaxSelections);
+    for (std::size_t s = 0; s < slots; ++s) {
+        nand::WlSelection sel;
+        sel.block = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.blocksPerPlane));
+        sel.subBlock = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.subBlocksPerBlock));
+        do {
+            sel.wlMask = rng.nextU64() &
+                         ((1ULL << geom.wordlinesPerSubBlock) - 1);
+        } while (sel.wlMask == 0);
+        cmd.selections.push_back(sel);
+    }
+    return cmd;
+}
+
+std::string
+toHex(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        hex.push_back(digits[b >> 4]);
+        hex.push_back(digits[b & 0xF]);
+    }
+    return hex;
+}
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    std::vector<std::uint8_t> bytes;
+    if (hex.size() % 2 != 0) {
+        ADD_FAILURE() << "odd-length hex string: " << hex;
+        return bytes;
+    }
+    bytes.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            ADD_FAILURE() << "bad hex byte in: " << hex;
+            return bytes;
+        }
+        bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return bytes;
+}
+
+std::vector<std::vector<std::uint8_t>>
+loadCorpus(const std::string &rel)
+{
+    std::vector<std::vector<std::uint8_t>> corpus;
+    std::istringstream in(readFileOrFail(testDataPath(rel)));
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back(); // tolerate CRLF checkouts
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::vector<std::uint8_t> bytes = fromHex(line);
+        if (bytes.empty()) {
+            // fromHex already ADD_FAILUREd; skip the entry rather than
+            // feed an empty frame into decodeMws (which would abort).
+            ADD_FAILURE() << rel << ":" << lineno << ": bad corpus line";
+            continue;
+        }
+        corpus.push_back(std::move(bytes));
+    }
+    return corpus;
+}
+
+} // namespace fcos::test

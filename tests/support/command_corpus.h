@@ -1,0 +1,38 @@
+/**
+ * @file
+ * MWS command corpus helpers: the random well-formed command generator
+ * shared by the codec fuzz and determinism suites, plus loading of the
+ * pinned corpus under tests/data/ that keeps CI runs reproducible.
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_COMMAND_CORPUS_H
+#define FCOS_TESTS_SUPPORT_COMMAND_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nand/command.h"
+#include "util/rng.h"
+
+namespace fcos::test {
+
+/** Draw a random well-formed MWS command for @p geom from @p rng. */
+nand::MwsCommand randomCommand(Rng &rng, const nand::Geometry &geom);
+
+/** Lower-case hex of @p bytes, e.g. {0x0a, 0xff} -> "0aff". */
+std::string toHex(const std::vector<std::uint8_t> &bytes);
+
+/** Inverse of toHex; fails the calling test on malformed input. */
+std::vector<std::uint8_t> fromHex(const std::string &hex);
+
+/**
+ * Load a pinned corpus file: one hex-encoded command per line, '#'
+ * comments and blank lines ignored. @p rel is relative to tests/data.
+ */
+std::vector<std::vector<std::uint8_t>>
+loadCorpus(const std::string &rel);
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_COMMAND_CORPUS_H

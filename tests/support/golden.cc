@@ -1,0 +1,96 @@
+#include "tests/support/golden.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fcos::test {
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+} // namespace
+
+std::string
+testDataPath(const std::string &rel)
+{
+#ifndef FCOS_TEST_DATA_DIR
+#error "FCOS_TEST_DATA_DIR must be defined by the build system"
+#endif
+    return std::string(FCOS_TEST_DATA_DIR) + "/" + rel;
+}
+
+std::string
+readFileOrFail(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ADD_FAILURE() << "cannot open " << path;
+        return {};
+    }
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+::testing::AssertionResult
+MatchesGolden(const std::string &actual, const std::string &golden_rel)
+{
+    const std::string path = testDataPath(golden_rel);
+
+    const char *update = std::getenv("FCOS_UPDATE_GOLDEN");
+    if (update != nullptr && update[0] != '\0' && update[0] != '0') {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return ::testing::AssertionFailure()
+                   << "FCOS_UPDATE_GOLDEN: cannot write " << path;
+        out << actual;
+        return ::testing::AssertionSuccess();
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return ::testing::AssertionFailure()
+               << "missing golden " << path
+               << " (run with FCOS_UPDATE_GOLDEN=1 to create it)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    if (golden.str() == actual)
+        return ::testing::AssertionSuccess();
+
+    // Report the first divergence with context rather than a
+    // positionally-aligned full diff (one inserted line would otherwise
+    // mark everything after it as changed).
+    auto want = splitLines(golden.str());
+    auto got = splitLines(actual);
+    std::size_t first = 0;
+    while (first < want.size() && first < got.size() &&
+           want[first] == got[first])
+        ++first;
+    constexpr std::size_t kContext = 3;
+    std::ostringstream diff;
+    diff << "golden mismatch vs " << path << " (golden " << want.size()
+         << " lines, actual " << got.size()
+         << " lines; first difference at line " << (first + 1) << ")\n";
+    for (std::size_t i = first;
+         i < std::min(want.size(), first + kContext); ++i)
+        diff << "    - " << want[i] << "\n";
+    for (std::size_t i = first; i < std::min(got.size(), first + kContext);
+         ++i)
+        diff << "    + " << got[i] << "\n";
+    diff << "(set FCOS_UPDATE_GOLDEN=1 to accept the new output)";
+    return ::testing::AssertionFailure() << diff.str();
+}
+
+} // namespace fcos::test

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Golden-file comparator for text artifacts (bench tables, encoded
+ * command corpora, ...).
+ *
+ * Goldens live under tests/data/. A mismatch reports a line-level
+ * diff; set FCOS_UPDATE_GOLDEN=1 in the environment to rewrite the
+ * golden in the source tree instead of failing (then review the diff
+ * with git).
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_GOLDEN_H
+#define FCOS_TESTS_SUPPORT_GOLDEN_H
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fcos::test {
+
+/** Absolute path of @p rel inside the source-tree tests/data dir. */
+std::string testDataPath(const std::string &rel);
+
+/** Whole-file read; fails the calling test if @p path is unreadable. */
+std::string readFileOrFail(const std::string &path);
+
+/**
+ * Compare @p actual against the golden file tests/data/@p golden_rel.
+ * Use as: EXPECT_TRUE(MatchesGolden(table.toString(), "golden/t1.txt"))
+ */
+::testing::AssertionResult MatchesGolden(const std::string &actual,
+                                         const std::string &golden_rel);
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_GOLDEN_H

@@ -1,0 +1,48 @@
+#include "tests/support/grids.h"
+
+namespace fcos::test {
+
+const std::vector<std::uint32_t> &
+figure8Pecs()
+{
+    static const std::vector<std::uint32_t> pecs{0,    1000, 2000,
+                                                 3000, 6000, 10000};
+    return pecs;
+}
+
+const std::vector<double> &
+figure8Months()
+{
+    static const std::vector<double> months{0, 1, 2, 3, 6, 12};
+    return months;
+}
+
+std::vector<GridPoint>
+figure8Grid()
+{
+    std::vector<GridPoint> grid;
+    for (std::uint32_t pec : figure8Pecs())
+        for (double mo : figure8Months())
+            grid.push_back({pec, mo});
+    return grid;
+}
+
+std::vector<GridPoint>
+figure8SweepGrid()
+{
+    static const std::vector<double> months{0, 1, 3, 12};
+    std::vector<GridPoint> grid;
+    for (std::uint32_t pec : figure8Pecs())
+        for (double mo : months)
+            grid.push_back({pec, mo});
+    return grid;
+}
+
+std::string
+gridPointName(const ::testing::TestParamInfo<GridPoint> &info)
+{
+    return "pec" + std::to_string(info.param.pec) + "_mo" +
+           std::to_string(static_cast<int>(info.param.months));
+}
+
+} // namespace fcos::test

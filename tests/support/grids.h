@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared reliability sweep grids (the paper's Figure 8 measurement
+ * grid), so the calibration guardrail and the structural RBER sweeps
+ * agree on the operating points they cover.
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_GRIDS_H
+#define FCOS_TESTS_SUPPORT_GRIDS_H
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcos::test {
+
+/** One (P/E cycles, retention months) operating point. */
+struct GridPoint
+{
+    std::uint32_t pec;
+    double months;
+};
+
+/** The Figure 8 P/E-cycle axis. */
+const std::vector<std::uint32_t> &figure8Pecs();
+
+/** The Figure 8 retention axis (months). */
+const std::vector<double> &figure8Months();
+
+/** Full cross product of the Figure 8 axes. */
+std::vector<GridPoint> figure8Grid();
+
+/**
+ * Coarser grid for structural property sweeps (every pec, a subset of
+ * retention points) — keeps parameterized suites fast while still
+ * covering the corners.
+ */
+std::vector<GridPoint> figure8SweepGrid();
+
+/** Readable parameterized-test name for a GridPoint. */
+std::string gridPointName(
+    const ::testing::TestParamInfo<GridPoint> &info);
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_GRIDS_H

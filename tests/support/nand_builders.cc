@@ -1,0 +1,60 @@
+#include "tests/support/nand_builders.h"
+
+#include "util/log.h"
+
+namespace fcos::test {
+
+ProgrammedChip::ProgrammedChip(const nand::Geometry &geom,
+                               std::uint64_t seed)
+    : chip_(geom), rng_(Rng::seeded(seed))
+{}
+
+const BitVector &
+ProgrammedChip::programRandom(const nand::WordlineAddr &addr)
+{
+    BitVector v(chip_.geometry().pageBits());
+    v.randomize(rng_);
+    return program(addr, std::move(v));
+}
+
+const BitVector &
+ProgrammedChip::program(const nand::WordlineAddr &addr, BitVector data)
+{
+    chip_.programPage(addr, data);
+    auto [it, _] = shadow_.insert_or_assign(addr, std::move(data));
+    return it->second;
+}
+
+const BitVector &
+ProgrammedChip::written(const nand::WordlineAddr &addr) const
+{
+    auto it = shadow_.find(addr);
+    if (it == shadow_.end())
+        fcos_fatal("ProgrammedChip::written: page never programmed");
+    return it->second;
+}
+
+BitVector
+ProgrammedChip::referenceMws(const nand::MwsCommand &cmd) const
+{
+    const nand::Geometry &geom = chip_.geometry();
+    BitVector result(geom.pageBits(), false);
+    for (const nand::WlSelection &sel : cmd.selections) {
+        BitVector conj(geom.pageBits(), true);
+        for (std::uint32_t w = 0; w < geom.wordlinesPerSubBlock; ++w) {
+            if (!(sel.wlMask & (1ULL << w)))
+                continue;
+            nand::WordlineAddr addr{cmd.plane, sel.block, sel.subBlock,
+                                    w};
+            auto it = shadow_.find(addr);
+            if (it != shadow_.end())
+                conj &= it->second;
+            // Erased wordlines read all-ones in SLC MWS and leave the
+            // conjunction unchanged.
+        }
+        result |= conj;
+    }
+    return result;
+}
+
+} // namespace fcos::test

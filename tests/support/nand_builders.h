@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Geometry and chip builders for NAND-level tests.
+ *
+ * GeometryBuilder gives tests a fluent way to derive small geometries
+ * from Geometry::tiny() without mutating struct fields inline;
+ * ProgrammedChip programs deterministic random pages, remembers what
+ * it wrote, and evaluates the Equation 1 reference (OR across strings
+ * of AND across wordlines) so MWS tests compare against one shared
+ * oracle instead of re-deriving it.
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_NAND_BUILDERS_H
+#define FCOS_TESTS_SUPPORT_NAND_BUILDERS_H
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "nand/chip.h"
+#include "util/rng.h"
+
+namespace fcos::test {
+
+/** Fluent geometry factory rooted at the test-scale Geometry::tiny(). */
+class GeometryBuilder
+{
+  public:
+    GeometryBuilder() : geom_(nand::Geometry::tiny()) {}
+    explicit GeometryBuilder(nand::Geometry base) : geom_(base) {}
+
+    GeometryBuilder &planes(std::uint32_t n)
+    {
+        geom_.planesPerDie = n;
+        return *this;
+    }
+    GeometryBuilder &blocks(std::uint32_t n)
+    {
+        geom_.blocksPerPlane = n;
+        return *this;
+    }
+    GeometryBuilder &subBlocks(std::uint32_t n)
+    {
+        geom_.subBlocksPerBlock = n;
+        return *this;
+    }
+    GeometryBuilder &wordlines(std::uint32_t n)
+    {
+        geom_.wordlinesPerSubBlock = n;
+        return *this;
+    }
+    GeometryBuilder &pageBytes(std::uint32_t n)
+    {
+        geom_.pageBytes = n;
+        return *this;
+    }
+
+    nand::Geometry build() const { return geom_; }
+
+  private:
+    nand::Geometry geom_;
+};
+
+/**
+ * A NandChip plus a shadow map of every page programmed through the
+ * helper, with the Equation 1 reference evaluator.
+ */
+class ProgrammedChip
+{
+  public:
+    explicit ProgrammedChip(const nand::Geometry &geom,
+                            std::uint64_t seed = 1);
+
+    nand::NandChip &chip() { return chip_; }
+    const nand::Geometry &geometry() const { return chip_.geometry(); }
+
+    /** Program a fresh random page at @p addr and return what was written. */
+    const BitVector &programRandom(const nand::WordlineAddr &addr);
+
+    /** Program caller-supplied data at @p addr (still shadow-tracked). */
+    const BitVector &program(const nand::WordlineAddr &addr,
+                             BitVector data);
+
+    /** Shadow copy of the page at @p addr; dies if never programmed. */
+    const BitVector &written(const nand::WordlineAddr &addr) const;
+
+    /**
+     * Equation 1 reference for @p cmd over the shadow pages: OR across
+     * selections of AND across selected wordlines. Unprogrammed
+     * wordlines count as erased (all ones, SLC convention).
+     */
+    BitVector referenceMws(const nand::MwsCommand &cmd) const;
+
+  private:
+    struct AddrLess
+    {
+        bool operator()(const nand::WordlineAddr &a,
+                        const nand::WordlineAddr &b) const
+        {
+            return std::tie(a.plane, a.block, a.subBlock, a.wordline) <
+                   std::tie(b.plane, b.block, b.subBlock, b.wordline);
+        }
+    };
+
+    nand::NandChip chip_;
+    Rng rng_;
+    std::map<nand::WordlineAddr, BitVector, AddrLess> shadow_;
+};
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_NAND_BUILDERS_H

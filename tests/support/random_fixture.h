@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic RNG fixture.
+ *
+ * Every test that needs random payloads derives from RandomTest (or
+ * instantiates SeededRng directly) instead of hand-rolling its own
+ * seeded Rng + randomVec helper. Fixed seeds keep failures
+ * reproducible; tests that need a distinct stream pass their own seed.
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_RANDOM_FIXTURE_H
+#define FCOS_TESTS_SUPPORT_RANDOM_FIXTURE_H
+
+#include <gtest/gtest.h>
+
+#include "nand/geometry.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace fcos::test {
+
+/** Default seed for test randomness; change only deliberately. */
+inline constexpr std::uint64_t kDefaultTestSeed = 123;
+
+/** Build a random BitVector of @p bits from @p rng. */
+inline BitVector randomVec(Rng &rng, std::size_t bits)
+{
+    BitVector v(bits);
+    v.randomize(rng);
+    return v;
+}
+
+/** Build a random page-sized BitVector for @p geom. */
+inline BitVector randomPage(Rng &rng, const nand::Geometry &geom)
+{
+    return randomVec(rng, geom.pageBits());
+}
+
+/** gtest fixture carrying a deterministically seeded Rng. */
+class RandomTest : public ::testing::Test
+{
+  protected:
+    explicit RandomTest(std::uint64_t seed = kDefaultTestSeed)
+        : rng(Rng::seeded(seed))
+    {}
+
+    BitVector randomVec(std::size_t bits)
+    {
+        return test::randomVec(rng, bits);
+    }
+
+    BitVector randomPage(const nand::Geometry &geom)
+    {
+        return test::randomPage(rng, geom);
+    }
+
+    Rng rng;
+};
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_RANDOM_FIXTURE_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scripted StorageResolver for planner tests.
+ *
+ * Replaces the per-test fakes (FakeStorage, GroupedStorage,
+ * CliqueStorage) with one resolver that supports both explicit
+ * placement and group-style auto-placement, so planner tests describe
+ * layouts instead of re-implementing the resolver contract.
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_SCRIPTED_STORAGE_H
+#define FCOS_TESTS_SUPPORT_SCRIPTED_STORAGE_H
+
+#include <cstdint>
+#include <map>
+
+#include "core/planner.h"
+#include "util/log.h"
+
+namespace fcos::test {
+
+class ScriptedStorage : public core::StorageResolver
+{
+  public:
+    /** Explicit-placement resolver: script every vector with place(). */
+    ScriptedStorage() = default;
+
+    /**
+     * Group-style resolver: add() assigns ids 0,1,2,... and packs
+     * @p string_len consecutive vectors onto one string key, mimicking
+     * the drive's group allocator. Explicit place() still wins.
+     */
+    static ScriptedStorage grouped(std::uint32_t string_len,
+                                   bool inverted)
+    {
+        ScriptedStorage s;
+        s.grouped_ = true;
+        s.string_len_ = string_len;
+        s.default_inverted_ = inverted;
+        return s;
+    }
+
+    /** Script vector @p id onto string @p key. */
+    void place(core::VectorId id, std::uint64_t key, bool inverted)
+    {
+        facts_[id] = Fact{key, inverted};
+        if (id >= next_)
+            next_ = id + 1;
+    }
+
+    /** Auto-place the next vector (grouped mode). */
+    core::VectorId add()
+    {
+        return next_++;
+    }
+
+    /** Auto-assign an id on an explicit string. */
+    core::VectorId addAt(std::uint64_t key, bool inverted)
+    {
+        core::VectorId id = next_++;
+        facts_[id] = Fact{key, inverted};
+        return id;
+    }
+
+    bool isStoredInverted(core::VectorId id) const override
+    {
+        auto it = facts_.find(id);
+        if (it != facts_.end())
+            return it->second.inverted;
+        requireGrouped(id);
+        return default_inverted_;
+    }
+
+    std::uint64_t stringKey(core::VectorId id) const override
+    {
+        auto it = facts_.find(id);
+        if (it != facts_.end())
+            return it->second.key;
+        requireGrouped(id);
+        return id / string_len_;
+    }
+
+  private:
+    struct Fact
+    {
+        std::uint64_t key;
+        bool inverted;
+    };
+
+    /** Explicit-placement mode must fail loudly on unscripted ids. */
+    void requireGrouped(core::VectorId id) const
+    {
+        if (!grouped_)
+            fcos_fatal("ScriptedStorage: vector %llu was never place()d",
+                       static_cast<unsigned long long>(id));
+    }
+
+    std::map<core::VectorId, Fact> facts_;
+    bool grouped_ = false;
+    std::uint32_t string_len_ = 1;
+    bool default_inverted_ = false;
+    core::VectorId next_ = 0;
+};
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_SCRIPTED_STORAGE_H

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/support/golden.h"
 #include "util/table.h"
 
 namespace fcos {
@@ -34,6 +35,19 @@ TEST(TableTest, RowWidthMustMatchHeader)
     TablePrinter t("bad");
     t.setHeader({"a", "b"});
     EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TableTest, MatchesGoldenRendering)
+{
+    // Full-output pin through the shared golden comparator: bench
+    // tables feed figure regeneration, so formatting is contract.
+    TablePrinter t("golden demo");
+    t.setHeader({"metric", "value", "unit"});
+    t.addRow({"latency", TablePrinter::cell(22.5, 1), "us"});
+    t.addRow({"rber", TablePrinter::cellSci(0.00123, 2), "-"});
+    t.addRow({"pages", TablePrinter::cellInt(42), "-"});
+    EXPECT_TRUE(
+        test::MatchesGolden(t.toString(), "golden/table_demo.txt"));
 }
 
 TEST(TableTest, WorksWithoutHeader)
