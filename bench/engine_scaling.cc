@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Engine scaling — simulated bulk-bitwise throughput vs die count.
+ *
+ * Weak-scaling sweep of the multi-die compute engine: every (die,
+ * plane) column computes the same number of result pages (one
+ * intra-block MWS AND per page), so the logical work grows with the
+ * farm. Throughput scales near-linearly with dies until the one-page-
+ * per-MWS result readout saturates the channel bus; adding channels
+ * restores linear scaling. Every result page is validated against the
+ * reference AND, so the table certifies bit-exactness and the timeline
+ * in one run. The table is pinned as a golden by
+ * tests/engine/scaling_golden_test.cc.
+ */
+
+#include "bench/bench_util.h"
+#include "engine/report.h"
+
+using namespace fcos;
+
+int
+main()
+{
+    bench::header("Engine scaling",
+                  "sharded bulk bitwise throughput vs die count "
+                  "(weak scaling, deterministic timeline)");
+
+    std::vector<engine::ScalingPoint> points;
+    TablePrinter table =
+        engine::scalingReport(engine::defaultScalingSweep(),
+                              /*and_operands=*/24,
+                              /*pages_per_column=*/2,
+                              /*page_bytes=*/8 * 1024, &points);
+    table.print();
+    std::printf("\n");
+
+    if (points.size() >= 4) {
+        const auto &one = points[0];  // 1 x 1
+        const auto &two = points[1];  // 1 x 2
+        const auto &eight = points[3]; // 1 x 8
+        bench::anchor("2-die speedup over 1 die", "~2x (near-linear)",
+                      bench::ratioStr(two.throughputGBps /
+                                      one.throughputGBps));
+        bench::anchor("8 dies on one channel", "channel-bound",
+                      bench::ratioStr(eight.throughputGBps /
+                                      one.throughputGBps) +
+                          " at " +
+                          TablePrinter::cell(
+                              eight.channelUtilization * 100.0, 1) +
+                          "% channel util");
+    }
+    if (points.size() >= 7) {
+        const auto &c1 = points[3]; // 1 x 8
+        const auto &c8 = points[6]; // 8 x 8
+        bench::anchor("8 channels vs 1 (8 dies each)", "~8x",
+                      bench::ratioStr(c8.throughputGBps /
+                                      c1.throughputGBps));
+    }
+    return 0;
+}

@@ -6,7 +6,7 @@
  * how large a workload the timing/functional simulators can sustain.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench/minibench.h"
 
 #include "core/drive.h"
 #include "nand/chip.h"

@@ -2,12 +2,12 @@
  * @file
  * Table 1 — evaluated system configurations. Prints every configured
  * parameter from the live config objects, so any drift between code
- * and paper is visible.
+ * and paper is visible. The tables come from platforms/reports and are
+ * pinned as goldens by tests/platforms/report_golden_test.cc.
  */
 
 #include "bench/bench_util.h"
-#include "host/host_model.h"
-#include "ssd/config.h"
+#include "platforms/reports.h"
 
 using namespace fcos;
 
@@ -19,52 +19,9 @@ main()
     ssd::SsdConfig c = ssd::SsdConfig::table1();
     host::HostConfig h;
 
-    TablePrinter ssd_table("Simulated SSD");
-    ssd_table.setHeader({"parameter", "paper", "this build"});
-    auto row = [&](const char *name, const char *paper,
-                   std::string val) {
-        ssd_table.addRow({name, paper, std::move(val)});
-    };
-    row("channels", "8", std::to_string(c.channels));
-    row("dies/channel", "8", std::to_string(c.diesPerChannel));
-    row("planes/die", "2", std::to_string(c.geometry.planesPerDie));
-    row("blocks/plane", "2048",
-        std::to_string(c.geometry.blocksPerPlane));
-    row("WLs/block", "192 (4x48)",
-        std::to_string(c.geometry.wordlinesPerBlock()) + " (" +
-            std::to_string(c.geometry.subBlocksPerBlock) + "x" +
-            std::to_string(c.geometry.wordlinesPerSubBlock) + ")");
-    row("page size", "16 KiB", formatBytes(c.geometry.pageBytes));
-    row("external I/O", "8 GB/s (PCIe Gen4 x4)",
-        TablePrinter::cell(c.externalGBps, 1) + " GB/s");
-    row("channel I/O rate", "1.2 GB/s",
-        TablePrinter::cell(c.channelGBps, 1) + " GB/s");
-    row("tR (SLC)", "22.5 us", formatTime(c.timings.tReadSlc));
-    row("tMWS (max 4 blocks)", "25 us", formatTime(c.timings.tMwsFixed));
-    row("tPROG SLC/MLC/TLC", "200/500/700 us",
-        formatTime(c.timings.tProgSlc) + " / " +
-            formatTime(c.timings.tProgMlc) + " / " +
-            formatTime(c.timings.tProgTlc));
-    row("tESP", "400 us", formatTime(c.timings.tProgEsp));
-    row("tBERS", "3-5 ms", formatTime(c.timings.tErase));
-    row("ISP accel energy", "93 pJ / 64 B",
-        TablePrinter::cell(c.accelPjPer64B, 0) + " pJ / 64 B");
-    row("inter-block MWS cap", "4 blocks",
-        std::to_string(c.maxInterBlockMws));
-    ssd_table.print();
-
+    plat::tab01SsdTable(c).print();
     std::printf("\n");
-    TablePrinter host_table("Real host system (modelled)");
-    host_table.setHeader({"parameter", "paper", "this build"});
-    host_table.addRow({"CPU", "i7-11700K, 8 cores, 3.6 GHz",
-                       "throughput model (see host/host_model.h)"});
-    host_table.addRow({"main memory", "64 GB DDR4-3600 x4",
-                       TablePrinter::cell(h.dramGBps, 1) + " GB/s peak"});
-    host_table.addRow({"bitwise stream rate", "(measured)",
-                       TablePrinter::cell(h.streamGBps, 1) + " GB/s"});
-    host_table.addRow({"package power (streaming)", "(RAPL)",
-                       TablePrinter::cell(h.cpuActiveWatts, 0) + " W"});
-    host_table.print();
+    plat::tab01HostTable(h).print();
 
     std::printf("\nDerived totals: %u dies, %u planes, SLC die "
                 "capacity %s\n",

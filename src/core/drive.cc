@@ -1,22 +1,35 @@
 #include "core/drive.h"
 
 #include <algorithm>
-#include <map>
 
 #include "util/log.h"
 
 namespace fcos::core {
 
+namespace {
+
+engine::FarmConfig
+farmConfigFor(const FlashCosmosDrive::Config &cfg)
+{
+    engine::FarmConfig fc;
+    fc.channels = cfg.channels;
+    fc.diesPerChannel = cfg.dies;
+    fc.geometry = cfg.geometry;
+    fc.timings = cfg.timings;
+    fc.channelGBps = cfg.channelGBps;
+    return fc;
+}
+
+} // namespace
+
 FlashCosmosDrive::FlashCosmosDrive() : FlashCosmosDrive(Config{}) {}
 
 FlashCosmosDrive::FlashCosmosDrive(const Config &cfg)
-    : cfg_(cfg), ftl_(cfg.dies, cfg.geometry), planner_(*this)
+    : cfg_(cfg), engine_(farmConfigFor(cfg)),
+      ftl_(cfg.channels * cfg.dies, cfg.geometry), planner_(*this)
 {
     fcos_assert(cfg.dies > 0, "drive needs at least one die");
-    chips_.reserve(cfg.dies);
-    for (std::uint32_t d = 0; d < cfg.dies; ++d)
-        chips_.push_back(
-            std::make_unique<nand::NandChip>(cfg.geometry, cfg.timings));
+    fcos_assert(cfg.channels > 0, "drive needs at least one channel");
     // Reserve one erased wordline per column for the final-NOT trick.
     erased_ref_ = ftl_.allocateStriped(ftl_.columns());
 }
@@ -24,15 +37,7 @@ FlashCosmosDrive::FlashCosmosDrive(const Config &cfg)
 void
 FlashCosmosDrive::setErrorInjector(nand::ErrorInjector *injector)
 {
-    for (auto &c : chips_)
-        c->setErrorInjector(injector);
-}
-
-nand::NandChip &
-FlashCosmosDrive::chip(std::uint32_t die)
-{
-    fcos_assert(die < chips_.size(), "die %u out of range", die);
-    return *chips_[die];
+    engine_.farm().setErrorInjector(injector);
 }
 
 const FlashCosmosDrive::VectorInfo &
@@ -71,18 +76,12 @@ FlashCosmosDrive::vectorPages(VectorId id) const
     return info(id).pages;
 }
 
-VectorId
-FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
+FlashCosmosDrive::VectorInfo
+FlashCosmosDrive::makeVector(std::size_t bits, std::uint64_t group,
+                             bool inverted, std::uint64_t pages)
 {
-    fcos_assert(!data.empty(), "fcWrite of empty vector");
-    std::uint64_t group = opts.group;
     if (group == kAutoGroup)
         group = next_auto_group_++;
-
-    std::uint64_t page_bits = cfg_.geometry.pageBits();
-    std::uint64_t pages =
-        (data.size() + page_bits - 1) / page_bits;
-
     auto &[count, group_pages] = group_info_[group];
     if (count == 0) {
         group_pages = pages;
@@ -95,15 +94,54 @@ FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
                     (unsigned long long)group_pages,
                     (unsigned long long)pages);
     }
-
     VectorInfo v;
-    v.bits = data.size();
-    v.inverted = opts.storeInverted;
+    v.bits = bits;
+    v.inverted = inverted;
     v.group = group;
     v.orderInGroup = count++;
     v.pages = ftl_.allocateInGroup(group, pages);
+    return v;
+}
 
-    nand::EspParams esp{cfg_.espFactor};
+void
+FlashCosmosDrive::submitPageWrite(const ssd::PhysPage &dst, BitVector page,
+                                  engine::OpStats *stats)
+{
+    engine::ColumnProgram p;
+    p.die = dst.die;
+    p.plane = dst.addr.plane;
+    p.readOutResult = false;
+    engine::ColumnStep st;
+    st.kind = engine::StepKind::Program;
+    // Program data moves controller -> die over the channel first.
+    st.dmaBeforeBytes = cfg_.geometry.pageBytes;
+    if (cfg_.defaultMode == nand::ProgramMode::SlcEsp) {
+        nand::EspParams esp{cfg_.espFactor};
+        st.run = [addr = dst.addr, data = std::move(page),
+                  esp](nand::NandChip &chip) {
+            return chip.programPageEsp(addr, data, esp);
+        };
+    } else {
+        st.run = [addr = dst.addr, data = std::move(page),
+                  mode = cfg_.defaultMode](nand::NandChip &chip) {
+            return chip.programPage(addr, data, mode);
+        };
+    }
+    p.steps.push_back(std::move(st));
+    engine_.submit(std::move(p), stats);
+}
+
+VectorId
+FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
+{
+    fcos_assert(!data.empty(), "fcWrite of empty vector");
+    std::uint64_t page_bits = cfg_.geometry.pageBits();
+    std::uint64_t pages =
+        (data.size() + page_bits - 1) / page_bits;
+
+    VectorInfo v =
+        makeVector(data.size(), opts.group, opts.storeInverted, pages);
+
     for (std::uint64_t j = 0; j < pages; ++j) {
         std::uint64_t begin = j * page_bits;
         std::uint64_t len =
@@ -112,12 +150,38 @@ FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
         page.paste(0, data.slice(begin, len));
         if (v.inverted)
             page.invert();
-        const ssd::PhysPage &p = v.pages[j];
-        if (cfg_.defaultMode == nand::ProgramMode::SlcEsp)
-            chips_[p.die]->programPageEsp(p.addr, page, esp);
-        else
-            chips_[p.die]->programPage(p.addr, page, cfg_.defaultMode);
+        submitPageWrite(v.pages[j], std::move(page), nullptr);
     }
+    engine_.drain();
+
+    VectorId id = static_cast<VectorId>(vectors_.size());
+    vectors_.push_back(std::move(v));
+    return id;
+}
+
+VectorId
+FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
+                              const WriteOptions &opts, ReadStats *stats)
+{
+    const VectorInfo &s = info(src);
+    fcos_assert(s.pages.size() == 1,
+                "fcReplicate source must be a single-page vector");
+    fcos_assert(pages >= 1, "fcReplicate needs >= 1 copy");
+
+    // The copies hold the source's *stored* bits, so polarity follows
+    // the source; logically the result is the source page tiled.
+    VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(),
+                              opts.group, s.inverted, pages);
+    const ssd::PhysPage src_page = s.pages[0];
+
+    engine::OpStats os;
+    Time t0 = engine_.now();
+    nand::EspParams esp{cfg_.espFactor};
+    for (std::uint64_t j = 0; j < pages; ++j)
+        engine_.replicatePage(src_page.die, src_page.addr,
+                              v.pages[j].die, v.pages[j].addr, esp, &os);
+    engine_.drain();
+    mergeStats(stats, os, engine_.now() - t0);
 
     VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
@@ -131,93 +195,104 @@ FlashCosmosDrive::planFor(const Expr &expr) const
 }
 
 void
-FlashCosmosDrive::addOp(ReadStats *stats, const nand::OpResult &op,
-                        bool is_sense)
+FlashCosmosDrive::mergeStats(ReadStats *stats, const engine::OpStats &os,
+                             Time makespan)
 {
     if (!stats)
         return;
-    stats->nandTime += op.latency;
-    stats->nandEnergyJ += op.energyJ;
-    if (is_sense)
-        ++stats->senses;
+    stats->mwsCommands += os.mwsCommands;
+    stats->senses += os.senses;
+    stats->latchXors += os.latchXors;
+    stats->pageReads += os.pageReads;
+    stats->nandTime += os.nandTime;
+    stats->nandEnergyJ += os.nandEnergyJ;
+    stats->makespan += makespan;
 }
 
-BitVector
-FlashCosmosDrive::executeOnColumn(const MwsPlan &plan, const Expr &expr,
-                                  std::size_t page_index,
-                                  ReadStats *stats)
+void
+FlashCosmosDrive::columnLocation(const Expr &expr, std::size_t page_index,
+                                 std::uint32_t *die,
+                                 std::uint32_t *plane) const
 {
-    // Locate the column (die, plane) from any leaf; validate agreement.
     std::vector<VectorId> leaves = expr.leafIds();
     fcos_assert(!leaves.empty(), "expression with no leaves");
     const ssd::PhysPage &first = info(leaves[0]).pages[page_index];
-    std::uint32_t die = first.die;
-    std::uint32_t plane = first.addr.plane;
     for (VectorId id : leaves) {
         const ssd::PhysPage &p = info(id).pages[page_index];
-        fcos_assert(p.die == die && p.addr.plane == plane,
+        fcos_assert(p.die == first.die &&
+                        p.addr.plane == first.addr.plane,
                     "operands of one expression must stripe identically");
     }
-    nand::NandChip &chip = *chips_[die];
+    *die = first.die;
+    *plane = first.addr.plane;
+}
 
-    auto member_addr = [&](const Literal &l) -> const nand::WordlineAddr & {
+engine::ColumnProgram
+FlashCosmosDrive::planProgram(const MwsPlan &plan, const Expr &expr,
+                              std::size_t page_index) const
+{
+    std::uint32_t die = 0, plane = 0;
+    columnLocation(expr, page_index, &die, &plane);
+
+    engine::ColumnProgram prog;
+    prog.die = die;
+    prog.plane = plane;
+
+    auto member_addr = [this, page_index](
+                           const Literal &l) -> const nand::WordlineAddr & {
         return info(l.id).pages[page_index].addr;
+    };
+    auto push_sense = [&prog](const nand::MwsCommand &cmd,
+                              bool or_merge = false) {
+        prog.steps.push_back(engine::ColumnStep{
+            engine::StepKind::Sense,
+            [cmd, or_merge](nand::NandChip &chip) {
+                nand::OpResult r = chip.executeMws(cmd);
+                if (or_merge) {
+                    // Legacy cache-read OR transfer (Figure 6(c) path).
+                    chip.latches(cmd.plane).dumpOrMerge();
+                }
+                return r;
+            },
+            0, 0});
+    };
+    auto push_xor = [&prog, plane]() {
+        prog.steps.push_back(engine::ColumnStep{
+            engine::StepKind::LatchXor,
+            [plane](nand::NandChip &chip) {
+                return chip.executeXor(plane);
+            },
+            0, 0});
     };
 
     if (plan.kind == MwsPlan::Kind::Xor) {
-        auto sense_lit = [&](const Literal &l, bool extra_invert,
-                             bool first_op) {
+        fcos_assert(plan.xorMembers.size() >= 2, "degenerate XOR plan");
+        for (std::size_t i = 0; i < plan.xorMembers.size(); ++i) {
+            const Literal &l = plan.xorMembers[i];
+            bool first_op = (i == 0);
+            bool last = (i + 1 == plan.xorMembers.size());
             const nand::WordlineAddr &a = member_addr(l);
             bool stored_mismatch =
                 info(l.id).inverted != l.negated; // stored != literal
             nand::MwsCommand cmd;
             cmd.plane = plane;
-            cmd.flags.inverseRead = stored_mismatch ^ extra_invert;
+            // The overall parity folds into the last member's sense.
+            cmd.flags.inverseRead =
+                stored_mismatch ^ (last && plan.xorInvert);
             cmd.flags.initSenseLatch = true;
             cmd.flags.initCacheLatch = first_op;
             cmd.flags.dumpToCache = first_op;
             cmd.selections.push_back(nand::WlSelection{
                 a.block, a.subBlock, 1ULL << a.wordline});
-            nand::OpResult op = chip.executeMws(cmd);
-            addOp(stats, op, true);
-            if (stats)
-                ++stats->mwsCommands;
-        };
-        fcos_assert(plan.xorMembers.size() >= 2, "degenerate XOR plan");
-        for (std::size_t i = 0; i < plan.xorMembers.size(); ++i) {
-            bool last = (i + 1 == plan.xorMembers.size());
-            // The overall parity folds into the last member's sense.
-            sense_lit(plan.xorMembers[i], last && plan.xorInvert,
-                      i == 0);
-            if (i > 0) {
-                nand::OpResult op = chip.executeXor(plane);
-                addOp(stats, op, false);
-                if (stats)
-                    ++stats->latchXors;
-            }
+            push_sense(cmd);
+            if (i > 0)
+                push_xor();
         }
-        return chip.dataOut(plane);
+        return prog;
     }
 
-    if (plan.kind == MwsPlan::Kind::Fallback) {
-        // Serial page reads + controller-side evaluation. Reads use
-        // inverse mode for inverse-stored vectors, recovering logical
-        // values directly.
-        std::map<VectorId, BitVector> page_values;
-        for (VectorId id : leaves) {
-            const nand::WordlineAddr &a = info(id).pages[page_index].addr;
-            nand::OpResult op =
-                chip.readPage(a, info(id).inverted);
-            addOp(stats, op, true);
-            if (stats)
-                ++stats->pageReads;
-            page_values.emplace(id, chip.dataOut(plane));
-        }
-        return expr.evaluate(
-            [&](VectorId id) -> const BitVector & {
-                return page_values.at(id);
-            });
-    }
+    fcos_assert(plan.kind == MwsPlan::Kind::Mws,
+                "fallback plans build fallbackProgram instead");
 
     // MWS command chain.
     for (const PlanCommand &pc : plan.commands) {
@@ -253,14 +328,7 @@ FlashCosmosDrive::executeOnColumn(const MwsPlan &plan, const Expr &expr,
             }
             cmd.selections.push_back(sel);
         }
-        nand::OpResult op = chip.executeMws(cmd);
-        addOp(stats, op, true);
-        if (stats)
-            ++stats->mwsCommands;
-        if (pc.merge == MergeMode::Or) {
-            // Legacy cache-read OR transfer (Figure 6(c) path).
-            chip.latches(plane).dumpOrMerge();
-        }
+        push_sense(cmd, pc.merge == MergeMode::Or);
     }
 
     if (plan.finalInvert) {
@@ -277,17 +345,65 @@ FlashCosmosDrive::executeOnColumn(const MwsPlan &plan, const Expr &expr,
         cmd.flags.dumpToCache = false;
         cmd.selections.push_back(
             nand::WlSelection{e.block, e.subBlock, 1ULL << e.wordline});
-        nand::OpResult op = chip.executeMws(cmd);
-        addOp(stats, op, true);
-        if (stats)
-            ++stats->mwsCommands;
-        nand::OpResult xop = chip.executeXor(plane);
-        addOp(stats, xop, false);
-        if (stats)
-            ++stats->latchXors;
+        push_sense(cmd);
+        push_xor();
     }
 
-    return chip.dataOut(plane);
+    return prog;
+}
+
+engine::ColumnProgram
+FlashCosmosDrive::fallbackProgram(
+    const Expr &expr, std::size_t page_index,
+    std::shared_ptr<std::map<VectorId, BitVector>> values) const
+{
+    std::uint32_t die = 0, plane = 0;
+    columnLocation(expr, page_index, &die, &plane);
+
+    engine::ColumnProgram prog;
+    prog.die = die;
+    prog.plane = plane;
+    prog.readOutResult = false;
+
+    // Serial page reads; every page crosses the channel to the
+    // controller, which evaluates the expression (after drain).
+    // Reads use inverse mode for inverse-stored vectors, recovering
+    // logical values directly.
+    for (VectorId id : expr.leafIds()) {
+        const nand::WordlineAddr &a = info(id).pages[page_index].addr;
+        prog.steps.push_back(engine::ColumnStep{
+            engine::StepKind::PageRead,
+            [a, inv = info(id).inverted, id, values,
+             plane](nand::NandChip &chip) {
+                nand::OpResult r = chip.readPage(a, inv);
+                (*values)[id] = chip.dataOut(plane);
+                return r;
+            },
+            /*dmaAfterBytes=*/cfg_.geometry.pageBytes, 0});
+    }
+    return prog;
+}
+
+std::vector<BitVector>
+FlashCosmosDrive::evaluateFallback(const Expr &expr, std::size_t pages,
+                                   engine::OpStats *os)
+{
+    std::vector<std::shared_ptr<std::map<VectorId, BitVector>>> vals;
+    vals.reserve(pages);
+    for (std::size_t j = 0; j < pages; ++j) {
+        vals.push_back(
+            std::make_shared<std::map<VectorId, BitVector>>());
+        engine_.submit(fallbackProgram(expr, j, vals[j]), os);
+    }
+    engine_.drain();
+    std::vector<BitVector> out;
+    out.reserve(pages);
+    for (std::size_t j = 0; j < pages; ++j)
+        out.push_back(expr.evaluate(
+            [&](VectorId id) -> const BitVector & {
+                return vals[j]->at(id);
+            }));
+    return out;
 }
 
 BitVector
@@ -315,14 +431,40 @@ FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
 
     std::uint64_t page_bits = cfg_.geometry.pageBits();
     BitVector result(bits);
-    for (std::size_t j = 0; j < pages; ++j) {
-        BitVector page = executeOnColumn(plan, expr, j, stats);
-        if (stats)
-            ++stats->resultPages;
-        std::size_t begin = j * page_bits;
-        std::size_t len = std::min<std::size_t>(page_bits, bits - begin);
-        result.paste(begin, page.slice(0, len));
+    engine::OpStats os;
+    Time t0 = engine_.now();
+
+    if (plan.kind == MwsPlan::Kind::Fallback) {
+        std::vector<BitVector> out = evaluateFallback(expr, pages, &os);
+        for (std::size_t j = 0; j < pages; ++j) {
+            std::size_t begin = j * page_bits;
+            std::size_t len =
+                std::min<std::size_t>(page_bits, bits - begin);
+            result.paste(begin, out[j].slice(0, len));
+        }
+    } else {
+        std::vector<BitVector> out(pages);
+        for (std::size_t j = 0; j < pages; ++j) {
+            engine::ColumnProgram prog = planProgram(plan, expr, j);
+            prog.onResult = [&out, j](BitVector page) {
+                out[j] = std::move(page);
+            };
+            engine_.submit(std::move(prog), &os);
+        }
+        engine_.drain();
+        for (std::size_t j = 0; j < pages; ++j) {
+            fcos_assert(!out[j].empty(), "column %zu produced no result",
+                        j);
+            std::size_t begin = j * page_bits;
+            std::size_t len =
+                std::min<std::size_t>(page_bits, bits - begin);
+            result.paste(begin, out[j].slice(0, len));
+        }
     }
+
+    mergeStats(stats, os, engine_.now() - t0);
+    if (stats)
+        stats->resultPages += pages;
     return result;
 }
 
@@ -349,51 +491,46 @@ FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
         stats->planText = plan.toString();
     }
 
-    std::uint64_t group = opts.group;
-    if (group == kAutoGroup)
-        group = next_auto_group_++;
-    auto &[count, group_pages] = group_info_[group];
-    if (count == 0) {
-        group_pages = pages;
-    } else {
-        fcos_assert(group_pages == pages,
-                    "group %llu vectors must have equal page counts",
-                    (unsigned long long)group);
-    }
+    VectorInfo v = makeVector(bits, opts.group, opts.storeInverted, pages);
 
-    VectorInfo v;
-    v.bits = bits;
-    v.inverted = opts.storeInverted;
-    v.group = group;
-    v.orderInGroup = count++;
-    v.pages = ftl_.allocateInGroup(group, pages);
-
+    engine::OpStats os;
+    Time t0 = engine_.now();
     nand::EspParams esp{cfg_.espFactor};
-    for (std::size_t j = 0; j < pages; ++j) {
-        if (plan.kind == MwsPlan::Kind::Fallback) {
-            // Compute controller-side, then write the page normally.
-            fcos_warn("fcCompute falling back to serial reads: %s",
-                      plan.fallbackReason.c_str());
-            BitVector page =
-                executeOnColumn(plan, stored_expr, j, stats);
+
+    if (plan.kind == MwsPlan::Kind::Fallback) {
+        // Compute controller-side, then write the pages normally.
+        fcos_warn("fcCompute falling back to serial reads: %s",
+                  plan.fallbackReason.c_str());
+        std::vector<BitVector> out =
+            evaluateFallback(stored_expr, pages, &os);
+        for (std::size_t j = 0; j < pages; ++j)
+            submitPageWrite(v.pages[j], std::move(out[j]), &os);
+        engine_.drain();
+    } else {
+        for (std::size_t j = 0; j < pages; ++j) {
+            engine::ColumnProgram prog =
+                planProgram(plan, stored_expr, j);
             const ssd::PhysPage &dst = v.pages[j];
-            chips_[dst.die]->programPageEsp(dst.addr, page, esp);
-            continue;
+            // The operands' column and the destination column
+            // round-robin identically, so the latch holding the result
+            // belongs to the destination's plane.
+            fcos_assert(dst.die == prog.die &&
+                            dst.addr.plane == prog.plane,
+                        "fcCompute destination must share the plane");
+            prog.readOutResult = false;
+            prog.steps.push_back(engine::ColumnStep{
+                engine::StepKind::Program,
+                [addr = dst.addr, esp](nand::NandChip &chip) {
+                    return chip.programFromCache(
+                        addr, nand::ProgramMode::SlcEsp, esp);
+                },
+                0, 0});
+            engine_.submit(std::move(prog), &os);
         }
-        executeOnColumn(plan, stored_expr, j, stats);
-        const ssd::PhysPage &dst = v.pages[j];
-        // The operands' column and the destination column round-robin
-        // identically, so the latch holding the result belongs to the
-        // destination's plane.
-        const ssd::PhysPage &src = info(leaves[0]).pages[j];
-        fcos_assert(dst.die == src.die &&
-                        dst.addr.plane == src.addr.plane,
-                    "fcCompute destination must share the plane");
-        nand::OpResult op = chips_[dst.die]->programFromCache(
-            dst.addr, nand::ProgramMode::SlcEsp, esp);
-        addOp(stats, op, false);
+        engine_.drain();
     }
 
+    mergeStats(stats, os, engine_.now() - t0);
     VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
     return id;
@@ -405,21 +542,37 @@ FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
     const VectorInfo &v = info(id);
     std::uint64_t page_bits = cfg_.geometry.pageBits();
     BitVector result(v.bits);
+    engine::OpStats os;
+    Time t0 = engine_.now();
+
+    std::vector<BitVector> out(v.pages.size());
     for (std::size_t j = 0; j < v.pages.size(); ++j) {
         const ssd::PhysPage &p = v.pages[j];
-        nand::OpResult op =
-            chips_[p.die]->readPage(p.addr, v.inverted);
-        addOp(stats, op, true);
-        if (stats) {
-            ++stats->pageReads;
-            ++stats->resultPages;
-        }
-        const BitVector &page = chips_[p.die]->dataOut(p.addr.plane);
+        engine::ColumnProgram prog;
+        prog.die = p.die;
+        prog.plane = p.addr.plane;
+        prog.steps.push_back(engine::ColumnStep{
+            engine::StepKind::PageRead,
+            [a = p.addr, inv = v.inverted](nand::NandChip &chip) {
+                return chip.readPage(a, inv);
+            },
+            0, 0});
+        prog.onResult = [&out, j](BitVector page) {
+            out[j] = std::move(page);
+        };
+        engine_.submit(std::move(prog), &os);
+    }
+    engine_.drain();
+
+    for (std::size_t j = 0; j < v.pages.size(); ++j) {
         std::size_t begin = j * page_bits;
         std::size_t len =
             std::min<std::size_t>(page_bits, v.bits - begin);
-        result.paste(begin, page.slice(0, len));
+        result.paste(begin, out[j].slice(0, len));
     }
+    mergeStats(stats, os, engine_.now() - t0);
+    if (stats)
+        stats->resultPages += v.pages.size();
     return result;
 }
 

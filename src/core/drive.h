@@ -3,9 +3,14 @@
  * FlashCosmosDrive — the functional, bit-exact Flash-Cosmos SSD
  * (paper Section 6.3's fc_write / fc_read library, end to end).
  *
- * The drive owns a set of NAND dies, places vectors through the
- * FC-aware FTL, compiles fc_read expressions with the Planner, and
- * executes the resulting MWS command chains on the dies' latch arrays.
+ * The drive places vectors through the FC-aware FTL and compiles
+ * fc_read expressions with the Planner; *execution* is delegated to
+ * the multi-die compute engine (engine/engine.h): every operation is
+ * sharded into per-(die, plane) column programs that the engine runs
+ * event-driven over a channels x dies chip farm. One call therefore
+ * yields bit-exact results *and* a contention-accurate timeline and
+ * energy ledger (ReadStats::makespan, engine().energy()).
+ *
  * With an error injector attached, computation flows through the same
  * error-prone sensing path the paper characterizes; without one it is
  * exact.
@@ -17,15 +22,17 @@
  *  - every vector in a group must have the same length, so group
  *    wordlines advance in lockstep across all columns.
  *
- * Timing realism for full-scale workloads lives in the SSD timing
- * simulator (platforms/); this class is the functional reference the
- * tests validate against.
+ * Operands that violate co-location physically — a one-page vector
+ *  combined against striped ones — can be brought into a group with
+ * fcReplicate, which copies the page die-to-die through the
+ * controller (the engine's Equation-1 replication path).
  */
 
 #ifndef FCOS_CORE_DRIVE_H
 #define FCOS_CORE_DRIVE_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -34,6 +41,7 @@
 #include "core/expression.h"
 #include "core/plan.h"
 #include "core/planner.h"
+#include "engine/engine.h"
 #include "nand/chip.h"
 #include "ssd/ftl.h"
 #include "util/bitvector.h"
@@ -45,9 +53,14 @@ class FlashCosmosDrive : public StorageResolver
   public:
     struct Config
     {
+        /** Channel buses; dies of one channel share its bandwidth. */
+        std::uint32_t channels = 1;
+        /** Dies per channel (total dies = channels * dies). */
         std::uint32_t dies = 2;
         nand::Geometry geometry = nand::Geometry::tiny();
         nand::Timings timings{};
+        /** Die <-> controller I/O rate (Table 1: 1.2 GB/s). */
+        double channelGBps = 1.2;
         /** ESP extension used for fcWrite (Table 1: 2.0 -> 400 us). */
         double espFactor = 2.0;
         /** Default programming mode for operands. */
@@ -74,7 +87,8 @@ class FlashCosmosDrive : public StorageResolver
 
     /**
      * Store a bit vector (fc_write). Returns its handle.
-     * Programs with ESP by default.
+     * Programs with ESP by default; pages shard round-robin over every
+     * (die, plane) column, so all dies program in parallel.
      */
     VectorId fcWrite(const BitVector &data, const WriteOptions &opts);
     VectorId fcWrite(const BitVector &data)
@@ -93,11 +107,15 @@ class FlashCosmosDrive : public StorageResolver
         std::uint64_t resultPages = 0; ///< pages read out of the chips
         Time nandTime = 0;             ///< summed NAND busy time
         double nandEnergyJ = 0.0;      ///< summed NAND energy
+        /** Contention-accurate span of this operation on the engine's
+         *  event-driven timeline (dies + channels). */
+        Time makespan = 0;
     };
 
     /**
      * Execute a bulk bitwise expression in flash (fc_read) and return
-     * the result vector.
+     * the result vector. Page columns execute concurrently across the
+     * farm's dies; result pages return over the channel buses.
      */
     BitVector fcRead(const Expr &expr, ReadStats *stats = nullptr);
 
@@ -120,6 +138,18 @@ class FlashCosmosDrive : public StorageResolver
     VectorId fcCompute(const Expr &expr, const WriteOptions &opts,
                        ReadStats *stats = nullptr);
 
+    /**
+     * Replicate a single-page vector across @p pages pages of
+     * @p opts.group so it can join a group's MWS strings on every
+     * column (Equation-1 co-location). Each copy is made die-to-die
+     * through the controller — sense, channel out, channel in,
+     * ESP program — on the engine's timeline. The returned vector
+     * behaves as the source page tiled @p pages times.
+     */
+    VectorId fcReplicate(VectorId src, std::uint64_t pages,
+                         const WriteOptions &opts,
+                         ReadStats *stats = nullptr);
+
     /** Read a stored vector back through the regular read path. */
     BitVector readVector(VectorId id, ReadStats *stats = nullptr);
 
@@ -131,9 +161,16 @@ class FlashCosmosDrive : public StorageResolver
 
     std::uint32_t dieCount() const
     {
-        return static_cast<std::uint32_t>(chips_.size());
+        return engine_.farm().dieCount();
     }
-    nand::NandChip &chip(std::uint32_t die);
+    nand::NandChip &chip(std::uint32_t die)
+    {
+        return engine_.farm().chip(die);
+    }
+
+    /** The multi-die engine (timeline + unified energy ledger). */
+    engine::ComputeEngine &engine() { return engine_; }
+    const engine::ComputeEngine &engine() const { return engine_; }
 
     // StorageResolver:
     bool isStoredInverted(VectorId id) const override;
@@ -151,15 +188,42 @@ class FlashCosmosDrive : public StorageResolver
 
     const VectorInfo &info(VectorId id) const;
 
-    /** Execute one plan on the page-column @p page_index. Returns the
-     *  resulting page data (from the cache latch). */
-    BitVector executeOnColumn(const MwsPlan &plan, const Expr &expr,
-                              std::size_t page_index, ReadStats *stats);
+    /** Allocate the VectorInfo bookkeeping for a new vector. */
+    VectorInfo makeVector(std::size_t bits, std::uint64_t group,
+                          bool inverted, std::uint64_t pages);
 
-    void addOp(ReadStats *stats, const nand::OpResult &op, bool is_sense);
+    /** Column program executing @p plan on page column @p page_index
+     *  (Kind::Mws / Kind::Xor plans). */
+    engine::ColumnProgram planProgram(const MwsPlan &plan,
+                                      const Expr &expr,
+                                      std::size_t page_index) const;
+
+    /** Column program for the serial-read fallback: reads every leaf
+     *  page to the controller, capturing values into @p values. */
+    engine::ColumnProgram fallbackProgram(
+        const Expr &expr, std::size_t page_index,
+        std::shared_ptr<std::map<VectorId, BitVector>> values) const;
+
+    /** Run the fallback path for all @p pages columns and evaluate
+     *  @p expr controller-side; returns one page per column. */
+    std::vector<BitVector> evaluateFallback(const Expr &expr,
+                                            std::size_t pages,
+                                            engine::OpStats *os);
+
+    /** Resolve (die, plane) of a page column; asserts co-location. */
+    void columnLocation(const Expr &expr, std::size_t page_index,
+                        std::uint32_t *die, std::uint32_t *plane) const;
+
+    /** Submit one page-program write (data-in over the channel). */
+    void submitPageWrite(const ssd::PhysPage &dst, BitVector page,
+                         engine::OpStats *stats);
+
+    /** Merge engine counters into @p stats (except resultPages). */
+    static void mergeStats(ReadStats *stats, const engine::OpStats &os,
+                           Time makespan);
 
     Config cfg_;
-    std::vector<std::unique_ptr<nand::NandChip>> chips_;
+    engine::ComputeEngine engine_;
     ssd::Ftl ftl_;
     Planner planner_;
     std::vector<VectorInfo> vectors_;

@@ -1,0 +1,144 @@
+#include "engine/engine.h"
+
+#include "util/log.h"
+
+namespace fcos::engine {
+
+ssd::EnergyComponent
+energyComponentFor(StepKind kind)
+{
+    switch (kind) {
+      case StepKind::Sense:
+      case StepKind::LatchXor:
+        return ssd::EnergyComponent::NandMws;
+      case StepKind::PageRead:
+      case StepKind::OrDump:
+        return ssd::EnergyComponent::NandRead;
+      case StepKind::Program:
+        return ssd::EnergyComponent::NandProgram;
+    }
+    return ssd::EnergyComponent::NandRead;
+}
+
+ComputeEngine::ComputeEngine(const FarmConfig &cfg)
+    : farm_(cfg), scheduler_(farm_)
+{}
+
+void
+ComputeEngine::submit(ColumnProgram program, OpStats *stats)
+{
+    fcos_assert(!program.steps.empty(), "empty column program");
+    fcos_assert(program.die < farm_.dieCount(),
+                "program targets die %u beyond the farm", program.die);
+    fcos_assert(program.plane < farm_.geometry().planesPerDie,
+                "program targets plane %u beyond the die", program.plane);
+
+    auto state = std::make_shared<ColumnProgram>(std::move(program));
+    const std::uint32_t die = state->die;
+    const std::size_t n = state->steps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        ColumnStep &step = state->steps[i];
+        const bool last = (i + 1 == n);
+        const std::uint64_t dma_after = step.dmaAfterBytes;
+
+        CommandScheduler::DieFn fn =
+            [run = std::move(step.run), kind = step.kind,
+             stats](nand::NandChip &chip) {
+                nand::OpResult r = run(chip);
+                if (stats)
+                    stats->tally(kind, r);
+                return r;
+            };
+
+        CommandScheduler::Callback done;
+        if (last) {
+            done = [this, state, stats, dma_after] {
+                if (dma_after > 0)
+                    scheduler_.submitDma(state->die, dma_after);
+                finishProgram(state, stats);
+            };
+        } else if (dma_after > 0) {
+            done = [this, die, dma_after] {
+                scheduler_.submitDma(die, dma_after);
+            };
+        }
+        scheduler_.submitDieOp(die, energyComponentFor(step.kind),
+                               std::move(fn), std::move(done),
+                               step.dmaBeforeBytes);
+    }
+}
+
+void
+ComputeEngine::finishProgram(const std::shared_ptr<ColumnProgram> &state,
+                             OpStats *stats)
+{
+    if (!state->readOutResult) {
+        if (state->onComplete)
+            state->onComplete();
+        return;
+    }
+    // Capture the cache latch now — at the die's completion instant —
+    // before any later program on this die can overwrite it; the page
+    // is then in flight on the channel until its DMA completes.
+    BitVector page = farm_.chip(state->die).dataOut(state->plane);
+    if (stats)
+        ++stats->resultPages;
+    scheduler_.submitDma(
+        state->die, farm_.geometry().pageBytes,
+        [state, page = std::move(page)]() mutable {
+            if (state->onResult)
+                state->onResult(std::move(page));
+            if (state->onComplete)
+                state->onComplete();
+        });
+}
+
+void
+ComputeEngine::submit(ShardedOp op, OpStats *stats)
+{
+    for (ColumnProgram &p : op.programs())
+        submit(std::move(p), stats);
+}
+
+void
+ComputeEngine::replicatePage(std::uint32_t src_die,
+                             const nand::WordlineAddr &src,
+                             std::uint32_t dst_die,
+                             const nand::WordlineAddr &dst,
+                             const nand::EspParams &esp, OpStats *stats)
+{
+    fcos_assert(src_die < farm_.dieCount() && dst_die < farm_.dieCount(),
+                "replication endpoints beyond the farm");
+    const std::uint64_t bytes = farm_.geometry().pageBytes;
+    auto page = std::make_shared<BitVector>();
+
+    scheduler_.submitDieOp(
+        src_die, ssd::EnergyComponent::NandRead,
+        [src, page, stats](nand::NandChip &chip) {
+            // Raw copy of stored bits: polarity metadata travels with
+            // the vector handle, not the cells.
+            nand::OpResult r = chip.readPage(src, /*inverse=*/false);
+            *page = chip.dataOut(src.plane);
+            if (stats)
+                stats->tally(StepKind::PageRead, r);
+            return r;
+        },
+        [this, src_die, dst_die, dst, esp, page, stats, bytes] {
+            scheduler_.submitDma(
+                src_die, bytes,
+                [this, dst_die, dst, esp, page, stats, bytes] {
+                    scheduler_.submitDieOp(
+                        dst_die, ssd::EnergyComponent::NandProgram,
+                        [dst, esp, page, stats](nand::NandChip &chip) {
+                            nand::OpResult r =
+                                chip.programPageEsp(dst, *page, esp);
+                            if (stats)
+                                stats->tally(StepKind::Program, r);
+                            return r;
+                        },
+                        {}, /*pre_dma_bytes=*/bytes);
+                });
+        });
+}
+
+} // namespace fcos::engine

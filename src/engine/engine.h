@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The multi-die compute engine: event-driven, sharded execution of
+ * bulk bitwise work over a farm of functional NAND dies.
+ *
+ * This is the layer that unifies the repository's two previously
+ * disjoint halves. The *functional* path (core/drive + nand/chip)
+ * computed bit-exact results but executed every command serially with
+ * no notion of time; the *timing* path (ssd/ssd_sim) modelled channel
+ * and plane contention but moved no data. The engine executes real
+ * commands against real chips **through** the deterministic Facility
+ * model, so a single run yields bit-exact result vectors *and* a
+ * contention-accurate timeline and energy ledger.
+ *
+ * Async API: callers submit() column programs (or whole ShardedOps)
+ * and drain(); completion callbacks deliver result pages at their
+ * simulated readout times. Per-die ordering follows submission order;
+ * cross-die interleaving follows simulated time with FIFO
+ * tie-breaking, so every run is bit-reproducible.
+ *
+ * Replication: operands that Equation-1 locality requires on a die
+ * where they are not stored (e.g. a one-page vector combined against
+ * striped ones) are copied die-to-die through the controller with
+ * replicatePage() — sense, channel out, channel in, ESP program —
+ * paying the realistic time and energy for the copy.
+ */
+
+#ifndef FCOS_ENGINE_ENGINE_H
+#define FCOS_ENGINE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/chip_farm.h"
+#include "engine/scheduler.h"
+#include "engine/sharded_op.h"
+
+namespace fcos::engine {
+
+class ComputeEngine
+{
+  public:
+    explicit ComputeEngine(const FarmConfig &cfg);
+
+    ChipFarm &farm() { return farm_; }
+    const ChipFarm &farm() const { return farm_; }
+    CommandScheduler &scheduler() { return scheduler_; }
+    const CommandScheduler &scheduler() const { return scheduler_; }
+
+    /** Current simulated time (start-of-op timestamps for spans). */
+    Time now() const { return scheduler_.queue().now(); }
+
+    /**
+     * Submit one column program. Steps execute in order on the
+     * program's die; the result page (if readOutResult) arrives at
+     * onResult after its channel readout completes.
+     */
+    void submit(ColumnProgram program, OpStats *stats = nullptr);
+
+    /** Submit every column program of a sharded op. */
+    void submit(ShardedOp op, OpStats *stats = nullptr);
+
+    /** Run all submitted work; @return cumulative makespan. */
+    Time drain() { return scheduler_.drain(); }
+
+    /**
+     * Copy the stored bits of one page onto another die (or another
+     * location of the same die) through the controller: sense on the
+     * source die, move over both channels, ESP-program on the
+     * destination. This is the input-replication primitive sharding
+     * uses to satisfy Equation-1 co-location.
+     */
+    void replicatePage(std::uint32_t src_die, const nand::WordlineAddr &src,
+                       std::uint32_t dst_die, const nand::WordlineAddr &dst,
+                       const nand::EspParams &esp = nand::EspParams{},
+                       OpStats *stats = nullptr);
+
+    // --- unified timeline / energy ledger ---
+    Time makespan() const { return scheduler_.makespan(); }
+    Time dieBusyTime(std::uint32_t die) const
+    {
+        return scheduler_.dieBusyTime(die);
+    }
+    Time channelBusyTime(std::uint32_t channel) const
+    {
+        return scheduler_.channelBusyTime(channel);
+    }
+    const ssd::EnergyMeter &energy() const
+    {
+        return scheduler_.energy();
+    }
+    double totalEnergyJ() const { return scheduler_.energy().total(); }
+
+  private:
+    void finishProgram(const std::shared_ptr<ColumnProgram> &state,
+                       OpStats *stats);
+
+    ChipFarm farm_;
+    CommandScheduler scheduler_;
+};
+
+/** Energy-ledger component a step's joules are booked against. */
+ssd::EnergyComponent energyComponentFor(StepKind kind);
+
+} // namespace fcos::engine
+
+#endif // FCOS_ENGINE_ENGINE_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Engine-scaling report: simulated bulk-bitwise throughput vs die
+ * count, as a util/table.
+ *
+ * The sweep is weak-scaling: every (die, plane) column computes the
+ * same number of result pages (one intra-block MWS AND over
+ * `andOperands` co-located operands per result page), so doubling the
+ * die count doubles the logical work. Throughput therefore scales
+ * near-linearly with dies until the per-channel result readout — one
+ * page DMA per MWS — saturates the channel bus, exactly the knee the
+ * paper's SSD-level evaluation shows.
+ *
+ * The report runs the *functional* engine: every result page is also
+ * checked against the reference AND, so one table certifies both the
+ * timeline and bit-exactness. Shared between bench/engine_scaling and
+ * the golden test that pins its output.
+ */
+
+#ifndef FCOS_ENGINE_REPORT_H
+#define FCOS_ENGINE_REPORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/table.h"
+#include "util/units.h"
+#include "workloads/workload.h"
+
+namespace fcos::engine {
+
+/** One row of the sweep: a farm shape. */
+struct ScalingConfig
+{
+    std::uint32_t channels;
+    std::uint32_t diesPerChannel;
+};
+
+/** The default sweep: dies-per-channel growth, then channel growth. */
+std::vector<ScalingConfig> defaultScalingSweep();
+
+/** Measured numbers behind one table row (for tests). */
+struct ScalingPoint
+{
+    ScalingConfig config{};
+    Time makespan = 0;
+    double throughputGBps = 0.0;
+    double perDieGBps = 0.0;
+    double channelUtilization = 0.0; ///< busiest channel / makespan
+    double energyJ = 0.0;
+    bool bitExact = false;
+};
+
+/**
+ * Run the sweep and render the table. The workload shape comes from
+ * wl::makeEngineScaling (operand count per result page); operand size
+ * is fixed per column (@p pages_per_column pages of @p page_bytes), so
+ * total work grows with the farm.
+ *
+ * @param points  when non-null, receives one ScalingPoint per row
+ */
+TablePrinter scalingReport(const std::vector<ScalingConfig> &configs,
+                           std::uint64_t and_operands = 24,
+                           std::uint32_t pages_per_column = 2,
+                           std::uint32_t page_bytes = 8 * 1024,
+                           std::vector<ScalingPoint> *points = nullptr);
+
+} // namespace fcos::engine
+
+#endif // FCOS_ENGINE_REPORT_H

@@ -1,0 +1,134 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace fcos::engine {
+
+CommandScheduler::CommandScheduler(ChipFarm &farm)
+    : farm_(farm), states_(farm.dieCount())
+{
+    dies_.reserve(farm.dieCount());
+    for (std::uint32_t d = 0; d < farm.dieCount(); ++d)
+        dies_.emplace_back("die" + std::to_string(d));
+    channels_.reserve(farm.channelCount());
+    for (std::uint32_t c = 0; c < farm.channelCount(); ++c)
+        channels_.emplace_back("channel" + std::to_string(c));
+}
+
+void
+CommandScheduler::submitDieOp(std::uint32_t die, ssd::EnergyComponent comp,
+                              DieFn fn, Callback done,
+                              std::uint64_t pre_dma_bytes)
+{
+    fcos_assert(die < states_.size(), "die %u out of range", die);
+    fcos_assert(fn != nullptr, "die op without a function");
+    states_[die].pending.push_back(
+        PendingOp{comp, std::move(fn), std::move(done), pre_dma_bytes});
+    pump(die);
+}
+
+void
+CommandScheduler::pump(std::uint32_t die)
+{
+    DieState &st = states_[die];
+    if (st.running || st.pending.empty())
+        return;
+    st.running = true;
+    // Defer to the event queue even for an idle die so that execution
+    // order is decided purely by simulated time + FIFO tie-breaking,
+    // never by the C++ call stack.
+    queue_.scheduleAfter(0, [this, die] { execute(die); });
+}
+
+void
+CommandScheduler::execute(std::uint32_t die)
+{
+    DieState &st = states_[die];
+    fcos_assert(!st.pending.empty(), "die worker woke without work");
+    PendingOp op = std::move(st.pending.front());
+    st.pending.pop_front();
+
+    if (op.preDmaBytes > 0) {
+        // Data-in: the die waits for its channel slot, then for the
+        // transfer, before the operation proper starts.
+        std::uint64_t bytes = op.preDmaBytes;
+        op.preDmaBytes = 0;
+        st.pending.push_front(std::move(op));
+        std::uint32_t ch = farm_.channelOfDie(die);
+        energy_.add(ssd::EnergyComponent::ChannelDma,
+                    farm_.config().channelPjPerBit * 1e-12 *
+                        static_cast<double>(bytes) * 8.0);
+        Time dur = transferTime(bytes, farm_.config().channelGBps);
+        Time finish = channels_[ch].acquire(queue_.now(), dur);
+        ++dma_ops_;
+        queue_.schedule(finish, [this, die] { execute(die); });
+        return;
+    }
+
+    nand::OpResult r = op.fn(farm_.chip(die));
+    energy_.add(op.comp, r.energyJ);
+    Time finish = dies_[die].acquire(queue_.now(), r.latency);
+    ++die_ops_;
+    queue_.schedule(finish, [this, die, done = std::move(op.done)] {
+        // The completion callback observes the die's latches before
+        // any later op on this die mutates them.
+        if (done)
+            done();
+        DieState &s = states_[die];
+        s.running = false;
+        pump(die);
+    });
+}
+
+void
+CommandScheduler::submitDma(std::uint32_t die, std::uint64_t bytes,
+                            Callback done)
+{
+    std::uint32_t ch = farm_.channelOfDie(die);
+    energy_.add(ssd::EnergyComponent::ChannelDma,
+                farm_.config().channelPjPerBit * 1e-12 *
+                    static_cast<double>(bytes) * 8.0);
+    Time dur = transferTime(bytes, farm_.config().channelGBps);
+    Time finish = channels_[ch].acquire(queue_.now(), dur);
+    ++dma_ops_;
+    if (done)
+        queue_.schedule(finish, std::move(done));
+    else
+        queue_.schedule(finish, [] {});
+}
+
+Time
+CommandScheduler::drain()
+{
+    queue_.run();
+    makespan_ = std::max(makespan_, queue_.now());
+    return makespan_;
+}
+
+Time
+CommandScheduler::dieBusyTime(std::uint32_t die) const
+{
+    fcos_assert(die < dies_.size(), "die %u out of range", die);
+    return dies_[die].busyTime();
+}
+
+Time
+CommandScheduler::channelBusyTime(std::uint32_t channel) const
+{
+    fcos_assert(channel < channels_.size(), "channel %u out of range",
+                channel);
+    return channels_[channel].busyTime();
+}
+
+Time
+CommandScheduler::maxDieBusyTime() const
+{
+    Time m = 0;
+    for (const auto &d : dies_)
+        m = std::max(m, d.busyTime());
+    return m;
+}
+
+} // namespace fcos::engine

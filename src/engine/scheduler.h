@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Asynchronous, deterministic command scheduler over the chip farm.
+ *
+ * The scheduler is the engine's event-driven spine: callers submit die
+ * operations (a functional chip mutation that reports its own latency
+ * and energy) and channel transfers; the scheduler books them on the
+ * shared Facility resources of sim/event_queue and fires completion
+ * callbacks at the simulated completion times.
+ *
+ * Execution model:
+ *
+ *  - each die is one Facility; operations submitted to a die execute
+ *    in submission order (FIFO), the functional mutation running at
+ *    the simulated instant the die becomes free — so per-die sense
+ *    sequences (which seed the error model) are identical to a fully
+ *    serialized run;
+ *
+ *  - each channel is one Facility shared by its dies; result readout
+ *    and data-in transfers serialize on it in arrival order — this is
+ *    where multi-die scaling bends over (the contention the
+ *    engine-scaling bench measures);
+ *
+ *  - a die op may require a data-in transfer first (`preDmaBytes`,
+ *    program data moving controller -> die); the die then waits for
+ *    its channel slot before starting;
+ *
+ *  - the event queue's FIFO tie-breaking makes every run
+ *    bit-reproducible: same submissions => same interleaving, same
+ *    timeline, same energy ledger.
+ *
+ * Energy is booked into a ssd::EnergyMeter per activity, giving one
+ * ledger spanning NAND ops and channel movement.
+ */
+
+#ifndef FCOS_ENGINE_SCHEDULER_H
+#define FCOS_ENGINE_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "engine/chip_farm.h"
+#include "sim/event_queue.h"
+#include "ssd/energy.h"
+
+namespace fcos::engine {
+
+class CommandScheduler
+{
+  public:
+    using Callback = std::function<void()>;
+    /** A functional die mutation reporting its latency and energy. */
+    using DieFn = std::function<nand::OpResult(nand::NandChip &)>;
+
+    explicit CommandScheduler(ChipFarm &farm);
+
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+    ssd::EnergyMeter &energy() { return energy_; }
+    const ssd::EnergyMeter &energy() const { return energy_; }
+
+    /**
+     * Submit one die operation. @p fn runs against the die's chip when
+     * the die becomes free (after an optional @p pre_dma_bytes data-in
+     * transfer over the die's channel); @p done fires at the op's
+     * simulated completion, before any later op on the same die starts.
+     *
+     * @param comp  energy component the op's joules are booked against
+     */
+    void submitDieOp(std::uint32_t die, ssd::EnergyComponent comp,
+                     DieFn fn, Callback done = {},
+                     std::uint64_t pre_dma_bytes = 0);
+
+    /**
+     * Move @p bytes between die and controller over the die's channel;
+     * @p done fires at transfer completion. The die itself is not
+     * occupied (cache-read pipelining: the latch is free to move data
+     * while the next sense proceeds).
+     */
+    void submitDma(std::uint32_t die, std::uint64_t bytes,
+                   Callback done = {});
+
+    /** Run all submitted work to completion; @return the makespan. */
+    Time drain();
+
+    /** Simulated completion time of the last drain(). */
+    Time makespan() const { return makespan_; }
+
+    /** Accumulated busy time of one die. */
+    Time dieBusyTime(std::uint32_t die) const;
+    /** Accumulated busy time of one channel bus. */
+    Time channelBusyTime(std::uint32_t channel) const;
+    /** Maximum die busy time across the farm. */
+    Time maxDieBusyTime() const;
+
+    std::uint64_t dieOpsExecuted() const { return die_ops_; }
+    std::uint64_t dmaTransfers() const { return dma_ops_; }
+
+  private:
+    struct PendingOp
+    {
+        ssd::EnergyComponent comp;
+        DieFn fn;
+        Callback done;
+        std::uint64_t preDmaBytes = 0;
+    };
+
+    struct DieState
+    {
+        std::deque<PendingOp> pending;
+        bool running = false;
+    };
+
+    /** Start the next queued op of @p die, if any. */
+    void pump(std::uint32_t die);
+    void execute(std::uint32_t die);
+
+    ChipFarm &farm_;
+    EventQueue queue_;
+    ssd::EnergyMeter energy_;
+    std::vector<Facility> dies_;
+    std::vector<Facility> channels_;
+    std::vector<DieState> states_;
+    Time makespan_ = 0;
+    std::uint64_t die_ops_ = 0;
+    std::uint64_t dma_ops_ = 0;
+};
+
+} // namespace fcos::engine
+
+#endif // FCOS_ENGINE_SCHEDULER_H

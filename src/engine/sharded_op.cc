@@ -1,0 +1,54 @@
+#include "engine/sharded_op.h"
+
+#include "util/log.h"
+
+namespace fcos::engine {
+
+void
+OpStats::tally(StepKind kind, const nand::OpResult &op)
+{
+    nandTime += op.latency;
+    nandEnergyJ += op.energyJ;
+    switch (kind) {
+      case StepKind::Sense:
+        ++mwsCommands;
+        ++senses;
+        break;
+      case StepKind::PageRead:
+        ++senses;
+        ++pageReads;
+        break;
+      case StepKind::LatchXor:
+        ++latchXors;
+        break;
+      case StepKind::Program:
+        ++programs;
+        break;
+      case StepKind::OrDump:
+        break;
+    }
+}
+
+std::vector<std::uint32_t>
+ShardedOp::partition(std::uint32_t die_count) const
+{
+    std::vector<std::uint32_t> per_die(die_count, 0);
+    for (const ColumnProgram &p : programs_) {
+        fcos_assert(p.die < die_count, "program targets die %u beyond farm",
+                    p.die);
+        ++per_die[p.die];
+    }
+    return per_die;
+}
+
+std::uint32_t
+ShardedOp::diesTouched(std::uint32_t die_count) const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t c : partition(die_count))
+        if (c > 0)
+            ++n;
+    return n;
+}
+
+} // namespace fcos::engine

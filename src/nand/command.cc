@@ -68,35 +68,66 @@ pushSelection(std::vector<std::uint8_t> &out, const Geometry &geom,
             static_cast<std::uint8_t>((sel.wlMask >> (8 * i)) & 0xFF));
 }
 
-struct SlotReader
+/** Cursor that records the first failure instead of aborting. */
+struct TryReader
 {
     const std::vector<std::uint8_t> &bytes;
     std::size_t pos = 0;
+    std::string error;
 
-    std::uint8_t next()
+    bool failed() const { return !error.empty(); }
+
+    bool fail(const char *msg)
     {
-        fcos_assert(pos < bytes.size(), "truncated command");
-        return bytes[pos++];
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    bool next(std::uint8_t *out)
+    {
+        if (failed())
+            return false;
+        if (pos >= bytes.size())
+            return fail("truncated command");
+        *out = bytes[pos++];
+        return true;
     }
 };
 
-WlSelection
-readSelection(SlotReader &r, const Geometry &geom, std::uint32_t &plane_out)
+bool
+readSelection(TryReader &r, const Geometry &geom, WlSelection *sel,
+              std::uint32_t *plane_out)
 {
-    plane_out = r.next();
-    WlSelection sel;
-    sel.block = r.next();
-    sel.block |= static_cast<std::uint32_t>(r.next()) << 8;
-    sel.subBlock = r.next();
-    sel.wlMask = 0;
-    for (int i = 0; i < 6; ++i)
-        sel.wlMask |= static_cast<std::uint64_t>(r.next()) << (8 * i);
-    fcos_assert(plane_out < geom.planesPerDie, "decoded plane out of range");
-    fcos_assert(sel.block < geom.blocksPerPlane,
-                "decoded block out of range");
-    fcos_assert(sel.subBlock < geom.subBlocksPerBlock,
-                "decoded sub-block out of range");
-    return sel;
+    std::uint8_t b = 0;
+    if (!r.next(&b))
+        return false;
+    *plane_out = b;
+    std::uint8_t lo = 0, hi = 0;
+    if (!r.next(&lo) || !r.next(&hi))
+        return false;
+    sel->block = lo | (static_cast<std::uint32_t>(hi) << 8);
+    if (!r.next(&b))
+        return false;
+    sel->subBlock = b;
+    sel->wlMask = 0;
+    for (int i = 0; i < 6; ++i) {
+        if (!r.next(&b))
+            return false;
+        sel->wlMask |= static_cast<std::uint64_t>(b) << (8 * i);
+    }
+    if (*plane_out >= geom.planesPerDie)
+        return r.fail("decoded plane out of range");
+    if (sel->block >= geom.blocksPerPlane)
+        return r.fail("decoded block out of range");
+    if (sel->subBlock >= geom.subBlocksPerBlock)
+        return r.fail("decoded sub-block out of range");
+    if (sel->wlMask == 0)
+        return r.fail("empty PBM");
+    if (geom.wordlinesPerSubBlock < 64 &&
+        (sel->wlMask >> geom.wordlinesPerSubBlock) != 0)
+        return r.fail("PBM beyond string length");
+    return true;
 }
 
 } // namespace
@@ -119,35 +150,68 @@ encodeMws(const Geometry &geom, const MwsCommand &cmd)
     return out;
 }
 
-MwsCommand
-decodeMws(const Geometry &geom, const std::vector<std::uint8_t> &bytes)
+std::optional<MwsCommand>
+tryDecodeMws(const Geometry &geom, const std::vector<std::uint8_t> &bytes,
+             std::string *error)
 {
-    SlotReader r{bytes};
-    fcos_assert(r.next() == kOpMws, "not an MWS command");
+    TryReader r{bytes, 0, {}};
+    auto reject = [&](const char *msg) -> std::optional<MwsCommand> {
+        r.fail(msg);
+        if (error)
+            *error = r.error;
+        return std::nullopt;
+    };
+
+    std::uint8_t b = 0;
+    if (!r.next(&b))
+        return reject("truncated command");
+    if (b != kOpMws)
+        return reject("not an MWS command");
+    if (!r.next(&b))
+        return reject("truncated command");
+    if (b & 0xF0)
+        return reject("reserved ISCM bits set");
     MwsCommand cmd;
-    cmd.flags = IscmFlags::fromByte(r.next());
+    cmd.flags = IscmFlags::fromByte(b);
+
     bool more = true;
     bool first = true;
     while (more) {
         std::uint32_t plane = 0;
-        WlSelection sel = readSelection(r, geom, plane);
+        WlSelection sel;
+        if (!readSelection(r, geom, &sel, &plane)) {
+            if (error)
+                *error = r.error;
+            return std::nullopt;
+        }
         if (first) {
             cmd.plane = plane;
             first = false;
-        } else {
-            fcos_assert(plane == cmd.plane,
-                        "MWS slots must target one plane");
+        } else if (plane != cmd.plane) {
+            return reject("MWS slots must target one plane");
         }
         cmd.selections.push_back(sel);
-        std::uint8_t slot = r.next();
-        fcos_assert(slot == kSlotCont || slot == kSlotConf,
-                    "bad framing byte 0x%02X", slot);
+        std::uint8_t slot = 0;
+        if (!r.next(&slot))
+            return reject("truncated command");
+        if (slot != kSlotCont && slot != kSlotConf)
+            return reject("bad framing byte");
         more = (slot == kSlotCont);
-        fcos_assert(cmd.selections.size() <= MwsCommand::kMaxSelections,
-                    "too many MWS slots");
+        if (cmd.selections.size() > MwsCommand::kMaxSelections)
+            return reject("too many MWS slots");
     }
-    fcos_assert(r.pos == bytes.size(), "trailing bytes after CONF");
+    if (r.pos != bytes.size())
+        return reject("trailing bytes after CONF");
     return cmd;
+}
+
+MwsCommand
+decodeMws(const Geometry &geom, const std::vector<std::uint8_t> &bytes)
+{
+    std::string error;
+    std::optional<MwsCommand> cmd = tryDecodeMws(geom, bytes, &error);
+    fcos_assert(cmd.has_value(), "%s", error.c_str());
+    return *cmd;
 }
 
 std::vector<std::uint8_t>
@@ -166,22 +230,54 @@ encodeEsp(const Geometry &geom, const EspCommand &cmd)
     return out;
 }
 
+std::optional<EspCommand>
+tryDecodeEsp(const Geometry &geom, const std::vector<std::uint8_t> &bytes,
+             std::string *error)
+{
+    TryReader r{bytes, 0, {}};
+    auto reject = [&](const char *msg) -> std::optional<EspCommand> {
+        r.fail(msg);
+        if (error)
+            *error = r.error;
+        return std::nullopt;
+    };
+
+    std::uint8_t op = 0, ext = 0, plane = 0, blo = 0, bhi = 0, sub = 0,
+                 wl = 0, conf = 0;
+    if (!r.next(&op) || !r.next(&ext) || !r.next(&plane) ||
+        !r.next(&blo) || !r.next(&bhi) || !r.next(&sub) || !r.next(&wl) ||
+        !r.next(&conf))
+        return reject("truncated command");
+    if (op != kOpEsp)
+        return reject("not an ESP command");
+    if (conf != kSlotConf)
+        return reject("missing CONF");
+    if (r.pos != bytes.size())
+        return reject("trailing bytes after CONF");
+    // encodeFactor() covers [1.00, 2.55] in 1% steps.
+    if (ext > 155)
+        return reject("ESP extension beyond encodable range");
+    EspCommand cmd;
+    cmd.extensionCode = ext;
+    cmd.addr.plane = plane;
+    cmd.addr.block = blo | (static_cast<std::uint32_t>(bhi) << 8);
+    cmd.addr.subBlock = sub;
+    cmd.addr.wordline = wl;
+    if (cmd.addr.plane >= geom.planesPerDie ||
+        cmd.addr.block >= geom.blocksPerPlane ||
+        cmd.addr.subBlock >= geom.subBlocksPerBlock ||
+        cmd.addr.wordline >= geom.wordlinesPerSubBlock)
+        return reject("decoded address out of range");
+    return cmd;
+}
+
 EspCommand
 decodeEsp(const Geometry &geom, const std::vector<std::uint8_t> &bytes)
 {
-    SlotReader r{bytes};
-    fcos_assert(r.next() == kOpEsp, "not an ESP command");
-    EspCommand cmd;
-    cmd.extensionCode = r.next();
-    cmd.addr.plane = r.next();
-    cmd.addr.block = r.next();
-    cmd.addr.block |= static_cast<std::uint32_t>(r.next()) << 8;
-    cmd.addr.subBlock = r.next();
-    cmd.addr.wordline = r.next();
-    fcos_assert(r.next() == kSlotConf, "missing CONF");
-    fcos_assert(r.pos == bytes.size(), "trailing bytes after CONF");
-    checkAddr(geom, cmd.addr);
-    return cmd;
+    std::string error;
+    std::optional<EspCommand> cmd = tryDecodeEsp(geom, bytes, &error);
+    fcos_assert(cmd.has_value(), "%s", error.c_str());
+    return *cmd;
 }
 
 std::vector<std::uint8_t>

@@ -25,6 +25,8 @@
 #define FCOS_NAND_COMMAND_H
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "nand/cell_array.h"
@@ -91,6 +93,24 @@ std::vector<std::uint8_t> encodeMws(const Geometry &geom,
 /** Parse an MWS command; fatal on malformed input (controller bug). */
 MwsCommand decodeMws(const Geometry &geom,
                      const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Strict non-fatal parse: nullopt (with the reason in @p error) on any
+ * byte sequence that is not the canonical encoding of a well-formed
+ * command. Beyond the framing checks of decodeMws, this also rejects
+ * reserved ISCM bits, empty or beyond-string-length PBMs, and (for
+ * ESP) extension codes outside the encodable factor range — so a
+ * corrupted frame can never slip through validation and silently
+ * execute as some other command (the mutation-fuzz contract).
+ */
+std::optional<MwsCommand>
+tryDecodeMws(const Geometry &geom, const std::vector<std::uint8_t> &bytes,
+             std::string *error = nullptr);
+
+/** Strict non-fatal ESP parse (see tryDecodeMws). */
+std::optional<EspCommand>
+tryDecodeEsp(const Geometry &geom, const std::vector<std::uint8_t> &bytes,
+             std::string *error = nullptr);
 
 /** Byte-serialize an ESP command. */
 std::vector<std::uint8_t> encodeEsp(const Geometry &geom,

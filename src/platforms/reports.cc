@@ -1,0 +1,78 @@
+#include "platforms/reports.h"
+
+#include "nand/timing_model.h"
+#include "util/units.h"
+
+namespace fcos::plat {
+
+TablePrinter
+tab01SsdTable(const ssd::SsdConfig &c)
+{
+    TablePrinter t("Simulated SSD");
+    t.setHeader({"parameter", "paper", "this build"});
+    auto row = [&](const char *name, const char *paper,
+                   std::string val) {
+        t.addRow({name, paper, std::move(val)});
+    };
+    row("channels", "8", std::to_string(c.channels));
+    row("dies/channel", "8", std::to_string(c.diesPerChannel));
+    row("planes/die", "2", std::to_string(c.geometry.planesPerDie));
+    row("blocks/plane", "2048",
+        std::to_string(c.geometry.blocksPerPlane));
+    row("WLs/block", "192 (4x48)",
+        std::to_string(c.geometry.wordlinesPerBlock()) + " (" +
+            std::to_string(c.geometry.subBlocksPerBlock) + "x" +
+            std::to_string(c.geometry.wordlinesPerSubBlock) + ")");
+    row("page size", "16 KiB", formatBytes(c.geometry.pageBytes));
+    row("external I/O", "8 GB/s (PCIe Gen4 x4)",
+        TablePrinter::cell(c.externalGBps, 1) + " GB/s");
+    row("channel I/O rate", "1.2 GB/s",
+        TablePrinter::cell(c.channelGBps, 1) + " GB/s");
+    row("tR (SLC)", "22.5 us", formatTime(c.timings.tReadSlc));
+    row("tMWS (max 4 blocks)", "25 us", formatTime(c.timings.tMwsFixed));
+    row("tPROG SLC/MLC/TLC", "200/500/700 us",
+        formatTime(c.timings.tProgSlc) + " / " +
+            formatTime(c.timings.tProgMlc) + " / " +
+            formatTime(c.timings.tProgTlc));
+    row("tESP", "400 us", formatTime(c.timings.tProgEsp));
+    row("tBERS", "3-5 ms", formatTime(c.timings.tErase));
+    row("ISP accel energy", "93 pJ / 64 B",
+        TablePrinter::cell(c.accelPjPer64B, 0) + " pJ / 64 B");
+    row("inter-block MWS cap", "4 blocks",
+        std::to_string(c.maxInterBlockMws));
+    return t;
+}
+
+TablePrinter
+tab01HostTable(const host::HostConfig &h)
+{
+    TablePrinter t("Real host system (modelled)");
+    t.setHeader({"parameter", "paper", "this build"});
+    t.addRow({"CPU", "i7-11700K, 8 cores, 3.6 GHz",
+              "throughput model (see host/host_model.h)"});
+    t.addRow({"main memory", "64 GB DDR4-3600 x4",
+              TablePrinter::cell(h.dramGBps, 1) + " GB/s peak"});
+    t.addRow({"bitwise stream rate", "(measured)",
+              TablePrinter::cell(h.streamGBps, 1) + " GB/s"});
+    t.addRow({"package power (streaming)", "(RAPL)",
+              TablePrinter::cell(h.cpuActiveWatts, 0) + " W"});
+    return t;
+}
+
+TablePrinter
+fig12MwsLatencyTable()
+{
+    nand::TimingModel tm;
+    TablePrinter t("tMWS / tR vs wordlines read");
+    t.setHeader({"wordlines", "tMWS/tR", "tMWS", "serial reads"});
+    for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 24u, 32u, 40u, 48u}) {
+        double factor = nand::TimingModel::intraBlockFactor(n);
+        Time t_mws = tm.mwsLatency(n, 1);
+        t.addRow({std::to_string(n), TablePrinter::cell(factor, 4),
+                  formatTime(t_mws),
+                  formatTime(n * tm.timings().tReadSlc)});
+    }
+    return t;
+}
+
+} // namespace fcos::plat

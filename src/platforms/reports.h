@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared builders for the paper-figure tables that benches print and
+ * tests pin as goldens.
+ *
+ * A bench that assembles its table inline can drift silently: the
+ * binary still runs, the numbers change, nobody notices. Building the
+ * table in one place lets bench drivers print it and a golden test
+ * diff the exact same string against tests/data/golden/, so any drift
+ * in configuration constants or model curves fails CI.
+ */
+
+#ifndef FCOS_PLATFORMS_REPORTS_H
+#define FCOS_PLATFORMS_REPORTS_H
+
+#include "host/host_model.h"
+#include "ssd/config.h"
+#include "util/table.h"
+
+namespace fcos::plat {
+
+/** Table 1 (SSD half): every configured parameter vs the paper. */
+TablePrinter tab01SsdTable(const ssd::SsdConfig &cfg);
+
+/** Table 1 (host half). */
+TablePrinter tab01HostTable(const host::HostConfig &cfg);
+
+/**
+ * Figure 12: intra-block MWS latency (tMWS as a multiple of tR) vs
+ * simultaneously read wordlines, from the calibrated timing model.
+ * (The functional zero-error validation stays in the bench driver —
+ * it needs the reliability stack.)
+ */
+TablePrinter fig12MwsLatencyTable();
+
+} // namespace fcos::plat
+
+#endif // FCOS_PLATFORMS_REPORTS_H

@@ -86,4 +86,22 @@ makeKcs(std::uint32_t k, std::uint32_t cliques, std::uint64_t vertices)
     return w;
 }
 
+Workload
+makeEngineScaling(std::uint64_t and_operands, std::uint64_t operand_bytes)
+{
+    fcos_assert(and_operands >= 2, "scaling shape needs >= 2 operands");
+    Workload w;
+    w.name = "SCALE";
+    w.paramName = "ops";
+    w.paramValue = and_operands;
+    OpBatch b;
+    b.andOperands = and_operands;
+    b.orOperands = 0;
+    b.operandBytes = operand_bytes;
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.push_back(b);
+    return w;
+}
+
 } // namespace fcos::wl

@@ -75,6 +75,19 @@ Workload makeIms(std::uint64_t images);
 Workload makeKcs(std::uint32_t k, std::uint32_t cliques = 1024,
                  std::uint64_t vertices = 32000000ULL);
 
+/**
+ * Weak-scaling shape for the multi-die compute engine: one bulk AND
+ * batch whose operand size grows with the farm so that every die holds
+ * @p pages_per_column result pages regardless of die count. The
+ * engine-scaling bench and its golden test run this shape across
+ * channel x die configurations.
+ *
+ * @param and_operands     vectors folded with AND (<= one NAND string)
+ * @param operand_bytes    size of each operand (== result) vector
+ */
+Workload makeEngineScaling(std::uint64_t and_operands,
+                           std::uint64_t operand_bytes);
+
 } // namespace fcos::wl
 
 #endif // FCOS_WORKLOADS_WORKLOAD_H

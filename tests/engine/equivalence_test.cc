@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Sharded-execution equivalence: for the same workload, the multi-die
+ * engine (many dies computing concurrently, event-driven) must produce
+ * bit-identical results to the single-die serialized reference drive
+ * and to host-side reference evaluation — at every Figure-8 operating
+ * point, with the V_TH error model attached (ESP-programmed operands
+ * are reliable across the whole grid; that is the paper's central
+ * reliability claim, and sharding must not perturb it).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/drive.h"
+#include "reliability/error_injector.h"
+#include "reliability/vth_model.h"
+#include "tests/support/grids.h"
+#include "tests/support/random_fixture.h"
+
+namespace fcos::core {
+namespace {
+
+using test::GridPoint;
+
+struct Operands
+{
+    BitVector a, b, c, d;
+    Expr ea, eb, ec, ed;
+};
+
+/** Write the same four logical vectors into any drive. */
+Operands
+writeOperands(FlashCosmosDrive &drive, std::size_t bits)
+{
+    // Same seed regardless of drive shape: identical logical data.
+    Rng rng = Rng::seeded(99);
+    FlashCosmosDrive::WriteOptions group;
+    group.group = 1;
+    FlashCosmosDrive::WriteOptions inv_group;
+    inv_group.group = 1;
+    inv_group.storeInverted = true;
+
+    BitVector a = test::randomVec(rng, bits);
+    BitVector b = test::randomVec(rng, bits);
+    BitVector c = test::randomVec(rng, bits);
+    BitVector d = test::randomVec(rng, bits);
+    Expr ea = Expr::leaf(drive.fcWrite(a, group));
+    Expr eb = Expr::leaf(drive.fcWrite(b, group));
+    // c and d stored inverted: exercises De Morgan OR plans.
+    Expr ec = Expr::leaf(drive.fcWrite(c, inv_group));
+    Expr ed = Expr::leaf(drive.fcWrite(d, inv_group));
+    return Operands{std::move(a), std::move(b), std::move(c),
+                    std::move(d), std::move(ea), std::move(eb),
+                    std::move(ec), std::move(ed)};
+}
+
+class ShardingEquivalenceTest : public ::testing::TestWithParam<GridPoint>
+{};
+
+TEST_P(ShardingEquivalenceTest, MultiDieMatchesSingleDieAndReference)
+{
+    const GridPoint gp = GetParam();
+    rel::VthModel model;
+    rel::OperatingCondition cond{gp.pec, gp.months, false};
+
+    nand::Geometry geom = nand::Geometry::tiny();
+    const std::size_t bits = geom.pageBits() * 6;
+
+    // Reference: one die, one channel — fully serialized execution.
+    FlashCosmosDrive::Config serial_cfg;
+    serial_cfg.channels = 1;
+    serial_cfg.dies = 1;
+    serial_cfg.geometry = geom;
+    FlashCosmosDrive serial(serial_cfg);
+    rel::VthErrorInjector serial_inj(model, cond);
+    serial.setErrorInjector(&serial_inj);
+
+    // Sharded: 2 channels x 2 dies, event-driven interleaving.
+    FlashCosmosDrive::Config multi_cfg;
+    multi_cfg.channels = 2;
+    multi_cfg.dies = 2;
+    multi_cfg.geometry = geom;
+    FlashCosmosDrive multi(multi_cfg);
+    rel::VthErrorInjector multi_inj(model, cond);
+    multi.setErrorInjector(&multi_inj);
+
+    Operands so = writeOperands(serial, bits);
+    Operands mo = writeOperands(multi, bits);
+
+    struct Case
+    {
+        const char *name;
+        Expr serial_expr;
+        Expr multi_expr;
+        BitVector expected;
+    };
+    const std::vector<Case> cases = {
+        {"and3", Expr::And({so.ea, so.eb, so.ec}),
+         Expr::And({mo.ea, mo.eb, mo.ec}), so.a & so.b & so.c},
+        {"or2_demorgan", Expr::Or({so.ec, so.ed}),
+         Expr::Or({mo.ec, mo.ed}), so.c | so.d},
+        {"xor2", Expr::Xor(so.ea, so.eb), Expr::Xor(mo.ea, mo.eb),
+         so.a ^ so.b},
+        {"nested", Expr::And({so.ea, Expr::Or({so.ec, so.ed})}),
+         Expr::And({mo.ea, Expr::Or({mo.ec, mo.ed})}),
+         so.a & (so.c | so.d)},
+        {"nor", Expr::Nor({so.ec, so.ed}), Expr::Nor({mo.ec, mo.ed}),
+         ~(so.c | so.d)},
+    };
+
+    for (const Case &c : cases) {
+        FlashCosmosDrive::ReadStats s_stats, m_stats;
+        BitVector rs = serial.fcRead(c.serial_expr, &s_stats);
+        BitVector rm = multi.fcRead(c.multi_expr, &m_stats);
+        EXPECT_EQ(rs, c.expected)
+            << c.name << " serial drive diverged from reference";
+        EXPECT_EQ(rm, c.expected)
+            << c.name << " sharded execution diverged from reference";
+        EXPECT_EQ(rm, rs) << c.name << " sharding changed the bits";
+        // Same plan shape on both drives; the NAND work per column is
+        // identical, only the interleaving differs.
+        EXPECT_EQ(m_stats.planKind, s_stats.planKind) << c.name;
+        EXPECT_EQ(m_stats.mwsCommands, s_stats.mwsCommands) << c.name;
+        EXPECT_EQ(m_stats.senses, s_stats.senses) << c.name;
+        // Four dies computing concurrently must not be slower than the
+        // one-die serialization of the same commands.
+        EXPECT_LE(m_stats.makespan, s_stats.makespan) << c.name;
+    }
+
+    // fcCompute equivalence: persist a computed vector in-flash on
+    // both drives, then read it back.
+    FlashCosmosDrive::WriteOptions dst;
+    dst.group = 2;
+    VectorId vs =
+        serial.fcCompute(Expr::And({so.ea, so.eb}), dst, nullptr);
+    VectorId vm =
+        multi.fcCompute(Expr::And({mo.ea, mo.eb}), dst, nullptr);
+    EXPECT_EQ(serial.readVector(vs), so.a & so.b);
+    EXPECT_EQ(multi.readVector(vm), mo.a & mo.b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure8Grid, ShardingEquivalenceTest,
+                         ::testing::ValuesIn(test::figure8Grid()),
+                         test::gridPointName);
+
+} // namespace
+} // namespace fcos::core

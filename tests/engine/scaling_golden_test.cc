@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pins the engine-scaling table (bench/engine_scaling) as a golden and
+ * checks the scaling properties the table is supposed to show: every
+ * row bit-exact, near-linear die scaling until channel contention,
+ * and linear channel scaling past it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/report.h"
+#include "tests/support/golden.h"
+
+namespace fcos::engine {
+namespace {
+
+class ScalingReportTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        points_ = new std::vector<ScalingPoint>();
+        table_ = new TablePrinter(scalingReport(
+            defaultScalingSweep(), /*and_operands=*/24,
+            /*pages_per_column=*/2, /*page_bytes=*/8 * 1024, points_));
+    }
+    static void TearDownTestSuite()
+    {
+        delete table_;
+        delete points_;
+        table_ = nullptr;
+        points_ = nullptr;
+    }
+
+    static TablePrinter *table_;
+    static std::vector<ScalingPoint> *points_;
+};
+
+TablePrinter *ScalingReportTest::table_ = nullptr;
+std::vector<ScalingPoint> *ScalingReportTest::points_ = nullptr;
+
+TEST_F(ScalingReportTest, TableMatchesGolden)
+{
+    EXPECT_TRUE(
+        test::MatchesGolden(table_->toString(), "golden/engine_scaling.txt"));
+}
+
+TEST_F(ScalingReportTest, EveryConfigurationIsBitExact)
+{
+    ASSERT_EQ(points_->size(), defaultScalingSweep().size());
+    for (const ScalingPoint &p : *points_)
+        EXPECT_TRUE(p.bitExact)
+            << p.config.channels << "x" << p.config.diesPerChannel;
+}
+
+TEST_F(ScalingReportTest, ThroughputScalesNearLinearlyThenContends)
+{
+    // Sweep rows 0..3: 1 channel, 1/2/4/8 dies.
+    const auto &pts = *points_;
+    ASSERT_GE(pts.size(), 7u);
+    // Near-linear at 2 dies.
+    EXPECT_GT(pts[1].throughputGBps, 1.8 * pts[0].throughputGBps);
+    // Monotone throughput growth with dies.
+    EXPECT_GT(pts[2].throughputGBps, pts[1].throughputGBps);
+    EXPECT_GT(pts[3].throughputGBps, pts[2].throughputGBps);
+    // ...but 8 dies on one channel are channel-bound: per-die
+    // efficiency drops well below the 1-die baseline.
+    EXPECT_LT(pts[3].perDieGBps, 0.75 * pts[0].perDieGBps);
+    EXPECT_GT(pts[3].channelUtilization, 0.9);
+
+    // Rows 3..6: 1/2/4/8 channels at 8 dies each — channels are
+    // independent, so throughput scales linearly again.
+    EXPECT_GT(pts[4].throughputGBps, 1.9 * pts[3].throughputGBps);
+    EXPECT_GT(pts[5].throughputGBps, 1.9 * pts[4].throughputGBps);
+    EXPECT_GT(pts[6].throughputGBps, 1.9 * pts[5].throughputGBps);
+}
+
+TEST_F(ScalingReportTest, EnergyGrowsWithWork)
+{
+    const auto &pts = *points_;
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        EXPECT_GT(pts[i].energyJ, pts[i - 1].energyJ)
+            << "row " << i << " books less energy than a smaller farm";
+}
+
+} // namespace
+} // namespace fcos::engine

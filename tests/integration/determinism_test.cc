@@ -11,8 +11,11 @@
 
 #include <vector>
 
+#include "core/drive.h"
 #include "nand/command.h"
+#include "reliability/error_injector.h"
 #include "reliability/randomizer.h"
+#include "reliability/vth_model.h"
 #include "tests/support/command_corpus.h"
 #include "tests/support/random_fixture.h"
 
@@ -91,6 +94,102 @@ TEST(DeterminismTest, FuzzCommandGeneratorIsSeedStable)
         ASSERT_EQ(ca, cb) << "generator diverged at command " << i;
         ASSERT_EQ(nand::encodeMws(geom, ca), nand::encodeMws(geom, cb));
     }
+}
+
+/**
+ * One full engine run: write operands, compute three expressions, and
+ * return everything an experiment would record — result bits, command
+ * counts, the event-driven timeline, and the unified energy ledger.
+ */
+struct EngineRun
+{
+    BitVector and_result, or_result, xor_result;
+    std::uint64_t mwsCommands = 0;
+    Time makespan = 0;
+    Time queueTime = 0;
+    std::vector<Time> dieBusy;
+    std::vector<Time> channelBusy;
+    std::uint64_t events = 0;
+    double energyJ = 0.0;
+};
+
+EngineRun
+runEngineWorkload(std::uint64_t seed, std::uint32_t channels,
+                  std::uint32_t dies)
+{
+    core::FlashCosmosDrive::Config cfg;
+    cfg.channels = channels;
+    cfg.dies = dies;
+    core::FlashCosmosDrive drive(cfg);
+    rel::VthModel model;
+    rel::VthErrorInjector inj(model,
+                              rel::OperatingCondition{3000, 3.0, false});
+    drive.setErrorInjector(&inj);
+
+    Rng rng = Rng::seeded(seed);
+    core::FlashCosmosDrive::WriteOptions group;
+    group.group = 1;
+    std::size_t bits = cfg.geometry.pageBits() * 8;
+    core::Expr a = core::Expr::leaf(
+        drive.fcWrite(test::randomVec(rng, bits), group));
+    core::Expr b = core::Expr::leaf(
+        drive.fcWrite(test::randomVec(rng, bits), group));
+    core::Expr c = core::Expr::leaf(
+        drive.fcWrite(test::randomVec(rng, bits), group));
+
+    EngineRun run;
+    core::FlashCosmosDrive::ReadStats stats;
+    run.and_result = drive.fcRead(core::Expr::And({a, b, c}), &stats);
+    run.mwsCommands = stats.mwsCommands;
+    run.makespan = stats.makespan;
+    run.or_result = drive.fcRead(core::Expr::Nand({a, b}));
+    run.xor_result = drive.fcRead(core::Expr::Xor(b, c));
+
+    const engine::ComputeEngine &eng = drive.engine();
+    run.queueTime = eng.now();
+    for (std::uint32_t d = 0; d < eng.farm().dieCount(); ++d)
+        run.dieBusy.push_back(eng.dieBusyTime(d));
+    for (std::uint32_t ch = 0; ch < eng.farm().channelCount(); ++ch)
+        run.channelBusy.push_back(eng.channelBusyTime(ch));
+    run.events = eng.scheduler().queue().executed();
+    run.energyJ = eng.totalEnergyJ();
+    return run;
+}
+
+TEST(DeterminismTest, EngineSameSeedSameDieCountSameEverything)
+{
+    // The multi-die engine promises: same seed + same farm shape =>
+    // identical results, identical event-driven timeline, identical
+    // energy ledger. Interleaving across dies must be a pure function
+    // of the submitted work.
+    for (auto [channels, dies] :
+         {std::pair<std::uint32_t, std::uint32_t>{1, 2},
+          {2, 2},
+          {2, 4}}) {
+        EngineRun r1 = runEngineWorkload(1234, channels, dies);
+        EngineRun r2 = runEngineWorkload(1234, channels, dies);
+        ASSERT_EQ(r1.and_result, r2.and_result);
+        ASSERT_EQ(r1.or_result, r2.or_result);
+        ASSERT_EQ(r1.xor_result, r2.xor_result);
+        EXPECT_EQ(r1.mwsCommands, r2.mwsCommands);
+        EXPECT_EQ(r1.makespan, r2.makespan);
+        EXPECT_EQ(r1.queueTime, r2.queueTime);
+        EXPECT_EQ(r1.dieBusy, r2.dieBusy);
+        EXPECT_EQ(r1.channelBusy, r2.channelBusy);
+        EXPECT_EQ(r1.events, r2.events);
+        EXPECT_EQ(r1.energyJ, r2.energyJ);
+    }
+}
+
+TEST(DeterminismTest, EngineResultsStableAcrossDieCounts)
+{
+    // Bit results are also farm-shape independent (the sharding
+    // contract); only the timeline changes with the layout.
+    EngineRun narrow = runEngineWorkload(77, 1, 1);
+    EngineRun wide = runEngineWorkload(77, 2, 4);
+    EXPECT_EQ(narrow.and_result, wide.and_result);
+    EXPECT_EQ(narrow.or_result, wide.or_result);
+    EXPECT_EQ(narrow.xor_result, wide.xor_result);
 }
 
 TEST(DeterminismTest, PinnedCorpusDecodesToDistinctCommands)

@@ -76,6 +76,138 @@ TEST(CodecFuzzTest, TruncationsAlwaysDetected)
     }
 }
 
+TEST(CodecFuzzTest, MutatedCorpusNeverDecodesSilently)
+{
+    // Mutation contract (ROADMAP open item): a byte flip on a pinned
+    // canonical frame either trips validation, or the mutated bytes
+    // are themselves the canonical encoding of the decoded command —
+    // re-encoding reproduces them bit-exactly and the command differs
+    // from the original. Decode can therefore never silently
+    // normalize a corrupted frame into some other command: nothing
+    // escapes validation.
+    Geometry geom = Geometry::table1();
+    auto corpus = test::loadCorpus("codec_corpus.txt");
+    ASSERT_FALSE(corpus.empty());
+    std::uint64_t rejected = 0, reinterpreted = 0;
+    for (const auto &bytes : corpus) {
+        MwsCommand original = decodeMws(geom, bytes);
+        for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+            for (int bit = 0; bit < 8; ++bit) {
+                std::vector<std::uint8_t> mutated = bytes;
+                mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+                std::string error;
+                auto decoded = tryDecodeMws(geom, mutated, &error);
+                if (!decoded) {
+                    ++rejected;
+                    EXPECT_FALSE(error.empty());
+                    continue;
+                }
+                ++reinterpreted;
+                EXPECT_EQ(encodeMws(geom, *decoded), mutated)
+                    << "decode aliased a non-canonical frame at byte "
+                    << pos << " bit " << bit;
+                EXPECT_FALSE(*decoded == original)
+                    << "distinct frames decoded to one command at byte "
+                    << pos << " bit " << bit;
+            }
+        }
+    }
+    // Both outcomes must actually occur: the codec rejects framing
+    // damage and accepts payload flips as the (different) command
+    // they canonically encode.
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GT(reinterpreted, 0u);
+}
+
+TEST(CodecFuzzTest, FramingByteMutationsAlwaysRejected)
+{
+    // Opcode and CONT/CONF separator bytes carry the frame structure;
+    // no flip of any of their bits may survive validation. (CONT <->
+    // CONF flips shift the frame length, so they surface as truncation
+    // or trailing bytes.)
+    Geometry geom = Geometry::table1();
+    auto corpus = test::loadCorpus("codec_corpus.txt");
+    ASSERT_FALSE(corpus.empty());
+    for (const auto &bytes : corpus) {
+        // Framing layout: [op][ISCM] then 10 payload bytes + 1
+        // separator per slot.
+        std::vector<std::size_t> framing{0};
+        for (std::size_t sep = 12; sep < bytes.size(); sep += 11)
+            framing.push_back(sep);
+        ASSERT_EQ(framing.back(), bytes.size() - 1);
+        for (std::size_t pos : framing) {
+            for (int bit = 0; bit < 8; ++bit) {
+                std::vector<std::uint8_t> mutated = bytes;
+                mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+                EXPECT_EQ(tryDecodeMws(geom, mutated), std::nullopt)
+                    << "framing byte " << pos << " bit " << bit
+                    << " survived mutation";
+            }
+        }
+    }
+}
+
+TEST(CodecFuzzTest, RandomMultiByteMutationsNeverAlias)
+{
+    // Same contract under heavier damage: 1-3 random byte rewrites on
+    // random well-formed commands.
+    Geometry geom = Geometry::table1();
+    Rng rng = Rng::seeded(36);
+    for (int i = 0; i < 2000; ++i) {
+        MwsCommand cmd = test::randomCommand(rng, geom);
+        auto bytes = encodeMws(geom, cmd);
+        std::vector<std::uint8_t> mutated = bytes;
+        std::size_t flips = 1 + rng.nextBounded(3);
+        for (std::size_t f = 0; f < flips; ++f) {
+            std::size_t pos = rng.nextBounded(mutated.size());
+            mutated[pos] =
+                static_cast<std::uint8_t>(rng.nextBounded(256));
+        }
+        if (mutated == bytes)
+            continue;
+        auto decoded = tryDecodeMws(geom, mutated);
+        if (decoded) {
+            EXPECT_EQ(encodeMws(geom, *decoded), mutated)
+                << "aliased after " << flips << " byte rewrites";
+        }
+    }
+}
+
+TEST(CodecFuzzTest, EspMutationsNeverDecodeSilently)
+{
+    Geometry geom = Geometry::table1();
+    Rng rng = Rng::seeded(37);
+    std::uint64_t rejected = 0;
+    for (int i = 0; i < 200; ++i) {
+        EspCommand cmd;
+        cmd.addr.plane = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.planesPerDie));
+        cmd.addr.block = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.blocksPerPlane));
+        cmd.addr.subBlock = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.subBlocksPerBlock));
+        cmd.addr.wordline = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.wordlinesPerSubBlock));
+        cmd.extensionCode =
+            static_cast<std::uint8_t>(rng.nextBounded(101));
+        auto bytes = encodeEsp(geom, cmd);
+        for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+            for (int bit = 0; bit < 8; ++bit) {
+                std::vector<std::uint8_t> mutated = bytes;
+                mutated[pos] ^= static_cast<std::uint8_t>(1u << bit);
+                auto decoded = tryDecodeEsp(geom, mutated);
+                if (!decoded) {
+                    ++rejected;
+                    continue;
+                }
+                EXPECT_EQ(encodeEsp(geom, *decoded), mutated);
+                EXPECT_FALSE(*decoded == cmd);
+            }
+        }
+    }
+    EXPECT_GT(rejected, 0u);
+}
+
 TEST(CodecFuzzTest, EncodedSizeIsDeterministic)
 {
     // Framing: opcode + ISCM + slots * (10 bytes + separator).

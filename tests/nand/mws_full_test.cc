@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Nightly-scale MWS shape sweep (label: sweep-full): shapes beyond the
+ * default suite's 8-wordline x 8-string cap, up to full 48-wordline
+ * strings activated across 8 blocks — every point checked against the
+ * Equation-1 reference in both polarities, with the timing model's
+ * intra/inter factors applied consistently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/chip.h"
+#include "tests/support/nand_builders.h"
+
+namespace fcos::nand {
+namespace {
+
+struct FullShape
+{
+    std::uint32_t wordlines; // per string (up to the full 48)
+    std::uint32_t strings;   // distinct blocks activated
+};
+
+class MwsFullShapeTest : public ::testing::TestWithParam<FullShape>
+{
+  protected:
+    static Geometry geometry()
+    {
+        // Production-depth strings (Table 1: 48 wordlines), enough
+        // blocks for 8-string inter-block commands.
+        return test::GeometryBuilder().blocks(16).wordlines(48).build();
+    }
+};
+
+TEST_P(MwsFullShapeTest, MatchesEquationOneBothPolarities)
+{
+    const FullShape shape = GetParam();
+    test::ProgrammedChip programmed(
+        geometry(), /*seed=*/shape.wordlines * 1000 + shape.strings);
+    NandChip &chip = programmed.chip();
+
+    MwsCommand cmd;
+    cmd.plane = 0;
+    for (std::uint32_t s = 0; s < shape.strings; ++s) {
+        std::uint64_t mask = 0;
+        for (std::uint32_t w = 0; w < shape.wordlines; ++w) {
+            programmed.programRandom({0, s, 0, w});
+            mask |= 1ULL << w;
+        }
+        cmd.selections.push_back(WlSelection{s, 0, mask});
+    }
+
+    BitVector expected = programmed.referenceMws(cmd);
+    OpResult normal = chip.executeMws(cmd);
+    EXPECT_EQ(chip.dataOut(0), expected);
+
+    cmd.flags.inverseRead = true;
+    OpResult inverse = chip.executeMws(cmd);
+    EXPECT_EQ(chip.dataOut(0), ~expected);
+    EXPECT_EQ(normal.latency, inverse.latency);
+
+    // Latency equals the model's prediction for this exact shape.
+    TimingModel tm;
+    EXPECT_EQ(normal.latency,
+              tm.mwsLatency(shape.wordlines, shape.strings));
+    // Figure 12/13 envelope: never better than tR, and the 48x8 corner
+    // stays within the characterized +40% band.
+    EXPECT_GE(normal.latency, usToTime(22.5));
+    EXPECT_LE(normal.latency, usToTime(22.5) * 14 / 10);
+}
+
+std::vector<FullShape>
+fullShapes()
+{
+    // Beyond the default suite's 8x8 cap: deep strings, wide commands.
+    std::vector<FullShape> shapes;
+    for (std::uint32_t w : {12u, 24u, 36u, 48u})
+        for (std::uint32_t s : {1u, 2u, 4u, 8u})
+            shapes.push_back({w, s});
+    return shapes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeepShapes, MwsFullShapeTest, ::testing::ValuesIn(fullShapes()),
+    [](const ::testing::TestParamInfo<FullShape> &info) {
+        return "wl" + std::to_string(info.param.wordlines) + "_str" +
+               std::to_string(info.param.strings);
+    });
+
+TEST(MwsFullSweepTest, FullStringEraseVerifyAcrossBlocks)
+{
+    // The pre-existing chip capability MWS generalizes (Section 4.1):
+    // whole-string sensing must verify erased blocks and flag a single
+    // programmed page anywhere in the 48-wordline string.
+    Geometry geom = test::GeometryBuilder().blocks(4).wordlines(48).build();
+    test::ProgrammedChip programmed(geom, /*seed=*/11);
+    NandChip &chip = programmed.chip();
+    EXPECT_TRUE(chip.eraseVerify(0, 1));
+    programmed.programRandom({0, 1, 0, 47});
+    EXPECT_FALSE(chip.eraseVerify(0, 1));
+    chip.eraseBlock(0, 1);
+    EXPECT_TRUE(chip.eraseVerify(0, 1));
+}
+
+} // namespace
+} // namespace fcos::nand

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Pins the shared paper-figure tables (platforms/reports) as goldens:
+ * the Table 1 configuration tables and the Figure 12 MWS latency
+ * table. Any drift in configuration constants or the calibrated
+ * timing curves now fails a test instead of silently changing bench
+ * output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/reports.h"
+#include "tests/support/golden.h"
+
+namespace fcos::plat {
+namespace {
+
+TEST(ReportGoldenTest, Tab01SsdTableIsPinned)
+{
+    TablePrinter t = tab01SsdTable(ssd::SsdConfig::table1());
+    EXPECT_TRUE(test::MatchesGolden(t.toString(), "golden/tab01_ssd.txt"));
+}
+
+TEST(ReportGoldenTest, Tab01HostTableIsPinned)
+{
+    TablePrinter t = tab01HostTable(host::HostConfig{});
+    EXPECT_TRUE(
+        test::MatchesGolden(t.toString(), "golden/tab01_host.txt"));
+}
+
+TEST(ReportGoldenTest, Fig12MwsLatencyTableIsPinned)
+{
+    TablePrinter t = fig12MwsLatencyTable();
+    EXPECT_TRUE(test::MatchesGolden(t.toString(),
+                                    "golden/fig12_mws_latency.txt"));
+}
+
+} // namespace
+} // namespace fcos::plat
