@@ -5,12 +5,17 @@
  * illustrative SSD (8 channels x 4 two-plane dies, tR = 60 us,
  * tDMA = 27 us per 32-KiB die batch, tEXT = 4 us).
  *
+ * The table comes from the shared plat::fig07TimelineTable builder
+ * (golden-pinned in tests/platforms/report_golden_test.cc) and runs
+ * through the compute engine by default; the analytic path is printed
+ * alongside for cross-validation.
+ *
  * Paper anchors: OSP 471 us (external-I/O bound), ISP 431 us
  * (internal-I/O bound), IFP 335 us (sensing bound).
  */
 
 #include "bench/bench_util.h"
-#include "platforms/runner.h"
+#include "platforms/reports.h"
 
 using namespace fcos;
 
@@ -22,50 +27,20 @@ main()
                   "three 1-MiB vectors)");
 
     ssd::SsdConfig cfg = ssd::SsdConfig::figure7();
-    plat::PlatformRunner runner(cfg);
+    plat::PlatformRunner engine_runner(cfg);
+    plat::PlatformRunner analytic_runner(cfg, host::HostConfig{},
+                                         plat::RunnerMode::Analytic);
 
-    wl::Workload w;
-    w.name = "fig7";
-    w.paramName = "-";
-    wl::OpBatch b;
-    b.andOperands = 0;
-    b.orOperands = 3;
-    b.operandBytes = 1ULL << 20;
-    b.resultToHost = true;
-    b.hostPostProcess = false;
-    w.batches.push_back(b);
-
-    TablePrinter t("Per-channel execution timeline");
-    t.setHeader({"platform", "exec time", "paper", "plane busy",
-                 "channel busy", "external busy", "bottleneck"});
-
-    struct Row
-    {
-        plat::PlatformKind kind;
-        const char *paper;
-    };
-    for (const Row &r :
-         {Row{plat::PlatformKind::Osp, "471 us"},
-          Row{plat::PlatformKind::Isp, "431 us"},
-          Row{plat::PlatformKind::ParaBit, "335 us"}}) {
-        plat::RunResult res = runner.run(r.kind, w);
-        const char *bottleneck = "sensing";
-        if (res.externalBusy >= res.channelBusy &&
-            res.externalBusy >= res.planeBusy)
-            bottleneck = "external I/O";
-        else if (res.channelBusy >= res.planeBusy)
-            bottleneck = "internal I/O";
-        t.addRow({plat::platformName(r.kind), formatTime(res.makespan),
-                  r.paper, formatTime(res.planeBusy),
-                  formatTime(res.channelBusy),
-                  formatTime(res.externalBusy), bottleneck});
-    }
-    t.print();
-
+    plat::fig07TimelineTable(engine_runner).print();
     std::printf("\n");
-    plat::RunResult osp = runner.run(plat::PlatformKind::Osp, w);
-    plat::RunResult isp = runner.run(plat::PlatformKind::Isp, w);
-    plat::RunResult ifp = runner.run(plat::PlatformKind::ParaBit, w);
+    plat::fig07TimelineTable(analytic_runner).print();
+    std::printf("\n");
+
+    wl::Workload w = plat::figure7Workload();
+    plat::RunResult osp = engine_runner.run(plat::PlatformKind::Osp, w);
+    plat::RunResult isp = engine_runner.run(plat::PlatformKind::Isp, w);
+    plat::RunResult ifp =
+        engine_runner.run(plat::PlatformKind::ParaBit, w);
     bench::anchor("OSP execution time", "471 us",
                   formatTime(osp.makespan));
     bench::anchor("ISP execution time", "431 us",

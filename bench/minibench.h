@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
+
 namespace benchmark {
 
 class State
@@ -148,22 +150,6 @@ registerBenchmark(const char *name, void (*fn)(State &))
     return &registry().back();
 }
 
-inline std::string
-rate(double per_second, const char *unit)
-{
-    char buf[64];
-    if (per_second >= 1e9)
-        std::snprintf(buf, sizeof(buf), "%.2fG %s/s", per_second / 1e9,
-                      unit);
-    else if (per_second >= 1e6)
-        std::snprintf(buf, sizeof(buf), "%.2fM %s/s", per_second / 1e6,
-                      unit);
-    else
-        std::snprintf(buf, sizeof(buf), "%.2fk %s/s", per_second / 1e3,
-                      unit);
-    return buf;
-}
-
 inline void
 runOne(const Registration &reg, const std::vector<std::int64_t> &args)
 {
@@ -181,13 +167,15 @@ runOne(const Registration &reg, const std::vector<std::int64_t> &args)
                 static_cast<unsigned long long>(state.iterations()));
     if (state.itemsProcessed() > 0)
         std::printf("  %s",
-                    rate(static_cast<double>(state.itemsProcessed()) /
+                    ::fcos::bench::rateStr(
+                        static_cast<double>(state.itemsProcessed()) /
                              seconds,
                          "items")
                         .c_str());
     if (state.bytesProcessed() > 0)
         std::printf("  %s",
-                    rate(static_cast<double>(state.bytesProcessed()) /
+                    ::fcos::bench::rateStr(
+                        static_cast<double>(state.bytesProcessed()) /
                              seconds,
                          "B")
                         .c_str());

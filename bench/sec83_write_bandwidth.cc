@@ -28,7 +28,7 @@ measure(nand::ProgramMode mode, std::uint64_t total_bytes)
     ssd::SsdConfig cfg = ssd::SsdConfig::table1();
     ssd::SsdConfig chan = cfg;
     chan.channels = 1;
-    chan.externalGBps = cfg.externalGBps / cfg.channels;
+    chan.io.externalGBps = cfg.io.externalGBps / cfg.channels;
 
     ssd::SsdSim sim(chan);
     const std::uint64_t page = cfg.geometry.pageBytes;

@@ -16,7 +16,7 @@ farmConfigFor(const FlashCosmosDrive::Config &cfg)
     fc.diesPerChannel = cfg.dies;
     fc.geometry = cfg.geometry;
     fc.timings = cfg.timings;
-    fc.channelGBps = cfg.channelGBps;
+    fc.io = cfg.io;
     return fc;
 }
 
@@ -177,9 +177,14 @@ FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
     engine::OpStats os;
     Time t0 = engine_.now();
     nand::EspParams esp{cfg_.espFactor};
+    // Broadcast fan-out: the source page is sensed exactly once and
+    // read out to the controller once; every copy then pays only its
+    // own data-in transfer and ESP program, concurrently across dies.
+    std::vector<engine::ComputeEngine::BroadcastTarget> targets;
+    targets.reserve(pages);
     for (std::uint64_t j = 0; j < pages; ++j)
-        engine_.replicatePage(src_page.die, src_page.addr,
-                              v.pages[j].die, v.pages[j].addr, esp, &os);
+        targets.push_back({v.pages[j].die, v.pages[j].addr});
+    engine_.broadcastPage(src_page.die, src_page.addr, targets, esp, &os);
     engine_.drain();
     mergeStats(stats, os, engine_.now() - t0);
 

@@ -59,8 +59,8 @@ class FlashCosmosDrive : public StorageResolver
         std::uint32_t dies = 2;
         nand::Geometry geometry = nand::Geometry::tiny();
         nand::Timings timings{};
-        /** Die <-> controller I/O rate (Table 1: 1.2 GB/s). */
-        double channelGBps = 1.2;
+        /** I/O-rate/energy constants (shared ssd/engine authority). */
+        ssd::IoParams io{};
         /** ESP extension used for fcWrite (Table 1: 2.0 -> 400 us). */
         double espFactor = 2.0;
         /** Default programming mode for operands. */

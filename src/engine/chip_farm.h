@@ -24,6 +24,7 @@
 
 #include "nand/chip.h"
 #include "nand/geometry.h"
+#include "ssd/config.h"
 
 namespace fcos::engine {
 
@@ -35,15 +36,27 @@ struct FarmConfig
     nand::Geometry geometry = nand::Geometry::tiny();
     nand::Timings timings{};
 
-    /** Channel I/O rate between dies and the controller (Table 1). */
-    double channelGBps = 1.2;
-    /** Energy of die <-> controller movement (ssd::SsdConfig default). */
-    double channelPjPerBit = 2.0;
+    /** I/O-rate/energy constants, shared with ssd::SsdConfig so the
+     *  engine and the analytic simulator cannot drift. */
+    ssd::IoParams io{};
 
     std::uint32_t dieCount() const { return channels * diesPerChannel; }
     std::uint32_t columnCount() const
     {
         return dieCount() * geometry.planesPerDie;
+    }
+
+    /** The engine view of an SSD configuration — the one conversion
+     *  point between the platforms layer and the chip farm. */
+    static FarmConfig fromSsd(const ssd::SsdConfig &ssd)
+    {
+        FarmConfig fc;
+        fc.channels = ssd.channels;
+        fc.diesPerChannel = ssd.diesPerChannel;
+        fc.geometry = ssd.geometry;
+        fc.timings = ssd.timings;
+        fc.io = ssd.io;
+        return fc;
     }
 };
 

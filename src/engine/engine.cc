@@ -35,6 +35,7 @@ ComputeEngine::submit(ColumnProgram program, OpStats *stats)
 
     auto state = std::make_shared<ColumnProgram>(std::move(program));
     const std::uint32_t die = state->die;
+    const std::uint32_t plane = state->plane;
     const std::size_t n = state->steps.size();
     for (std::size_t i = 0; i < n; ++i) {
         ColumnStep &step = state->steps[i];
@@ -62,9 +63,9 @@ ComputeEngine::submit(ColumnProgram program, OpStats *stats)
                 scheduler_.submitDma(die, dma_after);
             };
         }
-        scheduler_.submitDieOp(die, energyComponentFor(step.kind),
-                               std::move(fn), std::move(done),
-                               step.dmaBeforeBytes);
+        scheduler_.submitPlaneOp(die, plane, energyComponentFor(step.kind),
+                                 std::move(fn), std::move(done),
+                                 step.dmaBeforeBytes);
     }
 }
 
@@ -77,8 +78,8 @@ ComputeEngine::finishProgram(const std::shared_ptr<ColumnProgram> &state,
             state->onComplete();
         return;
     }
-    // Capture the cache latch now — at the die's completion instant —
-    // before any later program on this die can overwrite it; the page
+    // Capture the cache latch now — at the plane's completion instant —
+    // before any later program on this plane can overwrite it; the page
     // is then in flight on the channel until its DMA completes.
     BitVector page = farm_.chip(state->die).dataOut(state->plane);
     if (stats)
@@ -101,19 +102,22 @@ ComputeEngine::submit(ShardedOp op, OpStats *stats)
 }
 
 void
-ComputeEngine::replicatePage(std::uint32_t src_die,
+ComputeEngine::broadcastPage(std::uint32_t src_die,
                              const nand::WordlineAddr &src,
-                             std::uint32_t dst_die,
-                             const nand::WordlineAddr &dst,
+                             const std::vector<BroadcastTarget> &targets,
                              const nand::EspParams &esp, OpStats *stats)
 {
-    fcos_assert(src_die < farm_.dieCount() && dst_die < farm_.dieCount(),
-                "replication endpoints beyond the farm");
+    fcos_assert(src_die < farm_.dieCount(),
+                "broadcast source beyond the farm");
+    fcos_assert(!targets.empty(), "broadcast without destinations");
+    for (const BroadcastTarget &t : targets)
+        fcos_assert(t.die < farm_.dieCount(),
+                    "broadcast destination beyond the farm");
     const std::uint64_t bytes = farm_.geometry().pageBytes;
     auto page = std::make_shared<BitVector>();
 
-    scheduler_.submitDieOp(
-        src_die, ssd::EnergyComponent::NandRead,
+    scheduler_.submitPlaneOp(
+        src_die, src.plane, ssd::EnergyComponent::NandRead,
         [src, page, stats](nand::NandChip &chip) {
             // Raw copy of stored bits: polarity metadata travels with
             // the vector handle, not the cells.
@@ -123,22 +127,40 @@ ComputeEngine::replicatePage(std::uint32_t src_die,
                 stats->tally(StepKind::PageRead, r);
             return r;
         },
-        [this, src_die, dst_die, dst, esp, page, stats, bytes] {
+        [this, src_die, targets, esp, page, stats, bytes] {
+            // One readout to the controller, then fan out: each
+            // destination pays its own data-in transfer and program,
+            // but the sense happened exactly once.
             scheduler_.submitDma(
                 src_die, bytes,
-                [this, dst_die, dst, esp, page, stats, bytes] {
-                    scheduler_.submitDieOp(
-                        dst_die, ssd::EnergyComponent::NandProgram,
-                        [dst, esp, page, stats](nand::NandChip &chip) {
-                            nand::OpResult r =
-                                chip.programPageEsp(dst, *page, esp);
-                            if (stats)
-                                stats->tally(StepKind::Program, r);
-                            return r;
-                        },
-                        {}, /*pre_dma_bytes=*/bytes);
+                [this, targets, esp, page, stats, bytes] {
+                    for (const BroadcastTarget &t : targets) {
+                        scheduler_.submitPlaneOp(
+                            t.die, t.addr.plane,
+                            ssd::EnergyComponent::NandProgram,
+                            [dst = t.addr, esp, page,
+                             stats](nand::NandChip &chip) {
+                                nand::OpResult r =
+                                    chip.programPageEsp(dst, *page, esp);
+                                if (stats)
+                                    stats->tally(StepKind::Program, r);
+                                return r;
+                            },
+                            {}, /*pre_dma_bytes=*/bytes);
+                    }
                 });
         });
+}
+
+void
+ComputeEngine::replicatePage(std::uint32_t src_die,
+                             const nand::WordlineAddr &src,
+                             std::uint32_t dst_die,
+                             const nand::WordlineAddr &dst,
+                             const nand::EspParams &esp, OpStats *stats)
+{
+    broadcastPage(src_die, src, {BroadcastTarget{dst_die, dst}}, esp,
+                  stats);
 }
 
 } // namespace fcos::engine

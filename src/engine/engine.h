@@ -10,19 +10,24 @@
  * and plane contention but moved no data. The engine executes real
  * commands against real chips **through** the deterministic Facility
  * model, so a single run yields bit-exact result vectors *and* a
- * contention-accurate timeline and energy ledger.
+ * contention-accurate timeline and energy ledger. The platform
+ * drivers (platforms/runner) run the paper's Figure 7/17/18 workloads
+ * over the same scheduler, making the engine the single source of
+ * truth for functional results, timing, and energy.
  *
  * Async API: callers submit() column programs (or whole ShardedOps)
  * and drain(); completion callbacks deliver result pages at their
- * simulated readout times. Per-die ordering follows submission order;
- * cross-die interleaving follows simulated time with FIFO
+ * simulated readout times. Per-plane ordering follows submission
+ * order; planes — including planes of one die — execute concurrently;
+ * cross-plane interleaving follows simulated time with FIFO
  * tie-breaking, so every run is bit-reproducible.
  *
  * Replication: operands that Equation-1 locality requires on a die
  * where they are not stored (e.g. a one-page vector combined against
  * striped ones) are copied die-to-die through the controller with
- * replicatePage() — sense, channel out, channel in, ESP program —
- * paying the realistic time and energy for the copy.
+ * broadcastPage() — one sense, one channel readout, then a data-in
+ * transfer plus ESP program per destination — paying the realistic
+ * time and energy for the copies while sensing the source only once.
  */
 
 #ifndef FCOS_ENGINE_ENGINE_H
@@ -30,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "engine/chip_farm.h"
 #include "engine/scheduler.h"
@@ -52,8 +58,9 @@ class ComputeEngine
 
     /**
      * Submit one column program. Steps execute in order on the
-     * program's die; the result page (if readOutResult) arrives at
-     * onResult after its channel readout completes.
+     * program's (die, plane) column; the result page (if
+     * readOutResult) arrives at onResult after its channel readout
+     * completes.
      */
     void submit(ColumnProgram program, OpStats *stats = nullptr);
 
@@ -63,13 +70,29 @@ class ComputeEngine
     /** Run all submitted work; @return cumulative makespan. */
     Time drain() { return scheduler_.drain(); }
 
+    /** One destination of a broadcast replication. */
+    struct BroadcastTarget
+    {
+        std::uint32_t die = 0;
+        nand::WordlineAddr addr;
+    };
+
     /**
-     * Copy the stored bits of one page onto another die (or another
-     * location of the same die) through the controller: sense on the
-     * source die, move over both channels, ESP-program on the
-     * destination. This is the input-replication primitive sharding
-     * uses to satisfy Equation-1 co-location.
+     * Broadcast the stored bits of one page to any number of
+     * destination pages through the controller: *one* sense on the
+     * source die, one channel readout, then a per-destination data-in
+     * transfer and ESP program (fan-out over the destination
+     * channels, pipelined behind each plane's cache latch). This is
+     * the input-replication primitive sharding uses to satisfy
+     * Equation-1 co-location; the single sense is what makes
+     * replication scale on wide farms.
      */
+    void broadcastPage(std::uint32_t src_die, const nand::WordlineAddr &src,
+                       const std::vector<BroadcastTarget> &targets,
+                       const nand::EspParams &esp = nand::EspParams{},
+                       OpStats *stats = nullptr);
+
+    /** Single-destination convenience wrapper over broadcastPage(). */
     void replicatePage(std::uint32_t src_die, const nand::WordlineAddr &src,
                        std::uint32_t dst_die, const nand::WordlineAddr &dst,
                        const nand::EspParams &esp = nand::EspParams{},
@@ -80,6 +103,10 @@ class ComputeEngine
     Time dieBusyTime(std::uint32_t die) const
     {
         return scheduler_.dieBusyTime(die);
+    }
+    Time planeBusyTime(std::uint32_t die, std::uint32_t plane) const
+    {
+        return scheduler_.planeBusyTime(die, plane);
     }
     Time channelBusyTime(std::uint32_t channel) const
     {

@@ -7,78 +7,107 @@
 namespace fcos::engine {
 
 CommandScheduler::CommandScheduler(ChipFarm &farm)
-    : farm_(farm), states_(farm.dieCount())
+    : farm_(farm), planes_per_die_(farm.geometry().planesPerDie),
+      external_("external"), states_(farm.columnCount())
 {
-    dies_.reserve(farm.dieCount());
+    planes_.reserve(farm.columnCount());
     for (std::uint32_t d = 0; d < farm.dieCount(); ++d)
-        dies_.emplace_back("die" + std::to_string(d));
+        for (std::uint32_t p = 0; p < planes_per_die_; ++p)
+            planes_.emplace_back("die" + std::to_string(d) + ".plane" +
+                                 std::to_string(p));
     channels_.reserve(farm.channelCount());
-    for (std::uint32_t c = 0; c < farm.channelCount(); ++c)
+    accel_ports_.reserve(farm.channelCount());
+    for (std::uint32_t c = 0; c < farm.channelCount(); ++c) {
         channels_.emplace_back("channel" + std::to_string(c));
+        accel_ports_.emplace_back("accel" + std::to_string(c));
+    }
 }
 
 void
-CommandScheduler::submitDieOp(std::uint32_t die, ssd::EnergyComponent comp,
-                              DieFn fn, Callback done,
-                              std::uint64_t pre_dma_bytes)
+CommandScheduler::submitPlaneOp(std::uint32_t die, std::uint32_t plane,
+                                ssd::EnergyComponent comp, DieFn fn,
+                                Callback done,
+                                std::uint64_t pre_dma_bytes)
 {
-    fcos_assert(die < states_.size(), "die %u out of range", die);
-    fcos_assert(fn != nullptr, "die op without a function");
-    states_[die].pending.push_back(
-        PendingOp{comp, std::move(fn), std::move(done), pre_dma_bytes});
-    pump(die);
+    fcos_assert(die < farm_.dieCount(), "die %u out of range", die);
+    fcos_assert(plane < planes_per_die_, "plane %u out of range", plane);
+    fcos_assert(fn != nullptr, "plane op without a function");
+    const std::uint32_t col = columnOf(die, plane);
+    auto op = std::make_shared<PendingOp>();
+    op->comp = comp;
+    op->fn = std::move(fn);
+    op->done = std::move(done);
+    op->preDmaBytes = pre_dma_bytes;
+    states_[col].pending.push_back(std::move(op));
+    prefetchDataIn(die, col);
+    pump(die, col);
 }
 
 void
-CommandScheduler::pump(std::uint32_t die)
+CommandScheduler::prefetchDataIn(std::uint32_t die, std::uint32_t col)
 {
-    DieState &st = states_[die];
+    // The head op's program data streams into the plane's cache latch
+    // while the previous op still occupies the array; the latch is the
+    // one-deep buffer that makes this pipelining legal.
+    PlaneState &st = states_[col];
+    if (st.pending.empty())
+        return;
+    const std::shared_ptr<PendingOp> &head = st.pending.front();
+    if (head->preDmaBytes == 0 || head->dmaIssued)
+        return;
+    head->dmaIssued = true;
+    const std::uint32_t ch = farm_.channelOfDie(die);
+    const ssd::IoParams &io = farm_.config().io;
+    energy_.add(ssd::EnergyComponent::ChannelDma,
+                io.channelEnergyJ(head->preDmaBytes));
+    Time finish =
+        channels_[ch].acquire(queue_.now(), io.channelTime(head->preDmaBytes));
+    ++dma_ops_;
+    queue_.schedule(finish, [this, die, col, op = head] {
+        op->dmaDone = true;
+        pump(die, col);
+    });
+}
+
+void
+CommandScheduler::pump(std::uint32_t die, std::uint32_t col)
+{
+    PlaneState &st = states_[col];
     if (st.running || st.pending.empty())
         return;
+    const std::shared_ptr<PendingOp> &head = st.pending.front();
+    if (head->preDmaBytes != 0 && !head->dmaDone)
+        return; // the data-in completion will pump again
     st.running = true;
-    // Defer to the event queue even for an idle die so that execution
+    // Defer to the event queue even for an idle plane so that execution
     // order is decided purely by simulated time + FIFO tie-breaking,
     // never by the C++ call stack.
-    queue_.scheduleAfter(0, [this, die] { execute(die); });
+    queue_.scheduleAfter(0, [this, die, col] { execute(die, col); });
 }
 
 void
-CommandScheduler::execute(std::uint32_t die)
+CommandScheduler::execute(std::uint32_t die, std::uint32_t col)
 {
-    DieState &st = states_[die];
-    fcos_assert(!st.pending.empty(), "die worker woke without work");
-    PendingOp op = std::move(st.pending.front());
+    PlaneState &st = states_[col];
+    fcos_assert(!st.pending.empty(), "plane worker woke without work");
+    std::shared_ptr<PendingOp> op = std::move(st.pending.front());
     st.pending.pop_front();
 
-    if (op.preDmaBytes > 0) {
-        // Data-in: the die waits for its channel slot, then for the
-        // transfer, before the operation proper starts.
-        std::uint64_t bytes = op.preDmaBytes;
-        op.preDmaBytes = 0;
-        st.pending.push_front(std::move(op));
-        std::uint32_t ch = farm_.channelOfDie(die);
-        energy_.add(ssd::EnergyComponent::ChannelDma,
-                    farm_.config().channelPjPerBit * 1e-12 *
-                        static_cast<double>(bytes) * 8.0);
-        Time dur = transferTime(bytes, farm_.config().channelGBps);
-        Time finish = channels_[ch].acquire(queue_.now(), dur);
-        ++dma_ops_;
-        queue_.schedule(finish, [this, die] { execute(die); });
-        return;
-    }
+    // The plane just freed its cache latch for the *next* op's data-in;
+    // start that transfer so it overlaps this op's array time.
+    prefetchDataIn(die, col);
 
-    nand::OpResult r = op.fn(farm_.chip(die));
-    energy_.add(op.comp, r.energyJ);
-    Time finish = dies_[die].acquire(queue_.now(), r.latency);
+    nand::OpResult r = op->fn(farm_.chip(die));
+    energy_.add(op->comp, r.energyJ);
+    Time finish = planes_[col].acquire(queue_.now(), r.latency);
     ++die_ops_;
-    queue_.schedule(finish, [this, die, done = std::move(op.done)] {
-        // The completion callback observes the die's latches before
-        // any later op on this die mutates them.
+    queue_.schedule(finish, [this, die, col, done = std::move(op->done)] {
+        // The completion callback observes the plane's latches before
+        // any later op on this plane mutates them.
         if (done)
             done();
-        DieState &s = states_[die];
-        s.running = false;
-        pump(die);
+        states_[col].running = false;
+        pump(die, col);
     });
 }
 
@@ -87,12 +116,42 @@ CommandScheduler::submitDma(std::uint32_t die, std::uint64_t bytes,
                             Callback done)
 {
     std::uint32_t ch = farm_.channelOfDie(die);
-    energy_.add(ssd::EnergyComponent::ChannelDma,
-                farm_.config().channelPjPerBit * 1e-12 *
-                    static_cast<double>(bytes) * 8.0);
-    Time dur = transferTime(bytes, farm_.config().channelGBps);
-    Time finish = channels_[ch].acquire(queue_.now(), dur);
+    const ssd::IoParams &io = farm_.config().io;
+    energy_.add(ssd::EnergyComponent::ChannelDma, io.channelEnergyJ(bytes));
+    Time finish = channels_[ch].acquire(queue_.now(), io.channelTime(bytes));
     ++dma_ops_;
+    if (done)
+        queue_.schedule(finish, std::move(done));
+    else
+        queue_.schedule(finish, [] {});
+}
+
+void
+CommandScheduler::submitExternal(std::uint64_t bytes, Callback done)
+{
+    const ssd::IoParams &io = farm_.config().io;
+    energy_.add(ssd::EnergyComponent::ExternalLink,
+                io.externalEnergyJ(bytes));
+    Time finish =
+        external_.acquire(queue_.now(), io.externalTime(bytes));
+    if (done)
+        queue_.schedule(finish, std::move(done));
+    else
+        queue_.schedule(finish, [] {});
+}
+
+void
+CommandScheduler::submitAccel(std::uint32_t channel, std::uint64_t bytes,
+                              Callback done)
+{
+    fcos_assert(channel < accel_ports_.size(), "channel %u out of range",
+                channel);
+    const ssd::IoParams &io = farm_.config().io;
+    energy_.add(ssd::EnergyComponent::IspAccel, io.accelEnergyJ(bytes));
+    // The accelerator streams at channel rate; its port is per channel,
+    // so accelerator work never outruns its input.
+    Time finish =
+        accel_ports_[channel].acquire(queue_.now(), io.channelTime(bytes));
     if (done)
         queue_.schedule(finish, std::move(done));
     else
@@ -108,10 +167,21 @@ CommandScheduler::drain()
 }
 
 Time
+CommandScheduler::planeBusyTime(std::uint32_t die, std::uint32_t plane) const
+{
+    fcos_assert(die < farm_.dieCount() && plane < planes_per_die_,
+                "plane (%u, %u) out of range", die, plane);
+    return planes_[die * planes_per_die_ + plane].busyTime();
+}
+
+Time
 CommandScheduler::dieBusyTime(std::uint32_t die) const
 {
-    fcos_assert(die < dies_.size(), "die %u out of range", die);
-    return dies_[die].busyTime();
+    fcos_assert(die < farm_.dieCount(), "die %u out of range", die);
+    Time m = 0;
+    for (std::uint32_t p = 0; p < planes_per_die_; ++p)
+        m = std::max(m, planes_[die * planes_per_die_ + p].busyTime());
+    return m;
 }
 
 Time
@@ -123,11 +193,28 @@ CommandScheduler::channelBusyTime(std::uint32_t channel) const
 }
 
 Time
+CommandScheduler::accelBusyTime(std::uint32_t channel) const
+{
+    fcos_assert(channel < accel_ports_.size(), "channel %u out of range",
+                channel);
+    return accel_ports_[channel].busyTime();
+}
+
+Time
 CommandScheduler::maxDieBusyTime() const
 {
     Time m = 0;
-    for (const auto &d : dies_)
-        m = std::max(m, d.busyTime());
+    for (std::uint32_t d = 0; d < farm_.dieCount(); ++d)
+        m = std::max(m, dieBusyTime(d));
+    return m;
+}
+
+Time
+CommandScheduler::maxPlaneBusyTime() const
+{
+    Time m = 0;
+    for (const auto &p : planes_)
+        m = std::max(m, p.busyTime());
     return m;
 }
 

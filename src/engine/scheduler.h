@@ -2,35 +2,45 @@
  * @file
  * Asynchronous, deterministic command scheduler over the chip farm.
  *
- * The scheduler is the engine's event-driven spine: callers submit die
- * operations (a functional chip mutation that reports its own latency
- * and energy) and channel transfers; the scheduler books them on the
- * shared Facility resources of sim/event_queue and fires completion
- * callbacks at the simulated completion times.
+ * The scheduler is the engine's event-driven spine: callers submit
+ * plane operations (a functional chip mutation that reports its own
+ * latency and energy) and channel/external transfers; the scheduler
+ * books them on the shared Facility resources of sim/event_queue and
+ * fires completion callbacks at the simulated completion times.
  *
  * Execution model:
  *
- *  - each die is one Facility; operations submitted to a die execute
- *    in submission order (FIFO), the functional mutation running at
- *    the simulated instant the die becomes free — so per-die sense
- *    sequences (which seed the error model) are identical to a fully
- *    serialized run;
+ *  - each (die, plane) is one Facility; operations submitted to a
+ *    plane execute in submission order (FIFO), the functional mutation
+ *    running at the simulated instant the plane becomes free — so
+ *    per-plane sense sequences (which seed the error model) are
+ *    identical to a fully serialized run. Planes of one die are
+ *    independent: they sense concurrently, exactly like the per-plane
+ *    facilities of ssd/ssd_sim;
  *
  *  - each channel is one Facility shared by its dies; result readout
  *    and data-in transfers serialize on it in arrival order — this is
  *    where multi-die scaling bends over (the contention the
  *    engine-scaling bench measures);
  *
- *  - a die op may require a data-in transfer first (`preDmaBytes`,
- *    program data moving controller -> die); the die then waits for
- *    its channel slot before starting;
+ *  - a plane op may require a data-in transfer first (`preDmaBytes`,
+ *    program data moving controller -> die). The transfer lands in the
+ *    plane's cache latch, so it *pipelines behind the latch*: while
+ *    the current operation occupies the plane's array, the next
+ *    queued operation's data streams in over the channel. Only when
+ *    the plane is idle does the op wait for its transfer;
+ *
+ *  - the external (PCIe) link and the per-channel ISP accelerator
+ *    ports are additional facilities so platform drivers (OSP/ISP
+ *    paths) run on the same unified timeline and energy ledger;
  *
  *  - the event queue's FIFO tie-breaking makes every run
  *    bit-reproducible: same submissions => same interleaving, same
  *    timeline, same energy ledger.
  *
  * Energy is booked into a ssd::EnergyMeter per activity, giving one
- * ledger spanning NAND ops and channel movement.
+ * ledger spanning NAND ops, channel movement, the external link, and
+ * accelerator work.
  */
 
 #ifndef FCOS_ENGINE_SCHEDULER_H
@@ -39,6 +49,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "engine/chip_farm.h"
@@ -62,25 +73,40 @@ class CommandScheduler
     const ssd::EnergyMeter &energy() const { return energy_; }
 
     /**
-     * Submit one die operation. @p fn runs against the die's chip when
-     * the die becomes free (after an optional @p pre_dma_bytes data-in
-     * transfer over the die's channel); @p done fires at the op's
-     * simulated completion, before any later op on the same die starts.
+     * Submit one plane operation. @p fn runs against the die's chip
+     * when plane @p plane of die @p die becomes free; @p done fires at
+     * the op's simulated completion, before any later op on the same
+     * plane starts.
+     *
+     * An optional @p pre_dma_bytes data-in transfer (controller -> die)
+     * precedes the op. The transfer is issued as soon as the op is
+     * next in the plane's queue, overlapping the previous op on the
+     * plane (cache-latch pipelining); the op itself starts at
+     * max(plane free, transfer complete).
      *
      * @param comp  energy component the op's joules are booked against
      */
-    void submitDieOp(std::uint32_t die, ssd::EnergyComponent comp,
-                     DieFn fn, Callback done = {},
-                     std::uint64_t pre_dma_bytes = 0);
+    void submitPlaneOp(std::uint32_t die, std::uint32_t plane,
+                       ssd::EnergyComponent comp, DieFn fn,
+                       Callback done = {},
+                       std::uint64_t pre_dma_bytes = 0);
 
     /**
      * Move @p bytes between die and controller over the die's channel;
-     * @p done fires at transfer completion. The die itself is not
+     * @p done fires at transfer completion. The plane itself is not
      * occupied (cache-read pipelining: the latch is free to move data
      * while the next sense proceeds).
      */
     void submitDma(std::uint32_t die, std::uint64_t bytes,
                    Callback done = {});
+
+    /** Move @p bytes across the external (PCIe) link. */
+    void submitExternal(std::uint64_t bytes, Callback done = {});
+
+    /** Book ISP-accelerator time on @p channel for @p bytes of bitwise
+     *  work (streams at channel rate; Table 1 energy: 93 pJ / 64 B). */
+    void submitAccel(std::uint32_t channel, std::uint64_t bytes,
+                     Callback done = {});
 
     /** Run all submitted work to completion; @return the makespan. */
     Time drain();
@@ -88,12 +114,20 @@ class CommandScheduler
     /** Simulated completion time of the last drain(). */
     Time makespan() const { return makespan_; }
 
-    /** Accumulated busy time of one die. */
+    /** Accumulated busy time of one plane of one die. */
+    Time planeBusyTime(std::uint32_t die, std::uint32_t plane) const;
+    /** Busiest-plane busy time of one die (its occupancy proxy). */
     Time dieBusyTime(std::uint32_t die) const;
     /** Accumulated busy time of one channel bus. */
     Time channelBusyTime(std::uint32_t channel) const;
+    /** Busy time of the external link. */
+    Time externalBusyTime() const { return external_.busyTime(); }
+    /** Busy time of one channel's accelerator port. */
+    Time accelBusyTime(std::uint32_t channel) const;
     /** Maximum die busy time across the farm. */
     Time maxDieBusyTime() const;
+    /** Maximum plane busy time across the farm. */
+    Time maxPlaneBusyTime() const;
 
     std::uint64_t dieOpsExecuted() const { return die_ops_; }
     std::uint64_t dmaTransfers() const { return dma_ops_; }
@@ -105,24 +139,36 @@ class CommandScheduler
         DieFn fn;
         Callback done;
         std::uint64_t preDmaBytes = 0;
+        bool dmaIssued = false;
+        bool dmaDone = false;
     };
 
-    struct DieState
+    struct PlaneState
     {
-        std::deque<PendingOp> pending;
+        std::deque<std::shared_ptr<PendingOp>> pending;
         bool running = false;
     };
 
-    /** Start the next queued op of @p die, if any. */
-    void pump(std::uint32_t die);
-    void execute(std::uint32_t die);
+    std::uint32_t columnOf(std::uint32_t die, std::uint32_t plane) const
+    {
+        return die * planes_per_die_ + plane;
+    }
+
+    /** Issue the head op's data-in transfer if it has not started. */
+    void prefetchDataIn(std::uint32_t die, std::uint32_t col);
+    /** Start the next queued op of column @p col, if it is ready. */
+    void pump(std::uint32_t die, std::uint32_t col);
+    void execute(std::uint32_t die, std::uint32_t col);
 
     ChipFarm &farm_;
     EventQueue queue_;
     ssd::EnergyMeter energy_;
-    std::vector<Facility> dies_;
+    std::uint32_t planes_per_die_;
+    std::vector<Facility> planes_;   ///< one per (die, plane) column
     std::vector<Facility> channels_;
-    std::vector<DieState> states_;
+    std::vector<Facility> accel_ports_;
+    Facility external_;
+    std::vector<PlaneState> states_; ///< one per column
     Time makespan_ = 0;
     std::uint64_t die_ops_ = 0;
     std::uint64_t dma_ops_ = 0;

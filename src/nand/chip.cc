@@ -8,11 +8,26 @@ namespace fcos::nand {
 
 NandChip::NandChip(const Geometry &geom, const Timings &timings,
                    ErrorInjector *injector)
-    : geom_(geom), timing_(timings), cells_(geom), injector_(injector)
+    : geom_(geom), timing_(timings), cells_(geom), injector_(injector),
+      plane_seq_(geom.planesPerDie, 0)
 {
     latches_.reserve(geom.planesPerDie);
     for (std::uint32_t p = 0; p < geom.planesPerDie; ++p)
         latches_.emplace_back(geom.pageBits());
+}
+
+std::uint64_t
+NandChip::senseCount(std::uint32_t plane) const
+{
+    fcos_assert(plane < geom_.planesPerDie, "plane %u out of range", plane);
+    return plane_seq_[plane];
+}
+
+std::uint64_t
+NandChip::nextSenseSeq(std::uint32_t plane)
+{
+    ++sense_seq_;
+    return plane_seq_[plane]++;
 }
 
 OpResult
@@ -65,7 +80,7 @@ NandChip::senseCommon(std::uint32_t plane,
 
     // Evaluation step: simultaneous sensing of all selected wordlines.
     BitVector conduction = cells_.senseConduction(
-        plane, selections, injector_, sense_seq_++);
+        plane, selections, injector_, nextSenseSeq(plane));
     l.evaluate(conduction, flags.inverseRead, flags.initSenseLatch);
 
     if (flags.dumpToCache) {
@@ -135,8 +150,8 @@ NandChip::senseParaBit(const WordlineAddr &addr, bool init_sense,
     if (init_sense)
         l.initSense();
     WlSelection sel{addr.block, addr.subBlock, 1ULL << addr.wordline};
-    BitVector conduction =
-        cells_.senseConduction(addr.plane, {sel}, injector_, sense_seq_++);
+    BitVector conduction = cells_.senseConduction(
+        addr.plane, {sel}, injector_, nextSenseSeq(addr.plane));
     l.evaluate(conduction, false, init_sense);
     if (dump_or)
         l.dumpOrMerge();

@@ -141,13 +141,22 @@ class NandChip
     /** Direct latch access for tests. */
     LatchArray &latches(std::uint32_t plane);
 
-    /** Monotone per-die sense counter (seeds the error model). */
+    /** Total senses across all planes (campaign bookkeeping). */
     std::uint64_t senseCount() const { return sense_seq_; }
+
+    /** Monotone per-plane sense counter (seeds the error model).
+     *  Keeping the counter per plane makes every plane's error
+     *  sequence a pure function of that plane's own op order, so
+     *  plane-parallel scheduling cannot perturb sensed bits. */
+    std::uint64_t senseCount(std::uint32_t plane) const;
 
   private:
     OpResult senseCommon(std::uint32_t plane,
                          const std::vector<WlSelection> &selections,
                          const IscmFlags &flags);
+
+    /** Advance plane @p plane's sense sequence; returns the seed. */
+    std::uint64_t nextSenseSeq(std::uint32_t plane);
 
     Geometry geom_;
     TimingModel timing_;
@@ -155,6 +164,7 @@ class NandChip
     ErrorInjector *injector_;
     std::vector<LatchArray> latches_;
     std::uint64_t sense_seq_ = 0;
+    std::vector<std::uint64_t> plane_seq_;
 };
 
 } // namespace fcos::nand

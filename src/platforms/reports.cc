@@ -25,9 +25,9 @@ tab01SsdTable(const ssd::SsdConfig &c)
             std::to_string(c.geometry.wordlinesPerSubBlock) + ")");
     row("page size", "16 KiB", formatBytes(c.geometry.pageBytes));
     row("external I/O", "8 GB/s (PCIe Gen4 x4)",
-        TablePrinter::cell(c.externalGBps, 1) + " GB/s");
+        TablePrinter::cell(c.io.externalGBps, 1) + " GB/s");
     row("channel I/O rate", "1.2 GB/s",
-        TablePrinter::cell(c.channelGBps, 1) + " GB/s");
+        TablePrinter::cell(c.io.channelGBps, 1) + " GB/s");
     row("tR (SLC)", "22.5 us", formatTime(c.timings.tReadSlc));
     row("tMWS (max 4 blocks)", "25 us", formatTime(c.timings.tMwsFixed));
     row("tPROG SLC/MLC/TLC", "200/500/700 us",
@@ -37,7 +37,7 @@ tab01SsdTable(const ssd::SsdConfig &c)
     row("tESP", "400 us", formatTime(c.timings.tProgEsp));
     row("tBERS", "3-5 ms", formatTime(c.timings.tErase));
     row("ISP accel energy", "93 pJ / 64 B",
-        TablePrinter::cell(c.accelPjPer64B, 0) + " pJ / 64 B");
+        TablePrinter::cell(c.io.accelPjPer64B, 0) + " pJ / 64 B");
     row("inter-block MWS cap", "4 blocks",
         std::to_string(c.maxInterBlockMws));
     return t;
@@ -71,6 +71,98 @@ fig12MwsLatencyTable()
         t.addRow({std::to_string(n), TablePrinter::cell(factor, 4),
                   formatTime(t_mws),
                   formatTime(n * tm.timings().tReadSlc)});
+    }
+    return t;
+}
+
+wl::Workload
+figure7Workload()
+{
+    wl::Workload w;
+    w.name = "fig7";
+    w.paramName = "-";
+    wl::OpBatch b;
+    b.andOperands = 0;
+    b.orOperands = 3;
+    b.operandBytes = 1ULL << 20;
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.push_back(b);
+    return w;
+}
+
+TablePrinter
+fig07TimelineTable(const PlatformRunner &runner)
+{
+    const wl::Workload w = figure7Workload();
+    TablePrinter t("Per-channel execution timeline (" +
+                   std::string(runnerModeName(runner.mode())) + " path)");
+    t.setHeader({"platform", "exec time", "paper", "plane busy",
+                 "channel busy", "external busy", "bottleneck"});
+
+    struct Row
+    {
+        PlatformKind kind;
+        const char *paper;
+    };
+    for (const Row &r : {Row{PlatformKind::Osp, "471 us"},
+                         Row{PlatformKind::Isp, "431 us"},
+                         Row{PlatformKind::ParaBit, "335 us"}}) {
+        RunResult res = runner.run(r.kind, w);
+        const char *bottleneck = "sensing";
+        if (res.externalBusy >= res.channelBusy &&
+            res.externalBusy >= res.planeBusy)
+            bottleneck = "external I/O";
+        else if (res.channelBusy >= res.planeBusy)
+            bottleneck = "internal I/O";
+        t.addRow({platformName(r.kind), formatTime(res.makespan),
+                  r.paper, formatTime(res.planeBusy),
+                  formatTime(res.channelBusy),
+                  formatTime(res.externalBusy), bottleneck});
+    }
+    return t;
+}
+
+TablePrinter
+fig17SpeedupTable(const std::vector<SweepSeries> &series)
+{
+    TablePrinter t("Speedup over OSP per sweep point");
+    t.setHeader({"series", "param", "OSP time", "ISP x", "PB x", "FC x"});
+    for (const SweepSeries &s : series) {
+        for (const SweepPoint &p : s.points) {
+            t.addRow({s.name,
+                      p.workload.paramName + "=" +
+                          std::to_string(p.workload.paramValue),
+                      formatTime(p.osp.makespan),
+                      TablePrinter::cell(p.speedup(PlatformKind::Isp), 2),
+                      TablePrinter::cell(
+                          p.speedup(PlatformKind::ParaBit), 2),
+                      TablePrinter::cell(
+                          p.speedup(PlatformKind::FlashCosmos), 2)});
+        }
+    }
+    return t;
+}
+
+TablePrinter
+fig18EnergyTable(const std::vector<SweepSeries> &series)
+{
+    TablePrinter t("Energy-efficiency ratio over OSP per sweep point");
+    t.setHeader(
+        {"series", "param", "OSP energy", "ISP x", "PB x", "FC x"});
+    for (const SweepSeries &s : series) {
+        for (const SweepPoint &p : s.points) {
+            t.addRow(
+                {s.name,
+                 p.workload.paramName + "=" +
+                     std::to_string(p.workload.paramValue),
+                 formatEnergy(p.osp.energyJ),
+                 TablePrinter::cell(p.energyRatio(PlatformKind::Isp), 2),
+                 TablePrinter::cell(p.energyRatio(PlatformKind::ParaBit),
+                                    2),
+                 TablePrinter::cell(
+                     p.energyRatio(PlatformKind::FlashCosmos), 2)});
+        }
     }
     return t;
 }

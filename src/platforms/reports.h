@@ -13,7 +13,11 @@
 #ifndef FCOS_PLATFORMS_REPORTS_H
 #define FCOS_PLATFORMS_REPORTS_H
 
+#include <vector>
+
 #include "host/host_model.h"
+#include "platforms/runner.h"
+#include "platforms/sweep.h"
 #include "ssd/config.h"
 #include "util/table.h"
 
@@ -32,6 +36,29 @@ TablePrinter tab01HostTable(const host::HostConfig &cfg);
  * it needs the reliability stack.)
  */
 TablePrinter fig12MwsLatencyTable();
+
+/**
+ * Figure 7: per-channel execution timelines of OSP, ISP and in-flash
+ * processing for the illustrative OR of three 1-MiB vectors, with the
+ * busiest resource called out per platform. Runs through @p runner
+ * (engine mode by default), so the pinned golden certifies the
+ * engine-produced timeline.
+ */
+TablePrinter fig07TimelineTable(const PlatformRunner &runner);
+
+/** The Figure 7 micro-workload (OR of three 1-MiB vectors). */
+wl::Workload figure7Workload();
+
+/**
+ * Figure 17: speedup over OSP per sweep point, one section per
+ * workload series. Shared by the bench (full paper grids) and the
+ * golden test (reduced grids) so the formatting and arithmetic cannot
+ * drift between them.
+ */
+TablePrinter fig17SpeedupTable(const std::vector<SweepSeries> &series);
+
+/** Figure 18: energy-efficiency ratios over OSP per sweep point. */
+TablePrinter fig18EnergyTable(const std::vector<SweepSeries> &series);
 
 } // namespace fcos::plat
 

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "engine/engine.h"
 #include "nand/power_model.h"
 #include "ssd/ssd_sim.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace fcos::plat {
 
@@ -21,6 +24,18 @@ platformName(PlatformKind k)
         return "PB";
       case PlatformKind::FlashCosmos:
         return "FC";
+    }
+    return "?";
+}
+
+const char *
+runnerModeName(RunnerMode m)
+{
+    switch (m) {
+      case RunnerMode::Engine:
+        return "engine";
+      case RunnerMode::Analytic:
+        return "analytic";
     }
     return "?";
 }
@@ -64,61 +79,87 @@ pageReadEnergy(const ssd::SsdConfig &cfg)
                                     cfg.timings.tReadSlc);
 }
 
-} // namespace
+/** Legacy analytic path: facilities of the SSD timing simulator. */
+struct AnalyticBackend
+{
+    ssd::SsdSim &sim;
 
+    void planeOp(std::uint32_t p, Time dur, double joules,
+                 ssd::EnergyComponent comp, std::function<void()> done)
+    {
+        sim.planeOp(p, dur, joules, comp, std::move(done));
+    }
+    void dmaFromDie(std::uint32_t p, std::uint64_t bytes,
+                    std::function<void()> done)
+    {
+        sim.dmaFromDie(p, bytes, std::move(done));
+    }
+    void external(std::uint64_t bytes, std::function<void()> done)
+    {
+        sim.externalTransfer(bytes, std::move(done));
+    }
+    void accel(std::uint64_t bytes, std::function<void()> done)
+    {
+        sim.accelCompute(0, bytes, std::move(done));
+    }
+    void finish() { sim.noteCompletion(sim.queue().now()); }
+};
+
+/** Unified path: the compute engine's scheduler runs the workload. */
+struct EngineBackend
+{
+    engine::CommandScheduler &sched;
+    std::uint32_t planesPerDie;
+
+    void planeOp(std::uint32_t p, Time dur, double joules,
+                 ssd::EnergyComponent comp, std::function<void()> done)
+    {
+        sched.submitPlaneOp(
+            p / planesPerDie, p % planesPerDie, comp,
+            [dur, joules](nand::NandChip &) {
+                return nand::OpResult{dur, joules};
+            },
+            std::move(done));
+    }
+    void dmaFromDie(std::uint32_t p, std::uint64_t bytes,
+                    std::function<void()> done)
+    {
+        sched.submitDma(p / planesPerDie, bytes, std::move(done));
+    }
+    void external(std::uint64_t bytes, std::function<void()> done)
+    {
+        sched.submitExternal(bytes, std::move(done));
+    }
+    void accel(std::uint64_t bytes, std::function<void()> done)
+    {
+        sched.submitAccel(0, bytes, std::move(done));
+    }
+    void finish() {} // drain() already tracks the last completion
+};
+
+/**
+ * The platform op graph, independent of the execution backend: the
+ * same chunked sense -> DMA -> external -> host pipelines are driven
+ * over either facility set, so engine and analytic timelines come
+ * from one description of each platform.
+ */
+template <typename Backend>
 std::uint64_t
-PlatformRunner::fcSensesPerRow(std::uint64_t and_operands,
-                               std::uint64_t or_operands,
-                               std::uint32_t max_wordlines,
-                               std::uint32_t max_strings)
+driveWorkload(PlatformKind kind, const wl::Workload &workload,
+              const ssd::SsdConfig &cfg, const ssd::SsdConfig &chan_cfg,
+              Backend &backend, host::HostModel &host)
 {
-    fcos_assert(max_wordlines >= 1 && max_strings >= 1, "bad MWS limits");
-    if (and_operands == 0 && or_operands == 0)
-        return 0;
-    if (and_operands == 0) {
-        // Pure OR over inverse-stored operands: one inverse intra-block
-        // MWS per string's worth, OR-merged (Section 6.1).
-        return (or_operands + max_wordlines - 1) / max_wordlines;
-    }
-    std::uint64_t and_cmds =
-        (and_operands + max_wordlines - 1) / max_wordlines;
-    if (or_operands == 0)
-        return and_cmds;
-    if (and_cmds == 1 && or_operands <= max_strings - 1) {
-        // The OR operands ride along as extra strings of the single
-        // AND command: (AND-group) OR o1 OR ... (the KCS fusion).
-        return 1;
-    }
-    // Otherwise the OR operands are folded afterwards with OR-merge
-    // commands, up to (max_strings) plain strings each.
-    return and_cmds + (or_operands + max_strings - 1) / max_strings;
-}
-
-RunResult
-PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
-{
-    // Per-channel symmetric simulation (see file comment).
-    ssd::SsdConfig chan_cfg = cfg_;
-    chan_cfg.channels = 1;
-    chan_cfg.externalGBps = cfg_.externalGBps / cfg_.channels;
-    host::HostConfig host_cfg = host_cfg_;
-    host_cfg.streamGBps = host_cfg_.streamGBps / cfg_.channels;
-
-    ssd::SsdSim sim(chan_cfg);
-    host::HostModel host(sim.queue(), sim.energy(), host_cfg);
-
-    const std::uint64_t page_bytes = cfg_.geometry.pageBytes;
+    const std::uint64_t page_bytes = cfg.geometry.pageBytes;
     const std::uint32_t planes = chan_cfg.totalPlanes();
-    const Time t_read = cfg_.timings.tReadSlc;
-    const Time t_mws = cfg_.timings.tMwsFixed;
-    const double e_read = pageReadEnergy(cfg_);
+    const Time t_read = cfg.timings.tReadSlc;
+    const Time t_mws = cfg.timings.tMwsFixed;
+    const double e_read = pageReadEnergy(cfg);
 
     std::uint64_t sense_ops = 0;
-
-    auto finish = [&sim]() { sim.noteCompletion(sim.queue().now()); };
+    auto finish = [&backend]() { backend.finish(); };
 
     for (const wl::OpBatch &batch : workload.batches) {
-        ChunkShape shape = shapeFor(batch.operandBytes, cfg_);
+        ChunkShape shape = shapeFor(batch.operandBytes, cfg);
         std::uint64_t operands = batch.totalOperands();
 
         switch (kind) {
@@ -131,16 +172,20 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
                     std::uint64_t bytes = rows * page_bytes;
                     for (std::uint32_t p = 0; p < planes; ++p) {
                         sense_ops += rows;
-                        sim.planeOp(
+                        backend.planeOp(
                             p, rows * t_read, rows * e_read,
                             ssd::EnergyComponent::NandRead,
-                            [&, p, bytes] {
-                                sim.dmaFromDie(p, bytes, [&, bytes] {
-                                    sim.externalTransfer(
-                                        bytes, [&, bytes] {
-                                            host.compute(bytes, finish);
-                                        });
-                                });
+                            [&backend, &host, finish, p, bytes] {
+                                backend.dmaFromDie(
+                                    p, bytes,
+                                    [&backend, &host, finish, bytes] {
+                                        backend.external(
+                                            bytes,
+                                            [&host, finish, bytes] {
+                                                host.compute(bytes,
+                                                             finish);
+                                            });
+                                    });
                             });
                     }
                 }
@@ -159,23 +204,29 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
                         sense_ops += rows;
                         bool to_host = last && batch.resultToHost;
                         bool post = batch.hostPostProcess;
-                        sim.planeOp(
+                        backend.planeOp(
                             p, rows * t_read, rows * e_read,
                             ssd::EnergyComponent::NandRead,
-                            [&, p, bytes, to_host, post] {
-                                sim.dmaFromDie(p, bytes, [&, bytes,
-                                                          to_host,
-                                                          post] {
-                                    sim.accelCompute(
-                                        0, bytes,
-                                        [&, bytes, to_host, post] {
+                            [&backend, &host, finish, p, bytes, to_host,
+                             post] {
+                                backend.dmaFromDie(p, bytes, [&backend,
+                                                              &host,
+                                                              finish,
+                                                              bytes,
+                                                              to_host,
+                                                              post] {
+                                    backend.accel(
+                                        bytes,
+                                        [&backend, &host, finish, bytes,
+                                         to_host, post] {
                                             if (!to_host) {
                                                 finish();
                                                 return;
                                             }
-                                            sim.externalTransfer(
+                                            backend.external(
                                                 bytes,
-                                                [&, bytes, post] {
+                                                [&host, finish, bytes,
+                                                 post] {
                                                     if (post) {
                                                         host.compute(
                                                             bytes,
@@ -206,20 +257,20 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
                 t_sense = t_read;
                 e_sense = e_read;
             } else {
-                senses_per_row = fcSensesPerRow(
+                senses_per_row = PlatformRunner::fcSensesPerRow(
                     batch.andOperands, batch.orOperands,
-                    cfg_.maxIntraMwsWordlines(), cfg_.maxInterBlockMws);
+                    cfg.maxIntraMwsWordlines(), cfg.maxInterBlockMws);
                 t_sense = t_mws;
                 // Conservative MWS power: a full string plus the
                 // typical string count of this batch's commands.
                 std::uint32_t strings = std::min<std::uint32_t>(
-                    cfg_.maxInterBlockMws,
+                    cfg.maxInterBlockMws,
                     static_cast<std::uint32_t>(
                         1 + std::min<std::uint64_t>(batch.orOperands,
                                                     3)));
                 e_sense = nand::PowerModel::energy(
                     nand::PowerModel::mwsPower(
-                        cfg_.maxIntraMwsWordlines(), strings),
+                        cfg.maxIntraMwsWordlines(), strings),
                     t_mws);
             }
             for (std::uint64_t c = 0; c < shape.chunks; ++c) {
@@ -229,29 +280,34 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
                     sense_ops += rows * senses_per_row;
                     bool to_host = batch.resultToHost;
                     bool post = batch.hostPostProcess;
-                    sim.planeOp(
+                    backend.planeOp(
                         p, rows * senses_per_row * t_sense,
                         static_cast<double>(rows * senses_per_row) *
                             e_sense,
                         kind == PlatformKind::ParaBit
                             ? ssd::EnergyComponent::NandRead
                             : ssd::EnergyComponent::NandMws,
-                        [&, p, bytes, to_host, post] {
+                        [&backend, &host, finish, p, bytes, to_host,
+                         post] {
                             if (!to_host) {
                                 finish();
                                 return;
                             }
-                            sim.dmaFromDie(p, bytes, [&, bytes, post] {
-                                sim.externalTransfer(
-                                    bytes, [&, bytes, post] {
-                                        if (post) {
-                                            host.compute(bytes, finish);
-                                        } else {
-                                            host.receive(bytes);
-                                            finish();
-                                        }
-                                    });
-                            });
+                            backend.dmaFromDie(
+                                p, bytes,
+                                [&backend, &host, finish, bytes, post] {
+                                    backend.external(
+                                        bytes,
+                                        [&host, finish, bytes, post] {
+                                            if (post) {
+                                                host.compute(bytes,
+                                                             finish);
+                                            } else {
+                                                host.receive(bytes);
+                                                finish();
+                                            }
+                                        });
+                                });
                         });
                 }
             }
@@ -259,21 +315,68 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
           }
         }
     }
+    return sense_ops;
+}
 
-    Time makespan = sim.drain();
+} // namespace
 
+std::uint64_t
+PlatformRunner::fcSensesPerRow(std::uint64_t and_operands,
+                               std::uint64_t or_operands,
+                               std::uint32_t max_wordlines,
+                               std::uint32_t max_strings)
+{
+    fcos_assert(max_wordlines >= 1 && max_strings >= 1, "bad MWS limits");
+    if (and_operands == 0 && or_operands == 0)
+        return 0;
+    if (and_operands == 0) {
+        // Pure OR over inverse-stored operands: one inverse intra-block
+        // MWS per string's worth, OR-merged (Section 6.1).
+        return (or_operands + max_wordlines - 1) / max_wordlines;
+    }
+    std::uint64_t and_cmds =
+        (and_operands + max_wordlines - 1) / max_wordlines;
+    if (or_operands == 0)
+        return and_cmds;
+    if (and_cmds == 1 && or_operands <= max_strings - 1) {
+        // The OR operands ride along as extra strings of the single
+        // AND command: (AND-group) OR o1 OR ... (the KCS fusion).
+        return 1;
+    }
+    // Otherwise the OR operands are folded afterwards with OR-merge
+    // commands, up to (max_strings) plain strings each.
+    return and_cmds + (or_operands + max_strings - 1) / max_strings;
+}
+
+namespace {
+
+/** Per-channel symmetric configuration (see file comment). */
+ssd::SsdConfig
+channelSlice(const ssd::SsdConfig &cfg)
+{
+    ssd::SsdConfig chan_cfg = cfg;
+    chan_cfg.channels = 1;
+    chan_cfg.io.externalGBps = cfg.io.externalGBps / cfg.channels;
+    return chan_cfg;
+}
+
+/** Scale per-channel energies to the whole SSD and finish the result.
+ *  Host CPU time-based energy and the (single) controller are not
+ *  per-channel. */
+RunResult
+finalizeResult(const ssd::SsdConfig &cfg, Time makespan,
+               std::uint64_t sense_ops, Time plane_busy, Time channel_busy,
+               Time external_busy, Time host_busy, ssd::EnergyMeter meter)
+{
     RunResult r;
     r.makespan = makespan;
-    r.planeBusy = sim.maxPlaneBusyTime();
-    r.channelBusy = sim.channelBusyTime(0);
-    r.externalBusy = sim.externalBusyTime();
-    r.hostBusy = host.busyTime();
-    r.senseOps = sense_ops * cfg_.channels;
+    r.planeBusy = plane_busy;
+    r.channelBusy = channel_busy;
+    r.externalBusy = external_busy;
+    r.hostBusy = host_busy;
+    r.senseOps = sense_ops * cfg.channels;
 
-    // Scale per-channel energies to the whole SSD; host CPU time-based
-    // energy and the (single) controller are not per-channel.
-    ssd::EnergyMeter &m = sim.energy();
-    double ch = static_cast<double>(cfg_.channels);
+    double ch = static_cast<double>(cfg.channels);
     for (ssd::EnergyComponent c :
          {ssd::EnergyComponent::NandRead, ssd::EnergyComponent::NandMws,
           ssd::EnergyComponent::NandProgram,
@@ -282,12 +385,178 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload) const
           ssd::EnergyComponent::ExternalLink,
           ssd::EnergyComponent::IspAccel,
           ssd::EnergyComponent::HostDram})
-        m.scale(c, ch);
-    m.add(ssd::EnergyComponent::Controller,
-          cfg_.controllerActiveWatts * timeToSec(makespan));
-    r.meter = m;
-    r.energyJ = m.total();
+        meter.scale(c, ch);
+    meter.add(ssd::EnergyComponent::Controller,
+              cfg.io.controllerActiveWatts * timeToSec(makespan));
+    r.meter = meter;
+    r.energyJ = meter.total();
     return r;
+}
+
+} // namespace
+
+RunResult
+PlatformRunner::run(PlatformKind kind, const wl::Workload &workload,
+                    RunnerMode mode) const
+{
+    ssd::SsdConfig chan_cfg = channelSlice(cfg_);
+    host::HostConfig host_cfg = host_cfg_;
+    host_cfg.streamGBps = host_cfg_.streamGBps / cfg_.channels;
+
+    if (mode == RunnerMode::Analytic) {
+        ssd::SsdSim sim(chan_cfg);
+        host::HostModel host(sim.queue(), sim.energy(), host_cfg);
+        AnalyticBackend backend{sim};
+        std::uint64_t sense_ops =
+            driveWorkload(kind, workload, cfg_, chan_cfg, backend, host);
+        Time makespan = sim.drain();
+        return finalizeResult(cfg_, makespan, sense_ops,
+                              sim.maxPlaneBusyTime(),
+                              sim.channelBusyTime(0),
+                              sim.externalBusyTime(), host.busyTime(),
+                              sim.energy());
+    }
+
+    engine::ComputeEngine eng(engine::FarmConfig::fromSsd(chan_cfg));
+    engine::CommandScheduler &sched = eng.scheduler();
+    host::HostModel host(sched.queue(), sched.energy(), host_cfg);
+    EngineBackend backend{sched, chan_cfg.geometry.planesPerDie};
+    std::uint64_t sense_ops =
+        driveWorkload(kind, workload, cfg_, chan_cfg, backend, host);
+    Time makespan = eng.drain();
+    return finalizeResult(cfg_, makespan, sense_ops,
+                          sched.maxPlaneBusyTime(),
+                          sched.channelBusyTime(0),
+                          sched.externalBusyTime(), host.busyTime(),
+                          sched.energy());
+}
+
+PlatformRunner::FunctionalRun
+PlatformRunner::runFcFunctional(const wl::Workload &workload,
+                                std::uint64_t seed) const
+{
+    ssd::SsdConfig chan_cfg = channelSlice(cfg_);
+    host::HostConfig host_cfg = host_cfg_;
+    host_cfg.streamGBps = host_cfg_.streamGBps / cfg_.channels;
+
+    engine::ComputeEngine eng(engine::FarmConfig::fromSsd(chan_cfg));
+    engine::CommandScheduler &sched = eng.scheduler();
+    host::HostModel host(sched.queue(), sched.energy(), host_cfg);
+
+    const nand::Geometry &geom = chan_cfg.geometry;
+    const std::uint64_t page_bits = geom.pageBits();
+    const std::uint64_t page_bytes = geom.pageBytes;
+    const std::uint32_t columns =
+        chan_cfg.totalDies() * geom.planesPerDie;
+    const Time t_mws = cfg_.timings.tMwsFixed;
+    const nand::EspParams esp{2.0};
+
+    std::uint64_t sense_ops = 0;
+    std::uint64_t bit_offset = 0;
+    std::uint32_t block_base = 0;
+    FunctionalRun fr;
+
+    // Total result size across batches, to size the vectors up front.
+    std::uint64_t total_bits = 0;
+    for (const wl::OpBatch &batch : workload.batches)
+        total_bits +=
+            shapeFor(batch.operandBytes, cfg_).rows * columns * page_bits;
+    fr.result = BitVector(total_bits);
+    fr.expected = BitVector(total_bits);
+
+    std::size_t batch_idx = 0;
+    for (const wl::OpBatch &batch : workload.batches) {
+        fcos_assert(batch.orOperands == 0,
+                    "functional FC runs support pure-AND batches");
+        fcos_assert(batch.andOperands >= 2 &&
+                        batch.andOperands <=
+                            std::min<std::uint64_t>(
+                                64, cfg_.maxIntraMwsWordlines()),
+                    "operand count must fit one MWS string");
+        const ChunkShape shape = shapeFor(batch.operandBytes, cfg_);
+        const std::uint32_t k =
+            static_cast<std::uint32_t>(batch.andOperands);
+        const std::uint64_t wl_mask = (k >= 64) ? ~0ULL : (1ULL << k) - 1;
+        fcos_assert(block_base + shape.rows <= geom.blocksPerPlane,
+                    "workload too large to materialize");
+
+        for (std::uint32_t col = 0; col < columns; ++col) {
+            const std::uint32_t die = col / geom.planesPerDie;
+            const std::uint32_t plane = col % geom.planesPerDie;
+            nand::NandChip &chip = eng.farm().chip(die);
+            for (std::uint64_t r = 0; r < shape.rows; ++r) {
+                const std::uint32_t block =
+                    block_base + static_cast<std::uint32_t>(r);
+                // Operands in place (instant functional programming):
+                // the workload models computation over stored data.
+                BitVector ref(page_bits, true);
+                for (std::uint32_t i = 0; i < k; ++i) {
+                    Rng rng = Rng::seeded(seed)
+                                  .fork((static_cast<std::uint64_t>(
+                                             batch_idx)
+                                         << 48) +
+                                        (static_cast<std::uint64_t>(col)
+                                         << 28) +
+                                        (r << 8) + i);
+                    BitVector data(page_bits);
+                    data.randomize(rng);
+                    chip.programPageEsp({plane, block, 0, i}, data, esp);
+                    ref &= data;
+                }
+                const std::uint64_t slot_bits =
+                    bit_offset + (r * columns + col) * page_bits;
+                fr.expected.paste(slot_bits, ref);
+
+                nand::MwsCommand cmd;
+                cmd.plane = plane;
+                cmd.selections.push_back(
+                    nand::WlSelection{block, 0, wl_mask});
+                engine::ColumnProgram prog;
+                prog.die = die;
+                prog.plane = plane;
+                prog.steps.push_back(engine::ColumnStep{
+                    engine::StepKind::Sense,
+                    [cmd, t_mws](nand::NandChip &c) {
+                        nand::OpResult op = c.executeMws(cmd);
+                        // The SSD schedules the conservative fixed
+                        // command latency (Section 5.2), matching the
+                        // timing-only driver.
+                        op.latency = t_mws;
+                        return op;
+                    },
+                    0, 0});
+                ++sense_ops;
+                const bool to_host = batch.resultToHost;
+                const bool post = batch.hostPostProcess;
+                prog.onResult = [&fr, &sched, &host, slot_bits,
+                                 page_bytes, to_host,
+                                 post](BitVector page) {
+                    fr.result.paste(slot_bits, page);
+                    if (!to_host)
+                        return;
+                    sched.submitExternal(
+                        page_bytes, [&host, page_bytes, post] {
+                            if (post)
+                                host.compute(page_bytes, [] {});
+                            else
+                                host.receive(page_bytes);
+                        });
+                };
+                eng.submit(std::move(prog));
+            }
+        }
+        block_base += static_cast<std::uint32_t>(shape.rows);
+        bit_offset += shape.rows * columns * page_bits;
+        ++batch_idx;
+    }
+
+    Time makespan = eng.drain();
+    fr.timing = finalizeResult(cfg_, makespan, sense_ops,
+                               sched.maxPlaneBusyTime(),
+                               sched.channelBusyTime(0),
+                               sched.externalBusyTime(), host.busyTime(),
+                               sched.energy());
+    return fr;
 }
 
 } // namespace fcos::plat

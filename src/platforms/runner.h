@@ -1,7 +1,7 @@
 /**
  * @file
  * The four evaluated computing platforms (paper Section 7), as
- * event-driven drivers over the SSD timing simulator:
+ * event-driven drivers over the unified execution engine:
  *
  *  - OSP (outside-storage processing): every operand page is sensed,
  *    moved over its channel, shipped across the external link, and
@@ -19,6 +19,15 @@
  *    operands per tMWS, with latch accumulation across commands
  *    (Section 6.1); only result pages leave the dies.
  *
+ * Execution modes: by default the runner builds a chip farm from the
+ * SSD configuration and executes the workload through
+ * engine::ComputeEngine's scheduler — the same per-plane facilities,
+ * channel buses, external link and energy ledger the functional drive
+ * uses, so every paper figure comes off the engine's timeline. The
+ * legacy analytic model over ssd/ssd_sim is retained behind
+ * RunnerMode::Analytic for cross-validation (see
+ * tests/platforms/parity_test.cc).
+ *
  * Channel symmetry: workloads stripe uniformly, so one channel is
  * simulated and shared resources (external link, host stream rate)
  * are given their per-channel fair share; energies that scale with
@@ -35,6 +44,7 @@
 #include "host/host_model.h"
 #include "ssd/config.h"
 #include "ssd/energy.h"
+#include "util/bitvector.h"
 #include "workloads/workload.h"
 
 namespace fcos::plat {
@@ -48,6 +58,15 @@ enum class PlatformKind : std::uint8_t
 };
 
 const char *platformName(PlatformKind k);
+
+/** Which execution path produces the timeline. */
+enum class RunnerMode : std::uint8_t
+{
+    Engine,   ///< engine::ComputeEngine scheduler (the default)
+    Analytic, ///< legacy analytic model over ssd/ssd_sim
+};
+
+const char *runnerModeName(RunnerMode m);
 
 struct RunResult
 {
@@ -73,14 +92,48 @@ class PlatformRunner
   public:
     explicit PlatformRunner(
         const ssd::SsdConfig &cfg = ssd::SsdConfig::table1(),
-        const host::HostConfig &host_cfg = host::HostConfig{})
-        : cfg_(cfg), host_cfg_(host_cfg)
+        const host::HostConfig &host_cfg = host::HostConfig{},
+        RunnerMode mode = RunnerMode::Engine)
+        : cfg_(cfg), host_cfg_(host_cfg), mode_(mode)
     {}
 
     const ssd::SsdConfig &config() const { return cfg_; }
+    RunnerMode mode() const { return mode_; }
 
-    /** Execute @p workload on platform @p kind and report time/energy. */
-    RunResult run(PlatformKind kind, const wl::Workload &workload) const;
+    /** Execute @p workload on platform @p kind in the runner's mode. */
+    RunResult run(PlatformKind kind, const wl::Workload &workload) const
+    {
+        return run(kind, workload, mode_);
+    }
+
+    /** Execute with an explicit mode (cross-validation). */
+    RunResult run(PlatformKind kind, const wl::Workload &workload,
+                  RunnerMode mode) const;
+
+    /** A functional Flash-Cosmos execution: timing plus real bits. */
+    struct FunctionalRun
+    {
+        RunResult timing;
+        BitVector result;   ///< bits the engine's chips produced
+        BitVector expected; ///< host-side reference fold
+        bool bitExact() const { return result == expected; }
+    };
+
+    /**
+     * Run a pure-AND Flash-Cosmos workload with *materialized* data
+     * through the engine: deterministic random operand pages are
+     * ESP-programmed onto the farm's chips, sensed with real MWS
+     * commands (booked at the SSD's fixed tMWS, Section 5.2), and the
+     * result pages read out over the channel / external link exactly
+     * like the timing-only driver. One run certifies that the figure
+     * timelines and the functional bits come from the same execution.
+     *
+     * Requirements: every batch has orOperands == 0 and
+     * 2 <= andOperands <= min(64, string length). Intended for
+     * test-sized workloads (pages are materialized in memory).
+     */
+    FunctionalRun runFcFunctional(const wl::Workload &workload,
+                                  std::uint64_t seed = 1) const;
 
     /**
      * Sensing operations per result row for Flash-Cosmos, given the
@@ -96,6 +149,7 @@ class PlatformRunner
   private:
     ssd::SsdConfig cfg_;
     host::HostConfig host_cfg_;
+    RunnerMode mode_;
 };
 
 } // namespace fcos::plat

@@ -51,31 +51,31 @@ EvaluationSweep::runPoint(const wl::Workload &workload) const
 }
 
 SweepSeries
-EvaluationSweep::bmiSeries() const
+EvaluationSweep::bmiSeries(const std::vector<std::uint32_t> &months) const
 {
     SweepSeries s;
     s.name = "BMI";
-    for (std::uint32_t m : {1u, 3u, 6u, 12u, 24u, 36u})
+    for (std::uint32_t m : months)
         s.points.push_back(runPoint(wl::makeBmi(m)));
     return s;
 }
 
 SweepSeries
-EvaluationSweep::imsSeries() const
+EvaluationSweep::imsSeries(const std::vector<std::uint64_t> &images) const
 {
     SweepSeries s;
     s.name = "IMS";
-    for (std::uint64_t i : {10000ULL, 50000ULL, 100000ULL, 200000ULL})
+    for (std::uint64_t i : images)
         s.points.push_back(runPoint(wl::makeIms(i)));
     return s;
 }
 
 SweepSeries
-EvaluationSweep::kcsSeries() const
+EvaluationSweep::kcsSeries(const std::vector<std::uint32_t> &ks) const
 {
     SweepSeries s;
     s.name = "KCS";
-    for (std::uint32_t k : {8u, 16u, 24u, 32u, 48u, 64u})
+    for (std::uint32_t k : ks)
         s.points.push_back(runPoint(wl::makeKcs(k)));
     return s;
 }

@@ -46,12 +46,17 @@ class EvaluationSweep
     /** Run all four platforms on @p workload. */
     SweepPoint runPoint(const wl::Workload &workload) const;
 
-    /** The paper's BMI sweep: m in {1,3,6,12,24,36}. */
-    SweepSeries bmiSeries() const;
-    /** The paper's IMS sweep: I in {10,50,100,200} thousand. */
-    SweepSeries imsSeries() const;
-    /** The paper's KCS sweep: k in {8,16,24,32,48,64}. */
-    SweepSeries kcsSeries() const;
+    /** The BMI sweep; the default months are the paper's
+     *  m in {1,3,6,12,24,36}. Tests pin reduced grids through the
+     *  same series builders the benches print. */
+    SweepSeries bmiSeries(const std::vector<std::uint32_t> &months = {
+                              1, 3, 6, 12, 24, 36}) const;
+    /** The IMS sweep; default I in {10,50,100,200} thousand. */
+    SweepSeries imsSeries(const std::vector<std::uint64_t> &images = {
+                              10000, 50000, 100000, 200000}) const;
+    /** The KCS sweep; default k in {8,16,24,32,48,64}. */
+    SweepSeries kcsSeries(const std::vector<std::uint32_t> &ks = {
+                              8, 16, 24, 32, 48, 64}) const;
 
     /** Geometric-mean speedup of @p kind over OSP across series. */
     static double meanSpeedup(const std::vector<SweepSeries> &series,

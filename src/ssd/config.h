@@ -1,6 +1,12 @@
 /**
  * @file
  * SSD configuration (paper Table 1 and the Figure 7 example).
+ *
+ * IoParams is the single authority for every I/O rate and energy
+ * constant shared by the two execution paths: the analytic SSD timing
+ * simulator (ssd/ssd_sim) and the multi-die compute engine
+ * (engine/scheduler). Both read the same struct, so the paths cannot
+ * drift apart parameter-by-parameter.
  */
 
 #ifndef FCOS_SSD_CONFIG_H
@@ -14,6 +20,55 @@
 
 namespace fcos::ssd {
 
+/**
+ * I/O rates and movement/controller energy constants (Table 1 plus
+ * the SSD-side energy model; see platforms/energy_model.h for the
+ * host-side constants and sources).
+ */
+struct IoParams
+{
+    /** Channel I/O rate between dies and the controller (Table 1). */
+    double channelGBps = 1.2;
+    /** External I/O bandwidth, 4-lane PCIe Gen4 (Table 1). */
+    double externalGBps = 8.0;
+
+    double channelPjPerBit = 2.0;   ///< die <-> controller movement
+    double externalPjPerBit = 10.0; ///< PCIe link + PHY
+    double controllerActiveWatts = 2.0; ///< controller while SSD busy
+    /** ISP accelerator energy per 64-B bitwise operation (Table 1). */
+    double accelPjPer64B = 93.0;
+
+    /** Channel time to move @p bytes between a die and the controller. */
+    Time channelTime(std::uint64_t bytes) const
+    {
+        return transferTime(bytes, channelGBps);
+    }
+
+    /** External-link time to move @p bytes to/from the host. */
+    Time externalTime(std::uint64_t bytes) const
+    {
+        return transferTime(bytes, externalGBps);
+    }
+
+    /** Joules to move @p bytes over a channel bus. */
+    double channelEnergyJ(std::uint64_t bytes) const
+    {
+        return channelPjPerBit * 1e-12 * static_cast<double>(bytes) * 8.0;
+    }
+
+    /** Joules to move @p bytes over the external link. */
+    double externalEnergyJ(std::uint64_t bytes) const
+    {
+        return externalPjPerBit * 1e-12 * static_cast<double>(bytes) * 8.0;
+    }
+
+    /** Joules for @p bytes of ISP-accelerator bitwise work. */
+    double accelEnergyJ(std::uint64_t bytes) const
+    {
+        return accelPjPer64B * 1e-12 * (static_cast<double>(bytes) / 64.0);
+    }
+};
+
 struct SsdConfig
 {
     std::uint32_t channels = 8;
@@ -21,10 +76,8 @@ struct SsdConfig
     nand::Geometry geometry = nand::Geometry::table1();
     nand::Timings timings{};
 
-    /** Channel I/O rate between dies and the controller (Table 1). */
-    double channelGBps = 1.2;
-    /** External I/O bandwidth, 4-lane PCIe Gen4 (Table 1). */
-    double externalGBps = 8.0;
+    /** Shared I/O-rate/energy authority (also used by the engine). */
+    IoParams io{};
 
     /** Power cap on simultaneously activated blocks in inter-block MWS
      *  (Section 5.2 conclusion). */
@@ -36,14 +89,6 @@ struct SsdConfig
         return geometry.wordlinesPerSubBlock;
     }
 
-    // --- SSD-side energy constants (see platforms/energy_model.h for
-    //     the host-side constants and sources) ---
-    double channelPjPerBit = 2.0;  ///< die <-> controller movement
-    double externalPjPerBit = 10.0; ///< PCIe link + PHY
-    double controllerActiveWatts = 2.0; ///< controller while SSD busy
-    /** ISP accelerator energy per 64-B bitwise operation (Table 1). */
-    double accelPjPer64B = 93.0;
-
     std::uint32_t totalDies() const { return channels * diesPerChannel; }
     std::uint32_t totalPlanes() const
     {
@@ -51,15 +96,12 @@ struct SsdConfig
     }
 
     /** Channel time to move one page between a die and the controller. */
-    Time pageDmaTime() const
-    {
-        return transferTime(geometry.pageBytes, channelGBps);
-    }
+    Time pageDmaTime() const { return io.channelTime(geometry.pageBytes); }
 
     /** External-link time to move one page to/from the host. */
     Time pageExternalTime() const
     {
-        return transferTime(geometry.pageBytes, externalGBps);
+        return io.externalTime(geometry.pageBytes);
     }
 
     /** The evaluated configuration (Table 1). */

@@ -44,11 +44,9 @@ SsdSim::dmaFromDie(std::uint32_t plane_idx, std::uint64_t bytes,
                    Callback done)
 {
     std::uint32_t ch = channelOfPlane(plane_idx);
-    energy_.add(EnergyComponent::ChannelDma,
-                cfg_.channelPjPerBit * 1e-12 *
-                    static_cast<double>(bytes) * 8.0);
-    Time dur = transferTime(bytes, cfg_.channelGBps);
-    Time finish = channels_[ch].acquire(queue_.now(), dur);
+    energy_.add(EnergyComponent::ChannelDma, cfg_.io.channelEnergyJ(bytes));
+    Time finish =
+        channels_[ch].acquire(queue_.now(), cfg_.io.channelTime(bytes));
     queue_.schedule(finish, std::move(done));
 }
 
@@ -56,10 +54,9 @@ void
 SsdSim::externalTransfer(std::uint64_t bytes, Callback done)
 {
     energy_.add(EnergyComponent::ExternalLink,
-                cfg_.externalPjPerBit * 1e-12 *
-                    static_cast<double>(bytes) * 8.0);
-    Time dur = transferTime(bytes, cfg_.externalGBps);
-    Time finish = external_.acquire(queue_.now(), dur);
+                cfg_.io.externalEnergyJ(bytes));
+    Time finish =
+        external_.acquire(queue_.now(), cfg_.io.externalTime(bytes));
     queue_.schedule(finish, std::move(done));
 }
 
@@ -69,13 +66,11 @@ SsdSim::accelCompute(std::uint32_t channel, std::uint64_t bytes,
 {
     fcos_assert(channel < cfg_.channels, "channel %u out of range",
                 channel);
-    energy_.add(EnergyComponent::IspAccel,
-                cfg_.accelPjPer64B * 1e-12 *
-                    (static_cast<double>(bytes) / 64.0));
+    energy_.add(EnergyComponent::IspAccel, cfg_.io.accelEnergyJ(bytes));
     // The accelerator streams at channel rate; its port is per channel,
     // so accelerator work never outruns its input.
-    Time dur = transferTime(bytes, cfg_.channelGBps);
-    Time finish = accel_ports_[channel].acquire(queue_.now(), dur);
+    Time finish =
+        accel_ports_[channel].acquire(queue_.now(), cfg_.io.channelTime(bytes));
     queue_.schedule(finish, std::move(done));
 }
 

@@ -46,21 +46,38 @@ TEST(SchedulerTest, IndependentDiesRunInParallel)
     auto op = [](nand::NandChip &) {
         return nand::OpResult{usToTime(10.0), 0.0};
     };
-    sched.submitDieOp(0, ssd::EnergyComponent::NandRead, op);
-    sched.submitDieOp(1, ssd::EnergyComponent::NandRead, op);
+    sched.submitPlaneOp(0, 0, ssd::EnergyComponent::NandRead, op);
+    sched.submitPlaneOp(1, 0, ssd::EnergyComponent::NandRead, op);
     EXPECT_EQ(sched.drain(), usToTime(10.0));
     EXPECT_EQ(sched.dieBusyTime(0), usToTime(10.0));
     EXPECT_EQ(sched.dieBusyTime(1), usToTime(10.0));
 }
 
-TEST(SchedulerTest, SameDieOpsSerializeInSubmissionOrder)
+TEST(SchedulerTest, PlanesOfOneDieSenseConcurrently)
+{
+    // tiny() has 2 planes/die: both planes of a single die must
+    // overlap on the timeline (per-plane facilities).
+    ChipFarm farm(smallFarm(1, 1));
+    CommandScheduler sched(farm);
+    auto op = [](nand::NandChip &) {
+        return nand::OpResult{usToTime(10.0), 0.0};
+    };
+    sched.submitPlaneOp(0, 0, ssd::EnergyComponent::NandRead, op);
+    sched.submitPlaneOp(0, 1, ssd::EnergyComponent::NandRead, op);
+    EXPECT_EQ(sched.drain(), usToTime(10.0));
+    EXPECT_EQ(sched.planeBusyTime(0, 0), usToTime(10.0));
+    EXPECT_EQ(sched.planeBusyTime(0, 1), usToTime(10.0));
+    EXPECT_EQ(sched.dieBusyTime(0), usToTime(10.0));
+}
+
+TEST(SchedulerTest, SamePlaneOpsSerializeInSubmissionOrder)
 {
     ChipFarm farm(smallFarm(1, 1));
     CommandScheduler sched(farm);
     std::vector<int> order;
     for (int i = 0; i < 3; ++i)
-        sched.submitDieOp(
-            0, ssd::EnergyComponent::NandRead,
+        sched.submitPlaneOp(
+            0, 0, ssd::EnergyComponent::NandRead,
             [&order, i](nand::NandChip &) {
                 order.push_back(i);
                 return nand::OpResult{usToTime(5.0), 0.0};
@@ -69,13 +86,38 @@ TEST(SchedulerTest, SameDieOpsSerializeInSubmissionOrder)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+TEST(SchedulerTest, DataInPipelinesBehindCacheLatch)
+{
+    // Two programs with data-in on one plane: the second transfer
+    // streams into the cache latch while the first program occupies
+    // the array, so the plane never waits for it.
+    FarmConfig fc = smallFarm(1, 1);
+    fc.io.channelGBps = 0.001; // 32-B page -> 32 us per transfer
+    ChipFarm farm(fc);
+    CommandScheduler sched(farm);
+    const std::uint64_t bytes = farm.geometry().pageBytes;
+    const Time dma = transferTime(bytes, fc.io.channelGBps);
+    ASSERT_EQ(dma, usToTime(32.0));
+    auto op = [](nand::NandChip &) {
+        return nand::OpResult{usToTime(10.0), 0.0};
+    };
+    sched.submitPlaneOp(0, 0, ssd::EnergyComponent::NandProgram, op, {},
+                        bytes);
+    sched.submitPlaneOp(0, 0, ssd::EnergyComponent::NandProgram, op, {},
+                        bytes);
+    // Pipelined: dma1 [0,32], op1 [32,42] with dma2 [32,64] behind the
+    // latch, op2 [64,74]. Fully serialized this would be 84 us.
+    EXPECT_EQ(sched.drain(), usToTime(74.0));
+    EXPECT_LT(sched.makespan(), usToTime(84.0));
+}
+
 TEST(SchedulerTest, SharedChannelSerializesDma)
 {
     // Two dies on one channel: die work overlaps, channel does not.
     ChipFarm farm(smallFarm(1, 2));
     CommandScheduler sched(farm);
     Time dma = transferTime(farm.geometry().pageBytes,
-                            farm.config().channelGBps);
+                            farm.config().io.channelGBps);
     sched.submitDma(0, farm.geometry().pageBytes);
     sched.submitDma(1, farm.geometry().pageBytes);
     EXPECT_EQ(sched.drain(), 2 * dma);
@@ -115,7 +157,7 @@ TEST(ComputeEngineTest, ProgramReadsOutResultPage)
     EXPECT_EQ(stats.resultPages, 1u);
     // Sense then channel readout, nothing else on the timeline.
     Time dma = transferTime(eng.farm().geometry().pageBytes,
-                            eng.farm().config().channelGBps);
+                            eng.farm().config().io.channelGBps);
     EXPECT_EQ(makespan, usToTime(22.5) + dma);
     EXPECT_GT(eng.energy().get(ssd::EnergyComponent::ChannelDma), 0.0);
 }
@@ -140,6 +182,47 @@ TEST(ComputeEngineTest, ReplicatePageCopiesAcrossDies)
     // Channel out of die 0 (channel 0) and into die 3 (channel 1).
     EXPECT_GT(eng.channelBusyTime(0), 0u);
     EXPECT_GT(eng.channelBusyTime(1), 0u);
+}
+
+TEST(ComputeEngineTest, BroadcastSensesOnceAndFansOut)
+{
+    // Four channels x 1 die: the broadcast copies to three other dies
+    // with exactly one source sense and one source readout; the
+    // destination programs overlap across channels.
+    ComputeEngine eng(smallFarm(4, 1));
+    Rng rng = Rng::seeded(7);
+    BitVector data = test::randomVec(rng, eng.farm().geometry().pageBits());
+    eng.farm().chip(0).programPageEsp({0, 1, 0, 0}, data,
+                                      nand::EspParams{2.0});
+
+    std::vector<ComputeEngine::BroadcastTarget> targets;
+    for (std::uint32_t die : {1u, 2u, 3u})
+        targets.push_back({die, {0, 2, 0, 5}});
+    OpStats stats;
+    eng.broadcastPage(0, {0, 1, 0, 0}, targets, nand::EspParams{2.0},
+                      &stats);
+    Time broadcast_makespan = eng.drain();
+
+    EXPECT_EQ(stats.pageReads, 1u);
+    EXPECT_EQ(stats.programs, 3u);
+    for (std::uint32_t die : {1u, 2u, 3u}) {
+        eng.farm().chip(die).readPage({0, 2, 0, 5});
+        EXPECT_EQ(eng.farm().chip(die).dataOut(0), data) << "die " << die;
+    }
+
+    // Reference: the page-by-page loop senses the source once per
+    // copy and serializes on the source die; the broadcast fan-out
+    // must beat it on a wide farm.
+    ComputeEngine serial(smallFarm(4, 1));
+    serial.farm().chip(0).programPageEsp({0, 1, 0, 0}, data,
+                                         nand::EspParams{2.0});
+    OpStats serial_stats;
+    for (const auto &t : targets)
+        serial.replicatePage(0, {0, 1, 0, 0}, t.die, t.addr,
+                             nand::EspParams{2.0}, &serial_stats);
+    Time serial_makespan = serial.drain();
+    EXPECT_EQ(serial_stats.pageReads, 3u);
+    EXPECT_LT(broadcast_makespan, serial_makespan);
 }
 
 TEST(ShardedOpTest, PartitionCountsProgramsPerDie)
@@ -218,7 +301,8 @@ TEST(MultiDieDriveTest, FcReplicateTilesAcrossGroupColumns)
     FlashCosmosDrive::ReadStats rstats;
     VectorId tiled = drive.fcReplicate(mask_id, pages, group, &rstats);
     EXPECT_EQ(drive.vectorBits(tiled), bits);
-    EXPECT_EQ(rstats.pageReads, pages);
+    // Broadcast fan-out: one sense feeds every copy.
+    EXPECT_EQ(rstats.pageReads, 1u);
     EXPECT_GT(rstats.makespan, 0u);
 
     // Reference: the mask page tiled across every page of `a`.

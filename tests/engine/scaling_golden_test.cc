@@ -58,9 +58,10 @@ TEST_F(ScalingReportTest, ThroughputScalesNearLinearlyThenContends)
     // Sweep rows 0..3: 1 channel, 1/2/4/8 dies.
     const auto &pts = *points_;
     ASSERT_GE(pts.size(), 7u);
-    // Near-linear at 2 dies.
-    EXPECT_GT(pts[1].throughputGBps, 1.8 * pts[0].throughputGBps);
-    // Monotone throughput growth with dies.
+    // With per-plane facilities even one die is 2-way parallel, so the
+    // channel starts contending earlier than in a serialized-per-die
+    // model; growth stays monotone until the bus saturates.
+    EXPECT_GT(pts[1].throughputGBps, 1.5 * pts[0].throughputGBps);
     EXPECT_GT(pts[2].throughputGBps, pts[1].throughputGBps);
     EXPECT_GT(pts[3].throughputGBps, pts[2].throughputGBps);
     // ...but 8 dies on one channel are channel-bound: per-die
@@ -73,6 +74,25 @@ TEST_F(ScalingReportTest, ThroughputScalesNearLinearlyThenContends)
     EXPECT_GT(pts[4].throughputGBps, 1.9 * pts[3].throughputGBps);
     EXPECT_GT(pts[5].throughputGBps, 1.9 * pts[4].throughputGBps);
     EXPECT_GT(pts[6].throughputGBps, 1.9 * pts[5].throughputGBps);
+}
+
+TEST_F(ScalingReportTest, PlaneParallelismNeverSlowerThanSerializedDies)
+{
+    // The PR 2 engine serialized each die's planes; these are that
+    // build's golden makespans (display-rounded, so give each bound
+    // the half-unit of rounding slack). Per-plane facilities must
+    // never be slower, and must be strictly faster wherever the
+    // channel was not already the bottleneck (the 1- and 2-die rows).
+    const Time serialized_us[] = {
+        usToTime(98.65), usToTime(105.5), usToTime(132.5),
+        usToTime(241.5), usToTime(241.5), usToTime(241.5),
+        usToTime(241.5)};
+    const auto &pts = *points_;
+    ASSERT_EQ(pts.size(), 7u);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        EXPECT_LE(pts[i].makespan, serialized_us[i]) << "row " << i;
+    EXPECT_LT(pts[0].makespan, serialized_us[0]);
+    EXPECT_LT(pts[1].makespan, serialized_us[1]);
 }
 
 TEST_F(ScalingReportTest, EnergyGrowsWithWork)

@@ -108,6 +108,7 @@ struct EngineRun
     Time makespan = 0;
     Time queueTime = 0;
     std::vector<Time> dieBusy;
+    std::vector<Time> planeBusy;
     std::vector<Time> channelBusy;
     std::uint64_t events = 0;
     double energyJ = 0.0;
@@ -115,11 +116,12 @@ struct EngineRun
 
 EngineRun
 runEngineWorkload(std::uint64_t seed, std::uint32_t channels,
-                  std::uint32_t dies)
+                  std::uint32_t dies, std::uint32_t planes_per_die = 2)
 {
     core::FlashCosmosDrive::Config cfg;
     cfg.channels = channels;
     cfg.dies = dies;
+    cfg.geometry.planesPerDie = planes_per_die;
     core::FlashCosmosDrive drive(cfg);
     rel::VthModel model;
     rel::VthErrorInjector inj(model,
@@ -147,8 +149,11 @@ runEngineWorkload(std::uint64_t seed, std::uint32_t channels,
 
     const engine::ComputeEngine &eng = drive.engine();
     run.queueTime = eng.now();
-    for (std::uint32_t d = 0; d < eng.farm().dieCount(); ++d)
+    for (std::uint32_t d = 0; d < eng.farm().dieCount(); ++d) {
         run.dieBusy.push_back(eng.dieBusyTime(d));
+        for (std::uint32_t p = 0; p < planes_per_die; ++p)
+            run.planeBusy.push_back(eng.planeBusyTime(d, p));
+    }
     for (std::uint32_t ch = 0; ch < eng.farm().channelCount(); ++ch)
         run.channelBusy.push_back(eng.channelBusyTime(ch));
     run.events = eng.scheduler().queue().executed();
@@ -175,6 +180,26 @@ TEST(DeterminismTest, EngineSameSeedSameDieCountSameEverything)
         EXPECT_EQ(r1.makespan, r2.makespan);
         EXPECT_EQ(r1.queueTime, r2.queueTime);
         EXPECT_EQ(r1.dieBusy, r2.dieBusy);
+        EXPECT_EQ(r1.planeBusy, r2.planeBusy);
+        EXPECT_EQ(r1.channelBusy, r2.channelBusy);
+        EXPECT_EQ(r1.events, r2.events);
+        EXPECT_EQ(r1.energyJ, r2.energyJ);
+    }
+}
+
+TEST(DeterminismTest, PlaneParallelEngineSameSeedSameTimeline)
+{
+    // Planes of one die execute concurrently; the interleaving must
+    // still be a pure function of the submitted work. Four planes per
+    // die stresses the per-plane facilities beyond the default two.
+    for (std::uint32_t planes : {2u, 4u}) {
+        EngineRun r1 = runEngineWorkload(4321, 2, 2, planes);
+        EngineRun r2 = runEngineWorkload(4321, 2, 2, planes);
+        ASSERT_EQ(r1.and_result, r2.and_result);
+        ASSERT_EQ(r1.or_result, r2.or_result);
+        ASSERT_EQ(r1.xor_result, r2.xor_result);
+        EXPECT_EQ(r1.makespan, r2.makespan);
+        EXPECT_EQ(r1.planeBusy, r2.planeBusy);
         EXPECT_EQ(r1.channelBusy, r2.channelBusy);
         EXPECT_EQ(r1.events, r2.events);
         EXPECT_EQ(r1.energyJ, r2.energyJ);
@@ -190,6 +215,18 @@ TEST(DeterminismTest, EngineResultsStableAcrossDieCounts)
     EXPECT_EQ(narrow.and_result, wide.and_result);
     EXPECT_EQ(narrow.or_result, wide.or_result);
     EXPECT_EQ(narrow.xor_result, wide.xor_result);
+}
+
+TEST(DeterminismTest, EngineResultsStableAcrossPlaneCounts)
+{
+    // Per-plane sense counters make every plane's error sequence a
+    // pure function of its own op order, so plane count cannot
+    // perturb the computed bits either.
+    EngineRun two = runEngineWorkload(78, 1, 2, 2);
+    EngineRun four = runEngineWorkload(78, 1, 2, 4);
+    EXPECT_EQ(two.and_result, four.and_result);
+    EXPECT_EQ(two.or_result, four.or_result);
+    EXPECT_EQ(two.xor_result, four.xor_result);
 }
 
 TEST(DeterminismTest, PinnedCorpusDecodesToDistinctCommands)

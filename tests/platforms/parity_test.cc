@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Engine-vs-analytic parity: the platform runner's default engine
+ * mode (engine::ComputeEngine scheduler) and the retained analytic
+ * mode (ssd/ssd_sim) describe the same platforms over the same
+ * parameter authority (ssd::IoParams), so for every platform and
+ * workload the two timelines must agree — the stated tolerance is
+ * 0.5% on makespan and energy, with sense accounting exactly equal.
+ *
+ * The functional half: runFcFunctional materializes operand pages on
+ * the farm's chips, executes real MWS commands through the engine,
+ * and must (i) reproduce the host-side reference fold bit-exactly and
+ * (ii) land on the timing-only driver's makespan — one run certifies
+ * that figure timelines and functional bits come from one execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platforms/reports.h"
+#include "platforms/runner.h"
+
+namespace fcos::plat {
+namespace {
+
+/** Relative |a-b| <= tol. */
+void
+expectClose(double a, double b, double tol, const char *what)
+{
+    double denom = std::max(std::abs(a), std::abs(b));
+    if (denom == 0.0)
+        return;
+    EXPECT_LE(std::abs(a - b) / denom, tol) << what << ": " << a
+                                            << " vs " << b;
+}
+
+constexpr double kTol = 0.005; ///< stated parity tolerance (0.5%)
+
+class ModeParityTest : public ::testing::Test
+{
+  protected:
+    void expectParity(const ssd::SsdConfig &cfg, const wl::Workload &w)
+    {
+        PlatformRunner runner(cfg);
+        for (PlatformKind kind :
+             {PlatformKind::Osp, PlatformKind::Isp, PlatformKind::ParaBit,
+              PlatformKind::FlashCosmos}) {
+            RunResult eng = runner.run(kind, w, RunnerMode::Engine);
+            RunResult ana = runner.run(kind, w, RunnerMode::Analytic);
+            SCOPED_TRACE(std::string(platformName(kind)) + " on " +
+                         w.name);
+            expectClose(static_cast<double>(eng.makespan),
+                        static_cast<double>(ana.makespan), kTol,
+                        "makespan");
+            expectClose(eng.energyJ, ana.energyJ, kTol, "energy");
+            EXPECT_EQ(eng.senseOps, ana.senseOps);
+            expectClose(static_cast<double>(eng.planeBusy),
+                        static_cast<double>(ana.planeBusy), kTol,
+                        "plane busy");
+            expectClose(static_cast<double>(eng.channelBusy),
+                        static_cast<double>(ana.channelBusy), kTol,
+                        "channel busy");
+            expectClose(static_cast<double>(eng.externalBusy),
+                        static_cast<double>(ana.externalBusy), kTol,
+                        "external busy");
+            expectClose(static_cast<double>(eng.hostBusy),
+                        static_cast<double>(ana.hostBusy), kTol,
+                        "host busy");
+        }
+    }
+};
+
+TEST_F(ModeParityTest, Figure7WorkloadAgreesAcrossModes)
+{
+    expectParity(ssd::SsdConfig::figure7(), figure7Workload());
+}
+
+TEST_F(ModeParityTest, BmiWorkloadAgreesAcrossModes)
+{
+    expectParity(ssd::SsdConfig::table1(),
+                 wl::makeBmi(3, 80000000ULL)); // 10-MB vectors
+}
+
+TEST_F(ModeParityTest, KcsWorkloadAgreesAcrossModes)
+{
+    expectParity(ssd::SsdConfig::table1(),
+                 wl::makeKcs(16, 8, 8000000ULL));
+}
+
+/** A small SSD whose workloads materialize in memory. */
+ssd::SsdConfig
+smallSsd()
+{
+    ssd::SsdConfig cfg;
+    cfg.channels = 2;
+    cfg.diesPerChannel = 2;
+    cfg.geometry = nand::Geometry::tiny(); // 2 planes, 32-B pages
+    return cfg;
+}
+
+/** Pure-AND workload of @p rows result pages per plane column. */
+wl::Workload
+andWorkload(std::uint64_t operands, std::uint64_t rows,
+            const ssd::SsdConfig &cfg)
+{
+    wl::Workload w;
+    w.name = "AND";
+    w.paramName = "ops";
+    w.paramValue = operands;
+    wl::OpBatch b;
+    b.andOperands = operands;
+    b.orOperands = 0;
+    b.operandBytes =
+        rows * cfg.geometry.pageBytes * cfg.totalPlanes();
+    b.resultToHost = true;
+    b.hostPostProcess = false;
+    w.batches.push_back(b);
+    return w;
+}
+
+TEST(FunctionalParityTest, MaterializedRunIsBitExact)
+{
+    ssd::SsdConfig cfg = smallSsd();
+    PlatformRunner runner(cfg);
+    wl::Workload w = andWorkload(5, 2, cfg);
+
+    PlatformRunner::FunctionalRun fr = runner.runFcFunctional(w, 11);
+    ASSERT_EQ(fr.result.size(), fr.expected.size());
+    EXPECT_GT(fr.result.size(), 0u);
+    EXPECT_TRUE(fr.bitExact());
+
+    // Same seed => same bits and same timeline; different seed =>
+    // different bits (the check is not vacuous).
+    PlatformRunner::FunctionalRun again = runner.runFcFunctional(w, 11);
+    EXPECT_EQ(again.result, fr.result);
+    EXPECT_EQ(again.timing.makespan, fr.timing.makespan);
+    EXPECT_EQ(again.timing.energyJ, fr.timing.energyJ);
+    PlatformRunner::FunctionalRun other = runner.runFcFunctional(w, 12);
+    EXPECT_NE(other.result, fr.result);
+}
+
+TEST(FunctionalParityTest, MaterializedTimelineMatchesTimingDriver)
+{
+    // One result row per plane: the materialized chain (MWS ->
+    // per-page readout -> external -> host) is event-for-event the
+    // timing-only driver's chain, so the makespans must be *equal*.
+    ssd::SsdConfig cfg = smallSsd();
+    PlatformRunner runner(cfg);
+    wl::Workload w = andWorkload(6, 1, cfg);
+
+    PlatformRunner::FunctionalRun fr = runner.runFcFunctional(w, 3);
+    EXPECT_TRUE(fr.bitExact());
+    RunResult timing = runner.run(PlatformKind::FlashCosmos, w);
+    EXPECT_EQ(fr.timing.makespan, timing.makespan);
+    EXPECT_EQ(fr.timing.senseOps, timing.senseOps);
+
+    // Multi-row columns chunk readout differently (per page vs per
+    // chunk), so makespans may differ slightly — but stay within the
+    // stated parity tolerance.
+    wl::Workload w2 = andWorkload(5, 2, cfg);
+    PlatformRunner::FunctionalRun fr2 = runner.runFcFunctional(w2, 3);
+    RunResult t2 = runner.run(PlatformKind::FlashCosmos, w2);
+    EXPECT_EQ(fr2.timing.senseOps, t2.senseOps);
+    double a = static_cast<double>(fr2.timing.makespan);
+    double b = static_cast<double>(t2.makespan);
+    EXPECT_LE(std::abs(a - b) / std::max(a, b), 0.02);
+}
+
+} // namespace
+} // namespace fcos::plat

@@ -1,10 +1,12 @@
 /**
  * @file
  * Pins the shared paper-figure tables (platforms/reports) as goldens:
- * the Table 1 configuration tables and the Figure 12 MWS latency
- * table. Any drift in configuration constants or the calibrated
- * timing curves now fails a test instead of silently changing bench
- * output.
+ * the Table 1 configuration tables, the Figure 12 MWS latency table,
+ * the Figure 7 timeline, and the Figure 17/18 sweep tables (reduced
+ * grids through the same builders the benches print with the full
+ * paper grids). Any drift in configuration constants, the calibrated
+ * model curves, or the engine's platform timelines now fails a test
+ * instead of silently changing bench output.
  */
 
 #include <gtest/gtest.h>
@@ -33,6 +35,41 @@ TEST(ReportGoldenTest, Fig12MwsLatencyTableIsPinned)
     TablePrinter t = fig12MwsLatencyTable();
     EXPECT_TRUE(test::MatchesGolden(t.toString(),
                                     "golden/fig12_mws_latency.txt"));
+}
+
+TEST(ReportGoldenTest, Fig07TimelineTableIsPinned)
+{
+    // The default engine path: this golden pins the engine-produced
+    // Figure 7 timeline (and through it the paper's 471/431/335-us
+    // anchors, which runner_test checks numerically).
+    PlatformRunner runner(ssd::SsdConfig::figure7());
+    TablePrinter t = fig07TimelineTable(runner);
+    EXPECT_TRUE(
+        test::MatchesGolden(t.toString(), "golden/fig07_timeline.txt"));
+}
+
+/** Reduced sweep grids: one small point per workload family keeps the
+ *  pinned tables fast while exercising every series builder. */
+std::vector<SweepSeries>
+reducedSweep()
+{
+    EvaluationSweep sweep;
+    return {sweep.bmiSeries({1, 3}), sweep.imsSeries({10000}),
+            sweep.kcsSeries({8})};
+}
+
+TEST(ReportGoldenTest, Fig17SpeedupTableIsPinned)
+{
+    TablePrinter t = fig17SpeedupTable(reducedSweep());
+    EXPECT_TRUE(test::MatchesGolden(t.toString(),
+                                    "golden/fig17_performance.txt"));
+}
+
+TEST(ReportGoldenTest, Fig18EnergyTableIsPinned)
+{
+    TablePrinter t = fig18EnergyTable(reducedSweep());
+    EXPECT_TRUE(
+        test::MatchesGolden(t.toString(), "golden/fig18_energy.txt"));
 }
 
 } // namespace
