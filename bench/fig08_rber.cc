@@ -12,36 +12,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "platforms/reports.h"
 #include "reliability/chip_farm.h"
 
 using namespace fcos;
 using namespace fcos::rel;
 
 namespace {
-
-void
-printPanel(const ChipFarm &farm, nand::ProgramMode mode,
-           bool randomized)
-{
-    std::string title = std::string("Avg. RBER [x1e-3], ") +
-                        (mode == nand::ProgramMode::Mlc ? "MLC" : "SLC") +
-                        "-mode, " +
-                        (randomized ? "with" : "without") +
-                        " data randomization";
-    TablePrinter t(title);
-    t.setHeader({"PEC \\ months", "0", "1", "2", "3", "6", "12"});
-    for (std::uint32_t pec : {0u, 1000u, 2000u, 3000u, 6000u, 10000u}) {
-        std::vector<std::string> row{std::to_string(pec / 1000) + "K"};
-        for (double mo : {0.0, 1.0, 2.0, 3.0, 6.0, 12.0}) {
-            double rber = farm.averageRber(
-                mode, OperatingCondition{pec, mo, randomized});
-            row.push_back(TablePrinter::cell(rber * 1e3, 3));
-        }
-        t.addRow(row);
-    }
-    t.print();
-    std::printf("\n");
-}
 
 double
 gridAverage(const ChipFarm &farm, nand::ProgramMode mode,
@@ -70,16 +47,11 @@ main()
 
     // A reduced farm keeps the bench quick; statistics are analytic
     // per block, so the population size only affects the variance of
-    // the process-variation average.
-    ChipFarm::Config cfg;
-    cfg.chips = 40;
-    cfg.blocksPerChip = 40;
-    ChipFarm farm(cfg);
+    // the process-variation average. The golden test pins the exact
+    // same panels through the same builder and farm config.
+    ChipFarm farm(plat::fig08FarmConfig());
 
-    printPanel(farm, nand::ProgramMode::SlcRegular, true);
-    printPanel(farm, nand::ProgramMode::SlcRegular, false);
-    printPanel(farm, nand::ProgramMode::Mlc, true);
-    printPanel(farm, nand::ProgramMode::Mlc, false);
+    std::printf("%s\n", plat::fig08RberReport(farm).c_str());
 
     double slc_r = gridAverage(farm, nand::ProgramMode::SlcRegular, true);
     double slc_nr =

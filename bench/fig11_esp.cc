@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "bench/bench_util.h"
+#include "platforms/reports.h"
 #include "reliability/chip_farm.h"
 
 using namespace fcos;
@@ -27,36 +28,14 @@ main()
     ChipFarm farm; // full 160-chip population
     OperatingCondition worst{10000, 12.0, false};
 
-    TablePrinter t("RBER per 1-KiB data vs ESP latency");
-    t.setHeader({"tESP/tPROG", "tESP", "worst", "median", "best"});
-    for (double f :
-         {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0}) {
-        auto p = farm.espRber(f, worst);
-        char lat[32];
-        std::snprintf(lat, sizeof(lat), "%.0f us", 200.0 * f);
-        t.addRow({TablePrinter::cell(f, 1), lat,
-                  TablePrinter::cellSci(p.worst),
-                  TablePrinter::cellSci(p.median),
-                  TablePrinter::cellSci(p.best)});
-    }
-    t.print();
+    // Shared table builders (platforms/reports): the golden test pins
+    // the same tables over a reduced population.
+    plat::fig11EspTable(farm, worst).print();
 
     // The validation campaign: every page of 120 blocks on each of 160
     // chips (> 4.83e11 bits), Poisson-sampled error counts.
     std::printf("\nZero-error validation campaigns (4.83e11 bits):\n");
-    TablePrinter c("Observed errors by tESP");
-    c.setHeader({"tESP/tPROG", "observed errors", "expected errors"});
-    for (double f : {1.5, 1.7, 1.9, 2.0}) {
-        nand::PageMeta meta;
-        meta.mode = nand::ProgramMode::SlcEsp;
-        meta.espFactor = f;
-        auto camp = farm.runCampaign(meta, worst, 483000000000ULL);
-        c.addRow({TablePrinter::cell(f, 1),
-                  TablePrinter::cellInt(
-                      static_cast<long long>(camp.errors)),
-                  TablePrinter::cellSci(camp.expectedErrors)});
-    }
-    c.print();
+    plat::fig11CampaignTable(farm, worst, 483000000000ULL).print();
     std::printf("\n");
 
     auto base = farm.espRber(1.0, worst);

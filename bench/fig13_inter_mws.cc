@@ -9,42 +9,11 @@
  */
 
 #include "bench/bench_util.h"
-#include "nand/chip.h"
 #include "nand/timing_model.h"
-#include "reliability/error_injector.h"
-#include "util/rng.h"
+#include "platforms/reports.h"
 
 using namespace fcos;
 using nand::TimingModel;
-
-namespace {
-
-/** OR of n blocks' wordline 0 via one inter-block MWS, checked. */
-bool
-validate(std::uint32_t n, Rng &rng)
-{
-    rel::VthModel model;
-    rel::OperatingCondition worst{10000, 12.0, false};
-    rel::VthErrorInjector inj(model, worst);
-    nand::Geometry geom = nand::Geometry::tiny();
-    geom.blocksPerPlane = 32;
-    nand::NandChip chip(geom, nand::Timings{}, &inj);
-
-    BitVector expected(geom.pageBits(), false);
-    nand::MwsCommand cmd;
-    cmd.plane = 0;
-    for (std::uint32_t b = 0; b < n; ++b) {
-        BitVector v(geom.pageBits());
-        v.randomize(rng, 0.2);
-        chip.programPageEsp({0, b, 0, 0}, v, nand::EspParams{2.0});
-        expected |= v;
-        cmd.selections.push_back(nand::WlSelection{b, 0, 1});
-    }
-    chip.executeMws(cmd);
-    return chip.dataOut(0) == expected;
-}
-
-} // namespace
 
 int
 main()
@@ -53,20 +22,11 @@ main()
                   "inter-block MWS latency vs activated blocks "
                   "(zero-error operating points)");
 
-    Rng rng = Rng::seeded(13);
     TimingModel tm;
 
-    TablePrinter t("tMWS / tR vs activated blocks");
-    t.setHeader({"blocks", "tMWS/tR", "tMWS", "serial reads",
-                 "zero errors"});
-    for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        double factor = TimingModel::interBlockFactor(n);
-        t.addRow({std::to_string(n), TablePrinter::cell(factor, 4),
-                  formatTime(tm.mwsLatency(1, n)),
-                  formatTime(n * tm.timings().tReadSlc),
-                  validate(n, rng) ? "yes" : "NO"});
-    }
-    t.print();
+    // Shared builder (platforms/reports): each row is functionally
+    // validated; the golden test pins the identical table.
+    plat::fig13InterMwsTable().print();
     std::printf("\n");
 
     bench::anchor("latency at 8 blocks", "mostly hidden (+3.3%)",

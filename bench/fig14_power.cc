@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "nand/power_model.h"
 #include "nand/timing_model.h"
+#include "platforms/reports.h"
 
 using namespace fcos;
 using nand::PowerModel;
@@ -23,17 +24,8 @@ main()
                   "normalized chip power of inter-block MWS vs "
                   "activated blocks");
 
-    TablePrinter t("Power normalized to a regular page read");
-    t.setHeader({"blocks", "MWS power", "vs read", "vs program",
-                 "vs erase"});
-    for (std::uint32_t n : {1u, 2u, 3u, 4u, 5u}) {
-        double p = PowerModel::interBlockMwsPower(n);
-        t.addRow({std::to_string(n), TablePrinter::cell(p, 3),
-                  bench::ratioStr(p / PowerModel::kReadPower),
-                  p < PowerModel::kProgramPower ? "below" : "above",
-                  p < PowerModel::kErasePower ? "below" : "above"});
-    }
-    t.print();
+    // Shared builder (platforms/reports), pinned by the golden test.
+    plat::fig14PowerTable().print();
 
     std::printf("\nreference lines: read = %.2f, program = %.2f, "
                 "erase = %.2f\n\n",

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/lowering.h"
 #include "util/log.h"
 
 namespace fcos::core {
@@ -16,6 +17,7 @@ farmConfigFor(const FlashCosmosDrive::Config &cfg)
     fc.diesPerChannel = cfg.dies;
     fc.geometry = cfg.geometry;
     fc.timings = cfg.timings;
+    fc.pageStore = cfg.pageStore;
     fc.io = cfg.io;
     return fc;
 }
@@ -104,7 +106,8 @@ FlashCosmosDrive::makeVector(std::size_t bits, std::uint64_t group,
 }
 
 void
-FlashCosmosDrive::submitPageWrite(const ssd::PhysPage &dst, BitVector page,
+FlashCosmosDrive::submitPageWrite(const ssd::PhysPage &dst,
+                                  nand::PageImage page,
                                   engine::OpStats *stats)
 {
     engine::ColumnProgram p;
@@ -150,7 +153,30 @@ FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
         page.paste(0, data.slice(begin, len));
         if (v.inverted)
             page.invert();
-        submitPageWrite(v.pages[j], std::move(page), nullptr);
+        submitPageWrite(v.pages[j], nand::PageImage::dense(std::move(page)),
+                        nullptr);
+    }
+    engine_.drain();
+
+    VectorId id = static_cast<VectorId>(vectors_.size());
+    vectors_.push_back(std::move(v));
+    return id;
+}
+
+VectorId
+FlashCosmosDrive::fcWritePages(
+    const std::function<nand::PageImage(std::uint64_t)> &gen,
+    std::uint64_t pages, const WriteOptions &opts)
+{
+    fcos_assert(gen != nullptr, "fcWritePages without a generator");
+    fcos_assert(pages >= 1, "fcWritePages of empty vector");
+    VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(), opts.group,
+                              opts.storeInverted, pages);
+    for (std::uint64_t j = 0; j < pages; ++j) {
+        nand::PageImage img = gen(j);
+        submitPageWrite(v.pages[j],
+                        v.inverted ? img.inverted() : std::move(img),
+                        nullptr);
     }
     engine_.drain();
 
@@ -243,15 +269,33 @@ FlashCosmosDrive::planProgram(const MwsPlan &plan, const Expr &expr,
     prog.die = die;
     prog.plane = plane;
 
-    auto member_addr = [this, page_index](
-                           const Literal &l) -> const nand::WordlineAddr & {
-        return info(l.id).pages[page_index].addr;
+    std::uint32_t column = die * cfg_.geometry.planesPerDie + plane;
+    fcos_assert(erased_ref_[column].die == die, "erased ref layout");
+
+    LoweringContext ctx;
+    ctx.plane = plane;
+    ctx.addrOf = [this, page_index](VectorId id) {
+        return info(id).pages[page_index].addr;
     };
-    auto push_sense = [&prog](const nand::MwsCommand &cmd,
-                              bool or_merge = false) {
+    ctx.storedInverted = [this](VectorId id) {
+        return info(id).inverted;
+    };
+    ctx.erasedRef = &erased_ref_[column].addr;
+
+    for (LoweredStep &ls : lowerPlan(plan, ctx)) {
+        if (ls.kind == LoweredStep::Kind::LatchXor) {
+            prog.steps.push_back(engine::ColumnStep{
+                engine::StepKind::LatchXor,
+                [plane](nand::NandChip &chip) {
+                    return chip.executeXor(plane);
+                },
+                0, 0});
+            continue;
+        }
         prog.steps.push_back(engine::ColumnStep{
             engine::StepKind::Sense,
-            [cmd, or_merge](nand::NandChip &chip) {
+            [cmd = std::move(ls.cmd),
+             or_merge = ls.orMergeAfter](nand::NandChip &chip) {
                 nand::OpResult r = chip.executeMws(cmd);
                 if (or_merge) {
                     // Legacy cache-read OR transfer (Figure 6(c) path).
@@ -260,98 +304,6 @@ FlashCosmosDrive::planProgram(const MwsPlan &plan, const Expr &expr,
                 return r;
             },
             0, 0});
-    };
-    auto push_xor = [&prog, plane]() {
-        prog.steps.push_back(engine::ColumnStep{
-            engine::StepKind::LatchXor,
-            [plane](nand::NandChip &chip) {
-                return chip.executeXor(plane);
-            },
-            0, 0});
-    };
-
-    if (plan.kind == MwsPlan::Kind::Xor) {
-        fcos_assert(plan.xorMembers.size() >= 2, "degenerate XOR plan");
-        for (std::size_t i = 0; i < plan.xorMembers.size(); ++i) {
-            const Literal &l = plan.xorMembers[i];
-            bool first_op = (i == 0);
-            bool last = (i + 1 == plan.xorMembers.size());
-            const nand::WordlineAddr &a = member_addr(l);
-            bool stored_mismatch =
-                info(l.id).inverted != l.negated; // stored != literal
-            nand::MwsCommand cmd;
-            cmd.plane = plane;
-            // The overall parity folds into the last member's sense.
-            cmd.flags.inverseRead =
-                stored_mismatch ^ (last && plan.xorInvert);
-            cmd.flags.initSenseLatch = true;
-            cmd.flags.initCacheLatch = first_op;
-            cmd.flags.dumpToCache = first_op;
-            cmd.selections.push_back(nand::WlSelection{
-                a.block, a.subBlock, 1ULL << a.wordline});
-            push_sense(cmd);
-            if (i > 0)
-                push_xor();
-        }
-        return prog;
-    }
-
-    fcos_assert(plan.kind == MwsPlan::Kind::Mws,
-                "fallback plans build fallbackProgram instead");
-
-    // MWS command chain.
-    for (const PlanCommand &pc : plan.commands) {
-        nand::MwsCommand cmd;
-        cmd.plane = plane;
-        cmd.flags.inverseRead = pc.inverse;
-        cmd.flags.initSenseLatch = true;
-        switch (pc.merge) {
-          case MergeMode::Copy:
-            cmd.flags.initCacheLatch = true;
-            cmd.flags.dumpToCache = true;
-            break;
-          case MergeMode::And:
-            cmd.flags.initCacheLatch = false;
-            cmd.flags.dumpToCache = true;
-            break;
-          case MergeMode::Or:
-            cmd.flags.initCacheLatch = false;
-            cmd.flags.dumpToCache = false;
-            break;
-        }
-        for (const PlanString &s : pc.strings) {
-            fcos_assert(!s.members.empty(), "empty plan string");
-            const nand::WordlineAddr &a0 = member_addr(s.members[0]);
-            nand::WlSelection sel{a0.block, a0.subBlock, 0};
-            for (const Literal &m : s.members) {
-                const nand::WordlineAddr &a = member_addr(m);
-                fcos_assert(a.block == sel.block &&
-                                a.subBlock == sel.subBlock,
-                            "string members not co-located "
-                            "(planner/placement bug)");
-                sel.wlMask |= 1ULL << a.wordline;
-            }
-            cmd.selections.push_back(sel);
-        }
-        push_sense(cmd, pc.merge == MergeMode::Or);
-    }
-
-    if (plan.finalInvert) {
-        // Sense the reserved erased wordline (reads all-'1'), then
-        // XOR it into the cache latch: C := NOT C.
-        std::uint32_t column = die * cfg_.geometry.planesPerDie + plane;
-        const nand::WordlineAddr &e = erased_ref_[column].addr;
-        fcos_assert(erased_ref_[column].die == die, "erased ref layout");
-        nand::MwsCommand cmd;
-        cmd.plane = plane;
-        cmd.flags.inverseRead = false;
-        cmd.flags.initSenseLatch = true;
-        cmd.flags.initCacheLatch = false;
-        cmd.flags.dumpToCache = false;
-        cmd.selections.push_back(
-            nand::WlSelection{e.block, e.subBlock, 1ULL << e.wordline});
-        push_sense(cmd);
-        push_xor();
     }
 
     return prog;
@@ -509,7 +461,9 @@ FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
         std::vector<BitVector> out =
             evaluateFallback(stored_expr, pages, &os);
         for (std::size_t j = 0; j < pages; ++j)
-            submitPageWrite(v.pages[j], std::move(out[j]), &os);
+            submitPageWrite(v.pages[j],
+                            nand::PageImage::dense(std::move(out[j])),
+                            &os);
         engine_.drain();
     } else {
         for (std::size_t j = 0; j < pages; ++j) {

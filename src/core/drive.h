@@ -59,6 +59,9 @@ class FlashCosmosDrive : public StorageResolver
         std::uint32_t dies = 2;
         nand::Geometry geometry = nand::Geometry::tiny();
         nand::Timings timings{};
+        /** Page-payload backend of every die (nand/page_store.h).
+         *  Sparse lets Table-1 geometries instantiate in tests. */
+        nand::PageStoreKind pageStore = nand::PageStoreKind::Sparse;
         /** I/O-rate/energy constants (shared ssd/engine authority). */
         ssd::IoParams io{};
         /** ESP extension used for fcWrite (Table 1: 2.0 -> 400 us). */
@@ -95,6 +98,19 @@ class FlashCosmosDrive : public StorageResolver
     {
         return fcWrite(data, WriteOptions{});
     }
+
+    /**
+     * Store a vector of @p pages procedurally generated pages
+     * (fc_write for data the host can describe instead of ship):
+     * @p gen maps each page index to its image descriptor. The full
+     * data-in transfer and ESP program are still paid on the timeline,
+     * but with the sparse backend no payload is materialized — the way
+     * Table-1-scale vectors are seeded inside CTest. storeInverted
+     * stores each image's complement at descriptor level.
+     */
+    VectorId fcWritePages(
+        const std::function<nand::PageImage(std::uint64_t)> &gen,
+        std::uint64_t pages, const WriteOptions &opts);
 
     struct ReadStats
     {
@@ -215,7 +231,7 @@ class FlashCosmosDrive : public StorageResolver
                         std::uint32_t *die, std::uint32_t *plane) const;
 
     /** Submit one page-program write (data-in over the channel). */
-    void submitPageWrite(const ssd::PhysPage &dst, BitVector page,
+    void submitPageWrite(const ssd::PhysPage &dst, nand::PageImage page,
                          engine::OpStats *stats);
 
     /** Merge engine counters into @p stats (except resultPages). */

@@ -11,8 +11,8 @@ ChipFarm::ChipFarm(const FarmConfig &cfg) : cfg_(cfg)
                 "farm needs at least one die per channel");
     chips_.reserve(cfg.dieCount());
     for (std::uint32_t d = 0; d < cfg.dieCount(); ++d)
-        chips_.push_back(
-            std::make_unique<nand::NandChip>(cfg.geometry, cfg.timings));
+        chips_.push_back(std::make_unique<nand::NandChip>(
+            cfg.geometry, cfg.timings, nullptr, cfg.pageStore));
 }
 
 std::uint32_t

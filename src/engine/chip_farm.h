@@ -36,6 +36,11 @@ struct FarmConfig
     nand::Geometry geometry = nand::Geometry::tiny();
     nand::Timings timings{};
 
+    /** Page-payload backend of every die. Sparse keeps descriptors
+     *  instead of materialized pages, so Table-1 farms fit in tests;
+     *  the two backends are bit-for-bit equivalent (page_store.h). */
+    nand::PageStoreKind pageStore = nand::PageStoreKind::Sparse;
+
     /** I/O-rate/energy constants, shared with ssd::SsdConfig so the
      *  engine and the analytic simulator cannot drift. */
     ssd::IoParams io{};
@@ -55,6 +60,7 @@ struct FarmConfig
         fc.diesPerChannel = ssd.diesPerChannel;
         fc.geometry = ssd.geometry;
         fc.timings = ssd.timings;
+        fc.pageStore = ssd.pageStore;
         fc.io = ssd.io;
         return fc;
     }

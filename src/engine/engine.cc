@@ -134,14 +134,19 @@ ComputeEngine::broadcastPage(std::uint32_t src_die,
             scheduler_.submitDma(
                 src_die, bytes,
                 [this, targets, esp, page, stats, bytes] {
+                    // All destinations reference one payload buffer
+                    // (copy-on-write dense image): N-way fan-out costs
+                    // one page of memory regardless of N.
+                    nand::PageImage image = nand::PageImage::shared(
+                        std::shared_ptr<const BitVector>(page));
                     for (const BroadcastTarget &t : targets) {
                         scheduler_.submitPlaneOp(
                             t.die, t.addr.plane,
                             ssd::EnergyComponent::NandProgram,
-                            [dst = t.addr, esp, page,
+                            [dst = t.addr, esp, image,
                              stats](nand::NandChip &chip) {
                                 nand::OpResult r =
-                                    chip.programPageEsp(dst, *page, esp);
+                                    chip.programPageEsp(dst, image, esp);
                                 if (stats)
                                     stats->tally(StepKind::Program, r);
                                 return r;

@@ -12,8 +12,8 @@ WlSelection::wordlineCount() const
     return static_cast<std::uint32_t>(std::popcount(wlMask));
 }
 
-CellArray::CellArray(const Geometry &geom)
-    : geom_(geom),
+CellArray::CellArray(const Geometry &geom, PageStoreKind store)
+    : geom_(geom), store_(PageStore::make(store, geom.pageBits())),
       block_pec_(static_cast<std::size_t>(geom.planesPerDie) *
                      geom.blocksPerPlane,
                  0)
@@ -28,7 +28,7 @@ CellArray::eraseBlock(std::uint32_t plane, std::uint32_t block)
     for (std::uint32_t sb = 0; sb < geom_.subBlocksPerBlock; ++sb) {
         for (std::uint32_t wl = 0; wl < geom_.wordlinesPerSubBlock; ++wl) {
             WordlineAddr a{plane, block, sb, wl};
-            pages_.erase(planeKey(plane, wordlineIndex(geom_, a)));
+            store_->erase(planeKey(plane, wordlineIndex(geom_, a)));
         }
     }
     ++block_pec_[static_cast<std::size_t>(plane) * geom_.blocksPerPlane +
@@ -39,35 +39,61 @@ void
 CellArray::program(const WordlineAddr &addr, const BitVector &data,
                    const PageMeta &meta)
 {
-    checkAddr(geom_, addr);
     fcos_assert(data.size() == geom_.pageBits(),
                 "page data %zu bits, expected %llu", data.size(),
                 (unsigned long long)geom_.pageBits());
+    program(addr, PageImage::dense(data), meta);
+}
+
+void
+CellArray::program(const WordlineAddr &addr, PageImage image,
+                   const PageMeta &meta)
+{
+    checkAddr(geom_, addr);
+    if (image.isDense()) {
+        fcos_assert(image.payloadId()->size() == geom_.pageBits(),
+                    "page data %zu bits, expected %llu",
+                    image.payloadId()->size(),
+                    (unsigned long long)geom_.pageBits());
+    }
     std::uint64_t key = planeKey(addr.plane, wordlineIndex(geom_, addr));
-    if (pages_.count(key)) {
+    if (store_->find(key)) {
         fcos_fatal("program of already-programmed page "
                    "(plane %u blk %u sb %u wl %u) without erase",
                    addr.plane, addr.block, addr.subBlock, addr.wordline);
     }
     PageMeta m = meta;
     m.pecAtProgram = blockPec(addr.plane, addr.block);
-    pages_.emplace(key, PageState{data, m});
+    store_->program(key, std::move(image), m);
 }
 
 bool
 CellArray::isProgrammed(const WordlineAddr &addr) const
 {
     checkAddr(geom_, addr);
-    return pages_.count(planeKey(addr.plane, wordlineIndex(geom_, addr))) >
-           0;
+    return store_->find(planeKey(addr.plane, wordlineIndex(geom_, addr))) !=
+           nullptr;
 }
 
-const PageState *
-CellArray::page(const WordlineAddr &addr) const
+const PageMeta *
+CellArray::pageMeta(const WordlineAddr &addr) const
 {
     checkAddr(geom_, addr);
-    auto it = pages_.find(planeKey(addr.plane, wordlineIndex(geom_, addr)));
-    return it == pages_.end() ? nullptr : &it->second;
+    const StoredPage *sp =
+        store_->find(planeKey(addr.plane, wordlineIndex(geom_, addr)));
+    return sp ? &sp->meta : nullptr;
+}
+
+BitVector
+CellArray::pageData(const WordlineAddr &addr) const
+{
+    checkAddr(geom_, addr);
+    const StoredPage *sp =
+        store_->find(planeKey(addr.plane, wordlineIndex(geom_, addr)));
+    fcos_assert(sp != nullptr,
+                "pageData of erased page (plane %u blk %u sb %u wl %u)",
+                addr.plane, addr.block, addr.subBlock, addr.wordline);
+    return sp->image.materialize(geom_.pageBits());
 }
 
 std::uint32_t
@@ -94,15 +120,15 @@ BitVector
 CellArray::effectiveData(const WordlineAddr &addr, ErrorInjector *injector,
                          std::uint64_t read_seq) const
 {
-    const PageState *ps = page(addr);
-    if (!ps)
+    checkAddr(geom_, addr);
+    std::uint64_t key = planeKey(addr.plane, wordlineIndex(geom_, addr));
+    const StoredPage *sp = store_->find(key);
+    if (!sp)
         return BitVector(geom_.pageBits(), true); // erased: all '1'
-    BitVector bits = ps->data;
+    BitVector bits = sp->image.materialize(geom_.pageBits());
     if (injector) {
-        std::uint64_t seed =
-            planeKey(addr.plane, wordlineIndex(geom_, addr)) * 0x2545F491ULL +
-            read_seq;
-        injector->inject(bits, ps->meta, seed);
+        std::uint64_t seed = key * 0x2545F491ULL + read_seq;
+        injector->inject(bits, sp->meta, seed);
     }
     return bits;
 }
@@ -125,12 +151,16 @@ CellArray::senseConduction(std::uint32_t plane,
             geom_.wordlinesPerSubBlock >= 64 ||
                 (sel.wlMask >> geom_.wordlinesPerSubBlock) == 0,
             "wordline mask beyond string length");
-        // AND across target wordlines of the same string.
+        // AND across target wordlines of the same string. Erased
+        // wordlines sense as all-'1' — the AND identity — so only
+        // programmed pages are materialized.
         BitVector string_conduction(geom_.pageBits(), true);
         for (std::uint32_t wl = 0; wl < geom_.wordlinesPerSubBlock; ++wl) {
             if (!(sel.wlMask & (1ULL << wl)))
                 continue;
             WordlineAddr a{plane, sel.block, sel.subBlock, wl};
+            if (!isProgrammed(a))
+                continue;
             string_conduction &= effectiveData(a, injector, read_seq);
         }
         // OR across distinct strings sharing the bitlines.
@@ -142,7 +172,7 @@ CellArray::senseConduction(std::uint32_t plane,
 std::size_t
 CellArray::programmedPages() const
 {
-    return pages_.size();
+    return store_->pageCount();
 }
 
 } // namespace fcos::nand

@@ -2,16 +2,19 @@
  * @file
  * Functional model of one die's cell array.
  *
- * Stores page payloads sparsely (only programmed wordlines consume
- * memory), tracks per-block P/E cycle counts, and computes the
- * per-bitline *string conduction* of an arbitrary set of simultaneously
- * activated wordlines — the physical primitive behind Multi-Wordline
- * Sensing (Section 4.1):
+ * Page payloads live behind the PageStore abstraction (page_store.h):
+ * the dense backend materializes every programmed page, the sparse
+ * backend keeps generator descriptors and materializes only the pages
+ * a sense touches. Either way the array tracks per-block P/E cycle
+ * counts and computes the per-bitline *string conduction* of an
+ * arbitrary set of simultaneously activated wordlines — the physical
+ * primitive behind Multi-Wordline Sensing (Section 4.1):
  *
  *   conduction(bitline) = OR over activated strings of
  *                         (AND over target cells in the string)
  *
- * where a cell contributes '1' when erased (V_TH <= V_REF). Error
+ * where a cell contributes '1' when erased (V_TH <= V_REF). Erased
+ * wordlines are the AND identity and are never materialized. Error
  * injection is delegated to an ErrorInjector so the functional model
  * stays independent of the reliability model.
  */
@@ -20,33 +23,15 @@
 #define FCOS_NAND_CELL_ARRAY_H
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "nand/config.h"
 #include "nand/geometry.h"
+#include "nand/page_store.h"
 #include "util/bitvector.h"
 
 namespace fcos::nand {
-
-/** Programming context of one page, consumed by the error model. */
-struct PageMeta
-{
-    ProgramMode mode = ProgramMode::SlcRegular;
-    /** tESP / tPROG(SLC) in [1, 2]; meaningful only for SlcEsp. */
-    double espFactor = 1.0;
-    /** Whether the stored pattern went through the data randomizer. */
-    bool randomized = false;
-    /** Block P/E cycle count when the page was programmed. */
-    std::uint32_t pecAtProgram = 0;
-};
-
-/** Stored payload plus programming context. */
-struct PageState
-{
-    BitVector data;
-    PageMeta meta;
-};
 
 /**
  * Error-injection hook: flips bits of a sensed page in place.
@@ -83,9 +68,11 @@ struct WlSelection
 class CellArray
 {
   public:
-    explicit CellArray(const Geometry &geom);
+    explicit CellArray(const Geometry &geom,
+                       PageStoreKind store = PageStoreKind::Dense);
 
     const Geometry &geometry() const { return geom_; }
+    PageStoreKind storeKind() const { return store_->kind(); }
 
     /**
      * Erase a physical block (all sub-blocks): pages revert to the
@@ -100,10 +87,19 @@ class CellArray
     void program(const WordlineAddr &addr, const BitVector &data,
                  const PageMeta &meta);
 
+    /** Program from an image descriptor; the sparse backend stores the
+     *  descriptor without materializing the payload. */
+    void program(const WordlineAddr &addr, PageImage image,
+                 const PageMeta &meta);
+
     bool isProgrammed(const WordlineAddr &addr) const;
 
-    /** Stored state of a programmed page, or nullptr if erased. */
-    const PageState *page(const WordlineAddr &addr) const;
+    /** Programming context of a programmed page, or nullptr if erased. */
+    const PageMeta *pageMeta(const WordlineAddr &addr) const;
+
+    /** Stored payload of a programmed page, materialized (error-free);
+     *  fatal if the page is erased. */
+    BitVector pageData(const WordlineAddr &addr) const;
 
     std::uint32_t blockPec(std::uint32_t plane, std::uint32_t block) const;
 
@@ -133,6 +129,9 @@ class CellArray
     /** Number of programmed pages (for tests / memory accounting). */
     std::size_t programmedPages() const;
 
+    /** Heap footprint of the stored pages (scale-budget assertions). */
+    std::size_t contentBytes() const { return store_->contentBytes(); }
+
   private:
     std::uint64_t planeKey(std::uint32_t plane, std::uint64_t wl_idx) const
     {
@@ -142,7 +141,7 @@ class CellArray
     }
 
     Geometry geom_;
-    std::unordered_map<std::uint64_t, PageState> pages_;
+    std::unique_ptr<PageStore> store_;
     std::vector<std::uint32_t> block_pec_; // [plane * blocksPerPlane + b]
 };
 

@@ -7,9 +7,9 @@
 namespace fcos::nand {
 
 NandChip::NandChip(const Geometry &geom, const Timings &timings,
-                   ErrorInjector *injector)
-    : geom_(geom), timing_(timings), cells_(geom), injector_(injector),
-      plane_seq_(geom.planesPerDie, 0)
+                   ErrorInjector *injector, PageStoreKind store)
+    : geom_(geom), timing_(timings), cells_(geom, store),
+      injector_(injector), plane_seq_(geom.planesPerDie, 0)
 {
     latches_.reserve(geom.planesPerDie);
     for (std::uint32_t p = 0; p < geom.planesPerDie; ++p)
@@ -42,11 +42,18 @@ OpResult
 NandChip::programPage(const WordlineAddr &addr, const BitVector &data,
                       ProgramMode mode, bool randomized)
 {
+    return programPage(addr, PageImage::dense(data), mode, randomized);
+}
+
+OpResult
+NandChip::programPage(const WordlineAddr &addr, const PageImage &image,
+                      ProgramMode mode, bool randomized)
+{
     PageMeta meta;
     meta.mode = mode;
     meta.randomized = randomized;
     meta.espFactor = 1.0;
-    cells_.program(addr, data, meta);
+    cells_.program(addr, image, meta);
     Time t = timing_.timings().programLatency(mode);
     return {t, PowerModel::energy(PowerModel::kProgramPower, t)};
 }
@@ -55,11 +62,18 @@ OpResult
 NandChip::programPageEsp(const WordlineAddr &addr, const BitVector &data,
                          const EspParams &esp)
 {
+    return programPageEsp(addr, PageImage::dense(data), esp);
+}
+
+OpResult
+NandChip::programPageEsp(const WordlineAddr &addr, const PageImage &image,
+                         const EspParams &esp)
+{
     PageMeta meta;
     meta.mode = ProgramMode::SlcEsp;
     meta.randomized = false; // Flash-Cosmos stores operands unrandomized
     meta.espFactor = esp.tEspFactor;
-    cells_.program(addr, data, meta);
+    cells_.program(addr, image, meta);
     Time t = esp.latency(timing_.timings());
     return {t, PowerModel::energy(PowerModel::kProgramPower, t)};
 }
@@ -184,9 +198,9 @@ NandChip::copyback(const WordlineAddr &src, const WordlineAddr &dst)
     checkAddr(geom_, dst);
     fcos_assert(src.plane == dst.plane,
                 "copyback cannot cross planes (no shared latches)");
-    const PageState *ps = cells_.page(src);
-    ProgramMode mode = ps ? ps->meta.mode : ProgramMode::SlcRegular;
-    EspParams esp{ps ? ps->meta.espFactor : 1.0};
+    const PageMeta *pm = cells_.pageMeta(src);
+    ProgramMode mode = pm ? pm->mode : ProgramMode::SlcRegular;
+    EspParams esp{pm ? pm->espFactor : 1.0};
 
     // Read phase latches the inverse of the stored data...
     OpResult read = readPage(src, true);
@@ -195,7 +209,7 @@ NandChip::copyback(const WordlineAddr &src, const WordlineAddr &dst)
     BitVector restored = ~l.cache();
     PageMeta meta;
     meta.mode = mode;
-    meta.randomized = ps ? ps->meta.randomized : false;
+    meta.randomized = pm ? pm->randomized : false;
     meta.espFactor = esp.tEspFactor;
     cells_.program(dst, restored, meta);
     Time t_prog = (mode == ProgramMode::SlcEsp)

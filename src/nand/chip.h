@@ -45,9 +45,13 @@ class NandChip
      * @param geom      die geometry
      * @param timings   latency parameters
      * @param injector  optional error model (nullptr = error-free)
+     * @param store     page-payload backend (see nand/page_store.h);
+     *                  the sparse backend makes Table-1 geometries
+     *                  cheap to instantiate
      */
     NandChip(const Geometry &geom, const Timings &timings = Timings{},
-             ErrorInjector *injector = nullptr);
+             ErrorInjector *injector = nullptr,
+             PageStoreKind store = PageStoreKind::Dense);
 
     const Geometry &geometry() const { return geom_; }
     const TimingModel &timingModel() const { return timing_; }
@@ -69,8 +73,19 @@ class NandChip
                          ProgramMode mode = ProgramMode::SlcRegular,
                          bool randomized = false);
 
+    /** Program from an image descriptor (procedural or shared payload);
+     *  with the sparse store no page payload is materialized. */
+    OpResult programPage(const WordlineAddr &addr, const PageImage &image,
+                         ProgramMode mode = ProgramMode::SlcRegular,
+                         bool randomized = false);
+
     /** Program one page with Enhanced SLC-mode Programming. */
     OpResult programPageEsp(const WordlineAddr &addr, const BitVector &data,
+                            const EspParams &esp = EspParams{});
+
+    /** ESP-program an image descriptor. */
+    OpResult programPageEsp(const WordlineAddr &addr,
+                            const PageImage &image,
                             const EspParams &esp = EspParams{});
 
     /**

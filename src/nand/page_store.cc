@@ -1,0 +1,195 @@
+#include "nand/page_store.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace fcos::nand {
+
+const char *
+pageStoreName(PageStoreKind kind)
+{
+    switch (kind) {
+      case PageStoreKind::Dense:
+        return "dense";
+      case PageStoreKind::Sparse:
+        return "sparse";
+    }
+    return "?";
+}
+
+PageImage
+PageImage::fill(bool ones)
+{
+    PageImage img;
+    img.kind_ = Kind::Fill;
+    img.flag_ = ones;
+    return img;
+}
+
+PageImage
+PageImage::random(std::uint64_t seed, double p_one)
+{
+    PageImage img;
+    img.kind_ = Kind::Random;
+    img.seed_ = seed;
+    img.p_one_ = p_one;
+    return img;
+}
+
+PageImage
+PageImage::checkered(bool first)
+{
+    PageImage img;
+    img.kind_ = Kind::Checkered;
+    img.flag_ = first;
+    return img;
+}
+
+PageImage
+PageImage::dense(BitVector bits)
+{
+    return shared(std::make_shared<const BitVector>(std::move(bits)));
+}
+
+PageImage
+PageImage::shared(std::shared_ptr<const BitVector> bits)
+{
+    fcos_assert(bits != nullptr, "dense page image without payload");
+    PageImage img;
+    img.kind_ = Kind::Dense;
+    img.payload_ = std::move(bits);
+    return img;
+}
+
+PageImage
+PageImage::inverted() const
+{
+    PageImage img = *this;
+    img.inverted_ = !img.inverted_;
+    return img;
+}
+
+BitVector
+PageImage::materialize(std::size_t bits) const
+{
+    BitVector out;
+    switch (kind_) {
+      case Kind::Fill:
+        out = BitVector(bits, flag_);
+        break;
+      case Kind::Random: {
+        Rng rng = Rng::seeded(seed_);
+        out = BitVector(bits);
+        out.randomize(rng, p_one_);
+        break;
+      }
+      case Kind::Checkered:
+        out = BitVector(bits);
+        out.fillCheckered(flag_);
+        break;
+      case Kind::Dense:
+        fcos_assert(payload_->size() == bits,
+                    "dense page image is %zu bits, page is %zu bits",
+                    payload_->size(), bits);
+        out = *payload_;
+        break;
+    }
+    if (inverted_)
+        out.invert();
+    return out;
+}
+
+std::size_t
+PageImage::heapBytes() const
+{
+    return payload_ ? payload_->words().capacity() * sizeof(std::uint64_t)
+                    : 0;
+}
+
+namespace {
+
+/** Per-entry bookkeeping estimate: stored page + key + hash node. */
+constexpr std::size_t kEntryBytes =
+    sizeof(StoredPage) + sizeof(std::uint64_t) + 4 * sizeof(void *);
+
+/** Map-based store; the backends differ only in how program() treats
+ *  procedural images. */
+class MapPageStore : public PageStore
+{
+  public:
+    void erase(std::uint64_t key) override { pages_.erase(key); }
+
+    const StoredPage *find(std::uint64_t key) const override
+    {
+        auto it = pages_.find(key);
+        return it == pages_.end() ? nullptr : &it->second;
+    }
+
+    std::size_t pageCount() const override { return pages_.size(); }
+
+    std::size_t contentBytes() const override
+    {
+        std::size_t bytes = pages_.size() * kEntryBytes;
+        std::unordered_set<const BitVector *> counted;
+        for (const auto &[key, page] : pages_) {
+            (void)key;
+            const BitVector *id = page.image.payloadId();
+            if (id && counted.insert(id).second)
+                bytes += page.image.heapBytes();
+        }
+        return bytes;
+    }
+
+  protected:
+    std::unordered_map<std::uint64_t, StoredPage> pages_;
+};
+
+class DensePageStore final : public MapPageStore
+{
+  public:
+    explicit DensePageStore(std::size_t page_bits) : page_bits_(page_bits)
+    {}
+
+    PageStoreKind kind() const override { return PageStoreKind::Dense; }
+
+    void program(std::uint64_t key, PageImage image,
+                 const PageMeta &meta) override
+    {
+        // Materialize eagerly: every page owns a dense payload (the
+        // pre-abstraction behaviour, kept as the equivalence baseline).
+        if (!image.isDense() || image.payloadId()->size() != page_bits_)
+            image = PageImage::dense(image.materialize(page_bits_));
+        pages_.emplace(key, StoredPage{std::move(image), meta});
+    }
+
+  private:
+    std::size_t page_bits_;
+};
+
+class SparsePageStore final : public MapPageStore
+{
+  public:
+    PageStoreKind kind() const override { return PageStoreKind::Sparse; }
+
+    void program(std::uint64_t key, PageImage image,
+                 const PageMeta &meta) override
+    {
+        // Keep the descriptor; materialization happens per sense.
+        pages_.emplace(key, StoredPage{std::move(image), meta});
+    }
+};
+
+} // namespace
+
+std::unique_ptr<PageStore>
+PageStore::make(PageStoreKind kind, std::size_t page_bits)
+{
+    if (kind == PageStoreKind::Dense)
+        return std::make_unique<DensePageStore>(page_bits);
+    return std::make_unique<SparsePageStore>();
+}
+
+} // namespace fcos::nand

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Page-payload storage backends for the functional cell array.
+ *
+ * The dense backend materializes every programmed page as a BitVector —
+ * exact but O(pageBytes) per page, which caps tests at toy geometries.
+ * The sparse backend keeps a *descriptor* per page instead: a page is
+ * either absent (erased), a procedural generator (seeded random
+ * pattern, constant fill, the Section 5.1 checkered worst case), or a
+ * shared dense payload (copy-on-write: broadcast copies reference one
+ * buffer). Sensing materializes exactly the pages a command touches,
+ * so a Table-1 chip (2048 blocks x 16-KiB pages) with a few thousand
+ * programmed pages costs kilobytes, not gigabytes — the prerequisite
+ * for running full-geometry drives inside CTest.
+ *
+ * Materialization is a pure function of the descriptor, so the two
+ * backends are bit-for-bit interchangeable: same sensed data, same
+ * conduction, same injected-error seeds (certified by
+ * tests/nand/page_store_test.cc).
+ */
+
+#ifndef FCOS_NAND_PAGE_STORE_H
+#define FCOS_NAND_PAGE_STORE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "nand/config.h"
+#include "util/bitvector.h"
+
+namespace fcos::nand {
+
+/** Programming context of one page, consumed by the error model. */
+struct PageMeta
+{
+    ProgramMode mode = ProgramMode::SlcRegular;
+    /** tESP / tPROG(SLC) in [1, 2]; meaningful only for SlcEsp. */
+    double espFactor = 1.0;
+    /** Whether the stored pattern went through the data randomizer. */
+    bool randomized = false;
+    /** Block P/E cycle count when the page was programmed. */
+    std::uint32_t pecAtProgram = 0;
+};
+
+enum class PageStoreKind : std::uint8_t
+{
+    Dense,  ///< every page a materialized BitVector
+    Sparse, ///< descriptors; payloads materialized per sense
+};
+
+const char *pageStoreName(PageStoreKind kind);
+
+/**
+ * The content of one page: a procedural generator descriptor or a
+ * (possibly shared) dense payload. Descriptors may additionally be
+ * stored with inverted polarity — the §6.1 De Morgan storage — without
+ * materializing the complement.
+ */
+class PageImage
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Fill,      ///< every bit == fill value
+        Random,    ///< seeded Bernoulli(pOne) pattern
+        Checkered, ///< alternating 1,0,1,0,... (Section 5.1 worst case)
+        Dense,     ///< explicit payload (shared, copy-on-write)
+    };
+
+    /** Default: an all-ones (erased-looking) fill. */
+    PageImage() = default;
+
+    static PageImage fill(bool ones);
+    static PageImage random(std::uint64_t seed, double p_one = 0.5);
+    static PageImage checkered(bool first = true);
+    /** Takes ownership of @p bits (one dense payload for this page). */
+    static PageImage dense(BitVector bits);
+    /** References @p bits without copying (broadcast fan-out shares
+     *  one payload across every destination page). */
+    static PageImage shared(std::shared_ptr<const BitVector> bits);
+
+    Kind kind() const { return kind_; }
+    bool isDense() const { return kind_ == Kind::Dense; }
+
+    /** This image with flipped polarity (descriptor-level NOT). */
+    PageImage inverted() const;
+
+    /** Generate the page content at @p bits page width. */
+    BitVector materialize(std::size_t bits) const;
+
+    /** Heap bytes held by this image (0 for procedural descriptors). */
+    std::size_t heapBytes() const;
+
+    /** Identity of the shared payload (dedup in footprint accounting);
+     *  nullptr for procedural images. */
+    const BitVector *payloadId() const { return payload_.get(); }
+
+  private:
+    Kind kind_ = Kind::Fill;
+    bool inverted_ = false;
+    bool flag_ = true; ///< Fill: value; Checkered: first bit
+    std::uint64_t seed_ = 0;
+    double p_one_ = 0.5;
+    std::shared_ptr<const BitVector> payload_;
+};
+
+/** One programmed page: content plus programming context. */
+struct StoredPage
+{
+    PageImage image;
+    PageMeta meta;
+};
+
+/**
+ * Keyed page container behind CellArray. Keys are the array's flat
+ * (plane, wordline) indices; the store is policy only — address
+ * checking and NAND program/erase rules stay in CellArray.
+ */
+class PageStore
+{
+  public:
+    virtual ~PageStore() = default;
+
+    virtual PageStoreKind kind() const = 0;
+
+    /** Store @p image at @p key (caller guarantees the key is free). */
+    virtual void program(std::uint64_t key, PageImage image,
+                         const PageMeta &meta) = 0;
+
+    /** Drop the page at @p key if present. */
+    virtual void erase(std::uint64_t key) = 0;
+
+    /** Stored page at @p key, or nullptr if erased. */
+    virtual const StoredPage *find(std::uint64_t key) const = 0;
+
+    virtual std::size_t pageCount() const = 0;
+
+    /**
+     * Estimated heap footprint of the stored pages: payload bytes
+     * (each shared payload counted once) plus per-entry bookkeeping.
+     * The sparse backend's scale contract — a Table-1 chip with
+     * sparsely programmed pages stays within a pinned budget — is
+     * asserted against this number.
+     */
+    virtual std::size_t contentBytes() const = 0;
+
+    /** @param page_bits  page width, needed by the dense backend to
+     *                    materialize descriptors at program time. */
+    static std::unique_ptr<PageStore> make(PageStoreKind kind,
+                                           std::size_t page_bits);
+};
+
+} // namespace fcos::nand
+
+#endif // FCOS_NAND_PAGE_STORE_H

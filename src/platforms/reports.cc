@@ -1,6 +1,10 @@
 #include "platforms/reports.h"
 
+#include "nand/chip.h"
+#include "nand/power_model.h"
 #include "nand/timing_model.h"
+#include "reliability/error_injector.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace fcos::plat {
@@ -119,6 +123,166 @@ fig07TimelineTable(const PlatformRunner &runner)
                   r.paper, formatTime(res.planeBusy),
                   formatTime(res.channelBusy),
                   formatTime(res.externalBusy), bottleneck});
+    }
+    return t;
+}
+
+rel::ChipFarm::Config
+fig08FarmConfig()
+{
+    rel::ChipFarm::Config cfg;
+    cfg.chips = 40;
+    cfg.blocksPerChip = 40;
+    return cfg;
+}
+
+namespace {
+
+/** The Figure 8 measurement grid (paper Section 5.1). */
+const std::uint32_t kFig08Pecs[] = {0, 1000, 2000, 3000, 6000, 10000};
+const double kFig08Months[] = {0.0, 1.0, 2.0, 3.0, 6.0, 12.0};
+
+} // namespace
+
+TablePrinter
+fig08RberPanel(const rel::ChipFarm &farm, nand::ProgramMode mode,
+               bool randomized)
+{
+    std::string title = std::string("Avg. RBER [x1e-3], ") +
+                        (mode == nand::ProgramMode::Mlc ? "MLC" : "SLC") +
+                        "-mode, " + (randomized ? "with" : "without") +
+                        " data randomization";
+    TablePrinter t(title);
+    t.setHeader({"PEC \\ months", "0", "1", "2", "3", "6", "12"});
+    for (std::uint32_t pec : kFig08Pecs) {
+        std::vector<std::string> row{std::to_string(pec / 1000) + "K"};
+        for (double mo : kFig08Months) {
+            double rber = farm.averageRber(
+                mode, rel::OperatingCondition{pec, mo, randomized});
+            row.push_back(TablePrinter::cell(rber * 1e3, 3));
+        }
+        t.addRow(row);
+    }
+    return t;
+}
+
+std::string
+fig08RberReport(const rel::ChipFarm &farm)
+{
+    std::string out;
+    for (nand::ProgramMode mode :
+         {nand::ProgramMode::SlcRegular, nand::ProgramMode::Mlc}) {
+        for (bool randomized : {true, false}) {
+            if (!out.empty())
+                out += "\n";
+            out += fig08RberPanel(farm, mode, randomized).toString();
+        }
+    }
+    return out;
+}
+
+TablePrinter
+fig11EspTable(const rel::ChipFarm &farm,
+              const rel::OperatingCondition &cond)
+{
+    TablePrinter t("RBER per 1-KiB data vs ESP latency");
+    t.setHeader({"tESP/tPROG", "tESP", "worst", "median", "best"});
+    for (double f :
+         {1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0}) {
+        auto p = farm.espRber(f, cond);
+        char lat[32];
+        std::snprintf(lat, sizeof(lat), "%.0f us", 200.0 * f);
+        t.addRow({TablePrinter::cell(f, 1), lat,
+                  TablePrinter::cellSci(p.worst),
+                  TablePrinter::cellSci(p.median),
+                  TablePrinter::cellSci(p.best)});
+    }
+    return t;
+}
+
+TablePrinter
+fig11CampaignTable(const rel::ChipFarm &farm,
+                   const rel::OperatingCondition &cond,
+                   std::uint64_t total_bits)
+{
+    TablePrinter t("Observed errors by tESP");
+    t.setHeader({"tESP/tPROG", "observed errors", "expected errors"});
+    for (double f : {1.5, 1.7, 1.9, 2.0}) {
+        nand::PageMeta meta;
+        meta.mode = nand::ProgramMode::SlcEsp;
+        meta.espFactor = f;
+        auto camp = farm.runCampaign(meta, cond, total_bits);
+        t.addRow({TablePrinter::cell(f, 1),
+                  TablePrinter::cellInt(
+                      static_cast<long long>(camp.errors)),
+                  TablePrinter::cellSci(camp.expectedErrors)});
+    }
+    return t;
+}
+
+namespace {
+
+/** OR of n blocks' wordline 0 via one inter-block MWS, checked
+ *  against the reference fold at a zero-error operating point. */
+bool
+fig13Validate(std::uint32_t n, Rng &rng)
+{
+    rel::VthModel model;
+    rel::OperatingCondition worst{10000, 12.0, false};
+    rel::VthErrorInjector inj(model, worst);
+    nand::Geometry geom = nand::Geometry::tiny();
+    geom.blocksPerPlane = 32;
+    nand::NandChip chip(geom, nand::Timings{}, &inj,
+                        nand::PageStoreKind::Sparse);
+
+    BitVector expected(geom.pageBits(), false);
+    nand::MwsCommand cmd;
+    cmd.plane = 0;
+    for (std::uint32_t b = 0; b < n; ++b) {
+        BitVector v(geom.pageBits());
+        v.randomize(rng, 0.2);
+        chip.programPageEsp({0, b, 0, 0}, v, nand::EspParams{2.0});
+        expected |= v;
+        cmd.selections.push_back(nand::WlSelection{b, 0, 1});
+    }
+    chip.executeMws(cmd);
+    return chip.dataOut(0) == expected;
+}
+
+} // namespace
+
+TablePrinter
+fig13InterMwsTable()
+{
+    Rng rng = Rng::seeded(13);
+    nand::TimingModel tm;
+    TablePrinter t("tMWS / tR vs activated blocks");
+    t.setHeader({"blocks", "tMWS/tR", "tMWS", "serial reads",
+                 "zero errors"});
+    for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        double factor = nand::TimingModel::interBlockFactor(n);
+        t.addRow({std::to_string(n), TablePrinter::cell(factor, 4),
+                  formatTime(tm.mwsLatency(1, n)),
+                  formatTime(n * tm.timings().tReadSlc),
+                  fig13Validate(n, rng) ? "yes" : "NO"});
+    }
+    return t;
+}
+
+TablePrinter
+fig14PowerTable()
+{
+    TablePrinter t("Power normalized to a regular page read");
+    t.setHeader({"blocks", "MWS power", "vs read", "vs program",
+                 "vs erase"});
+    for (std::uint32_t n : {1u, 2u, 3u, 4u, 5u}) {
+        double p = nand::PowerModel::interBlockMwsPower(n);
+        t.addRow({std::to_string(n), TablePrinter::cell(p, 3),
+                  TablePrinter::cell(p / nand::PowerModel::kReadPower,
+                                     2) +
+                      "x",
+                  p < nand::PowerModel::kProgramPower ? "below" : "above",
+                  p < nand::PowerModel::kErasePower ? "below" : "above"});
     }
     return t;
 }

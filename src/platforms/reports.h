@@ -18,6 +18,7 @@
 #include "host/host_model.h"
 #include "platforms/runner.h"
 #include "platforms/sweep.h"
+#include "reliability/chip_farm.h"
 #include "ssd/config.h"
 #include "util/table.h"
 
@@ -59,6 +60,50 @@ TablePrinter fig17SpeedupTable(const std::vector<SweepSeries> &series);
 
 /** Figure 18: energy-efficiency ratios over OSP per sweep point. */
 TablePrinter fig18EnergyTable(const std::vector<SweepSeries> &series);
+
+/**
+ * The reduced chip population the Figure 8 bench prints with and the
+ * golden test pins — per-block statistics are analytic, so the
+ * population size only affects the process-variation average.
+ */
+rel::ChipFarm::Config fig08FarmConfig();
+
+/**
+ * One Figure 8 panel: population-average RBER across the (P/E cycles,
+ * retention months) measurement grid for a programming mode, with or
+ * without data randomization.
+ */
+TablePrinter fig08RberPanel(const rel::ChipFarm &farm,
+                            nand::ProgramMode mode, bool randomized);
+
+/** All four Figure 8 panels (SLC/MLC x randomization) concatenated. */
+std::string fig08RberReport(const rel::ChipFarm &farm);
+
+/** Figure 11: RBER vs tESP for the worst / median / best block. */
+TablePrinter fig11EspTable(const rel::ChipFarm &farm,
+                           const rel::OperatingCondition &cond);
+
+/**
+ * Figure 11's zero-error validation campaigns: observed vs expected
+ * error counts over @p total_bits at tESP factors 1.5 / 1.7 / 1.9 /
+ * 2.0 (Poisson-sampled from the analytic rates).
+ */
+TablePrinter fig11CampaignTable(const rel::ChipFarm &farm,
+                                const rel::OperatingCondition &cond,
+                                std::uint64_t total_bits);
+
+/**
+ * Figure 13: inter-block MWS latency vs simultaneously activated
+ * blocks, each point functionally validated (an inter-block MWS over
+ * error-injected chips must still reproduce the reference OR).
+ */
+TablePrinter fig13InterMwsTable();
+
+/**
+ * Figure 14: normalized chip power of inter-block MWS vs activated
+ * blocks, against the read / program / erase reference lines.
+ */
+TablePrinter fig14PowerTable();
 
 } // namespace fcos::plat
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "core/lowering.h"
+#include "core/planner.h"
 #include "engine/engine.h"
 #include "nand/power_model.h"
 #include "ssd/ssd_sim.h"
@@ -431,6 +433,103 @@ PlatformRunner::run(PlatformKind kind, const wl::Workload &workload,
                           sched.energy());
 }
 
+namespace {
+
+/** Storage facts of one functional batch's abstract operand table:
+ *  ids [0, chained) stack in the row's string chain (AND operands, or
+ *  the inverse-stored De Morgan operands of a pure-OR batch); ids
+ *  beyond that are the KCS-fusion OR operands, each in its own block
+ *  so it contributes a distinct string. */
+class BatchLayout : public core::StorageResolver
+{
+  public:
+    BatchLayout(const nand::Geometry &geom, std::uint64_t and_ops,
+                std::uint64_t or_ops)
+        : geom_(geom), and_ops_(and_ops), or_ops_(or_ops),
+          pure_or_(and_ops == 0 && or_ops > 0),
+          chained_(and_ops + (pure_or_ ? or_ops : 0))
+    {
+        std::uint64_t chains =
+            (chained_ + geom.wordlinesPerSubBlock - 1) /
+            geom.wordlinesPerSubBlock;
+        chain_blocks_ = chained_
+                            ? (chains + geom.subBlocksPerBlock - 1) /
+                                  geom.subBlocksPerBlock
+                            : 0;
+    }
+
+    std::uint64_t operandCount() const { return and_ops_ + or_ops_; }
+
+    /** Blocks one result row's operands occupy. */
+    std::uint64_t blocksPerRow() const
+    {
+        std::uint64_t fused = pure_or_ ? 0 : or_ops_;
+        return std::max<std::uint64_t>(1, chain_blocks_ + fused);
+    }
+
+    /** Physical wordline of operand @p id in the row rooted at
+     *  @p row_block on @p plane. */
+    nand::WordlineAddr addrOf(core::VectorId id, std::uint32_t plane,
+                              std::uint32_t row_block) const
+    {
+        const std::uint32_t wls = geom_.wordlinesPerSubBlock;
+        const std::uint32_t subs = geom_.subBlocksPerBlock;
+        if (id < chained_) {
+            std::uint32_t chain = static_cast<std::uint32_t>(id / wls);
+            return {plane, row_block + chain / subs, chain % subs,
+                    static_cast<std::uint32_t>(id % wls)};
+        }
+        std::uint32_t j = static_cast<std::uint32_t>(id - chained_);
+        return {plane,
+                row_block + static_cast<std::uint32_t>(chain_blocks_) + j,
+                0, 0};
+    }
+
+    // core::StorageResolver: pure-OR operands store the complement
+    // (the §6.1 De Morgan trick); everything else stores plain.
+    bool isStoredInverted(core::VectorId id) const override
+    {
+        return pure_or_ && id < chained_;
+    }
+    std::uint64_t stringKey(core::VectorId id) const override
+    {
+        if (id < chained_)
+            return id / geom_.wordlinesPerSubBlock;
+        return (1ULL << 20) + (id - chained_);
+    }
+
+    /** The batch expression: AND of the and-operands with the
+     *  or-operands OR-ed in (the KCS star-formation shape). */
+    core::Expr expression() const
+    {
+        using core::Expr;
+        std::vector<Expr> ors;
+        if (and_ops_ > 0) {
+            std::vector<Expr> ands;
+            for (std::uint64_t i = 0; i < and_ops_; ++i)
+                ands.push_back(Expr::leaf(
+                    static_cast<core::VectorId>(i)));
+            if (or_ops_ == 0)
+                return Expr::And(std::move(ands));
+            ors.push_back(Expr::And(std::move(ands)));
+        }
+        for (std::uint64_t j = 0; j < or_ops_; ++j)
+            ors.push_back(Expr::leaf(
+                static_cast<core::VectorId>(and_ops_ + j)));
+        return Expr::Or(std::move(ors));
+    }
+
+  private:
+    nand::Geometry geom_;
+    std::uint64_t and_ops_;
+    std::uint64_t or_ops_;
+    bool pure_or_;
+    std::uint64_t chained_;
+    std::uint64_t chain_blocks_ = 0;
+};
+
+} // namespace
+
 PlatformRunner::FunctionalRun
 PlatformRunner::runFcFunctional(const wl::Workload &workload,
                                 std::uint64_t seed) const
@@ -466,66 +565,117 @@ PlatformRunner::runFcFunctional(const wl::Workload &workload,
 
     std::size_t batch_idx = 0;
     for (const wl::OpBatch &batch : workload.batches) {
-        fcos_assert(batch.orOperands == 0,
-                    "functional FC runs support pure-AND batches");
-        fcos_assert(batch.andOperands >= 2 &&
-                        batch.andOperands <=
-                            std::min<std::uint64_t>(
-                                64, cfg_.maxIntraMwsWordlines()),
-                    "operand count must fit one MWS string");
+        const std::uint64_t k = batch.andOperands;
+        const std::uint64_t m = batch.orOperands;
+        fcos_assert(k + m >= 2, "functional batch needs >= 2 operands");
+        if (k > 0 && m > 0) {
+            // The OR operands ride as extra strings of the AND
+            // command (the KCS fusion); beyond the per-command string
+            // budget the planner would beat the analytic driver's
+            // command count and the timelines would diverge.
+            fcos_assert(m <= core::PlanCommand::kMaxStrings - 1,
+                        "mixed batches support <= %zu OR operands",
+                        core::PlanCommand::kMaxStrings - 1);
+        }
+        const BatchLayout layout(geom, k, m);
         const ChunkShape shape = shapeFor(batch.operandBytes, cfg_);
-        const std::uint32_t k =
-            static_cast<std::uint32_t>(batch.andOperands);
-        const std::uint64_t wl_mask = (k >= 64) ? ~0ULL : (1ULL << k) - 1;
-        fcos_assert(block_base + shape.rows <= geom.blocksPerPlane,
+        const std::uint64_t row_blocks = layout.blocksPerRow();
+        fcos_assert(block_base + shape.rows * row_blocks <=
+                        geom.blocksPerPlane,
                     "workload too large to materialize");
+
+        // One plan serves every column and row: the abstract operand
+        // table is position-independent; only the lowering binds
+        // physical wordlines.
+        const core::Planner planner(layout);
+        const core::MwsPlan plan = planner.plan(layout.expression());
+        fcos_assert(plan.kind == core::MwsPlan::Kind::Mws,
+                    "functional batch must compile to an MWS chain: %s",
+                    plan.toString().c_str());
+        fcos_assert(!plan.finalInvert,
+                    "functional batches never need a final NOT");
+        // Certify the analytic sense-count model: the planner must
+        // execute the batch in exactly the commands the timing-only
+        // driver charges for.
+        fcos_assert(plan.senseCount() ==
+                        fcSensesPerRow(k, m, cfg_.maxIntraMwsWordlines(),
+                                       cfg_.maxInterBlockMws),
+                    "planner (%zu cmds) disagrees with the analytic "
+                    "sense count",
+                    plan.senseCount());
 
         for (std::uint32_t col = 0; col < columns; ++col) {
             const std::uint32_t die = col / geom.planesPerDie;
             const std::uint32_t plane = col % geom.planesPerDie;
             nand::NandChip &chip = eng.farm().chip(die);
             for (std::uint64_t r = 0; r < shape.rows; ++r) {
-                const std::uint32_t block =
-                    block_base + static_cast<std::uint32_t>(r);
+                const std::uint32_t row_block =
+                    block_base +
+                    static_cast<std::uint32_t>(r * row_blocks);
                 // Operands in place (instant functional programming):
                 // the workload models computation over stored data.
-                BitVector ref(page_bits, true);
-                for (std::uint32_t i = 0; i < k; ++i) {
-                    Rng rng = Rng::seeded(seed)
-                                  .fork((static_cast<std::uint64_t>(
-                                             batch_idx)
-                                         << 48) +
-                                        (static_cast<std::uint64_t>(col)
-                                         << 28) +
-                                        (r << 8) + i);
-                    BitVector data(page_bits);
-                    data.randomize(rng);
-                    chip.programPageEsp({plane, block, 0, i}, data, esp);
-                    ref &= data;
+                // Pages are programmed as seeded descriptors, so the
+                // sparse backend materializes nothing here.
+                BitVector ref(page_bits, k > 0);
+                for (std::uint64_t i = 0; i < layout.operandCount();
+                     ++i) {
+                    const std::uint64_t stream =
+                        (static_cast<std::uint64_t>(batch_idx) << 48) +
+                        (static_cast<std::uint64_t>(col) << 28) +
+                        (r << 8) + i;
+                    nand::PageImage img = nand::PageImage::random(
+                        Rng::mix(seed, stream));
+                    const core::VectorId id =
+                        static_cast<core::VectorId>(i);
+                    BitVector value = img.materialize(page_bits);
+                    if (i < k)
+                        ref &= value;
+                    else
+                        ref |= value;
+                    chip.programPageEsp(
+                        layout.addrOf(id, plane, row_block),
+                        layout.isStoredInverted(id) ? img.inverted()
+                                                    : img,
+                        esp);
                 }
                 const std::uint64_t slot_bits =
                     bit_offset + (r * columns + col) * page_bits;
                 fr.expected.paste(slot_bits, ref);
 
-                nand::MwsCommand cmd;
-                cmd.plane = plane;
-                cmd.selections.push_back(
-                    nand::WlSelection{block, 0, wl_mask});
+                core::LoweringContext ctx;
+                ctx.plane = plane;
+                ctx.addrOf = [&layout, plane,
+                              row_block](core::VectorId id) {
+                    return layout.addrOf(id, plane, row_block);
+                };
+                ctx.storedInverted = [&layout](core::VectorId id) {
+                    return layout.isStoredInverted(id);
+                };
+
                 engine::ColumnProgram prog;
                 prog.die = die;
                 prog.plane = plane;
-                prog.steps.push_back(engine::ColumnStep{
-                    engine::StepKind::Sense,
-                    [cmd, t_mws](nand::NandChip &c) {
-                        nand::OpResult op = c.executeMws(cmd);
-                        // The SSD schedules the conservative fixed
-                        // command latency (Section 5.2), matching the
-                        // timing-only driver.
-                        op.latency = t_mws;
-                        return op;
-                    },
-                    0, 0});
-                ++sense_ops;
+                for (core::LoweredStep &ls : core::lowerPlan(plan, ctx)) {
+                    fcos_assert(ls.kind ==
+                                    core::LoweredStep::Kind::Sense,
+                                "functional plans lower to senses only");
+                    prog.steps.push_back(engine::ColumnStep{
+                        engine::StepKind::Sense,
+                        [cmd = std::move(ls.cmd),
+                         or_merge = ls.orMergeAfter,
+                         t_mws](nand::NandChip &c) {
+                            nand::OpResult op = c.executeMws(cmd);
+                            if (or_merge)
+                                c.latches(cmd.plane).dumpOrMerge();
+                            // The SSD schedules the conservative fixed
+                            // command latency (Section 5.2), matching
+                            // the timing-only driver.
+                            op.latency = t_mws;
+                            return op;
+                        },
+                        0, 0});
+                    ++sense_ops;
+                }
                 const bool to_host = batch.resultToHost;
                 const bool post = batch.hostPostProcess;
                 prog.onResult = [&fr, &sched, &host, slot_bits,
@@ -545,7 +695,7 @@ PlatformRunner::runFcFunctional(const wl::Workload &workload,
                 eng.submit(std::move(prog));
             }
         }
-        block_base += static_cast<std::uint32_t>(shape.rows);
+        block_base += static_cast<std::uint32_t>(shape.rows * row_blocks);
         bit_offset += shape.rows * columns * page_bits;
         ++batch_idx;
     }

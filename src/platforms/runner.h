@@ -120,17 +120,27 @@ class PlatformRunner
     };
 
     /**
-     * Run a pure-AND Flash-Cosmos workload with *materialized* data
-     * through the engine: deterministic random operand pages are
-     * ESP-programmed onto the farm's chips, sensed with real MWS
-     * commands (booked at the SSD's fixed tMWS, Section 5.2), and the
+     * Run a Flash-Cosmos workload with *real* data through the engine:
+     * deterministic seeded operand pages are ESP-programmed onto the
+     * farm's chips as procedural descriptors (sparse page store — no
+     * payload materializes until sensed), the batch expression is
+     * compiled by the core planner and lowered to real MWS command
+     * chains (booked at the SSD's fixed tMWS, Section 5.2), and the
      * result pages read out over the channel / external link exactly
      * like the timing-only driver. One run certifies that the figure
-     * timelines and the functional bits come from the same execution.
+     * timelines, the analytic per-row sense counts, and the functional
+     * bits all come from the same execution.
      *
-     * Requirements: every batch has orOperands == 0 and
-     * 2 <= andOperands <= min(64, string length). Intended for
-     * test-sized workloads (pages are materialized in memory).
+     * Supported batch shapes (they cover every figure workload):
+     *  - pure AND: operands stack in one string chain (multiple MWS
+     *    commands with AND-merge when they span sub-blocks);
+     *  - pure OR: operands stored inverted, sensed with inverse MWS
+     *    (the §6.1 De Morgan path), OR-merged across chunks;
+     *  - AND + up to 3 OR operands: the OR operands join the AND
+     *    command as extra strings (the KCS fusion).
+     * The planner's command count is asserted equal to
+     * fcSensesPerRow() per row, so the analytic model is certified,
+     * not just approximated.
      */
     FunctionalRun runFcFunctional(const wl::Workload &workload,
                                   std::uint64_t seed = 1) const;

@@ -16,6 +16,7 @@
 
 #include "nand/config.h"
 #include "nand/geometry.h"
+#include "nand/page_store.h"
 #include "util/units.h"
 
 namespace fcos::ssd {
@@ -75,6 +76,10 @@ struct SsdConfig
     std::uint32_t diesPerChannel = 8;
     nand::Geometry geometry = nand::Geometry::table1();
     nand::Timings timings{};
+
+    /** Page-payload backend for functional execution over this
+     *  configuration (engine::FarmConfig::fromSsd forwards it). */
+    nand::PageStoreKind pageStore = nand::PageStoreKind::Sparse;
 
     /** Shared I/O-rate/energy authority (also used by the engine). */
     IoParams io{};

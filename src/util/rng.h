@@ -82,15 +82,26 @@ class Rng
     }
 
     /**
+     * Splitmix64 mixing of (seed, stream): the scalar seed a fork()ed
+     * child is constructed from. Exposed so descriptors that carry a
+     * single seed word (nand::PageImage) can reproduce the same
+     * decorrelated per-stream sequences.
+     */
+    static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream_id)
+    {
+        std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /**
      * Deterministically derive a child generator. Mixes the stream id via
      * splitmix64 so children with adjacent ids are decorrelated.
      */
     Rng fork(std::uint64_t stream_id) const
     {
-        std::uint64_t z = seed_mix_ + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-        return Rng(z ^ (z >> 31));
+        return Rng(mix(seed_mix_, stream_id));
     }
 
     /** Remember the construction seed for fork() mixing. */

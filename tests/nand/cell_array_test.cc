@@ -2,6 +2,8 @@
  * @file
  * Cell-array tests: program/erase rules and the MWS conduction
  * primitive (AND within a string, OR across strings — Section 4.1).
+ * Every test runs against both page-store backends — the NAND
+ * semantics must not depend on how payloads are kept.
  */
 
 #include <gtest/gtest.h>
@@ -12,10 +14,10 @@
 namespace fcos::nand {
 namespace {
 
-class CellArrayTest : public ::testing::Test
+class CellArrayTest : public ::testing::TestWithParam<PageStoreKind>
 {
   protected:
-    CellArrayTest() : geom(Geometry::tiny()), cells(geom) {}
+    CellArrayTest() : geom(Geometry::tiny()), cells(geom, GetParam()) {}
 
     BitVector page(const std::string &prefix)
     {
@@ -30,7 +32,7 @@ class CellArrayTest : public ::testing::Test
     PageMeta meta{};
 };
 
-TEST_F(CellArrayTest, ErasedPagesReadAllOnes)
+TEST_P(CellArrayTest, ErasedPagesReadAllOnes)
 {
     WordlineAddr a{0, 0, 0, 0};
     EXPECT_FALSE(cells.isProgrammed(a));
@@ -38,17 +40,18 @@ TEST_F(CellArrayTest, ErasedPagesReadAllOnes)
     EXPECT_TRUE(v.allOnes());
 }
 
-TEST_F(CellArrayTest, ProgramThenReadBack)
+TEST_P(CellArrayTest, ProgramThenReadBack)
 {
     WordlineAddr a{0, 1, 0, 3};
     BitVector data = page("0101");
     cells.program(a, data, meta);
     EXPECT_TRUE(cells.isProgrammed(a));
     EXPECT_EQ(cells.effectiveData(a, nullptr, 0), data);
-    ASSERT_NE(cells.page(a), nullptr);
+    ASSERT_NE(cells.pageMeta(a), nullptr);
+    EXPECT_EQ(cells.pageData(a), data);
 }
 
-TEST_F(CellArrayTest, DoubleProgramWithoutEraseIsFatal)
+TEST_P(CellArrayTest, DoubleProgramWithoutEraseIsFatal)
 {
     WordlineAddr a{0, 0, 0, 0};
     cells.program(a, page("1"), meta);
@@ -56,7 +59,7 @@ TEST_F(CellArrayTest, DoubleProgramWithoutEraseIsFatal)
                 ::testing::ExitedWithCode(1), "without erase");
 }
 
-TEST_F(CellArrayTest, EraseClearsAllSubBlocksAndBumpsPec)
+TEST_P(CellArrayTest, EraseClearsAllSubBlocksAndBumpsPec)
 {
     WordlineAddr a{0, 2, 0, 1};
     WordlineAddr b{0, 2, 1, 5};
@@ -70,15 +73,16 @@ TEST_F(CellArrayTest, EraseClearsAllSubBlocksAndBumpsPec)
     cells.program(a, page("1"), meta); // reprogram after erase is legal
 }
 
-TEST_F(CellArrayTest, PecRecordedAtProgramTime)
+TEST_P(CellArrayTest, PecRecordedAtProgramTime)
 {
     cells.setBlockPec(0, 3, 1000);
     WordlineAddr a{0, 3, 0, 0};
     cells.program(a, page("1"), meta);
-    EXPECT_EQ(cells.page(a)->meta.pecAtProgram, 1000u);
+    ASSERT_NE(cells.pageMeta(a), nullptr);
+    EXPECT_EQ(cells.pageMeta(a)->pecAtProgram, 1000u);
 }
 
-TEST_F(CellArrayTest, IntraStringConductionIsAnd)
+TEST_P(CellArrayTest, IntraStringConductionIsAnd)
 {
     // Two wordlines of the same sub-block: conduction = AND.
     WordlineAddr w0{0, 0, 0, 0}, w1{0, 0, 0, 1};
@@ -92,7 +96,7 @@ TEST_F(CellArrayTest, IntraStringConductionIsAnd)
     EXPECT_FALSE(c.get(3));
 }
 
-TEST_F(CellArrayTest, InterStringConductionIsOr)
+TEST_P(CellArrayTest, InterStringConductionIsOr)
 {
     // Wordlines in different sub-blocks: conduction = OR.
     WordlineAddr w0{0, 0, 0, 0}, w1{0, 0, 1, 0};
@@ -106,7 +110,7 @@ TEST_F(CellArrayTest, InterStringConductionIsOr)
     EXPECT_FALSE(c.get(3));
 }
 
-TEST_F(CellArrayTest, CombinedConductionMatchesEquationOne)
+TEST_P(CellArrayTest, CombinedConductionMatchesEquationOne)
 {
     // (A1 . A2) + (B1 . B2) — Equation 1 of the paper.
     Rng rng = Rng::seeded(11);
@@ -125,7 +129,7 @@ TEST_F(CellArrayTest, CombinedConductionMatchesEquationOne)
     EXPECT_EQ(c, (a1 & a2) | (b1 & b2));
 }
 
-TEST_F(CellArrayTest, NonTargetWordlinesDoNotAffectConduction)
+TEST_P(CellArrayTest, NonTargetWordlinesDoNotAffectConduction)
 {
     // V_PASS on non-target wordlines turns them on regardless of
     // state: programming neighbours must not change the result.
@@ -139,7 +143,7 @@ TEST_F(CellArrayTest, NonTargetWordlinesDoNotAffectConduction)
     EXPECT_EQ(before, after);
 }
 
-TEST_F(CellArrayTest, FullStringSensing)
+TEST_P(CellArrayTest, FullStringSensing)
 {
     // All wordlines of a sub-block participate (the paper's 48-operand
     // AND, scaled to the tiny geometry's 8).
@@ -158,7 +162,7 @@ TEST_F(CellArrayTest, FullStringSensing)
     EXPECT_EQ(c, expected);
 }
 
-TEST_F(CellArrayTest, SelectionValidation)
+TEST_P(CellArrayTest, SelectionValidation)
 {
     EXPECT_DEATH(cells.senseConduction(0, {}, nullptr, 0), "empty");
     EXPECT_DEATH(
@@ -169,7 +173,7 @@ TEST_F(CellArrayTest, SelectionValidation)
                  "beyond string length");
 }
 
-TEST_F(CellArrayTest, ProgrammedPageAccounting)
+TEST_P(CellArrayTest, ProgrammedPageAccounting)
 {
     EXPECT_EQ(cells.programmedPages(), 0u);
     cells.program({0, 0, 0, 0}, page("1"), meta);
@@ -178,6 +182,32 @@ TEST_F(CellArrayTest, ProgrammedPageAccounting)
     cells.eraseBlock(0, 0);
     EXPECT_EQ(cells.programmedPages(), 1u);
 }
+
+TEST_P(CellArrayTest, ProceduralImagesSenseLikeTheirMaterialization)
+{
+    // A descriptor-programmed page must sense exactly as if its
+    // materialized payload had been programmed densely.
+    PageImage img = PageImage::random(Rng::mix(9, 4));
+    BitVector expect = img.materialize(geom.pageBits());
+    cells.program({0, 0, 0, 0}, img, meta);
+    EXPECT_EQ(cells.effectiveData({0, 0, 0, 0}, nullptr, 0), expect);
+
+    PageImage inv = img.inverted();
+    cells.program({0, 0, 0, 1}, inv, meta);
+    EXPECT_EQ(cells.effectiveData({0, 0, 0, 1}, nullptr, 0), ~expect);
+
+    cells.program({0, 0, 1, 0}, PageImage::checkered(true), meta);
+    BitVector checkered(geom.pageBits());
+    checkered.fillCheckered(true);
+    EXPECT_EQ(cells.pageData({0, 0, 1, 0}), checkered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, CellArrayTest,
+    ::testing::Values(PageStoreKind::Dense, PageStoreKind::Sparse),
+    [](const ::testing::TestParamInfo<PageStoreKind> &info) {
+        return std::string(pageStoreName(info.param));
+    });
 
 } // namespace
 } // namespace fcos::nand

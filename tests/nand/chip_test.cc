@@ -54,10 +54,10 @@ TEST_F(ChipTest, EspProgramUsesExtendedLatency)
     OpResult w = chip.programPageEsp(a, randomPage(rng),
                                      EspParams{2.0});
     EXPECT_EQ(w.latency, usToTime(400.0));
-    const PageState *ps = chip.cells().page(a);
-    ASSERT_NE(ps, nullptr);
-    EXPECT_EQ(ps->meta.mode, ProgramMode::SlcEsp);
-    EXPECT_FALSE(ps->meta.randomized);
+    const PageMeta *pm = chip.cells().pageMeta(a);
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->mode, ProgramMode::SlcEsp);
+    EXPECT_FALSE(pm->randomized);
 }
 
 TEST_F(ChipTest, IntraBlockMwsComputesAnd)
@@ -225,9 +225,9 @@ TEST_F(ChipTest, ProgramFromCachePersistsLatchContents)
     EXPECT_EQ(w.latency, usToTime(400.0)); // ESP by default
     chip.readPage({0, 1, 0, 0});
     EXPECT_EQ(chip.dataOut(0), a & b);
-    const PageState *ps = chip.cells().page({0, 1, 0, 0});
-    ASSERT_NE(ps, nullptr);
-    EXPECT_EQ(ps->meta.mode, ProgramMode::SlcEsp);
+    const PageMeta *pm = chip.cells().pageMeta({0, 1, 0, 0});
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->mode, ProgramMode::SlcEsp);
 }
 
 TEST_F(ChipTest, CopybackMovesDataWithinPlane)
@@ -248,10 +248,10 @@ TEST_F(ChipTest, CopybackPreservesEspMode)
     BitVector data = randomPage(rng);
     chip.programPageEsp({0, 4, 0, 0}, data, EspParams{2.0});
     chip.copyback({0, 4, 0, 0}, {0, 5, 0, 0});
-    const PageState *ps = chip.cells().page({0, 5, 0, 0});
-    ASSERT_NE(ps, nullptr);
-    EXPECT_EQ(ps->meta.mode, ProgramMode::SlcEsp);
-    EXPECT_DOUBLE_EQ(ps->meta.espFactor, 2.0);
+    const PageMeta *pm = chip.cells().pageMeta({0, 5, 0, 0});
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->mode, ProgramMode::SlcEsp);
+    EXPECT_DOUBLE_EQ(pm->espFactor, 2.0);
     chip.readPage({0, 5, 0, 0});
     EXPECT_EQ(chip.dataOut(0), data);
 }

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Dense <-> sparse page-store equivalence and the sparse backend's
+ * scale contract.
+ *
+ * The equivalence half drives two identically seeded chips — one per
+ * backend — through identical programs (dense payloads, procedural
+ * descriptors, inverted descriptors) and the shared random MWS command
+ * corpus, with the V_TH error model attached: sensed bits, conduction,
+ * latch state and injected-error positions must match exactly. The
+ * scale half instantiates a full Table-1 die, programs under 1% of its
+ * pages procedurally, and pins the heap footprint — the property that
+ * lets Table-1 drives run inside CTest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/chip.h"
+#include "reliability/error_injector.h"
+#include "tests/support/command_corpus.h"
+#include "util/rng.h"
+
+namespace fcos::nand {
+namespace {
+
+/** A chip plus its own injector, so per-chip error state is isolated
+ *  while both chips draw identical (page, sense) seeds. */
+struct InjectedChip
+{
+    rel::VthModel model;
+    rel::VthErrorInjector injector;
+    NandChip chip;
+
+    InjectedChip(const Geometry &geom, PageStoreKind store)
+        : injector(model, rel::OperatingCondition{10000, 12.0, false}),
+          chip(geom, Timings{}, &injector, store)
+    {}
+};
+
+/** Program the same mixed page population on both chips: dense random
+ *  payloads, procedural descriptors, inverted and checkered images. */
+void
+programTwin(InjectedChip &a, InjectedChip &b, const Geometry &geom,
+            std::uint64_t seed)
+{
+    Rng rng = Rng::seeded(seed);
+    for (std::uint32_t blk = 0; blk < geom.blocksPerPlane; ++blk) {
+        for (std::uint32_t sb = 0; sb < geom.subBlocksPerBlock; ++sb) {
+            for (std::uint32_t wl = 0; wl < geom.wordlinesPerSubBlock;
+                 ++wl) {
+                // ~60% of pages stay erased.
+                if (rng.nextDouble() < 0.6)
+                    continue;
+                std::uint32_t plane = static_cast<std::uint32_t>(
+                    rng.nextBounded(geom.planesPerDie));
+                WordlineAddr addr{plane, blk, sb, wl};
+                switch (rng.nextBounded(4)) {
+                  case 0: { // dense payload
+                    BitVector v(geom.pageBits());
+                    v.randomize(rng);
+                    a.chip.programPageEsp(addr, v, EspParams{2.0});
+                    b.chip.programPageEsp(addr, v, EspParams{2.0});
+                    break;
+                  }
+                  case 1: { // procedural random descriptor
+                    PageImage img = PageImage::random(rng.nextU64());
+                    a.chip.programPageEsp(addr, img, EspParams{2.0});
+                    b.chip.programPageEsp(addr, img, EspParams{2.0});
+                    break;
+                  }
+                  case 2: { // inverted descriptor (De Morgan storage)
+                    PageImage img =
+                        PageImage::random(rng.nextU64()).inverted();
+                    a.chip.programPage(addr, img);
+                    b.chip.programPage(addr, img);
+                    break;
+                  }
+                  default: { // checkered worst-case pattern
+                    PageImage img = PageImage::checkered(
+                        rng.nextBounded(2) == 0);
+                    a.chip.programPage(addr, img,
+                                       ProgramMode::SlcRegular, true);
+                    b.chip.programPage(addr, img,
+                                       ProgramMode::SlcRegular, true);
+                    break;
+                  }
+                }
+            }
+        }
+    }
+}
+
+TEST(PageStoreEquivalenceTest, CorpusSensesIdenticallyOnBothBackends)
+{
+    const Geometry geom = Geometry::tiny();
+    InjectedChip dense(geom, PageStoreKind::Dense);
+    InjectedChip sparse(geom, PageStoreKind::Sparse);
+    ASSERT_EQ(dense.chip.cells().storeKind(), PageStoreKind::Dense);
+    ASSERT_EQ(sparse.chip.cells().storeKind(), PageStoreKind::Sparse);
+
+    programTwin(dense, sparse, geom, 99);
+    ASSERT_EQ(dense.chip.cells().programmedPages(),
+              sparse.chip.cells().programmedPages());
+
+    // The shared random command generator: same sequence of
+    // well-formed MWS commands executed on both chips.
+    Rng cmd_rng = Rng::seeded(1234);
+    for (int i = 0; i < 200; ++i) {
+        MwsCommand cmd = test::randomCommand(cmd_rng, geom);
+        // An inverse read requires S-latch initialization.
+        if (cmd.flags.inverseRead)
+            cmd.flags.initSenseLatch = true;
+        OpResult ra = dense.chip.executeMws(cmd);
+        OpResult rb = sparse.chip.executeMws(cmd);
+        EXPECT_EQ(ra.latency, rb.latency);
+        EXPECT_DOUBLE_EQ(ra.energyJ, rb.energyJ);
+        ASSERT_EQ(dense.chip.dataOut(cmd.plane),
+                  sparse.chip.dataOut(cmd.plane))
+            << "command " << i << " diverged";
+        ASSERT_EQ(dense.chip.latches(cmd.plane).sense(),
+                  sparse.chip.latches(cmd.plane).sense())
+            << "command " << i << " sense latch diverged";
+    }
+
+    // Identical injected-error accounting: every (page, sense) seed
+    // must have drawn the same error positions on both backends.
+    EXPECT_EQ(dense.injector.injectedErrors(),
+              sparse.injector.injectedErrors());
+    EXPECT_EQ(dense.injector.sensedBits(), sparse.injector.sensedBits());
+    EXPECT_GT(dense.injector.injectedErrors(), 0u)
+        << "the equivalence run never exercised the error model";
+}
+
+TEST(PageStoreEquivalenceTest, ConductionMatchesAcrossBackends)
+{
+    const Geometry geom = Geometry::tiny();
+    CellArray dense(geom, PageStoreKind::Dense);
+    CellArray sparse(geom, PageStoreKind::Sparse);
+    PageMeta meta;
+    Rng rng = Rng::seeded(5);
+    for (std::uint32_t wl = 0; wl < geom.wordlinesPerSubBlock; wl += 2) {
+        PageImage img = PageImage::random(rng.nextU64(), 0.7);
+        dense.program({0, 1, 0, wl}, img, meta);
+        sparse.program({0, 1, 0, wl}, img, meta);
+    }
+    std::vector<WlSelection> sels{{1, 0, 0b010101}, {1, 1, 0b1}};
+    EXPECT_EQ(dense.senseConduction(0, sels, nullptr, 0),
+              sparse.senseConduction(0, sels, nullptr, 0));
+}
+
+TEST(PageStoreScaleTest, Table1ChipStaysUnderByteBudget)
+{
+    // A full Table-1 die with < 1% of its pages programmed must not
+    // cost more than a pinned budget. Dense payloads for the same
+    // population would be pages * 16 KiB (> 60 MiB); the sparse
+    // descriptors stay around a hundred bytes per page.
+    const Geometry geom = Geometry::table1();
+    NandChip chip(geom, Timings{}, nullptr, PageStoreKind::Sparse);
+
+    const std::uint64_t total_pages =
+        static_cast<std::uint64_t>(geom.planesPerDie) *
+        geom.pagesPerPlane();
+    const std::uint64_t target = total_pages / 128; // ~0.78%
+    std::uint64_t programmed = 0;
+    for (std::uint32_t blk = 0; blk < geom.blocksPerPlane &&
+                                programmed < target; ++blk) {
+        // First wordline of every string of every 2nd block, both planes.
+        if (blk % 2)
+            continue;
+        for (std::uint32_t p = 0; p < geom.planesPerDie; ++p) {
+            for (std::uint32_t sb = 0; sb < geom.subBlocksPerBlock;
+                 ++sb) {
+                chip.programPageEsp(
+                    {p, blk, sb, 0},
+                    PageImage::random(Rng::mix(3, programmed)),
+                    EspParams{2.0});
+                ++programmed;
+            }
+        }
+    }
+    ASSERT_GE(programmed, 4000u);
+    EXPECT_LT(programmed, total_pages / 100); // < 1% programmed
+
+    constexpr std::size_t kBudgetBytes = 4 * 1024 * 1024; // pinned
+    EXPECT_LT(chip.cells().contentBytes(), kBudgetBytes);
+
+    // Sensing a programmed string must not grow the store.
+    MwsCommand cmd;
+    cmd.plane = 0;
+    cmd.selections.push_back(WlSelection{0, 0, 1});
+    chip.executeMws(cmd);
+    EXPECT_LT(chip.cells().contentBytes(), kBudgetBytes);
+
+    // The same population on the dense backend pays full payloads:
+    // the sparse footprint must be at least 50x smaller than the
+    // dense payload bytes alone.
+    EXPECT_LT(chip.cells().contentBytes() * 50,
+              programmed * geom.pageBytes);
+}
+
+TEST(PageStoreScaleTest, BroadcastCopiesShareOnePayload)
+{
+    // CoW dense images: N broadcast copies of one page must account
+    // roughly one payload, not N.
+    const Geometry geom = Geometry::table1();
+    CellArray cells(geom, PageStoreKind::Sparse);
+    PageMeta meta;
+    BitVector payload(geom.pageBits());
+    Rng rng = Rng::seeded(8);
+    payload.randomize(rng);
+    auto shared = std::make_shared<const BitVector>(std::move(payload));
+
+    const std::uint32_t copies = 64;
+    for (std::uint32_t i = 0; i < copies; ++i)
+        cells.program({0, i, 0, 0}, PageImage::shared(shared), meta);
+
+    EXPECT_EQ(cells.programmedPages(), copies);
+    // One payload (16 KiB) + per-entry bookkeeping, far below
+    // copies * pageBytes = 1 MiB.
+    EXPECT_LT(cells.contentBytes(), 2 * geom.pageBytes + copies * 256);
+    EXPECT_EQ(cells.pageData({0, 5, 0, 0}), *shared);
+}
+
+} // namespace
+} // namespace fcos::nand

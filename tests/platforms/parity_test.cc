@@ -97,24 +97,31 @@ smallSsd()
     return cfg;
 }
 
-/** Pure-AND workload of @p rows result pages per plane column. */
+/** Workload of one batch with @p rows result pages per plane column. */
 wl::Workload
-andWorkload(std::uint64_t operands, std::uint64_t rows,
-            const ssd::SsdConfig &cfg)
+batchWorkload(std::uint64_t and_ops, std::uint64_t or_ops,
+              std::uint64_t rows, const ssd::SsdConfig &cfg)
 {
     wl::Workload w;
-    w.name = "AND";
+    w.name = and_ops ? (or_ops ? "MIX" : "AND") : "OR";
     w.paramName = "ops";
-    w.paramValue = operands;
+    w.paramValue = and_ops + or_ops;
     wl::OpBatch b;
-    b.andOperands = operands;
-    b.orOperands = 0;
+    b.andOperands = and_ops;
+    b.orOperands = or_ops;
     b.operandBytes =
         rows * cfg.geometry.pageBytes * cfg.totalPlanes();
     b.resultToHost = true;
     b.hostPostProcess = false;
     w.batches.push_back(b);
     return w;
+}
+
+wl::Workload
+andWorkload(std::uint64_t operands, std::uint64_t rows,
+            const ssd::SsdConfig &cfg)
+{
+    return batchWorkload(operands, 0, rows, cfg);
 }
 
 TEST(FunctionalParityTest, MaterializedRunIsBitExact)
@@ -163,6 +170,84 @@ TEST(FunctionalParityTest, MaterializedTimelineMatchesTimingDriver)
     double a = static_cast<double>(fr2.timing.makespan);
     double b = static_cast<double>(t2.makespan);
     EXPECT_LE(std::abs(a - b) / std::max(a, b), 0.02);
+}
+
+/** Certify one batch shape: bit-exact against the host reference and
+ *  event-for-event on the timing driver's timeline (one row per
+ *  plane => the chains are identical, so makespan and sense counts
+ *  must be *equal*, not merely close). */
+void
+certifyFunctional(const ssd::SsdConfig &cfg, std::uint64_t and_ops,
+                  std::uint64_t or_ops, std::uint64_t seed)
+{
+    PlatformRunner runner(cfg);
+    wl::Workload w = batchWorkload(and_ops, or_ops, 1, cfg);
+    PlatformRunner::FunctionalRun fr = runner.runFcFunctional(w, seed);
+    ASSERT_GT(fr.result.size(), 0u);
+    EXPECT_TRUE(fr.bitExact());
+    RunResult timing = runner.run(PlatformKind::FlashCosmos, w);
+    EXPECT_EQ(fr.timing.senseOps, timing.senseOps);
+    EXPECT_EQ(fr.timing.makespan, timing.makespan);
+}
+
+TEST(FunctionalParityTest, OrBatchViaDeMorganIsBitExact)
+{
+    // The Figure 7 shape: pure OR of 3 vectors — operands stored
+    // inverted, one inverse MWS per row (§6.1 De Morgan).
+    certifyFunctional(smallSsd(), 0, 3, 21);
+}
+
+TEST(FunctionalParityTest, WideOrBatchChainsInverseCommands)
+{
+    // More OR operands than one string holds (tiny geometry: 8
+    // wordlines/string): the planner must chain inverse commands with
+    // OR-merge dumps, still matching fcSensesPerRow (= 2 here).
+    certifyFunctional(smallSsd(), 0, 12, 22);
+}
+
+TEST(FunctionalParityTest, KcsFusionRowIsBitExact)
+{
+    // The KCS figure row: AND of k adjacency vectors with the clique
+    // membership vector OR-ed in as an extra string — one MWS total.
+    certifyFunctional(smallSsd(), 4, 1, 23);
+    certifyFunctional(smallSsd(), 6, 3, 24);
+}
+
+TEST(FunctionalParityTest, BmiRowSpansSubBlockChains)
+{
+    // A BMI-shaped row (AND of 30 daily vectors) at a geometry whose
+    // strings hold 8 operands: the operands stack across 4 sub-block
+    // chains and the planner emits 4 AND-merged commands per row.
+    ssd::SsdConfig cfg = smallSsd();
+    cfg.geometry.subBlocksPerBlock = 4;
+    PlatformRunner runner(cfg);
+    wl::Workload w = batchWorkload(30, 0, 1, cfg);
+    PlatformRunner::FunctionalRun fr = runner.runFcFunctional(w, 31);
+    EXPECT_TRUE(fr.bitExact());
+    RunResult timing = runner.run(PlatformKind::FlashCosmos, w);
+    // 30 operands / 8-wordline strings => 4 commands per row.
+    EXPECT_EQ(fr.timing.senseOps, timing.senseOps);
+    EXPECT_EQ(fr.timing.senseOps,
+              4u * cfg.totalPlanes()); // 4 per plane column, whole SSD
+    EXPECT_EQ(fr.timing.makespan, timing.makespan);
+}
+
+TEST(FunctionalParityTest, MixedBatchesAcrossOneWorkload)
+{
+    // Several certified shapes in one workload exercise the block
+    // allocator across batches.
+    ssd::SsdConfig cfg = smallSsd();
+    PlatformRunner runner(cfg);
+    wl::Workload w = batchWorkload(5, 0, 1, cfg);
+    wl::Workload or3 = batchWorkload(0, 3, 1, cfg);
+    wl::Workload kcs = batchWorkload(4, 2, 1, cfg);
+    w.batches.push_back(or3.batches[0]);
+    w.batches.push_back(kcs.batches[0]);
+    PlatformRunner::FunctionalRun fr = runner.runFcFunctional(w, 41);
+    EXPECT_TRUE(fr.bitExact());
+    RunResult timing = runner.run(PlatformKind::FlashCosmos, w);
+    EXPECT_EQ(fr.timing.senseOps, timing.senseOps);
+    EXPECT_EQ(fr.timing.makespan, timing.makespan);
 }
 
 } // namespace

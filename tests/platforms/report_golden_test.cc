@@ -72,5 +72,54 @@ TEST(ReportGoldenTest, Fig18EnergyTableIsPinned)
         test::MatchesGolden(t.toString(), "golden/fig18_energy.txt"));
 }
 
+TEST(ReportGoldenTest, Fig08RberPanelsArePinned)
+{
+    // All four panels through the same builder and reduced farm the
+    // bench prints with — drift in the V_TH model curves fails here.
+    rel::ChipFarm farm(fig08FarmConfig());
+    EXPECT_TRUE(test::MatchesGolden(fig08RberReport(farm),
+                                    "golden/fig08_rber.txt"));
+}
+
+/** Reduced chip population for the Figure 11 pins: same builders as
+ *  the bench (which uses the full 160-chip farm). */
+rel::ChipFarm
+fig11ReducedFarm()
+{
+    rel::ChipFarm::Config cfg;
+    cfg.chips = 20;
+    cfg.blocksPerChip = 30;
+    return rel::ChipFarm(cfg);
+}
+
+TEST(ReportGoldenTest, Fig11EspTableIsPinned)
+{
+    rel::ChipFarm farm = fig11ReducedFarm();
+    rel::OperatingCondition worst{10000, 12.0, false};
+    EXPECT_TRUE(test::MatchesGolden(fig11EspTable(farm, worst).toString(),
+                                    "golden/fig11_esp.txt"));
+}
+
+TEST(ReportGoldenTest, Fig11CampaignTableIsPinned)
+{
+    rel::ChipFarm farm = fig11ReducedFarm();
+    rel::OperatingCondition worst{10000, 12.0, false};
+    EXPECT_TRUE(test::MatchesGolden(
+        fig11CampaignTable(farm, worst, 10000000000ULL).toString(),
+        "golden/fig11_campaign.txt"));
+}
+
+TEST(ReportGoldenTest, Fig13InterMwsTableIsPinned)
+{
+    EXPECT_TRUE(test::MatchesGolden(fig13InterMwsTable().toString(),
+                                    "golden/fig13_inter_mws.txt"));
+}
+
+TEST(ReportGoldenTest, Fig14PowerTableIsPinned)
+{
+    EXPECT_TRUE(test::MatchesGolden(fig14PowerTable().toString(),
+                                    "golden/fig14_power.txt"));
+}
+
 } // namespace
 } // namespace fcos::plat
