@@ -3,7 +3,9 @@
  * Ablation — why cap inter-block MWS at four blocks? (Sections 5.2
  * and 6.1.) Sweeps the cap for a 32-operand bulk OR executed with
  * inter-block MWS only, reporting sensing latency, peak chip power,
- * and sensing energy per result page.
+ * and sensing energy per result page. The cap-sweep table comes from
+ * the shared plat:: builder, so the golden test pins exactly what
+ * this bench prints.
  *
  * The paper's design point: power must stay below the erase ceiling
  * (the SSD's provisioned worst case), which caps the fan-in at 4; the
@@ -14,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "nand/power_model.h"
 #include "nand/timing_model.h"
+#include "platforms/reports.h"
 
 using namespace fcos;
 using nand::PowerModel;
@@ -25,26 +28,11 @@ main()
     bench::header("Ablation: inter-block MWS fan-in cap",
                   "32-operand bulk OR via inter-block MWS only");
 
-    const std::uint32_t operands = 32;
-    TimingModel tm;
-
-    TablePrinter t("Cap sweep");
-    t.setHeader({"cap", "MWS ops", "sense time", "peak power",
-                 "within erase budget", "sense energy"});
-    for (std::uint32_t cap : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        std::uint32_t ops = (operands + cap - 1) / cap;
-        Time per_op = tm.mwsLatency(1, cap);
-        Time total = ops * per_op;
-        double power = PowerModel::interBlockMwsPower(cap);
-        double energy = ops * PowerModel::energy(power, per_op);
-        t.addRow({std::to_string(cap), std::to_string(ops),
-                  formatTime(total), TablePrinter::cell(power, 2),
-                  power <= PowerModel::kErasePower ? "yes" : "NO",
-                  formatEnergy(energy)});
-    }
-    t.print();
+    plat::ablationBlockLimitTable().print();
     std::printf("\n");
 
+    const std::uint32_t operands = 32;
+    TimingModel tm;
     Time serial = operands * tm.timings().tReadSlc;
     Time capped4 = 8 * tm.mwsLatency(1, 4);
     bench::anchor("serial reads (ParaBit) for the same OR", "32 tR",

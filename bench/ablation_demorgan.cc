@@ -8,19 +8,20 @@
  *  (b) inter-block MWS with the 4-block power cap;
  *  (c) operands stored *inverted*, one inverse intra-block MWS per
  *      48-operand string — the Flash-Cosmos preferred layout.
+ *
+ * The strategy-cost table comes from the shared plat:: builder
+ * (golden-pinned); the functional validation of strategy (c) stays
+ * here because it needs the drive end to end.
  */
 
 #include "bench/bench_util.h"
 #include "core/drive.h"
-#include "nand/power_model.h"
-#include "nand/timing_model.h"
+#include "platforms/reports.h"
 #include "util/rng.h"
 
 using namespace fcos;
 using core::Expr;
 using core::FlashCosmosDrive;
-using nand::PowerModel;
-using nand::TimingModel;
 
 int
 main()
@@ -28,25 +29,7 @@ main()
     bench::header("Ablation: OR via De Morgan inverse storage",
                   "bulk OR cost by execution strategy");
 
-    TimingModel tm;
-    TablePrinter t("Sensing cost per result page for OR of N operands");
-    t.setHeader({"N", "(a) serial reads", "(b) inter-block (cap 4)",
-                 "(c) inverse intra-block"});
-    for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 48u, 96u}) {
-        Time serial = n * tm.timings().tReadSlc;
-        std::uint32_t inter_ops = (n + 3) / 4;
-        Time inter = inter_ops * tm.mwsLatency(1, 4);
-        std::uint32_t intra_ops = (n + 47) / 48;
-        Time intra = intra_ops * tm.mwsLatency(std::min(n, 48u), 1);
-        t.addRow({std::to_string(n),
-                  formatTime(serial) + " (" + std::to_string(n) +
-                      " ops)",
-                  formatTime(inter) + " (" + std::to_string(inter_ops) +
-                      " ops)",
-                  formatTime(intra) + " (" + std::to_string(intra_ops) +
-                      " ops)"});
-    }
-    t.print();
+    plat::ablationDeMorganTable().print();
 
     // Functional validation of strategy (c) on the drive.
     std::printf("\nFunctional check (16-operand OR, inverse storage):\n");

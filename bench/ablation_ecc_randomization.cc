@@ -8,13 +8,17 @@
  *  (2) bitwise AND of two randomized pages cannot be de-randomized;
  *  (3) the Flash-Cosmos path (ESP storage, no ECC, no randomization)
  *      computes bit-exactly under worst-case wear and retention.
+ *
+ * The (1)/(2) trial tables live in the shared plat:: builders
+ * (golden-pinned) and hand their outcome counters back for the
+ * anchors; the (3) end-to-end drive check stays here because it needs
+ * the error-injected drive.
  */
 
 #include "bench/bench_util.h"
 #include "core/drive.h"
-#include "reliability/bch.h"
+#include "platforms/reports.h"
 #include "reliability/error_injector.h"
-#include "reliability/randomizer.h"
 #include "util/rng.h"
 
 using namespace fcos;
@@ -28,62 +32,18 @@ main()
     bench::header("Ablation: ECC / randomization vs in-flash compute",
                   "the Section 3.2 incompatibility, executed");
 
-    Rng rng = Rng::seeded(99);
-
     // ---- (1) ECC ---------------------------------------------------
-    BchCode code(10, 4);
-    int rejected = 0, miscorrected = 0, accepted_correct = 0;
-    const int trials = 50;
-    for (int i = 0; i < trials; ++i) {
-        BitVector d1(code.k()), d2(code.k());
-        d1.randomize(rng);
-        d2.randomize(rng);
-        BitVector cw = code.encode(d1) & code.encode(d2);
-        BchDecodeResult r = code.decode(cw);
-        if (!r.ok)
-            ++rejected;
-        else if (code.extractData(cw) != (d1 & d2))
-            ++miscorrected;
-        else
-            ++accepted_correct;
-    }
-    TablePrinter ecc("AND of two valid BCH(1023, k, t=4) codewords");
-    ecc.setHeader({"outcome", "count"});
-    ecc.addRow({"decode failure", std::to_string(rejected)});
-    ecc.addRow({"decodes to WRONG data", std::to_string(miscorrected)});
-    ecc.addRow({"decodes to AND of payloads",
-                std::to_string(accepted_correct)});
-    ecc.print();
+    plat::AblationEccStats ecc;
+    plat::ablationEccTable(&ecc).print();
     std::printf("\n");
 
     // ---- (2) Randomization ----------------------------------------
-    Randomizer randomizer;
     int derand_ok = 0;
-    std::size_t total_damage = 0;
-    for (int i = 0; i < trials; ++i) {
-        BitVector a(4096), b(4096);
-        a.randomize(rng);
-        b.randomize(rng);
-        BitVector sa = a, sb = b;
-        randomizer.apply(sa, 2 * static_cast<std::uint64_t>(i));
-        randomizer.apply(sb, 2 * static_cast<std::uint64_t>(i) + 1);
-        BitVector sensed = sa & sb; // what in-flash AND would return
-        randomizer.apply(sensed, 2 * static_cast<std::uint64_t>(i));
-        if (sensed == (a & b))
-            ++derand_ok;
-        total_damage += sensed.hammingDistance(a & b);
-    }
-    TablePrinter rnd("AND of two randomized 4-Kib pages, de-randomized");
-    rnd.setHeader({"outcome", "value"});
-    rnd.addRow({"trials recovering AND of payloads",
-                std::to_string(derand_ok) + " / " +
-                    std::to_string(trials)});
-    rnd.addRow({"average corrupted bits per page",
-                std::to_string(total_damage / trials) + " / 4096"});
-    rnd.print();
+    plat::ablationRandomizationTable(&derand_ok).print();
     std::printf("\n");
 
     // ---- (3) The Flash-Cosmos answer -------------------------------
+    Rng rng = Rng::seeded(97);
     VthModel model;
     OperatingCondition worst{10000, 12.0, false};
     VthErrorInjector injector(model, worst);
@@ -99,7 +59,7 @@ main()
     BitVector in_flash = drive.fcRead(Expr::And({ea, eb}));
 
     bench::anchor("ECC survives in-flash AND", "never",
-                  accepted_correct == 0 ? "never" : "SOMETIMES");
+                  ecc.acceptedCorrect == 0 ? "never" : "SOMETIMES");
     bench::anchor("randomization survives in-flash AND", "never",
                   derand_ok == 0 ? "never" : "SOMETIMES");
     bench::anchor("ESP path exact at 10K PEC / 1 year / worst pattern",

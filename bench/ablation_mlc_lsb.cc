@@ -6,12 +6,13 @@
  * pages; reliability then matches regular-SLC (ParaBit-level), not
  * ESP's zero-error level.
  *
- * The bench compares the operand-storage options for in-flash
- * processing at the worst-case operating point, plus their capacity
- * cost per stored operand bit.
+ * The operand-storage comparison table comes from the shared plat::
+ * builder (golden-pinned); this driver adds the paper-vs-measured
+ * anchors.
  */
 
 #include "bench/bench_util.h"
+#include "platforms/reports.h"
 #include "reliability/vth_model.h"
 
 using namespace fcos;
@@ -24,25 +25,11 @@ main()
                   "ESP vs regular SLC vs MLC-LSB vs MLC (10K PEC, "
                   "1 year, worst pattern)");
 
-    VthModel model;
-    OperatingCondition worst{10000, 12.0, false};
-
-    TablePrinter t("Operand-storage comparison");
-    t.setHeader({"storage", "RBER", "errors per 16-KiB page",
-                 "capacity vs MLC", "usable for error-intolerant apps"});
-    auto row = [&](const char *name, double rber, const char *capacity) {
-        double per_page = rber * 16 * 1024 * 8;
-        t.addRow({name, TablePrinter::cellSci(rber),
-                  TablePrinter::cell(per_page, per_page < 0.01 ? 6 : 1),
-                  capacity, rber < 1e-11 ? "yes" : "no"});
-    };
-    row("ESP (tESP = 2x)", model.rberEsp(2.0, worst), "0.5x");
-    row("regular SLC", model.rberSlc(worst), "0.5x");
-    row("MLC, LSB pages only", model.rberMlcLsb(worst), "0.5x");
-    row("MLC, both pages", model.rberMlc(worst), "1.0x");
-    t.print();
+    plat::ablationMlcLsbTable().print();
     std::printf("\n");
 
+    VthModel model;
+    OperatingCondition worst{10000, 12.0, false};
     double lsb = model.rberMlcLsb(worst);
     double mlc = model.rberMlc(worst);
     // The footnote's claim is mechanical: an LSB read senses a single

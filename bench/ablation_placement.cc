@@ -5,60 +5,19 @@
  * MWS per string) vs scattered operands (each vector in its own
  * sub-block, one command per operand), on the functional drive.
  *
+ * The comparison table and the per-query cost probe both live in the
+ * shared plat:: builders (golden-pinned), so this driver and the
+ * golden test cannot drift apart.
+ *
  * This quantifies why the application-level placement contract exists:
  * without co-location, Flash-Cosmos degenerates to ParaBit-like
  * serial sensing.
  */
 
 #include "bench/bench_util.h"
-#include "core/drive.h"
-#include "util/rng.h"
+#include "platforms/reports.h"
 
 using namespace fcos;
-using core::Expr;
-using core::FlashCosmosDrive;
-
-namespace {
-
-struct Cost
-{
-    std::uint64_t commands_per_page;
-    Time nand_time;
-    double energy;
-    bool correct;
-};
-
-Cost
-runQuery(bool colocated, int operands)
-{
-    // Scattered placement burns one sub-block per operand; give the
-    // drive enough blocks for the 16-operand case.
-    FlashCosmosDrive::Config cfg;
-    cfg.geometry.blocksPerPlane = 32;
-    FlashCosmosDrive drive(cfg);
-    Rng rng = Rng::seeded(77);
-    std::vector<BitVector> data;
-    std::vector<Expr> leaves;
-    for (int i = 0; i < operands; ++i) {
-        FlashCosmosDrive::WriteOptions opts;
-        if (colocated)
-            opts.group = 1; // same NAND strings
-        // else: default auto group — every vector in its own sub-block
-        BitVector v(1024);
-        v.randomize(rng);
-        leaves.push_back(Expr::leaf(drive.fcWrite(v, opts)));
-        data.push_back(std::move(v));
-    }
-    FlashCosmosDrive::ReadStats stats;
-    BitVector result = drive.fcRead(Expr::And(leaves), &stats);
-    BitVector expected = data[0];
-    for (int i = 1; i < operands; ++i)
-        expected &= data[i];
-    return Cost{stats.mwsCommands / stats.resultPages, stats.nandTime,
-                stats.nandEnergyJ, result == expected};
-}
-
-} // namespace
 
 int
 main()
@@ -67,34 +26,23 @@ main()
                   "co-located vs scattered operands for bulk AND "
                   "(tiny geometry: 8-wordline strings)");
 
-    TablePrinter t("Placement comparison");
-    t.setHeader({"operands", "layout", "MWS/page", "NAND time",
-                 "NAND energy", "correct"});
-    for (int n : {4, 8, 16}) {
-        for (bool coloc : {true, false}) {
-            Cost c = runQuery(coloc, n);
-            t.addRow({std::to_string(n),
-                      coloc ? "co-located group" : "scattered",
-                      std::to_string(c.commands_per_page),
-                      formatTime(c.nand_time), formatEnergy(c.energy),
-                      c.correct ? "yes" : "NO"});
-        }
-    }
-    t.print();
+    plat::ablationPlacementTable().print();
     std::printf("\n");
 
-    Cost coloc = runQuery(true, 8);
-    Cost scattered = runQuery(false, 8);
+    plat::AblationPlacementCost coloc =
+        plat::ablationPlacementQuery(true, 8);
+    plat::AblationPlacementCost scattered =
+        plat::ablationPlacementQuery(false, 8);
     bench::anchor("8-operand AND, co-located", "1 command/page",
-                  std::to_string(coloc.commands_per_page) +
+                  std::to_string(coloc.commandsPerPage) +
                       " command/page");
     bench::anchor("8-operand AND, scattered", "8 commands/page",
-                  std::to_string(scattered.commands_per_page) +
+                  std::to_string(scattered.commandsPerPage) +
                       " commands/page");
     bench::anchor(
         "sensing-time penalty of bad placement", "~Nx",
-        bench::ratioStr(static_cast<double>(scattered.nand_time) /
-                        static_cast<double>(coloc.nand_time)));
+        bench::ratioStr(static_cast<double>(scattered.nandTime) /
+                        static_cast<double>(coloc.nandTime)));
     std::printf("\nConclusion: co-location is what converts N serial "
                 "senses into one MWS; the\nfc_write group hint "
                 "(Section 6.3) is therefore part of the API "

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/lowering.h"
+#include "engine/result_stream.h"
 #include "util/log.h"
 
 namespace fcos::core {
@@ -20,6 +21,22 @@ farmConfigFor(const FlashCosmosDrive::Config &cfg)
     fc.pageStore = cfg.pageStore;
     fc.io = cfg.io;
     return fc;
+}
+
+/** Emit adapter shared by every streamed read path: clamps page @p j
+ *  to the vector's @p bits tail and hands it to @p sink. */
+engine::OrderedChunkStream::Emit
+sinkEmitter(ResultSink &sink, std::uint64_t page_bits,
+            std::uint64_t bits)
+{
+    return [&sink, page_bits, bits](std::uint64_t j, BitVector page) {
+        fcos_assert(!page.empty(), "column %llu produced no result",
+                    (unsigned long long)j);
+        std::uint64_t begin = j * page_bits;
+        std::uint64_t len =
+            std::min<std::uint64_t>(page_bits, bits - begin);
+        sink.consume(ResultChunk{j, begin, len, page});
+    };
 }
 
 } // namespace
@@ -363,8 +380,9 @@ FlashCosmosDrive::evaluateFallback(const Expr &expr, std::size_t pages,
     return out;
 }
 
-BitVector
-FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
+void
+FlashCosmosDrive::fcRead(const Expr &expr, ResultSink &sink,
+                         ReadStats *stats)
 {
     std::vector<VectorId> leaves = expr.leafIds();
     fcos_assert(!leaves.empty(), "fcRead of constant expression");
@@ -386,43 +404,51 @@ FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
                   plan.fallbackReason.c_str());
     }
 
-    std::uint64_t page_bits = cfg_.geometry.pageBits();
-    BitVector result(bits);
+    const std::uint64_t page_bits = cfg_.geometry.pageBits();
+    sink.begin(StreamShape{pages, page_bits, bits});
     engine::OpStats os;
     Time t0 = engine_.now();
+    std::uint64_t peak = 0;
+    engine::OrderedChunkStream::Emit emit =
+        sinkEmitter(sink, page_bits, bits);
 
     if (plan.kind == MwsPlan::Kind::Fallback) {
+        // The fallback evaluates controller-side after drain, so it
+        // inherently buffers every leaf page; stream the evaluated
+        // pages in order and report the dense peak honestly.
         std::vector<BitVector> out = evaluateFallback(expr, pages, &os);
-        for (std::size_t j = 0; j < pages; ++j) {
-            std::size_t begin = j * page_bits;
-            std::size_t len =
-                std::min<std::size_t>(page_bits, bits - begin);
-            result.paste(begin, out[j].slice(0, len));
-        }
+        for (std::size_t j = 0; j < pages; ++j)
+            emit(j, std::move(out[j]));
+        peak = pages;
     } else {
-        std::vector<BitVector> out(pages);
+        engine::OrderedChunkStream stream(pages, emit);
         for (std::size_t j = 0; j < pages; ++j) {
             engine::ColumnProgram prog = planProgram(plan, expr, j);
-            prog.onResult = [&out, j](BitVector page) {
-                out[j] = std::move(page);
-            };
+            prog.resultAtCapture = true;
+            prog.onResult = stream.handler(j);
             engine_.submit(std::move(prog), &os);
         }
         engine_.drain();
-        for (std::size_t j = 0; j < pages; ++j) {
-            fcos_assert(!out[j].empty(), "column %zu produced no result",
-                        j);
-            std::size_t begin = j * page_bits;
-            std::size_t len =
-                std::min<std::size_t>(page_bits, bits - begin);
-            result.paste(begin, out[j].slice(0, len));
-        }
+        fcos_assert(stream.complete(), "streamed fcRead lost pages");
+        peak = stream.peakBufferedPages();
     }
 
     mergeStats(stats, os, engine_.now() - t0);
-    if (stats)
+    if (stats) {
         stats->resultPages += pages;
-    return result;
+        stats->streamChunks += pages;
+        stats->streamPeakPages =
+            std::max<std::uint64_t>(stats->streamPeakPages, peak);
+    }
+    sink.end();
+}
+
+BitVector
+FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
+{
+    DenseCollectSink dense;
+    fcRead(expr, dense, stats);
+    return dense.take();
 }
 
 VectorId
@@ -495,17 +521,20 @@ FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
     return id;
 }
 
-BitVector
-FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
+void
+FlashCosmosDrive::readVector(VectorId id, ResultSink &sink,
+                             ReadStats *stats)
 {
     const VectorInfo &v = info(id);
-    std::uint64_t page_bits = cfg_.geometry.pageBits();
-    BitVector result(v.bits);
+    const std::uint64_t page_bits = cfg_.geometry.pageBits();
+    const std::size_t pages = v.pages.size();
+    sink.begin(StreamShape{pages, page_bits, v.bits});
     engine::OpStats os;
     Time t0 = engine_.now();
 
-    std::vector<BitVector> out(v.pages.size());
-    for (std::size_t j = 0; j < v.pages.size(); ++j) {
+    engine::OrderedChunkStream stream(
+        pages, sinkEmitter(sink, page_bits, v.bits));
+    for (std::size_t j = 0; j < pages; ++j) {
         const ssd::PhysPage &p = v.pages[j];
         engine::ColumnProgram prog;
         prog.die = p.die;
@@ -516,23 +545,29 @@ FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
                 return chip.readPage(a, inv);
             },
             0, 0});
-        prog.onResult = [&out, j](BitVector page) {
-            out[j] = std::move(page);
-        };
+        prog.resultAtCapture = true;
+        prog.onResult = stream.handler(j);
         engine_.submit(std::move(prog), &os);
     }
     engine_.drain();
+    fcos_assert(stream.complete(), "streamed readVector lost pages");
 
-    for (std::size_t j = 0; j < v.pages.size(); ++j) {
-        std::size_t begin = j * page_bits;
-        std::size_t len =
-            std::min<std::size_t>(page_bits, v.bits - begin);
-        result.paste(begin, out[j].slice(0, len));
-    }
     mergeStats(stats, os, engine_.now() - t0);
-    if (stats)
-        stats->resultPages += v.pages.size();
-    return result;
+    if (stats) {
+        stats->resultPages += pages;
+        stats->streamChunks += pages;
+        stats->streamPeakPages = std::max<std::uint64_t>(
+            stats->streamPeakPages, stream.peakBufferedPages());
+    }
+    sink.end();
+}
+
+BitVector
+FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
+{
+    DenseCollectSink dense;
+    readVector(id, dense, stats);
+    return dense.take();
 }
 
 } // namespace fcos::core

@@ -41,6 +41,7 @@
 #include "core/expression.h"
 #include "core/plan.h"
 #include "core/planner.h"
+#include "core/result_sink.h"
 #include "engine/engine.h"
 #include "nand/chip.h"
 #include "ssd/ftl.h"
@@ -126,12 +127,35 @@ class FlashCosmosDrive : public StorageResolver
         /** Contention-accurate span of this operation on the engine's
          *  event-driven timeline (dies + channels). */
         Time makespan = 0;
+        /** Chunks delivered to the result sink (== resultPages). */
+        std::uint64_t streamChunks = 0;
+        /** Memory high-water mark of the streamed read: most result
+         *  pages ever held at once while re-ordering out-of-order
+         *  column completions (the fallback path, which buffers every
+         *  page until drain, reports its full page count). */
+        std::uint64_t streamPeakPages = 0;
     };
 
     /**
+     * Execute a bulk bitwise expression in flash (fc_read), streaming
+     * result pages into @p sink in strictly increasing page order as
+     * they come off the channel buses. Page columns execute
+     * concurrently across the farm's dies; for MWS/XOR-planned reads
+     * peak memory is the re-ordering window (about one page stripe),
+     * never the dense result — the path beyond-DRAM workloads use.
+     * The serial-read Fallback plan still evaluates controller-side
+     * and buffers every result page before streaming; check
+     * planFor(expr).kind (or ReadStats::planKind/streamPeakPages)
+     * before relying on the O(window) bound.
+     */
+    void fcRead(const Expr &expr, ResultSink &sink,
+                ReadStats *stats = nullptr);
+
+    /**
      * Execute a bulk bitwise expression in flash (fc_read) and return
-     * the result vector. Page columns execute concurrently across the
-     * farm's dies; result pages return over the channel buses.
+     * the result vector: a thin wrapper collecting the streamed chunks
+     * through a DenseCollectSink. Timing, energy, and payload are
+     * bit-identical to the sink overload.
      */
     BitVector fcRead(const Expr &expr, ReadStats *stats = nullptr);
 
@@ -166,7 +190,13 @@ class FlashCosmosDrive : public StorageResolver
                          const WriteOptions &opts,
                          ReadStats *stats = nullptr);
 
-    /** Read a stored vector back through the regular read path. */
+    /** Read a stored vector back through the regular read path,
+     *  streaming its pages into @p sink in page order. */
+    void readVector(VectorId id, ResultSink &sink,
+                    ReadStats *stats = nullptr);
+
+    /** Read a stored vector back as a dense vector (DenseCollectSink
+     *  wrapper over the streamed path). */
     BitVector readVector(VectorId id, ReadStats *stats = nullptr);
 
     /** Logical size of a stored vector in bits. */

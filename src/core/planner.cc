@@ -405,16 +405,39 @@ Planner::planChain(const Nnf &n) const
             deep = std::move(*chain);
             have_deep = true;
         }
-        for (std::size_t i = 0; i < normal_pool.size();
-             i += PlanCommand::kMaxStrings) {
-            PlanCommand cmd;
-            cmd.inverse = false;
-            for (std::size_t j = i;
-                 j < std::min(normal_pool.size(),
-                              i + PlanCommand::kMaxStrings);
-                 ++j)
-                cmd.strings.push_back(std::move(normal_pool[j]));
-            built.push_back(std::move(cmd));
+        // Pack the pooled strings into inter-block commands. A chained
+        // (multi-member AND-group) string may share a command with
+        // plain strings only when the whole pool fits in one command —
+        // the KCS fusion, where the OR operands ride as the AND
+        // command's spare string slots. Beyond that budget chained
+        // strings and plain strings pack into *separate* commands
+        // (each kMaxStrings at a time), exactly how the analytic
+        // sense-count model (PlatformRunner::fcSensesPerRow) charges
+        // wide mixed batches: AND commands first, then OR-merge
+        // commands of plain strings. Mixing the two pools would beat
+        // the model and break the functional-vs-timing certification.
+        auto pack = [&built](std::vector<PlanString> &pool) {
+            for (std::size_t i = 0; i < pool.size();
+                 i += PlanCommand::kMaxStrings) {
+                PlanCommand cmd;
+                cmd.inverse = false;
+                for (std::size_t j = i;
+                     j < std::min(pool.size(),
+                                  i + PlanCommand::kMaxStrings);
+                     ++j)
+                    cmd.strings.push_back(std::move(pool[j]));
+                built.push_back(std::move(cmd));
+            }
+        };
+        if (normal_pool.size() <= PlanCommand::kMaxStrings) {
+            pack(normal_pool);
+        } else {
+            std::vector<PlanString> chained, singles;
+            for (PlanString &s : normal_pool)
+                (s.members.size() > 1 ? chained : singles)
+                    .push_back(std::move(s));
+            pack(chained);
+            pack(singles);
         }
         for (auto &[key, s] : inverse_groups) {
             (void)key;

@@ -84,6 +84,19 @@ ComputeEngine::finishProgram(const std::shared_ptr<ColumnProgram> &state,
     BitVector page = farm_.chip(state->die).dataOut(state->plane);
     if (stats)
         ++stats->resultPages;
+    if (state->resultAtCapture) {
+        // Streamed delivery: hand the payload over immediately so no
+        // copy sits inside the DMA closure; the transfer itself still
+        // occupies the channel and books its time and energy.
+        if (state->onResult)
+            state->onResult(std::move(page));
+        scheduler_.submitDma(state->die, farm_.geometry().pageBytes,
+                             [state] {
+                                 if (state->onComplete)
+                                     state->onComplete();
+                             });
+        return;
+    }
     scheduler_.submitDma(
         state->die, farm_.geometry().pageBytes,
         [state, page = std::move(page)]() mutable {

@@ -1,0 +1,35 @@
+#include "engine/result_stream.h"
+
+#include "util/log.h"
+
+namespace fcos::engine {
+
+OrderedChunkStream::OrderedChunkStream(std::uint64_t pages, Emit emit)
+    : pages_(pages), emit_(std::move(emit))
+{
+    fcos_assert(pages_ > 0, "empty result stream");
+    fcos_assert(emit_ != nullptr, "result stream without a consumer");
+}
+
+void
+OrderedChunkStream::push(std::uint64_t index, BitVector page)
+{
+    fcos_assert(index < pages_, "result page %llu beyond the stream",
+                (unsigned long long)index);
+    fcos_assert(index >= next_ && !pending_.count(index),
+                "result page %llu delivered twice",
+                (unsigned long long)index);
+    if (index != next_) {
+        pending_.emplace(index, std::move(page));
+        peak_ = std::max<std::uint64_t>(peak_, pending_.size());
+        return;
+    }
+    emit_(next_++, std::move(page));
+    // Flush the contiguous prefix the arrival unblocked.
+    for (auto it = pending_.begin();
+         it != pending_.end() && it->first == next_;
+         it = pending_.erase(it))
+        emit_(next_++, std::move(it->second));
+}
+
+} // namespace fcos::engine

@@ -81,7 +81,18 @@ struct ColumnProgram
      *  and hand it to onResult. False for compute-in-place programs
      *  (program-from-latch) where data never leaves the die. */
     bool readOutResult = true;
-    /** Receives the result page at DMA completion. */
+    /**
+     * Deliver the payload to onResult at the latch-capture instant
+     * (last step's completion) instead of holding it inside the DMA
+     * completion closure. The readout DMA is still booked — timing and
+     * energy are identical — but the engine never buffers in-flight
+     * pages, which is what keeps streamed (ResultSink) reads O(chunk)
+     * when channels back up behind fast senses. onComplete still fires
+     * at DMA completion.
+     */
+    bool resultAtCapture = false;
+    /** Receives the result page (at DMA completion by default, at
+     *  capture when resultAtCapture is set). */
     std::function<void(BitVector)> onResult;
     /** Fires once every step (and result readout) completed. */
     std::function<void()> onComplete;

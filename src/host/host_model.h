@@ -62,6 +62,18 @@ class HostModel
     }
 
     /**
+     * One chunk of a streamed result fold: the same facility, rate,
+     * and energy accounting as compute(), without a completion
+     * callback. Chunked pipelines (the platform drivers, the streamed
+     * functional runs) charge each chunk as it arrives, so the dense
+     * and streamed result paths book identical time and joules.
+     */
+    void computeChunk(std::uint64_t bytes)
+    {
+        compute(bytes, [] {});
+    }
+
+    /**
      * Result lands in host DRAM without CPU post-processing (books
      * DRAM energy only; takes no host compute time).
      */

@@ -1,9 +1,13 @@
 #include "platforms/reports.h"
 
+#include "core/drive.h"
 #include "nand/chip.h"
 #include "nand/power_model.h"
 #include "nand/timing_model.h"
+#include "reliability/bch.h"
 #include "reliability/error_injector.h"
+#include "reliability/randomizer.h"
+#include "reliability/vth_model.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -328,6 +332,245 @@ fig18EnergyTable(const std::vector<SweepSeries> &series)
                      p.energyRatio(PlatformKind::FlashCosmos), 2)});
         }
     }
+    return t;
+}
+
+// ---------------------------------------------------------------------
+// Ablation tables.
+
+TablePrinter
+ablationBlockLimitTable()
+{
+    using nand::PowerModel;
+    const std::uint32_t operands = 32;
+    nand::TimingModel tm;
+
+    TablePrinter t("Cap sweep");
+    t.setHeader({"cap", "MWS ops", "sense time", "peak power",
+                 "within erase budget", "sense energy"});
+    for (std::uint32_t cap : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        std::uint32_t ops = (operands + cap - 1) / cap;
+        Time per_op = tm.mwsLatency(1, cap);
+        Time total = ops * per_op;
+        double power = PowerModel::interBlockMwsPower(cap);
+        double energy = ops * PowerModel::energy(power, per_op);
+        t.addRow({std::to_string(cap), std::to_string(ops),
+                  formatTime(total), TablePrinter::cell(power, 2),
+                  power <= PowerModel::kErasePower ? "yes" : "NO",
+                  formatEnergy(energy)});
+    }
+    return t;
+}
+
+TablePrinter
+ablationDeMorganTable()
+{
+    nand::TimingModel tm;
+    TablePrinter t("Sensing cost per result page for OR of N operands");
+    t.setHeader({"N", "(a) serial reads", "(b) inter-block (cap 4)",
+                 "(c) inverse intra-block"});
+    for (std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 48u, 96u}) {
+        Time serial = n * tm.timings().tReadSlc;
+        std::uint32_t inter_ops = (n + 3) / 4;
+        Time inter = inter_ops * tm.mwsLatency(1, 4);
+        std::uint32_t intra_ops = (n + 47) / 48;
+        Time intra = intra_ops * tm.mwsLatency(std::min(n, 48u), 1);
+        t.addRow({std::to_string(n),
+                  formatTime(serial) + " (" + std::to_string(n) +
+                      " ops)",
+                  formatTime(inter) + " (" + std::to_string(inter_ops) +
+                      " ops)",
+                  formatTime(intra) + " (" + std::to_string(intra_ops) +
+                      " ops)"});
+    }
+    return t;
+}
+
+TablePrinter
+ablationMlcLsbTable()
+{
+    rel::VthModel model;
+    rel::OperatingCondition worst{10000, 12.0, false};
+
+    TablePrinter t("Operand-storage comparison");
+    t.setHeader({"storage", "RBER", "errors per 16-KiB page",
+                 "capacity vs MLC", "usable for error-intolerant apps"});
+    auto row = [&](const char *name, double rber, const char *capacity) {
+        double per_page = rber * 16 * 1024 * 8;
+        t.addRow({name, TablePrinter::cellSci(rber),
+                  TablePrinter::cell(per_page, per_page < 0.01 ? 6 : 1),
+                  capacity, rber < 1e-11 ? "yes" : "no"});
+    };
+    row("ESP (tESP = 2x)", model.rberEsp(2.0, worst), "0.5x");
+    row("regular SLC", model.rberSlc(worst), "0.5x");
+    row("MLC, LSB pages only", model.rberMlcLsb(worst), "0.5x");
+    row("MLC, both pages", model.rberMlc(worst), "1.0x");
+    return t;
+}
+
+AblationPlacementCost
+ablationPlacementQuery(bool colocated, int operands)
+{
+    using core::Expr;
+    using core::FlashCosmosDrive;
+    // Scattered placement burns one sub-block per operand; give the
+    // drive enough blocks for the 16-operand case.
+    FlashCosmosDrive::Config cfg;
+    cfg.geometry.blocksPerPlane = 32;
+    FlashCosmosDrive drive(cfg);
+    Rng rng = Rng::seeded(77);
+    std::vector<BitVector> data;
+    std::vector<Expr> leaves;
+    for (int i = 0; i < operands; ++i) {
+        FlashCosmosDrive::WriteOptions opts;
+        if (colocated)
+            opts.group = 1; // same NAND strings
+        // else: default auto group — every vector in its own sub-block
+        BitVector v(1024);
+        v.randomize(rng);
+        leaves.push_back(Expr::leaf(drive.fcWrite(v, opts)));
+        data.push_back(std::move(v));
+    }
+    FlashCosmosDrive::ReadStats stats;
+    BitVector result = drive.fcRead(Expr::And(leaves), &stats);
+    BitVector expected = data[0];
+    for (int i = 1; i < operands; ++i)
+        expected &= data[i];
+    return AblationPlacementCost{stats.mwsCommands / stats.resultPages,
+                                 stats.nandTime, stats.nandEnergyJ,
+                                 result == expected};
+}
+
+TablePrinter
+ablationPlacementTable()
+{
+    TablePrinter t("Placement comparison");
+    t.setHeader({"operands", "layout", "MWS/page", "NAND time",
+                 "NAND energy", "correct"});
+    for (int n : {4, 8, 16}) {
+        for (bool coloc : {true, false}) {
+            AblationPlacementCost c = ablationPlacementQuery(coloc, n);
+            t.addRow({std::to_string(n),
+                      coloc ? "co-located group" : "scattered",
+                      std::to_string(c.commandsPerPage),
+                      formatTime(c.nandTime), formatEnergy(c.energyJ),
+                      c.correct ? "yes" : "NO"});
+        }
+    }
+    return t;
+}
+
+TablePrinter
+ablationXorEncryptionTable(AblationXorStats *stats)
+{
+    using core::Expr;
+    using core::FlashCosmosDrive;
+    // 16-Kib vectors need more room than the tiny test geometry.
+    FlashCosmosDrive::Config cfg;
+    cfg.geometry.pageBytes = 512;
+    cfg.geometry.blocksPerPlane = 64;
+    FlashCosmosDrive drive(cfg);
+    Rng rng = Rng::seeded(21);
+
+    // "Encrypt" an image by XOR-ing with a key stream (the optical
+    // image-encryption scheme ParaBit evaluates).
+    const std::size_t bits = 16384;
+    BitVector image(bits), key(bits);
+    image.randomize(rng);
+    key.randomize(rng);
+    core::VectorId vi = drive.fcWrite(image);
+    core::VectorId vk = drive.fcWrite(key);
+
+    FlashCosmosDrive::ReadStats enc_stats;
+    BitVector cipher = drive.fcRead(
+        Expr::Xor(Expr::leaf(vi), Expr::leaf(vk)), &enc_stats);
+
+    // Decrypt: XOR with the key again.
+    core::VectorId vc = drive.fcWrite(cipher);
+    BitVector plain =
+        drive.fcRead(Expr::Xor(Expr::leaf(vc), Expr::leaf(vk)));
+
+    if (stats) {
+        stats->encryptChanges = (cipher != image);
+        stats->roundTrips = (plain == image);
+        stats->sensesPerPage =
+            enc_stats.senses / enc_stats.resultPages;
+    }
+
+    TablePrinter t("XOR encryption in flash");
+    t.setHeader({"metric", "value"});
+    t.addRow({"cipher != plaintext", cipher != image ? "yes" : "NO"});
+    t.addRow(
+        {"decrypt(encrypt(x)) == x", plain == image ? "yes" : "NO"});
+    t.addRow({"senses per result page",
+              std::to_string(enc_stats.senses / enc_stats.resultPages)});
+    t.addRow({"serial reads ParaBit would need per page", "2"});
+    return t;
+}
+
+TablePrinter
+ablationEccTable(AblationEccStats *stats)
+{
+    Rng rng = Rng::seeded(99);
+    rel::BchCode code(10, 4);
+    AblationEccStats s;
+    s.trials = 50;
+    for (int i = 0; i < s.trials; ++i) {
+        BitVector d1(code.k()), d2(code.k());
+        d1.randomize(rng);
+        d2.randomize(rng);
+        BitVector cw = code.encode(d1) & code.encode(d2);
+        rel::BchDecodeResult r = code.decode(cw);
+        if (!r.ok)
+            ++s.rejected;
+        else if (code.extractData(cw) != (d1 & d2))
+            ++s.miscorrected;
+        else
+            ++s.acceptedCorrect;
+    }
+    if (stats)
+        *stats = s;
+
+    TablePrinter t("AND of two valid BCH(1023, k, t=4) codewords");
+    t.setHeader({"outcome", "count"});
+    t.addRow({"decode failure", std::to_string(s.rejected)});
+    t.addRow({"decodes to WRONG data", std::to_string(s.miscorrected)});
+    t.addRow(
+        {"decodes to AND of payloads", std::to_string(s.acceptedCorrect)});
+    return t;
+}
+
+TablePrinter
+ablationRandomizationTable(int *derand_ok_out)
+{
+    Rng rng = Rng::seeded(98);
+    rel::Randomizer randomizer;
+    const int trials = 50;
+    int derand_ok = 0;
+    std::size_t total_damage = 0;
+    for (int i = 0; i < trials; ++i) {
+        BitVector a(4096), b(4096);
+        a.randomize(rng);
+        b.randomize(rng);
+        BitVector sa = a, sb = b;
+        randomizer.apply(sa, 2 * static_cast<std::uint64_t>(i));
+        randomizer.apply(sb, 2 * static_cast<std::uint64_t>(i) + 1);
+        BitVector sensed = sa & sb; // what in-flash AND would return
+        randomizer.apply(sensed, 2 * static_cast<std::uint64_t>(i));
+        if (sensed == (a & b))
+            ++derand_ok;
+        total_damage += sensed.hammingDistance(a & b);
+    }
+    if (derand_ok_out)
+        *derand_ok_out = derand_ok;
+
+    TablePrinter t("AND of two randomized 4-Kib pages, de-randomized");
+    t.setHeader({"outcome", "value"});
+    t.addRow({"trials recovering AND of payloads",
+              std::to_string(derand_ok) + " / " +
+                  std::to_string(trials)});
+    t.addRow({"average corrupted bits per page",
+              std::to_string(total_damage / trials) + " / 4096"});
     return t;
 }
 

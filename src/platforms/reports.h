@@ -105,6 +105,70 @@ TablePrinter fig13InterMwsTable();
  */
 TablePrinter fig14PowerTable();
 
+// ---------------------------------------------------------------------
+// Ablation tables (bench/ablation_*.cc print these; the golden test
+// pins them, so the ablation conclusions cannot drift silently).
+
+/** Ablation: inter-block MWS fan-in cap sweep for a 32-operand bulk
+ *  OR — latency, peak power vs the erase budget, sensing energy. */
+TablePrinter ablationBlockLimitTable();
+
+/** Ablation: bulk-OR sensing cost by execution strategy (serial
+ *  reads vs capped inter-block MWS vs §6.1 inverse intra-block). */
+TablePrinter ablationDeMorganTable();
+
+/** Ablation: operand-storage reliability comparison (ESP vs regular
+ *  SLC vs MLC-LSB vs MLC) at the worst-case operating point. */
+TablePrinter ablationMlcLsbTable();
+
+/** Measured cost of one placement-ablation query on the functional
+ *  drive (co-located group vs scattered sub-blocks). */
+struct AblationPlacementCost
+{
+    std::uint64_t commandsPerPage = 0;
+    Time nandTime = 0;
+    double energyJ = 0.0;
+    bool correct = false;
+};
+
+AblationPlacementCost ablationPlacementQuery(bool colocated,
+                                             int operands);
+
+/** Ablation: co-located vs scattered operand placement for bulk AND,
+ *  executed on the functional drive (Section 6.3's contract). */
+TablePrinter ablationPlacementTable();
+
+/** Outcome counters of the XOR-encryption ablation run. */
+struct AblationXorStats
+{
+    bool encryptChanges = false; ///< cipher != plaintext
+    bool roundTrips = false;     ///< decrypt(encrypt(x)) == x
+    std::uint64_t sensesPerPage = 0;
+};
+
+/** Ablation: in-flash XOR encryption (footnote 13) — bit-exact but
+ *  one sense per operand, so MWS gains nothing. */
+TablePrinter ablationXorEncryptionTable(AblationXorStats *stats =
+                                            nullptr);
+
+/** Outcome counters of the ECC-incompatibility trials. */
+struct AblationEccStats
+{
+    int rejected = 0;
+    int miscorrected = 0;
+    int acceptedCorrect = 0;
+    int trials = 0;
+};
+
+/** Ablation (Section 3.2): AND of two valid BCH codewords is not a
+ *  codeword — decode outcomes over seeded random trials. */
+TablePrinter ablationEccTable(AblationEccStats *stats = nullptr);
+
+/** Ablation (Section 3.2): AND of two randomized pages cannot be
+ *  de-randomized — recovery outcomes over seeded random trials.
+ *  @p derand_ok receives how many trials recovered the payload AND. */
+TablePrinter ablationRandomizationTable(int *derand_ok = nullptr);
+
 } // namespace fcos::plat
 
 #endif // FCOS_PLATFORMS_REPORTS_H

@@ -7,6 +7,7 @@
 #include "core/lowering.h"
 #include "core/planner.h"
 #include "engine/engine.h"
+#include "engine/result_stream.h"
 #include "nand/power_model.h"
 #include "ssd/ssd_sim.h"
 #include "util/log.h"
@@ -528,11 +529,24 @@ class BatchLayout : public core::StorageResolver
     std::uint64_t chain_blocks_ = 0;
 };
 
+/** Seed stream of operand @p i at (batch, column, row). The streamed
+ *  run programs operands with these seeds and
+ *  fcFunctionalExpectedPage re-derives the fold from them, so the two
+ *  must stay one function. */
+std::uint64_t
+operandStream(std::uint64_t batch_idx, std::uint32_t col, std::uint64_t r,
+              std::uint64_t i)
+{
+    return (batch_idx << 48) + (static_cast<std::uint64_t>(col) << 28) +
+           (r << 8) + i;
+}
+
 } // namespace
 
-PlatformRunner::FunctionalRun
-PlatformRunner::runFcFunctional(const wl::Workload &workload,
-                                std::uint64_t seed) const
+RunResult
+PlatformRunner::runFcStreamed(const wl::Workload &workload,
+                              std::uint64_t seed, core::ResultSink &sink,
+                              StreamStats *stream_stats) const
 {
     ssd::SsdConfig chan_cfg = channelSlice(cfg_);
     host::HostConfig host_cfg = host_cfg_;
@@ -551,32 +565,29 @@ PlatformRunner::runFcFunctional(const wl::Workload &workload,
     const nand::EspParams esp{2.0};
 
     std::uint64_t sense_ops = 0;
-    std::uint64_t bit_offset = 0;
+    std::uint64_t page_base = 0;
     std::uint32_t block_base = 0;
-    FunctionalRun fr;
 
-    // Total result size across batches, to size the vectors up front.
-    std::uint64_t total_bits = 0;
+    // Result pages across batches; the stream hands them to the sink
+    // in slot order, so the sink sees exactly the dense layout without
+    // anything materializing it.
+    std::uint64_t total_pages = 0;
     for (const wl::OpBatch &batch : workload.batches)
-        total_bits +=
-            shapeFor(batch.operandBytes, cfg_).rows * columns * page_bits;
-    fr.result = BitVector(total_bits);
-    fr.expected = BitVector(total_bits);
+        total_pages += shapeFor(batch.operandBytes, cfg_).rows * columns;
+    sink.begin(core::StreamShape{total_pages, page_bits,
+                                 total_pages * page_bits});
+    engine::OrderedChunkStream stream(
+        std::max<std::uint64_t>(total_pages, 1),
+        [&sink, page_bits](std::uint64_t slot, BitVector page) {
+            sink.consume(core::ResultChunk{slot, slot * page_bits,
+                                           page_bits, page});
+        });
 
     std::size_t batch_idx = 0;
     for (const wl::OpBatch &batch : workload.batches) {
         const std::uint64_t k = batch.andOperands;
         const std::uint64_t m = batch.orOperands;
         fcos_assert(k + m >= 2, "functional batch needs >= 2 operands");
-        if (k > 0 && m > 0) {
-            // The OR operands ride as extra strings of the AND
-            // command (the KCS fusion); beyond the per-command string
-            // budget the planner would beat the analytic driver's
-            // command count and the timelines would diverge.
-            fcos_assert(m <= core::PlanCommand::kMaxStrings - 1,
-                        "mixed batches support <= %zu OR operands",
-                        core::PlanCommand::kMaxStrings - 1);
-        }
         const BatchLayout layout(geom, k, m);
         const ChunkShape shape = shapeFor(batch.operandBytes, cfg_);
         const std::uint64_t row_blocks = layout.blocksPerRow();
@@ -615,32 +626,25 @@ PlatformRunner::runFcFunctional(const wl::Workload &workload,
                 // Operands in place (instant functional programming):
                 // the workload models computation over stored data.
                 // Pages are programmed as seeded descriptors, so the
-                // sparse backend materializes nothing here.
-                BitVector ref(page_bits, k > 0);
+                // sparse backend materializes nothing here — the
+                // reference fold of the same descriptors is
+                // fcFunctionalExpectedPage, recomputed per page by
+                // whoever verifies the stream.
                 for (std::uint64_t i = 0; i < layout.operandCount();
                      ++i) {
-                    const std::uint64_t stream =
-                        (static_cast<std::uint64_t>(batch_idx) << 48) +
-                        (static_cast<std::uint64_t>(col) << 28) +
-                        (r << 8) + i;
                     nand::PageImage img = nand::PageImage::random(
-                        Rng::mix(seed, stream));
+                        Rng::mix(seed,
+                                 operandStream(batch_idx, col, r, i)));
                     const core::VectorId id =
                         static_cast<core::VectorId>(i);
-                    BitVector value = img.materialize(page_bits);
-                    if (i < k)
-                        ref &= value;
-                    else
-                        ref |= value;
                     chip.programPageEsp(
                         layout.addrOf(id, plane, row_block),
                         layout.isStoredInverted(id) ? img.inverted()
                                                     : img,
                         esp);
                 }
-                const std::uint64_t slot_bits =
-                    bit_offset + (r * columns + col) * page_bits;
-                fr.expected.paste(slot_bits, ref);
+                const std::uint64_t slot =
+                    page_base + r * columns + col;
 
                 core::LoweringContext ctx;
                 ctx.plane = plane;
@@ -678,34 +682,103 @@ PlatformRunner::runFcFunctional(const wl::Workload &workload,
                 }
                 const bool to_host = batch.resultToHost;
                 const bool post = batch.hostPostProcess;
-                prog.onResult = [&fr, &sched, &host, slot_bits,
-                                 page_bytes, to_host,
-                                 post](BitVector page) {
-                    fr.result.paste(slot_bits, page);
-                    if (!to_host)
-                        return;
-                    sched.submitExternal(
-                        page_bytes, [&host, page_bytes, post] {
-                            if (post)
-                                host.compute(page_bytes, [] {});
-                            else
-                                host.receive(page_bytes);
-                        });
-                };
+                // Payload streams out at latch capture; the readout
+                // DMA and the external/host chunk charges stay on the
+                // timeline exactly where the dense path booked them.
+                prog.resultAtCapture = true;
+                prog.onResult = stream.handler(slot);
+                if (to_host) {
+                    prog.onComplete = [&sched, &host, page_bytes,
+                                       post] {
+                        sched.submitExternal(
+                            page_bytes, [&host, page_bytes, post] {
+                                if (post)
+                                    host.computeChunk(page_bytes);
+                                else
+                                    host.receive(page_bytes);
+                            });
+                    };
+                }
                 eng.submit(std::move(prog));
             }
         }
         block_base += static_cast<std::uint32_t>(shape.rows * row_blocks);
-        bit_offset += shape.rows * columns * page_bits;
+        page_base += shape.rows * columns;
         ++batch_idx;
     }
 
     Time makespan = eng.drain();
-    fr.timing = finalizeResult(cfg_, makespan, sense_ops,
-                               sched.maxPlaneBusyTime(),
-                               sched.channelBusyTime(0),
-                               sched.externalBusyTime(), host.busyTime(),
-                               sched.energy());
+    fcos_assert(total_pages == 0 || stream.complete(),
+                "streamed functional run lost pages");
+    if (stream_stats) {
+        stream_stats->chunks = stream.emitted();
+        stream_stats->peakBufferedPages = stream.peakBufferedPages();
+    }
+    sink.end();
+    return finalizeResult(cfg_, makespan, sense_ops,
+                          sched.maxPlaneBusyTime(),
+                          sched.channelBusyTime(0),
+                          sched.externalBusyTime(), host.busyTime(),
+                          sched.energy());
+}
+
+BitVector
+PlatformRunner::fcFunctionalExpectedPage(const wl::Workload &workload,
+                                         std::uint64_t seed,
+                                         std::uint64_t page) const
+{
+    ssd::SsdConfig chan_cfg = channelSlice(cfg_);
+    const nand::Geometry &geom = chan_cfg.geometry;
+    const std::uint64_t page_bits = geom.pageBits();
+    const std::uint32_t columns =
+        chan_cfg.totalDies() * geom.planesPerDie;
+
+    std::uint64_t base = 0;
+    std::uint64_t batch_idx = 0;
+    for (const wl::OpBatch &batch : workload.batches) {
+        const std::uint64_t span =
+            shapeFor(batch.operandBytes, cfg_).rows * columns;
+        if (page < base + span) {
+            const std::uint64_t local = page - base;
+            const std::uint64_t r = local / columns;
+            const std::uint32_t col =
+                static_cast<std::uint32_t>(local % columns);
+            const std::uint64_t k = batch.andOperands;
+            const std::uint64_t m = batch.orOperands;
+            BitVector ref(page_bits, k > 0);
+            for (std::uint64_t i = 0; i < k + m; ++i) {
+                BitVector value =
+                    nand::PageImage::random(
+                        Rng::mix(seed,
+                                 operandStream(batch_idx, col, r, i)))
+                        .materialize(page_bits);
+                if (i < k)
+                    ref &= value;
+                else
+                    ref |= value;
+            }
+            return ref;
+        }
+        base += span;
+        ++batch_idx;
+    }
+    fcos_panic("result page %llu beyond the workload",
+               (unsigned long long)page);
+}
+
+PlatformRunner::FunctionalRun
+PlatformRunner::runFcFunctional(const wl::Workload &workload,
+                                std::uint64_t seed) const
+{
+    FunctionalRun fr;
+    core::DenseCollectSink dense;
+    fr.timing = runFcStreamed(workload, seed, dense);
+    fr.result = dense.take();
+    const std::uint64_t page_bits = cfg_.geometry.pageBits();
+    fr.expected = BitVector(fr.result.size());
+    for (std::uint64_t p = 0; p * page_bits < fr.result.size(); ++p)
+        fr.expected.paste(p * page_bits,
+                          fcFunctionalExpectedPage(workload, seed, p));
     return fr;
 }
 

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 
+#include "core/result_sink.h"
 #include "host/host_model.h"
 #include "ssd/config.h"
 #include "ssd/energy.h"
@@ -119,28 +120,61 @@ class PlatformRunner
         bool bitExact() const { return result == expected; }
     };
 
+    /** Stream accounting of a runFcStreamed execution. */
+    struct StreamStats
+    {
+        std::uint64_t chunks = 0;      ///< result pages delivered
+        /** Most result pages buffered at once while re-ordering
+         *  out-of-order column completions (memory high-water mark). */
+        std::uint64_t peakBufferedPages = 0;
+    };
+
     /**
-     * Run a Flash-Cosmos workload with *real* data through the engine:
-     * deterministic seeded operand pages are ESP-programmed onto the
-     * farm's chips as procedural descriptors (sparse page store — no
-     * payload materializes until sensed), the batch expression is
-     * compiled by the core planner and lowered to real MWS command
-     * chains (booked at the SSD's fixed tMWS, Section 5.2), and the
-     * result pages read out over the channel / external link exactly
-     * like the timing-only driver. One run certifies that the figure
-     * timelines, the analytic per-row sense counts, and the functional
-     * bits all come from the same execution.
+     * Run a Flash-Cosmos workload with *real* data through the engine,
+     * streaming result pages into @p sink in page order as they come
+     * off the farm: deterministic seeded operand pages are
+     * ESP-programmed onto the farm's chips as procedural descriptors
+     * (sparse page store — no payload materializes until sensed), the
+     * batch expression is compiled by the core planner and lowered to
+     * real MWS command chains (booked at the SSD's fixed tMWS, Section
+     * 5.2), and the result pages read out over the channel / external
+     * link exactly like the timing-only driver. Peak memory is the
+     * re-ordering window, never the dense result — the beyond-DRAM
+     * verification path.
      *
      * Supported batch shapes (they cover every figure workload):
      *  - pure AND: operands stack in one string chain (multiple MWS
      *    commands with AND-merge when they span sub-blocks);
      *  - pure OR: operands stored inverted, sensed with inverse MWS
      *    (the §6.1 De Morgan path), OR-merged across chunks;
-     *  - AND + up to 3 OR operands: the OR operands join the AND
-     *    command as extra strings (the KCS fusion).
+     *  - AND + m OR operands: up to 3 OR operands join the AND command
+     *    as extra strings (the KCS fusion); wider mixed batches split
+     *    the OR operands into follow-up OR-merge commands.
      * The planner's command count is asserted equal to
      * fcSensesPerRow() per row, so the analytic model is certified,
      * not just approximated.
+     */
+    RunResult runFcStreamed(const wl::Workload &workload,
+                            std::uint64_t seed, core::ResultSink &sink,
+                            StreamStats *stream_stats = nullptr) const;
+
+    /**
+     * The host-side reference page for result slot @p page of
+     * runFcStreamed(@p workload, @p seed): a pure function of the seed
+     * (the fold of the operand PageImage descriptors), so a streaming
+     * comparator (core::SparseCompareSink) can verify a beyond-DRAM
+     * result one chunk at a time without ever holding the dense
+     * reference.
+     */
+    BitVector fcFunctionalExpectedPage(const wl::Workload &workload,
+                                       std::uint64_t seed,
+                                       std::uint64_t page) const;
+
+    /**
+     * Dense-collect wrapper over runFcStreamed: assembles the streamed
+     * chunks into FunctionalRun::result and the per-page reference
+     * fold into FunctionalRun::expected. Timing, energy, and bits are
+     * identical to the streamed path (it *is* the streamed path).
      */
     FunctionalRun runFcFunctional(const wl::Workload &workload,
                                   std::uint64_t seed = 1) const;

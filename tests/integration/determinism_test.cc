@@ -229,6 +229,111 @@ TEST(DeterminismTest, EngineResultsStableAcrossPlaneCounts)
     EXPECT_EQ(two.xor_result, four.xor_result);
 }
 
+/** One streamed read: chunk arrival order plus the stream digest. */
+struct StreamedRead
+{
+    std::vector<std::uint64_t> order;
+    std::uint64_t digest = 0;
+    std::uint64_t denseDigest = 0; ///< digest of the dense return
+    std::uint64_t peakPages = 0;
+};
+
+StreamedRead
+runStreamedWorkload(std::uint64_t seed, std::uint32_t channels,
+                    std::uint32_t dies, std::uint32_t planes_per_die)
+{
+    core::FlashCosmosDrive::Config cfg;
+    cfg.channels = channels;
+    cfg.dies = dies;
+    cfg.geometry.planesPerDie = planes_per_die;
+    core::FlashCosmosDrive drive(cfg);
+    rel::VthModel model;
+    rel::VthErrorInjector inj(model,
+                              rel::OperatingCondition{3000, 3.0, false});
+    drive.setErrorInjector(&inj);
+
+    Rng rng = Rng::seeded(seed);
+    core::FlashCosmosDrive::WriteOptions group;
+    group.group = 1;
+    std::size_t bits = cfg.geometry.pageBits() * 8;
+    core::Expr a = core::Expr::leaf(
+        drive.fcWrite(test::randomVec(rng, bits), group));
+    core::Expr b = core::Expr::leaf(
+        drive.fcWrite(test::randomVec(rng, bits), group));
+    core::Expr c = core::Expr::leaf(
+        drive.fcWrite(test::randomVec(rng, bits), group));
+    core::Expr expr = core::Expr::And({a, b, c});
+
+    StreamedRead run;
+    core::DigestSink digest;
+    core::ChunkCallbackSink watcher(
+        [&run](const core::ResultChunk &chunk) {
+            run.order.push_back(chunk.index);
+        });
+    core::TeeSink tee({&digest, &watcher});
+    core::FlashCosmosDrive::ReadStats st;
+    drive.fcRead(expr, tee, &st);
+    run.digest = digest.digest();
+    run.peakPages = st.streamPeakPages;
+
+    // Twin drive, same seed: the dense return must carry the same
+    // bits the stream delivered.
+    core::FlashCosmosDrive::Config cfg2 = cfg;
+    core::FlashCosmosDrive twin(cfg2);
+    rel::VthModel model2;
+    rel::VthErrorInjector inj2(model2,
+                               rel::OperatingCondition{3000, 3.0, false});
+    twin.setErrorInjector(&inj2);
+    Rng rng2 = Rng::seeded(seed);
+    core::Expr ta = core::Expr::leaf(
+        twin.fcWrite(test::randomVec(rng2, bits), group));
+    core::Expr tb = core::Expr::leaf(
+        twin.fcWrite(test::randomVec(rng2, bits), group));
+    core::Expr tc = core::Expr::leaf(
+        twin.fcWrite(test::randomVec(rng2, bits), group));
+    run.denseDigest = core::DigestSink::digestOf(
+        twin.fcRead(core::Expr::And({ta, tb, tc})),
+        cfg.geometry.pageBits());
+    return run;
+}
+
+TEST(DeterminismTest, StreamedChunkOrderAndDigestAreShapeInvariant)
+{
+    // The sink contract: chunks arrive in strictly increasing page
+    // order, and the stream digest — payload *and* order — is
+    // identical across 1/2/4-channel farms and 2/4-plane interleaves,
+    // and equal to the dense read's digest on every shape.
+    StreamedRead ref = runStreamedWorkload(515, 1, 2, 2);
+    for (std::size_t j = 0; j < ref.order.size(); ++j)
+        ASSERT_EQ(ref.order[j], j);
+    EXPECT_EQ(ref.digest, ref.denseDigest);
+
+    for (auto [channels, dies, planes] :
+         {std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>{
+              2, 2, 2},
+          {4, 2, 2},
+          {2, 2, 4}}) {
+        StreamedRead run =
+            runStreamedWorkload(515, channels, dies, planes);
+        SCOPED_TRACE(std::to_string(channels) + " channels, " +
+                     std::to_string(dies) + " dies, " +
+                     std::to_string(planes) + " planes");
+        for (std::size_t j = 0; j < run.order.size(); ++j)
+            ASSERT_EQ(run.order[j], j);
+        EXPECT_EQ(run.digest, ref.digest);
+        EXPECT_EQ(run.denseDigest, ref.digest);
+    }
+}
+
+TEST(DeterminismTest, StreamedReadSameSeedSameStream)
+{
+    StreamedRead r1 = runStreamedWorkload(616, 2, 4, 2);
+    StreamedRead r2 = runStreamedWorkload(616, 2, 4, 2);
+    EXPECT_EQ(r1.order, r2.order);
+    EXPECT_EQ(r1.digest, r2.digest);
+    EXPECT_EQ(r1.peakPages, r2.peakPages);
+}
+
 TEST(DeterminismTest, PinnedCorpusDecodesToDistinctCommands)
 {
     // Sanity on the on-disk corpus itself: entries are well-formed and

@@ -213,6 +213,21 @@ TEST(FunctionalParityTest, KcsFusionRowIsBitExact)
     certifyFunctional(smallSsd(), 6, 3, 24);
 }
 
+TEST(FunctionalParityTest, WideMixedBatchSplitsOrCommands)
+{
+    // m = 5 OR operands exceed the KCS fusion's spare string slots
+    // (kMaxStrings - 1 = 3): the planner must put the AND group in its
+    // own command and split the OR operands into OR-merge commands of
+    // up to kMaxStrings strings — 1 + ceil(5/4) = 3 commands per row,
+    // exactly what the analytic model charges.
+    ssd::SsdConfig cfg = smallSsd();
+    EXPECT_EQ(PlatformRunner::fcSensesPerRow(4, 5,
+                                             cfg.maxIntraMwsWordlines(),
+                                             cfg.maxInterBlockMws),
+              3u);
+    certifyFunctional(cfg, 4, 5, 25);
+}
+
 TEST(FunctionalParityTest, BmiRowSpansSubBlockChains)
 {
     // A BMI-shaped row (AND of 30 daily vectors) at a geometry whose

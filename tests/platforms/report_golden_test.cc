@@ -121,5 +121,68 @@ TEST(ReportGoldenTest, Fig14PowerTableIsPinned)
                                     "golden/fig14_power.txt"));
 }
 
+// The ablation benches print these builders verbatim; pinning them
+// here is what keeps the ablation conclusions from drifting silently.
+
+TEST(ReportGoldenTest, AblationBlockLimitTableIsPinned)
+{
+    EXPECT_TRUE(test::MatchesGolden(ablationBlockLimitTable().toString(),
+                                    "golden/ablation_block_limit.txt"));
+}
+
+TEST(ReportGoldenTest, AblationDeMorganTableIsPinned)
+{
+    EXPECT_TRUE(test::MatchesGolden(ablationDeMorganTable().toString(),
+                                    "golden/ablation_demorgan.txt"));
+}
+
+TEST(ReportGoldenTest, AblationMlcLsbTableIsPinned)
+{
+    EXPECT_TRUE(test::MatchesGolden(ablationMlcLsbTable().toString(),
+                                    "golden/ablation_mlc_lsb.txt"));
+}
+
+TEST(ReportGoldenTest, AblationPlacementTableIsPinned)
+{
+    // Runs the functional drive (deterministic seeds); also assert
+    // the headline claim so a silent correctness break cannot hide
+    // behind a golden update.
+    AblationPlacementCost coloc = ablationPlacementQuery(true, 8);
+    AblationPlacementCost scattered = ablationPlacementQuery(false, 8);
+    EXPECT_TRUE(coloc.correct);
+    EXPECT_TRUE(scattered.correct);
+    EXPECT_EQ(coloc.commandsPerPage, 1u);
+    EXPECT_EQ(scattered.commandsPerPage, 8u);
+    EXPECT_TRUE(test::MatchesGolden(ablationPlacementTable().toString(),
+                                    "golden/ablation_placement.txt"));
+}
+
+TEST(ReportGoldenTest, AblationXorEncryptionTableIsPinned)
+{
+    AblationXorStats stats;
+    TablePrinter t = ablationXorEncryptionTable(&stats);
+    EXPECT_TRUE(stats.encryptChanges);
+    EXPECT_TRUE(stats.roundTrips);
+    EXPECT_EQ(stats.sensesPerPage, 2u);
+    EXPECT_TRUE(test::MatchesGolden(
+        t.toString(), "golden/ablation_xor_encryption.txt"));
+}
+
+TEST(ReportGoldenTest, AblationEccRandomizationTablesArePinned)
+{
+    AblationEccStats ecc;
+    TablePrinter ecc_table = ablationEccTable(&ecc);
+    EXPECT_EQ(ecc.acceptedCorrect, 0);
+    EXPECT_EQ(ecc.rejected + ecc.miscorrected, ecc.trials);
+    EXPECT_TRUE(test::MatchesGolden(ecc_table.toString(),
+                                    "golden/ablation_ecc.txt"));
+
+    int derand_ok = -1;
+    TablePrinter rnd_table = ablationRandomizationTable(&derand_ok);
+    EXPECT_EQ(derand_ok, 0);
+    EXPECT_TRUE(test::MatchesGolden(
+        rnd_table.toString(), "golden/ablation_randomization.txt"));
+}
+
 } // namespace
 } // namespace fcos::plat
