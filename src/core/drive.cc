@@ -20,6 +20,7 @@ farmConfigFor(const FlashCosmosDrive::Config &cfg)
     fc.timings = cfg.timings;
     fc.pageStore = cfg.pageStore;
     fc.io = cfg.io;
+    fc.workers = cfg.workers;
     return fc;
 }
 

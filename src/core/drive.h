@@ -65,6 +65,9 @@ class FlashCosmosDrive : public StorageResolver
         nand::PageStoreKind pageStore = nand::PageStoreKind::Sparse;
         /** I/O-rate/energy constants (shared ssd/engine authority). */
         ssd::IoParams io{};
+        /** Host worker lanes for engine execution (0 = FCOS_WORKERS
+         *  env default, 1 = serial); bit-identical at any count. */
+        std::uint32_t workers = 0;
         /** ESP extension used for fcWrite (Table 1: 2.0 -> 400 us). */
         double espFactor = 2.0;
         /** Default programming mode for operands. */

@@ -45,6 +45,11 @@ struct FarmConfig
      *  engine and the analytic simulator cannot drift. */
     ssd::IoParams io{};
 
+    /** Host worker lanes sharding die functions during drain().
+     *  0 = take the FCOS_WORKERS environment default, 1 = serial;
+     *  any count yields bit-identical results (scheduler.h). */
+    std::uint32_t workers = 0;
+
     std::uint32_t dieCount() const { return channels * diesPerChannel; }
     std::uint32_t columnCount() const
     {
@@ -62,6 +67,7 @@ struct FarmConfig
         fc.timings = ssd.timings;
         fc.pageStore = ssd.pageStore;
         fc.io = ssd.io;
+        fc.workers = ssd.engineWorkers;
         return fc;
     }
 };

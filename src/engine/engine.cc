@@ -42,13 +42,13 @@ ComputeEngine::submit(ColumnProgram program, OpStats *stats)
         const bool last = (i + 1 == n);
         const std::uint64_t dma_after = step.dmaAfterBytes;
 
-        CommandScheduler::DieFn fn =
-            [run = std::move(step.run), kind = step.kind,
-             stats](nand::NandChip &chip) {
-                nand::OpResult r = run(chip);
-                if (stats)
-                    stats->tally(kind, r);
-                return r;
+        CommandScheduler::DieFn fn = std::move(step.run);
+        // Stats are shared across dies, so the tally happens in the
+        // commit phase, never inside the (possibly parallel) die fn.
+        CommandScheduler::ExecutedFn executed;
+        if (stats)
+            executed = [stats, kind = step.kind](const nand::OpResult &r) {
+                stats->tally(kind, r);
             };
 
         CommandScheduler::Callback done;
@@ -65,7 +65,7 @@ ComputeEngine::submit(ColumnProgram program, OpStats *stats)
         }
         scheduler_.submitPlaneOp(die, plane, energyComponentFor(step.kind),
                                  std::move(fn), std::move(done),
-                                 step.dmaBeforeBytes);
+                                 step.dmaBeforeBytes, std::move(executed));
     }
 }
 
@@ -131,13 +131,11 @@ ComputeEngine::broadcastPage(std::uint32_t src_die,
 
     scheduler_.submitPlaneOp(
         src_die, src.plane, ssd::EnergyComponent::NandRead,
-        [src, page, stats](nand::NandChip &chip) {
+        [src, page](nand::NandChip &chip) {
             // Raw copy of stored bits: polarity metadata travels with
             // the vector handle, not the cells.
             nand::OpResult r = chip.readPage(src, /*inverse=*/false);
             *page = chip.dataOut(src.plane);
-            if (stats)
-                stats->tally(StepKind::PageRead, r);
             return r;
         },
         [this, src_die, targets, esp, page, stats, bytes] {
@@ -153,21 +151,30 @@ ComputeEngine::broadcastPage(std::uint32_t src_die,
                     nand::PageImage image = nand::PageImage::shared(
                         std::shared_ptr<const BitVector>(page));
                     for (const BroadcastTarget &t : targets) {
+                        CommandScheduler::ExecutedFn executed;
+                        if (stats)
+                            executed = [stats](const nand::OpResult &r) {
+                                stats->tally(StepKind::Program, r);
+                            };
                         scheduler_.submitPlaneOp(
                             t.die, t.addr.plane,
                             ssd::EnergyComponent::NandProgram,
-                            [dst = t.addr, esp, image,
-                             stats](nand::NandChip &chip) {
-                                nand::OpResult r =
-                                    chip.programPageEsp(dst, image, esp);
-                                if (stats)
-                                    stats->tally(StepKind::Program, r);
-                                return r;
+                            [dst = t.addr, esp,
+                             image](nand::NandChip &chip) {
+                                return chip.programPageEsp(dst, image,
+                                                           esp);
                             },
-                            {}, /*pre_dma_bytes=*/bytes);
+                            {}, /*pre_dma_bytes=*/bytes,
+                            std::move(executed));
                     }
                 });
-        });
+        },
+        /*pre_dma_bytes=*/0,
+        stats ? CommandScheduler::ExecutedFn(
+                    [stats](const nand::OpResult &r) {
+                        stats->tally(StepKind::PageRead, r);
+                    })
+              : CommandScheduler::ExecutedFn{});
 }
 
 void

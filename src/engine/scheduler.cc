@@ -10,6 +10,10 @@ CommandScheduler::CommandScheduler(ChipFarm &farm)
     : farm_(farm), planes_per_die_(farm.geometry().planesPerDie),
       external_("external"), states_(farm.columnCount())
 {
+    const std::uint32_t workers =
+        WorkerPool::resolveCount(farm.config().workers);
+    if (workers > 1)
+        pool_ = std::make_unique<WorkerPool>(workers);
     planes_.reserve(farm.columnCount());
     for (std::uint32_t d = 0; d < farm.dieCount(); ++d)
         for (std::uint32_t p = 0; p < planes_per_die_; ++p)
@@ -27,7 +31,8 @@ void
 CommandScheduler::submitPlaneOp(std::uint32_t die, std::uint32_t plane,
                                 ssd::EnergyComponent comp, DieFn fn,
                                 Callback done,
-                                std::uint64_t pre_dma_bytes)
+                                std::uint64_t pre_dma_bytes,
+                                ExecutedFn executed)
 {
     fcos_assert(die < farm_.dieCount(), "die %u out of range", die);
     fcos_assert(plane < planes_per_die_, "plane %u out of range", plane);
@@ -36,6 +41,7 @@ CommandScheduler::submitPlaneOp(std::uint32_t die, std::uint32_t plane,
     auto op = std::make_shared<PendingOp>();
     op->comp = comp;
     op->fn = std::move(fn);
+    op->executed = std::move(executed);
     op->done = std::move(done);
     op->preDmaBytes = pre_dma_bytes;
     states_[col].pending.push_back(std::move(op));
@@ -81,15 +87,31 @@ CommandScheduler::pump(std::uint32_t die, std::uint32_t col)
     st.running = true;
     // Defer to the event queue even for an idle plane so that execution
     // order is decided purely by simulated time + FIFO tie-breaking,
-    // never by the C++ call stack.
-    queue_.scheduleAfter(0, [this, die, col] { execute(die, col); });
+    // never by the C++ call stack. The die function is the sharded work
+    // phase (shard = die), everything else commits serially.
+    queue_.scheduleSharded(
+        queue_.now(), die, [this, die, col] { computeOp(die, col); },
+        [this, die, col] { commitOp(die, col); });
 }
 
 void
-CommandScheduler::execute(std::uint32_t die, std::uint32_t col)
+CommandScheduler::computeOp(std::uint32_t die, std::uint32_t col)
 {
+    // Worker phase: may run concurrently with other dies' computeOps.
+    // Only the die's chip and this op's private result are touched; the
+    // op stays at the queue head (popping belongs to the commit phase,
+    // where earlier-seq commits must still observe it as the head).
     PlaneState &st = states_[col];
     fcos_assert(!st.pending.empty(), "plane worker woke without work");
+    PendingOp &op = *st.pending.front();
+    op.result = op.fn(farm_.chip(die));
+}
+
+void
+CommandScheduler::commitOp(std::uint32_t die, std::uint32_t col)
+{
+    PlaneState &st = states_[col];
+    fcos_assert(!st.pending.empty(), "plane commit woke without work");
     std::shared_ptr<PendingOp> op = std::move(st.pending.front());
     st.pending.pop_front();
 
@@ -97,9 +119,10 @@ CommandScheduler::execute(std::uint32_t die, std::uint32_t col)
     // start that transfer so it overlaps this op's array time.
     prefetchDataIn(die, col);
 
-    nand::OpResult r = op->fn(farm_.chip(die));
-    energy_.add(op->comp, r.energyJ);
-    Time finish = planes_[col].acquire(queue_.now(), r.latency);
+    if (op->executed)
+        op->executed(op->result);
+    energy_.add(op->comp, op->result.energyJ);
+    Time finish = planes_[col].acquire(queue_.now(), op->result.latency);
     ++die_ops_;
     queue_.schedule(finish, [this, die, col, done = std::move(op->done)] {
         // The completion callback observes the plane's latches before
@@ -161,7 +184,10 @@ CommandScheduler::submitAccel(std::uint32_t channel, std::uint64_t bytes,
 Time
 CommandScheduler::drain()
 {
-    queue_.run();
+    if (pool_)
+        queue_.run(*pool_);
+    else
+        queue_.run();
     makespan_ = std::max(makespan_, queue_.now());
     return makespan_;
 }

@@ -38,6 +38,18 @@
  *    bit-reproducible: same submissions => same interleaving, same
  *    timeline, same energy ledger.
  *
+ * Parallel host execution (FarmConfig::workers > 1) shards the die
+ * functions across a WorkerPool: a plane op's functional mutation is
+ * the *work* phase of a sharded two-phase event (shard = die, so one
+ * die's mutations never reorder or run concurrently), while everything
+ * that touches shared simulation state — facility bookings, the energy
+ * ledger, completion callbacks, new events — stays in the serial
+ * commit phase, executed in (when, seq) order. Die functions must
+ * therefore touch only their die's state (chip, latches, per-plane
+ * sense counters) plus op-private buffers; cross-die and host-shared
+ * effects belong in the `executed`/`done` callbacks. This is what
+ * keeps 2- and 4-worker runs bit-for-bit identical to a serial run.
+ *
  * Energy is booked into a ssd::EnergyMeter per activity, giving one
  * ledger spanning NAND ops, channel movement, the external link, and
  * accelerator work.
@@ -54,6 +66,7 @@
 
 #include "engine/chip_farm.h"
 #include "sim/event_queue.h"
+#include "sim/worker_pool.h"
 #include "ssd/energy.h"
 
 namespace fcos::engine {
@@ -62,8 +75,13 @@ class CommandScheduler
 {
   public:
     using Callback = std::function<void()>;
-    /** A functional die mutation reporting its latency and energy. */
+    /** A functional die mutation reporting its latency and energy.
+     *  Runs in the (possibly parallel) worker phase: it must only
+     *  touch its die's state and op-private buffers. */
     using DieFn = std::function<nand::OpResult(nand::NandChip &)>;
+    /** Commit-phase observer of a die op's result (runs serially in
+     *  deterministic order; may touch shared state). */
+    using ExecutedFn = std::function<void(const nand::OpResult &)>;
 
     explicit CommandScheduler(ChipFarm &farm);
 
@@ -71,6 +89,12 @@ class CommandScheduler
     const EventQueue &queue() const { return queue_; }
     ssd::EnergyMeter &energy() { return energy_; }
     const ssd::EnergyMeter &energy() const { return energy_; }
+
+    /** Host worker lanes sharding the die functions (1 = serial). */
+    std::uint32_t workerCount() const
+    {
+        return pool_ ? pool_->workerCount() : 1;
+    }
 
     /**
      * Submit one plane operation. @p fn runs against the die's chip
@@ -84,12 +108,17 @@ class CommandScheduler
      * plane (cache-latch pipelining); the op itself starts at
      * max(plane free, transfer complete).
      *
-     * @param comp  energy component the op's joules are booked against
+     * @param comp      energy component the op's joules are booked
+     *                  against
+     * @param executed  commit-phase hook receiving the op's OpResult
+     *                  (shared-state accounting such as stats tallies
+     *                  belongs here, not inside @p fn)
      */
     void submitPlaneOp(std::uint32_t die, std::uint32_t plane,
                        ssd::EnergyComponent comp, DieFn fn,
                        Callback done = {},
-                       std::uint64_t pre_dma_bytes = 0);
+                       std::uint64_t pre_dma_bytes = 0,
+                       ExecutedFn executed = {});
 
     /**
      * Move @p bytes between die and controller over the die's channel;
@@ -137,10 +166,14 @@ class CommandScheduler
     {
         ssd::EnergyComponent comp;
         DieFn fn;
+        ExecutedFn executed;
         Callback done;
         std::uint64_t preDmaBytes = 0;
         bool dmaIssued = false;
         bool dmaDone = false;
+        /** Filled by the worker phase, consumed by the commit phase
+         *  (the pool barrier orders the two). */
+        nand::OpResult result;
     };
 
     struct PlaneState
@@ -158,10 +191,14 @@ class CommandScheduler
     void prefetchDataIn(std::uint32_t die, std::uint32_t col);
     /** Start the next queued op of column @p col, if it is ready. */
     void pump(std::uint32_t die, std::uint32_t col);
-    void execute(std::uint32_t die, std::uint32_t col);
+    /** Worker phase: run the head op's die function (die-local). */
+    void computeOp(std::uint32_t die, std::uint32_t col);
+    /** Commit phase: book time/energy and schedule the completion. */
+    void commitOp(std::uint32_t die, std::uint32_t col);
 
     ChipFarm &farm_;
     EventQueue queue_;
+    std::unique_ptr<WorkerPool> pool_; ///< non-null when workers > 1
     ssd::EnergyMeter energy_;
     std::uint32_t planes_per_die_;
     std::vector<Facility> planes_;   ///< one per (die, plane) column

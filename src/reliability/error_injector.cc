@@ -8,7 +8,7 @@ void
 VthErrorInjector::inject(BitVector &bits, const nand::PageMeta &meta,
                          std::uint64_t seed)
 {
-    sensed_bits_ += bits.size();
+    sensed_bits_.fetch_add(bits.size(), std::memory_order_relaxed);
     double p = model_.rberFor(meta, cond_, quality_);
     if (p <= 0.0)
         return;
@@ -24,7 +24,7 @@ VthErrorInjector::inject(BitVector &bits, const nand::PageMeta &meta,
         if (flipped.insert(pos).second)
             bits.set(pos, !bits.get(pos));
     }
-    injected_ += flips;
+    injected_.fetch_add(flips, std::memory_order_relaxed);
 }
 
 } // namespace fcos::rel

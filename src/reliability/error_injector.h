@@ -13,6 +13,7 @@
 #ifndef FCOS_RELIABILITY_ERROR_INJECTOR_H
 #define FCOS_RELIABILITY_ERROR_INJECTOR_H
 
+#include <atomic>
 #include <cstdint>
 
 #include "nand/cell_array.h"
@@ -42,10 +43,10 @@ class VthErrorInjector : public nand::ErrorInjector
     void setQuality(double q) { quality_ = q; }
 
     /** Total bit errors injected so far (campaign bookkeeping). */
-    std::uint64_t injectedErrors() const { return injected_; }
+    std::uint64_t injectedErrors() const { return injected_.load(); }
 
     /** Total bits sensed through the injector. */
-    std::uint64_t sensedBits() const { return sensed_bits_; }
+    std::uint64_t sensedBits() const { return sensed_bits_.load(); }
 
     void inject(BitVector &bits, const nand::PageMeta &meta,
                 std::uint64_t seed) override;
@@ -55,8 +56,12 @@ class VthErrorInjector : public nand::ErrorInjector
     OperatingCondition cond_;
     double quality_;
     std::uint64_t base_seed_;
-    std::uint64_t injected_ = 0;
-    std::uint64_t sensed_bits_ = 0;
+    /** inject() runs in the engine's parallel worker phase; the flip
+     *  pattern is a pure function of (seed, page) so the only shared
+     *  state is these commutative tallies — atomics keep them exact
+     *  under any worker count. */
+    std::atomic<std::uint64_t> injected_{0};
+    std::atomic<std::uint64_t> sensed_bits_{0};
 };
 
 } // namespace fcos::rel

@@ -1,29 +1,163 @@
 #include "sim/event_queue.h"
 
+#include "sim/worker_pool.h"
 #include "util/log.h"
 
 namespace fcos {
 
+// --------------------------------------------------------------------------
+// Explicit binary heap over (when, seq)
+// --------------------------------------------------------------------------
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        std::size_t best = left;
+        std::size_t right = left + 1;
+        if (right < n && earlier(heap_[right], heap_[left]))
+            best = right;
+        if (!earlier(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
+void
+EventQueue::push(Event ev)
+{
+    heap_.push_back(std::move(ev));
+    siftUp(heap_.size() - 1);
+    debugCheckHeap();
+}
+
+EventQueue::Event
+EventQueue::popMin()
+{
+    fcos_assert(!heap_.empty(), "pop from an empty event heap");
+    Event out = std::move(heap_.front());
+    if (heap_.size() > 1)
+        heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    debugCheckHeap();
+    return out;
+}
+
+bool
+EventQueue::heapIsValid() const
+{
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+        if (earlier(heap_[i], heap_[(i - 1) / 2]))
+            return false;
+    }
+    return true;
+}
+
+void
+EventQueue::debugCheckHeap() const
+{
+#ifndef NDEBUG
+    fcos_assert(heapIsValid(), "event heap invariant violated");
+#endif
+}
+
+// --------------------------------------------------------------------------
+// Scheduling
+// --------------------------------------------------------------------------
+
+void
+EventQueue::enqueue(Event ev)
+{
+    fcos_assert(!in_worker_phase_,
+                "worker-phase code must not schedule events");
+    fcos_assert(ev.when >= now_, "schedule into the past: %llu < %llu",
+                (unsigned long long)ev.when, (unsigned long long)now_);
+    // During a wave, same-timestamp events join the wave's next
+    // sub-batch directly: they were assigned increasing seqs in this
+    // commit phase, so the ready list is already in (when, seq) order
+    // and the heap's O(log n) churn is skipped entirely.
+    if (in_wave_ && ev.when == now_)
+        ready_.push_back(std::move(ev));
+    else
+        push(std::move(ev));
+}
+
 void
 EventQueue::schedule(Time when, Callback cb)
 {
-    fcos_assert(when >= now_, "schedule into the past: %llu < %llu",
-                (unsigned long long)when, (unsigned long long)now_);
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+    enqueue(Event{when, next_seq_++, std::move(cb), {}, kNoShard});
 }
+
+void
+EventQueue::scheduleSharded(Time when, std::uint32_t shard, Callback work,
+                            Callback commit)
+{
+    fcos_assert(shard != kNoShard, "invalid shard id");
+    enqueue(Event{when, next_seq_++, std::move(commit), std::move(work),
+                  shard});
+}
+
+void
+EventQueue::merge(std::vector<std::pair<Time, Callback>> stream)
+{
+    fcos_assert(!in_wave_, "merge during a wave is not supported");
+    // Small streams: ordinary pushes. Large streams: append then one
+    // Floyd heapify pass — O(existing + stream) instead of
+    // O(stream log n) sift-ups.
+    if (stream.size() < 8 || stream.size() < heap_.size() / 4) {
+        for (auto &e : stream)
+            schedule(e.first, std::move(e.second));
+        return;
+    }
+    for (auto &e : stream) {
+        fcos_assert(e.first >= now_,
+                    "merge into the past: %llu < %llu",
+                    (unsigned long long)e.first,
+                    (unsigned long long)now_);
+        heap_.push_back(Event{e.first, next_seq_++, std::move(e.second),
+                              {}, kNoShard});
+    }
+    if (heap_.size() > 1) {
+        for (std::size_t i = heap_.size() / 2; i-- > 0;)
+            siftDown(i);
+    }
+    debugCheckHeap();
+}
+
+// --------------------------------------------------------------------------
+// Serial execution
+// --------------------------------------------------------------------------
 
 bool
 EventQueue::runOne()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() is const; move out via const_cast, safe
-    // because we pop immediately after.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
+    Event ev = popMin();
     now_ = ev.when;
+    if (ev.work)
+        ev.work();
     ++executed_;
-    ev.cb();
+    ev.commit();
     return true;
 }
 
@@ -37,11 +171,97 @@ EventQueue::run()
 Time
 EventQueue::runUntil(Time deadline)
 {
-    while (!heap_.empty() && heap_.top().when <= deadline)
+    while (!heap_.empty() && heap_.front().when <= deadline)
         runOne();
-    if (now_ < deadline && heap_.empty())
+    // The clock always reaches the deadline: an event queued beyond it
+    // must not leave the caller's notion of "now" stale below it.
+    if (now_ < deadline)
         now_ = deadline;
     return now_;
+}
+
+// --------------------------------------------------------------------------
+// Parallel (sharded two-phase) execution
+// --------------------------------------------------------------------------
+
+void
+EventQueue::runBatch(std::vector<Event> &batch, WorkerPool &pool,
+                     std::vector<std::vector<const Event *>> &lanes,
+                     const std::function<void(std::uint32_t)> &lane_fn)
+{
+    if (pool.threadCount() <= 1) {
+        // Degenerate pool (one physical thread): lane partitioning
+        // buys nothing, so run the work phase inline in seq order —
+        // a valid parallel schedule, since same-shard events keep
+        // their order and cross-shard order is unobservable.
+        in_worker_phase_ = true;
+        for (const Event &ev : batch) {
+            if (ev.work)
+                ev.work();
+        }
+        in_worker_phase_ = false;
+    } else {
+        // Worker phase: shard-local work, partitioned by shard so one
+        // shard's events stay ordered and never run concurrently.
+        bool any_work = false;
+        for (const Event &ev : batch) {
+            if (ev.work) {
+                lanes[ev.shard % lanes.size()].push_back(&ev);
+                any_work = true;
+            }
+        }
+        if (any_work) {
+            in_worker_phase_ = true;
+            pool.run(lane_fn);
+            in_worker_phase_ = false;
+            for (auto &lane : lanes)
+                lane.clear();
+        }
+    }
+    // Commit phase: the per-worker result streams merge back into one
+    // deterministic order — every side effect lands in (when, seq)
+    // order, exactly as the serial loop would have produced it.
+    for (Event &ev : batch) {
+        ++executed_;
+        ev.commit();
+    }
+    batch.clear();
+}
+
+void
+EventQueue::run(WorkerPool &pool)
+{
+    if (pool.workerCount() <= 1) {
+        run();
+        return;
+    }
+    fcos_assert(!in_wave_, "re-entrant parallel run");
+    std::vector<Event> batch;
+    std::vector<std::vector<const Event *>> lanes(pool.workerCount());
+    // One LaneFn for the whole drain — runBatch reuses it instead of
+    // wrapping a fresh closure per sub-batch.
+    const std::function<void(std::uint32_t)> lane_fn =
+        [&lanes](std::uint32_t lane) {
+            for (const Event *ev : lanes[lane])
+                ev->work();
+        };
+    while (!heap_.empty()) {
+        const Time t = heap_.front().when;
+        now_ = t;
+        in_wave_ = true;
+        // The wave's first sub-batch: every queued event at time t,
+        // extracted in (when, seq) order.
+        while (!heap_.empty() && heap_.front().when == t)
+            batch.push_back(popMin());
+        while (!batch.empty()) {
+            runBatch(batch, pool, lanes, lane_fn);
+            // Commits scheduled same-time events straight onto the
+            // ready list (in seq order): they form the wave's next
+            // sub-batch without touching the heap.
+            batch.swap(ready_);
+        }
+        in_wave_ = false;
+    }
 }
 
 } // namespace fcos

@@ -1,0 +1,120 @@
+#include "sim/worker_pool.h"
+
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace fcos {
+
+namespace {
+
+std::uint32_t
+envWorkerDefault()
+{
+    static const std::uint32_t value = [] {
+        const char *s = std::getenv("FCOS_WORKERS");
+        if (!s || !*s)
+            return 1u;
+        long v = std::strtol(s, nullptr, 10);
+        if (v < 1)
+            v = 1;
+        if (v > 256)
+            v = 256;
+        return static_cast<std::uint32_t>(v);
+    }();
+    return value;
+}
+
+} // namespace
+
+std::uint32_t
+WorkerPool::resolveCount(std::uint32_t requested)
+{
+    return requested > 0 ? requested : envWorkerDefault();
+}
+
+bool
+WorkerPool::forceThreads()
+{
+    static const bool value = [] {
+        const char *s = std::getenv("FCOS_FORCE_THREADS");
+        return s && *s && *s != '0';
+    }();
+    return value;
+}
+
+WorkerPool::WorkerPool(std::uint32_t workers) : workers_(workers)
+{
+    fcos_assert(workers_ >= 1, "a pool needs at least one worker");
+    std::uint32_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    // One OS thread per lane that can actually run concurrently; the
+    // caller's thread serves stripe 0, so spawn (threads - 1).
+    std::uint32_t phys =
+        forceThreads() ? workers_ : std::min(workers_, hw);
+    for (std::uint32_t t = 1; t < phys; ++t)
+        threads_.emplace_back([this, t] { threadMain(t); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        stop_ = true;
+    }
+    start_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::threadMain(std::uint32_t stripe)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const LaneFn *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mutex_);
+            start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+        }
+        const std::uint32_t stride = threadCount();
+        for (std::uint32_t lane = stripe; lane < workers_; lane += stride)
+            (*job)(lane);
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            --remaining_;
+        }
+        done_.notify_one();
+    }
+}
+
+void
+WorkerPool::run(const LaneFn &fn)
+{
+    if (threads_.empty()) {
+        for (std::uint32_t lane = 0; lane < workers_; ++lane)
+            fn(lane);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        job_ = &fn;
+        remaining_ = static_cast<std::uint32_t>(threads_.size());
+        ++generation_;
+    }
+    start_.notify_all();
+    // The caller is stripe 0 of the round.
+    const std::uint32_t stride = threadCount();
+    for (std::uint32_t lane = 0; lane < workers_; lane += stride)
+        fn(lane);
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_.wait(lk, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+}
+
+} // namespace fcos

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fixed pool of host worker threads for sharded simulation work.
+ *
+ * The pool separates *logical workers* (deterministic shard lanes —
+ * the number the simulation's partition is keyed on) from *physical
+ * threads* (how many OS threads actually execute them). Lane contents
+ * and lane-internal order are fixed by the caller, so results are
+ * bit-identical whether the lanes run on 1 thread or 16: physical
+ * thread count is a pure performance knob, never a semantics knob.
+ *
+ * On hosts with fewer cores than workers the pool spawns only as many
+ * threads as can run concurrently (extra lanes are striped over them);
+ * with a single usable thread it degenerates to inline execution with
+ * zero synchronization cost. FCOS_FORCE_THREADS=1 forces one OS thread
+ * per worker regardless of core count — the ThreadSanitizer tier uses
+ * it so cross-thread synchronization is exercised even on small CI
+ * hosts.
+ */
+
+#ifndef FCOS_SIM_WORKER_POOL_H
+#define FCOS_SIM_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fcos {
+
+class WorkerPool
+{
+  public:
+    /** A job executed once per lane; lane is in [0, workerCount()). */
+    using LaneFn = std::function<void(std::uint32_t lane)>;
+
+    /** @param workers  number of logical worker lanes (>= 1). */
+    explicit WorkerPool(std::uint32_t workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Logical worker lanes (the deterministic shard count). */
+    std::uint32_t workerCount() const { return workers_; }
+
+    /** Physical OS threads executing the lanes (informational). */
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(threads_.size()) + 1;
+    }
+
+    /**
+     * Execute @p fn(lane) for every lane, then barrier. Lane t runs on
+     * physical thread (t % threadCount()); each thread executes its
+     * lanes in increasing order. The calling thread participates (it
+     * runs stripe 0), so a 1-thread pool is plain inline execution.
+     */
+    void run(const LaneFn &fn);
+
+    /**
+     * Resolve a configured worker count: a positive @p requested wins;
+     * 0 defers to the FCOS_WORKERS environment variable (default 1 =
+     * serial execution, today's single-thread semantics).
+     */
+    static std::uint32_t resolveCount(std::uint32_t requested);
+
+    /** True when FCOS_FORCE_THREADS=1 demands one OS thread per lane. */
+    static bool forceThreads();
+
+  private:
+    void threadMain(std::uint32_t stripe);
+
+    std::uint32_t workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable start_;
+    std::condition_variable done_;
+    const LaneFn *job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::uint32_t remaining_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace fcos
+
+#endif // FCOS_SIM_WORKER_POOL_H

@@ -84,6 +84,11 @@ struct SsdConfig
     /** Shared I/O-rate/energy authority (also used by the engine). */
     IoParams io{};
 
+    /** Host worker lanes for engine execution (0 = FCOS_WORKERS env
+     *  default, 1 = serial). Purely a host-side throughput knob: the
+     *  simulated timeline is bit-identical for any value. */
+    std::uint32_t engineWorkers = 0;
+
     /** Power cap on simultaneously activated blocks in inter-block MWS
      *  (Section 5.2 conclusion). */
     std::uint32_t maxInterBlockMws = 4;

@@ -1,5 +1,6 @@
 #include "util/bitvector.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/log.h"
@@ -68,10 +69,20 @@ BitVector::resize(std::size_t n, bool value)
 std::size_t
 BitVector::popcount() const
 {
-    std::size_t n = 0;
-    for (auto w : words_)
-        n += static_cast<std::size_t>(std::popcount(w));
-    return n;
+    // Four accumulators break the add dependency chain so the per-word
+    // popcnt issues back to back.
+    const std::uint64_t *p = words_.data();
+    std::size_t n = words_.size();
+    std::size_t a = 0, b = 0, c = 0, d = 0;
+    for (; n >= 4; n -= 4, p += 4) {
+        a += static_cast<std::size_t>(std::popcount(p[0]));
+        b += static_cast<std::size_t>(std::popcount(p[1]));
+        c += static_cast<std::size_t>(std::popcount(p[2]));
+        d += static_cast<std::size_t>(std::popcount(p[3]));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        a += static_cast<std::size_t>(std::popcount(p[i]));
+    return a + b + c + d;
 }
 
 bool
@@ -97,8 +108,10 @@ BitVector::operator&=(const BitVector &o)
 {
     fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
                 o.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] &= o.words_[i];
+    std::uint64_t *dst = words_.data();
+    const std::uint64_t *src = o.words_.data();
+    for (std::size_t i = 0, n = words_.size(); i < n; ++i)
+        dst[i] &= src[i];
     return *this;
 }
 
@@ -107,8 +120,10 @@ BitVector::operator|=(const BitVector &o)
 {
     fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
                 o.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] |= o.words_[i];
+    std::uint64_t *dst = words_.data();
+    const std::uint64_t *src = o.words_.data();
+    for (std::size_t i = 0, n = words_.size(); i < n; ++i)
+        dst[i] |= src[i];
     return *this;
 }
 
@@ -117,8 +132,10 @@ BitVector::operator^=(const BitVector &o)
 {
     fcos_assert(nbits_ == o.nbits_, "size mismatch %zu vs %zu", nbits_,
                 o.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i)
-        words_[i] ^= o.words_[i];
+    std::uint64_t *dst = words_.data();
+    const std::uint64_t *src = o.words_.data();
+    for (std::size_t i = 0, n = words_.size(); i < n; ++i)
+        dst[i] ^= src[i];
     return *this;
 }
 
@@ -162,8 +179,25 @@ BitVector::randomize(Rng &rng, double p_one)
         for (auto &w : words_)
             w = rng.nextU64();
     } else {
-        for (std::size_t i = 0; i < nbits_; ++i)
-            set(i, rng.bernoulli(p_one));
+        // One Bernoulli draw per bit, in ascending bit order — the draw
+        // stream is part of the reproducibility contract (goldens seed
+        // pages through here) — but accumulated in a register so the
+        // vector is written one word at a time, not read-modify-write
+        // per bit.
+        const std::size_t full = nbits_ >> 6;
+        for (std::size_t wi = 0; wi < full; ++wi) {
+            std::uint64_t w = 0;
+            for (unsigned j = 0; j < 64; ++j)
+                w |= std::uint64_t{rng.bernoulli(p_one)} << j;
+            words_[wi] = w;
+        }
+        const unsigned tail = nbits_ & 63;
+        if (tail) {
+            std::uint64_t w = 0;
+            for (unsigned j = 0; j < tail; ++j)
+                w |= std::uint64_t{rng.bernoulli(p_one)} << j;
+            words_[full] = w;
+        }
     }
     clearTail();
 }
@@ -185,8 +219,26 @@ BitVector::slice(std::size_t begin, std::size_t len) const
     fcos_assert(begin + len <= nbits_, "slice [%zu,+%zu) out of %zu bits",
                 begin, len, nbits_);
     BitVector v(len);
-    for (std::size_t i = 0; i < len; ++i)
-        v.set(i, get(begin + i));
+    if (len == 0)
+        return v;
+    const std::size_t w0 = begin >> 6;
+    const unsigned off = begin & 63;
+    const std::size_t out_words = v.words_.size();
+    if (off == 0) {
+        for (std::size_t i = 0; i < out_words; ++i)
+            v.words_[i] = words_[w0 + i];
+    } else {
+        // Funnel shift: each output word is the tail of one source
+        // word joined with the head of the next. The last source word
+        // may not exist when the slice ends inside words_[w0 + i].
+        for (std::size_t i = 0; i < out_words; ++i) {
+            std::uint64_t w = words_[w0 + i] >> off;
+            if (w0 + i + 1 < words_.size())
+                w |= words_[w0 + i + 1] << (64 - off);
+            v.words_[i] = w;
+        }
+    }
+    v.clearTail();
     return v;
 }
 
@@ -196,8 +248,41 @@ BitVector::paste(std::size_t begin, const BitVector &src)
     fcos_assert(begin + src.size() <= nbits_,
                 "paste [%zu,+%zu) out of %zu bits", begin, src.size(),
                 nbits_);
-    for (std::size_t i = 0; i < src.size(); ++i)
-        set(begin + i, src.get(i));
+    const std::size_t n = src.size();
+    if (n == 0)
+        return;
+    const std::size_t w = begin >> 6;
+    const unsigned off = begin & 63;
+    if (off == 0) {
+        const std::size_t full = n >> 6;
+        for (std::size_t i = 0; i < full; ++i)
+            words_[w + i] = src.words_[i];
+        const unsigned tail = n & 63;
+        if (tail) {
+            const std::uint64_t mask = (~0ULL) >> (64 - tail);
+            words_[w + full] =
+                (words_[w + full] & ~mask) | (src.words_[full] & mask);
+        }
+        return;
+    }
+    // Each source word lands as a masked merge into one or two
+    // destination words. c is the bit count this source word carries;
+    // src's tail bits beyond n are zero by invariant, so the shifted
+    // payload never strays outside its mask.
+    for (std::size_t i = 0, sw = src.words_.size(); i < sw; ++i) {
+        const std::size_t c = std::min<std::size_t>(64, n - 64 * i);
+        const std::uint64_t si = src.words_[i];
+        const std::uint64_t lo_mask = (c + off >= 64)
+                                          ? (~0ULL << off)
+                                          : (((1ULL << c) - 1) << off);
+        words_[w + i] = (words_[w + i] & ~lo_mask) | (si << off);
+        if (c + off > 64) {
+            const unsigned hi_bits = static_cast<unsigned>(c + off - 64);
+            const std::uint64_t hi_mask = (1ULL << hi_bits) - 1;
+            words_[w + i + 1] =
+                (words_[w + i + 1] & ~hi_mask) | (si >> (64 - off));
+        }
+    }
 }
 
 std::string

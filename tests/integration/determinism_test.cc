@@ -116,12 +116,14 @@ struct EngineRun
 
 EngineRun
 runEngineWorkload(std::uint64_t seed, std::uint32_t channels,
-                  std::uint32_t dies, std::uint32_t planes_per_die = 2)
+                  std::uint32_t dies, std::uint32_t planes_per_die = 2,
+                  std::uint32_t workers = 0)
 {
     core::FlashCosmosDrive::Config cfg;
     cfg.channels = channels;
     cfg.dies = dies;
     cfg.geometry.planesPerDie = planes_per_die;
+    cfg.workers = workers;
     core::FlashCosmosDrive drive(cfg);
     rel::VthModel model;
     rel::VthErrorInjector inj(model,
@@ -229,6 +231,31 @@ TEST(DeterminismTest, EngineResultsStableAcrossPlaneCounts)
     EXPECT_EQ(two.xor_result, four.xor_result);
 }
 
+TEST(DeterminismTest, EngineWorkerCountCannotPerturbAnything)
+{
+    // The parallel scheduler's whole contract: host worker lanes are a
+    // throughput knob, not a semantics knob. Every observable — result
+    // bits, timeline, per-facility busy times, event count, the energy
+    // ledger's FP accumulation — is bit-for-bit identical at 1, 2, 3,
+    // and 4 workers.
+    EngineRun serial = runEngineWorkload(909, 2, 4, 2, /*workers=*/1);
+    for (std::uint32_t workers : {2u, 3u, 4u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        EngineRun run = runEngineWorkload(909, 2, 4, 2, workers);
+        ASSERT_EQ(run.and_result, serial.and_result);
+        ASSERT_EQ(run.or_result, serial.or_result);
+        ASSERT_EQ(run.xor_result, serial.xor_result);
+        EXPECT_EQ(run.mwsCommands, serial.mwsCommands);
+        EXPECT_EQ(run.makespan, serial.makespan);
+        EXPECT_EQ(run.queueTime, serial.queueTime);
+        EXPECT_EQ(run.dieBusy, serial.dieBusy);
+        EXPECT_EQ(run.planeBusy, serial.planeBusy);
+        EXPECT_EQ(run.channelBusy, serial.channelBusy);
+        EXPECT_EQ(run.events, serial.events);
+        EXPECT_EQ(run.energyJ, serial.energyJ);
+    }
+}
+
 /** One streamed read: chunk arrival order plus the stream digest. */
 struct StreamedRead
 {
@@ -240,12 +267,14 @@ struct StreamedRead
 
 StreamedRead
 runStreamedWorkload(std::uint64_t seed, std::uint32_t channels,
-                    std::uint32_t dies, std::uint32_t planes_per_die)
+                    std::uint32_t dies, std::uint32_t planes_per_die,
+                    std::uint32_t workers = 0)
 {
     core::FlashCosmosDrive::Config cfg;
     cfg.channels = channels;
     cfg.dies = dies;
     cfg.geometry.planesPerDie = planes_per_die;
+    cfg.workers = workers;
     core::FlashCosmosDrive drive(cfg);
     rel::VthModel model;
     rel::VthErrorInjector inj(model,
@@ -332,6 +361,22 @@ TEST(DeterminismTest, StreamedReadSameSeedSameStream)
     EXPECT_EQ(r1.order, r2.order);
     EXPECT_EQ(r1.digest, r2.digest);
     EXPECT_EQ(r1.peakPages, r2.peakPages);
+}
+
+TEST(DeterminismTest, StreamedReadWorkerCountInvariant)
+{
+    // Chunk delivery rides the same commit-phase order, so streaming
+    // (order, digest, and the backpressure high-water mark) is also
+    // worker-count invariant.
+    StreamedRead serial = runStreamedWorkload(717, 2, 4, 2, 1);
+    for (std::uint32_t workers : {2u, 4u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        StreamedRead run = runStreamedWorkload(717, 2, 4, 2, workers);
+        EXPECT_EQ(run.order, serial.order);
+        EXPECT_EQ(run.digest, serial.digest);
+        EXPECT_EQ(run.denseDigest, serial.denseDigest);
+        EXPECT_EQ(run.peakPages, serial.peakPages);
+    }
 }
 
 TEST(DeterminismTest, PinnedCorpusDecodesToDistinctCommands)

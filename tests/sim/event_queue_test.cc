@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/worker_pool.h"
+#include "util/rng.h"
 
 namespace fcos {
 namespace {
@@ -60,6 +63,126 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline)
     EXPECT_EQ(q.pending(), 1u);
     q.run();
     EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockToDeadline)
+{
+    // Regression: runUntil used to leave now() at the last *executed*
+    // event when later events remained queued — callers polling in
+    // fixed steps saw a stale clock. The clock must always reach the
+    // deadline.
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.runUntil(15), 15u);
+    EXPECT_EQ(q.now(), 15u);
+    EXPECT_EQ(q.pending(), 1u);
+    // And with an empty queue it still advances.
+    q.run();
+    EXPECT_EQ(q.runUntil(40), 40u);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueueTest, HeapStaysValidUnderChurn)
+{
+    EventQueue q;
+    Rng rng = Rng::seeded(7);
+    int fired = 0;
+    for (int i = 0; i < 200; ++i)
+        q.schedule(rng.nextBounded(50), [&] { ++fired; });
+    EXPECT_TRUE(q.heapIsValid());
+    for (int i = 0; i < 50; ++i) {
+        q.runOne();
+        EXPECT_TRUE(q.heapIsValid());
+        // Events scheduled mid-run keep the invariant too.
+        q.scheduleAfter(rng.nextBounded(20), [&] { ++fired; });
+        EXPECT_TRUE(q.heapIsValid());
+    }
+    q.run();
+    EXPECT_EQ(fired, 250);
+}
+
+TEST(EventQueueTest, MergePreservesStreamOrderAndQueueOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(0); });
+    // A large pre-ordered stream (exercises the heapify path) with
+    // equal-time entries: they must run after the already-queued event
+    // at t=5 and keep their relative order.
+    std::vector<std::pair<Time, EventQueue::Callback>> stream;
+    for (int i = 1; i <= 32; ++i)
+        stream.emplace_back(5, [&order, i] { order.push_back(i); });
+    q.merge(std::move(stream));
+    EXPECT_TRUE(q.heapIsValid());
+    q.run();
+    ASSERT_EQ(order.size(), 33u);
+    for (int i = 0; i <= 32; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, ShardedEventsRunWorkThenCommitSerially)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleSharded(
+        1, 0, [&] { order.push_back(10); }, [&] { order.push_back(11); });
+    q.scheduleSharded(
+        1, 1, [&] { order.push_back(20); }, [&] { order.push_back(21); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21}));
+}
+
+// Drive the same randomized workload serially and on a pool; the
+// commit order (the only externally visible order) must match exactly.
+// Works mutate shard-local accumulators and record their observation
+// into event-private storage, which the commit publishes — the same
+// split the command scheduler uses (PendingOp::result).
+std::vector<std::uint64_t>
+shardedWorkloadTrace(std::uint32_t workers)
+{
+    EventQueue q;
+    std::vector<std::uint64_t> trace;
+    Rng rng = Rng::seeded(42);
+    std::vector<std::uint64_t> slots(8, 0);
+    auto submit = [&](Time when, std::uint32_t shard,
+                      std::uint64_t mix, auto &self) -> void {
+        auto res = std::make_shared<std::uint64_t>(0);
+        q.scheduleSharded(
+            when, shard,
+            [&slots, shard, mix, res] {
+                slots[shard] = slots[shard] * 31 + mix;
+                *res = slots[shard];
+            },
+            [&q, &trace, &rng, shard, res, self] {
+                trace.push_back(*res);
+                // Commits may schedule follow-ups, including same-time
+                // ones (the wave's next sub-batch).
+                if (trace.size() % 5 == 0)
+                    self(q.now() + rng.nextBounded(2), shard, 0x9e37,
+                         self);
+            });
+    };
+    for (int i = 0; i < 64; ++i) {
+        const std::uint32_t shard = rng.nextBounded(8);
+        const Time when = rng.nextBounded(4); // heavy timestamp ties
+        submit(when, shard, std::uint64_t(i), submit);
+    }
+    if (workers <= 1) {
+        q.run();
+    } else {
+        WorkerPool pool(workers);
+        q.run(pool);
+    }
+    return trace;
+}
+
+TEST(EventQueueTest, ParallelRunIsBitIdenticalToSerial)
+{
+    const std::vector<std::uint64_t> serial = shardedWorkloadTrace(1);
+    EXPECT_EQ(shardedWorkloadTrace(2), serial);
+    EXPECT_EQ(shardedWorkloadTrace(4), serial);
+    EXPECT_EQ(shardedWorkloadTrace(7), serial);
 }
 
 TEST(EventQueueTest, SchedulingIntoThePastPanics)

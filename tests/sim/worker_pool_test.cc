@@ -1,0 +1,60 @@
+/**
+ * @file
+ * WorkerPool tests: lane assignment, striping, reuse across rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/worker_pool.h"
+
+namespace fcos {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryLaneExactlyOnce)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::vector<std::atomic<int>> hits(4);
+    pool.run([&hits](std::uint32_t lane) { ++hits[lane]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossManyRounds)
+{
+    WorkerPool pool(3);
+    std::vector<std::atomic<std::uint64_t>> sums(3);
+    for (std::uint64_t round = 1; round <= 100; ++round)
+        pool.run([&sums, round](std::uint32_t lane) {
+            sums[lane] += round;
+        });
+    for (const auto &s : sums)
+        EXPECT_EQ(s.load(), 5050u);
+}
+
+TEST(WorkerPoolTest, MoreLanesThanCoresStillCoversAllLanes)
+{
+    // Lanes are logical: even a 1-core host (threads_ empty, inline
+    // execution) must run all 16 lanes.
+    WorkerPool pool(16);
+    std::atomic<std::uint32_t> mask{0};
+    pool.run([&mask](std::uint32_t lane) { mask |= 1u << lane; });
+    EXPECT_EQ(mask.load(), 0xFFFFu);
+    EXPECT_LE(pool.threadCount(), 16u);
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(WorkerPoolTest, ResolveCountPrefersExplicitRequest)
+{
+    EXPECT_EQ(WorkerPool::resolveCount(3), 3u);
+    EXPECT_EQ(WorkerPool::resolveCount(1), 1u);
+    // 0 falls back to the FCOS_WORKERS environment default (>= 1).
+    EXPECT_GE(WorkerPool::resolveCount(0), 1u);
+}
+
+} // namespace
+} // namespace fcos

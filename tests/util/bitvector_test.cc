@@ -154,6 +154,132 @@ TEST(BitVectorTest, RandomizeBiased)
     EXPECT_GT(v.popcount(), 50u);
 }
 
+// ---------------------------------------------------------------------
+// Property tests pinning the word-at-a-time slice/paste/randomize
+// kernels to bit-at-a-time scalar references, across word-alignment
+// boundaries, sub-word spans, and ragged tails.
+// ---------------------------------------------------------------------
+
+BitVector
+sliceReference(const BitVector &v, std::size_t begin, std::size_t len)
+{
+    BitVector out(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out.set(i, v.get(begin + i));
+    return out;
+}
+
+void
+pasteReference(BitVector &dst, std::size_t begin, const BitVector &src)
+{
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst.set(begin + i, src.get(i));
+}
+
+TEST(BitVectorPropertyTest, SliceMatchesScalarReference)
+{
+    Rng rng = Rng::seeded(77);
+    BitVector v(4 * 64 + 17);
+    v.randomize(rng);
+    // Every offset alignment crossed with lengths around every word
+    // boundary, plus empty and full-span slices.
+    for (std::size_t begin :
+         {0u, 1u, 7u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+        for (std::size_t len :
+             {0u, 1u, 5u, 63u, 64u, 65u, 70u, 128u, 273u - 200u}) {
+            if (begin + len > v.size())
+                continue;
+            BitVector got = v.slice(begin, len);
+            BitVector want = sliceReference(v, begin, len);
+            EXPECT_EQ(got, want) << "begin=" << begin << " len=" << len;
+            // Tail words beyond size() must be zero (the invariant
+            // paste and bulk operators rely on).
+            if (!got.words().empty() && (len & 63)) {
+                EXPECT_EQ(got.words().back() >> (len & 63), 0u);
+            }
+        }
+    }
+    EXPECT_EQ(v.slice(0, v.size()), v);
+}
+
+TEST(BitVectorPropertyTest, PasteMatchesScalarReference)
+{
+    Rng rng = Rng::seeded(78);
+    for (std::size_t begin :
+         {0u, 1u, 9u, 63u, 64u, 65u, 127u, 128u, 190u}) {
+        for (std::size_t len : {0u, 1u, 6u, 63u, 64u, 65u, 90u, 128u}) {
+            BitVector dst(64 * 5 + 3);
+            dst.randomize(rng);
+            if (begin + len > dst.size())
+                continue;
+            BitVector src(len);
+            src.randomize(rng);
+            BitVector want = dst;
+            pasteReference(want, begin, src);
+            BitVector got = dst;
+            got.paste(begin, src);
+            EXPECT_EQ(got, want) << "begin=" << begin << " len=" << len;
+        }
+    }
+}
+
+TEST(BitVectorPropertyTest, SlicePasteRandomizedRoundTrips)
+{
+    Rng rng = Rng::seeded(79);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t n = 1 + rng.nextBounded(500);
+        BitVector v(static_cast<std::size_t>(n));
+        v.randomize(rng);
+        const std::size_t begin = rng.nextBounded(n);
+        const std::size_t len = rng.nextBounded(n - begin + 1);
+        // slice agrees with the reference...
+        BitVector s = v.slice(begin, len);
+        EXPECT_EQ(s, sliceReference(v, begin, len));
+        // ...and pasting it back is the identity.
+        BitVector w = v;
+        w.paste(begin, s);
+        EXPECT_EQ(w, v);
+        // Pasting fresh random content agrees with the reference.
+        BitVector r(len);
+        r.randomize(rng, 0.3);
+        BitVector got = v, want = v;
+        got.paste(begin, r);
+        pasteReference(want, begin, r);
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(BitVectorPropertyTest, BiasedRandomizeDrawStreamIsStable)
+{
+    // The word-accumulating biased randomize must consume the Rng
+    // exactly like the historical bit-loop: one bernoulli per bit, in
+    // ascending order. Goldens seed pages through this path.
+    for (std::size_t n : {1u, 63u, 64u, 65u, 130u, 1000u}) {
+        Rng r1 = Rng::seeded(5), r2 = Rng::seeded(5);
+        BitVector fast(n);
+        fast.randomize(r1, 0.2);
+        BitVector ref(n);
+        for (std::size_t i = 0; i < n; ++i)
+            ref.set(i, r2.bernoulli(0.2));
+        EXPECT_EQ(fast, ref) << "n=" << n;
+        // Both rngs must land in the same state.
+        EXPECT_EQ(r1.nextU64(), r2.nextU64());
+    }
+}
+
+TEST(BitVectorPropertyTest, PopcountMatchesScalarReference)
+{
+    Rng rng = Rng::seeded(80);
+    for (std::size_t n : {0u, 1u, 64u, 65u, 255u, 256u, 257u, 1024u}) {
+        BitVector v(n);
+        v.randomize(rng, 0.4);
+        std::size_t want = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            want += v.get(i) ? 1u : 0u;
+        EXPECT_EQ(v.popcount(), want) << "n=" << n;
+    }
+}
+
 TEST(BitVectorTest, EqualityRequiresSameSize)
 {
     BitVector a(10), b(11);
