@@ -23,8 +23,9 @@ using nand::PowerModel;
 using nand::TimingModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Ablation: inter-block MWS fan-in cap",
                   "32-operand bulk OR via inter-block MWS only");
 

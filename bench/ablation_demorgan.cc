@@ -24,8 +24,9 @@ using core::Expr;
 using core::FlashCosmosDrive;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Ablation: OR via De Morgan inverse storage",
                   "bulk OR cost by execution strategy");
 

@@ -27,8 +27,9 @@ using core::Expr;
 using core::FlashCosmosDrive;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Ablation: ECC / randomization vs in-flash compute",
                   "the Section 3.2 incompatibility, executed");
 

@@ -19,8 +19,9 @@ using namespace fcos;
 using namespace fcos::rel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Ablation: operand storage mode for in-flash compute",
                   "ESP vs regular SLC vs MLC-LSB vs MLC (10K PEC, "
                   "1 year, worst pattern)");

@@ -20,8 +20,9 @@
 using namespace fcos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Ablation: operand placement",
                   "co-located vs scattered operands for bulk AND "
                   "(tiny geometry: 8-wordline strings)");

@@ -17,8 +17,9 @@
 using namespace fcos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Ablation: XOR-only workloads (image encryption)",
                   "why the paper's evaluation excludes them");
 

@@ -12,10 +12,34 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
+#include "obs/obs.h"
 #include "util/table.h"
 
 namespace fcos::bench {
+
+/**
+ * Parse the shared observability flags — `--trace=<file>` and
+ * `--metrics=<file>` — and enable the corresponding obs sessions, so
+ * any bench can emit a Perfetto-loadable timeline or a metrics report
+ * without code changes. Call first thing in main(), before the bench
+ * constructs drives/engines (components capture the obs epoch at
+ * construction). Unrecognized arguments are ignored. The files are
+ * written at process exit, like the FCOS_TRACE / FCOS_METRICS env
+ * knobs.
+ */
+inline void
+initObs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view a(argv[i]);
+        if (a.rfind("--trace=", 0) == 0)
+            obs::enableTrace(std::string(a.substr(8)));
+        else if (a.rfind("--metrics=", 0) == 0)
+            obs::enableMetrics(std::string(a.substr(10)));
+    }
+}
 
 /** Standard bench header naming the paper artifact. */
 inline void

@@ -19,8 +19,9 @@
 using namespace fcos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Engine scaling",
                   "sharded bulk bitwise throughput vs die count "
                   "(weak scaling, deterministic timeline)");

@@ -18,8 +18,9 @@ using namespace fcos;
 using namespace fcos::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Extension: in-flash bit-serial arithmetic",
                   "element-wise ADD and GREATER-THAN synthesized from "
                   "MWS + latch XOR");

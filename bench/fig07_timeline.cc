@@ -20,8 +20,9 @@
 using namespace fcos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 7",
                   "execution timelines: OSP vs ISP vs in-flash (OR of "
                   "three 1-MiB vectors)");

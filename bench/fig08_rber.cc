@@ -39,8 +39,9 @@ gridAverage(const ChipFarm &farm, nand::ProgramMode mode,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 8",
                   "RBER vs P/E cycles, retention age, programming "
                   "mode, and randomization (3,686,400 wordlines)");

@@ -18,8 +18,9 @@ using namespace fcos;
 using namespace fcos::rel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 11",
                   "RBER vs tESP (worst / median / best block), "
                   "10K P/E cycles, 1-year retention, worst-case "

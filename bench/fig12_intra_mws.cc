@@ -59,8 +59,9 @@ validate(std::uint32_t n, Rng &rng)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 12",
                   "intra-block MWS latency vs number of read "
                   "wordlines (zero-error operating points)");

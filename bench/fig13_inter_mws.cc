@@ -16,8 +16,9 @@ using namespace fcos;
 using nand::TimingModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 13",
                   "inter-block MWS latency vs activated blocks "
                   "(zero-error operating points)");

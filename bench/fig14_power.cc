@@ -18,8 +18,9 @@ using nand::PowerModel;
 using nand::TimingModel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 14",
                   "normalized chip power of inter-block MWS vs "
                   "activated blocks");

@@ -22,8 +22,9 @@ using plat::PlatformKind;
 using plat::SweepSeries;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 17",
                   "speedup over OSP: ISP vs ParaBit vs Flash-Cosmos "
                   "(BMI / IMS / KCS sweeps)");

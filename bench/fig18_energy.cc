@@ -21,8 +21,9 @@ using plat::PlatformKind;
 using plat::SweepSeries;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Figure 18",
                   "energy efficiency (bits per joule) normalized to "
                   "OSP (BMI / IMS / KCS sweeps)");

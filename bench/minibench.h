@@ -209,7 +209,11 @@ runAll()
         ::benchmark::detail::registerBenchmark(#fn, fn)
 
 #define BENCHMARK_MAIN()                                                    \
-    int main() { return ::benchmark::detail::runAll(); }
+    int main(int argc, char **argv)                                         \
+    {                                                                       \
+        ::fcos::bench::initObs(argc, argv);                                 \
+        return ::benchmark::detail::runAll();                               \
+    }
 
 #endif // FCOS_HAVE_GOOGLE_BENCHMARK
 

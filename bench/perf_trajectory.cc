@@ -29,6 +29,7 @@
 #include "bench/bench_util.h"
 #include "core/drive.h"
 #include "core/result_sink.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace {
@@ -133,7 +134,9 @@ struct WorkloadResult
 int
 main(int argc, char **argv)
 {
-    const char *out_path = argc > 1 ? argv[1] : "BENCH_pr.json";
+    bench::initObs(argc, argv);
+    const char *out_path =
+        (argc > 1 && argv[1][0] != '-') ? argv[1] : "BENCH_pr.json";
     int reps = 5;
     if (const char *s = std::getenv("FCOS_BENCH_REPS"))
         reps = std::max(1, std::atoi(s));
@@ -201,6 +204,54 @@ main(int argc, char **argv)
         results.push_back(std::move(wr));
     }
 
+    // ---- Observability overhead ---------------------------------------
+    // The Table-1 shape again at 1 worker, best of `reps` each way:
+    // (a) obs layer left disabled — every hook is one dormant branch,
+    //     the state every other cell in this file runs in — and
+    // (b) trace + metrics fully enabled, captured in memory.
+    // The disabled run must stay within 2% of the main table1_and3
+    // 1-worker cell (same code path, so this certifies the dormant
+    // hooks cost nothing measurable); the enabled delta is recorded
+    // for the trajectory but not gated.
+    Replay best_off, best_on;
+    for (int rep = 0; rep < reps; ++rep) {
+        Replay off = replayAnd3(1, 2, 101);
+        if (best_off.resultPages == 0 ||
+            off.wallSeconds < best_off.wallSeconds)
+            best_off = off;
+        obs::ScopedCapture cap(/*trace=*/true, /*metrics=*/true);
+        Replay on = replayAnd3(1, 2, 101);
+        if (best_on.resultPages == 0 ||
+            on.wallSeconds < best_on.wallSeconds)
+            best_on = on;
+    }
+    if (best_on.digest != best_off.digest) {
+        std::fprintf(stderr, "FATAL: enabling observability changed the "
+                             "stream digest\n");
+        return 1;
+    }
+    auto pps_of = [](const Replay &r) {
+        return static_cast<double>(r.pagesSimulated) / r.wallSeconds;
+    };
+    const double base_pps =
+        pps_of(results.front().cells.front().best); // table1_and3 @1w
+    const double off_pps = pps_of(best_off);
+    const double on_pps = pps_of(best_on);
+    const double off_overhead_pct = (1.0 - off_pps / base_pps) * 100.0;
+    const double on_overhead_pct = (1.0 - on_pps / off_pps) * 100.0;
+    std::printf("\n  observability: disabled %s (%+.2f%% vs baseline), "
+                "enabled %s (%+.2f%% vs disabled)\n",
+                bench::rateStr(off_pps, "pages").c_str(),
+                off_overhead_pct,
+                bench::rateStr(on_pps, "pages").c_str(), on_overhead_pct);
+    if (off_overhead_pct > 2.0) {
+        std::fprintf(stderr,
+                     "FATAL: disabled-observability overhead %.2f%% "
+                     "exceeds the 2%% gate\n",
+                     off_overhead_pct);
+        return 1;
+    }
+
     // ---- BENCH_pr.json -------------------------------------------------
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -240,6 +291,14 @@ main(int argc, char **argv)
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"observability\": {\n"
+                 "    \"workload\": \"table1_and3\", \"workers\": 1,\n"
+                 "    \"disabled_pages_per_second\": %.1f,\n"
+                 "    \"enabled_pages_per_second\": %.1f,\n"
+                 "    \"disabled_overhead_pct\": %.3f,\n"
+                 "    \"enabled_overhead_pct\": %.3f\n  },\n",
+                 off_pps, on_pps, off_overhead_pct, on_overhead_pct);
     // Scale-tier wall time per worker count: the sum over both
     // workloads, i.e. what the CTest scale label costs at that setting.
     std::fprintf(f, "  \"scale_tier\": [\n");

@@ -59,8 +59,9 @@ measure(nand::ProgramMode mode, std::uint64_t total_bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Section 8.3",
                   "sequential write bandwidth by programming mode");
 

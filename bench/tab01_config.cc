@@ -12,8 +12,9 @@
 using namespace fcos;
 
 int
-main()
+main(int argc, char **argv)
 {
+    fcos::bench::initObs(argc, argv);
     bench::header("Table 1", "evaluated system configurations");
 
     ssd::SsdConfig c = ssd::SsdConfig::table1();

@@ -10,6 +10,20 @@ namespace fcos::core {
 
 namespace {
 
+/** Config-level observability knobs must take effect before the engine
+ *  (and its scheduler/queue) is constructed, because components
+ *  capture the obs epoch at construction. Runs in cfg_'s initializer,
+ *  which precedes engine_'s. */
+const FlashCosmosDrive::Config &
+applyObsKnobs(const FlashCosmosDrive::Config &cfg)
+{
+    if (!cfg.traceFile.empty())
+        obs::enableTrace(cfg.traceFile);
+    if (!cfg.metricsFile.empty())
+        obs::enableMetrics(cfg.metricsFile);
+    return cfg;
+}
+
 engine::FarmConfig
 farmConfigFor(const FlashCosmosDrive::Config &cfg)
 {
@@ -45,13 +59,21 @@ sinkEmitter(ResultSink &sink, std::uint64_t page_bits,
 FlashCosmosDrive::FlashCosmosDrive() : FlashCosmosDrive(Config{}) {}
 
 FlashCosmosDrive::FlashCosmosDrive(const Config &cfg)
-    : cfg_(cfg), engine_(farmConfigFor(cfg)),
+    : cfg_(applyObsKnobs(cfg)), engine_(farmConfigFor(cfg)),
       ftl_(cfg.channels * cfg.dies, cfg.geometry), planner_(*this)
 {
     fcos_assert(cfg.dies > 0, "drive needs at least one die");
     fcos_assert(cfg.channels > 0, "drive needs at least one channel");
     // Reserve one erased wordline per column for the final-NOT trick.
     erased_ref_ = ftl_.allocateStriped(ftl_.columns());
+    // Request spans share the scheduler's "drive" trace process.
+    const engine::CommandScheduler &sched = engine_.scheduler();
+    if (obs::traceLive(sched.traceEpoch())) {
+        trace_epoch_ = sched.traceEpoch();
+        req_track_ = obs::trace().newTrack(sched.tracePid(), "requests");
+    }
+    if (obs::metricsOn())
+        m_epoch_ = obs::metricsEpoch();
 }
 
 void
@@ -163,6 +185,7 @@ FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
     VectorInfo v =
         makeVector(data.size(), opts.group, opts.storeInverted, pages);
 
+    const Time t0 = engine_.now();
     for (std::uint64_t j = 0; j < pages; ++j) {
         std::uint64_t begin = j * page_bits;
         std::uint64_t len =
@@ -175,6 +198,7 @@ FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
                         nullptr);
     }
     engine_.drain();
+    noteRequest("fcWrite", t0);
 
     VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
@@ -190,6 +214,7 @@ FlashCosmosDrive::fcWritePages(
     fcos_assert(pages >= 1, "fcWritePages of empty vector");
     VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(), opts.group,
                               opts.storeInverted, pages);
+    const Time t0 = engine_.now();
     for (std::uint64_t j = 0; j < pages; ++j) {
         nand::PageImage img = gen(j);
         submitPageWrite(v.pages[j],
@@ -197,6 +222,7 @@ FlashCosmosDrive::fcWritePages(
                         nullptr);
     }
     engine_.drain();
+    noteRequest("fcWrite", t0);
 
     VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
@@ -231,6 +257,7 @@ FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
     engine_.broadcastPage(src_page.die, src_page.addr, targets, esp, &os);
     engine_.drain();
     mergeStats(stats, os, engine_.now() - t0);
+    noteRequest("fcReplicate", t0);
 
     VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
@@ -241,6 +268,21 @@ MwsPlan
 FlashCosmosDrive::planFor(const Expr &expr) const
 {
     return planner_.plan(expr);
+}
+
+void
+FlashCosmosDrive::noteRequest(const char *name, Time t0)
+{
+    if (obs::traceLive(trace_epoch_)) {
+        // Requests execute one at a time, so [t0, now] spans never
+        // overlap on the track.
+        obs::trace().span(req_track_, name, t0, engine_.now());
+    }
+    if (obs::metricsLive(m_epoch_)) {
+        obs::metrics()
+            .histogram(std::string("drive.latency.") + name)
+            .record(engine_.now() - t0);
+    }
 }
 
 void
@@ -435,6 +477,7 @@ FlashCosmosDrive::fcRead(const Expr &expr, ResultSink &sink,
     }
 
     mergeStats(stats, os, engine_.now() - t0);
+    noteRequest("fcRead", t0);
     if (stats) {
         stats->resultPages += pages;
         stats->streamChunks += pages;
@@ -517,6 +560,7 @@ FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
     }
 
     mergeStats(stats, os, engine_.now() - t0);
+    noteRequest("fcCompute", t0);
     VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
     return id;
@@ -554,6 +598,7 @@ FlashCosmosDrive::readVector(VectorId id, ResultSink &sink,
     fcos_assert(stream.complete(), "streamed readVector lost pages");
 
     mergeStats(stats, os, engine_.now() - t0);
+    noteRequest("readVector", t0);
     if (stats) {
         stats->resultPages += pages;
         stats->streamChunks += pages;

@@ -72,6 +72,13 @@ class FlashCosmosDrive : public StorageResolver
         double espFactor = 2.0;
         /** Default programming mode for operands. */
         nand::ProgramMode defaultMode = nand::ProgramMode::SlcEsp;
+        /** Non-empty: enable the span tracer and write a Chrome
+         *  trace_event JSON timeline here at process exit (same effect
+         *  as FCOS_TRACE=<file>). */
+        std::string traceFile;
+        /** Non-empty: enable the metrics registry and write the
+         *  end-of-run report here (same as FCOS_METRICS=<file>). */
+        std::string metricsFile;
     };
 
     /** Construct with a test-friendly tiny geometry. */
@@ -271,6 +278,11 @@ class FlashCosmosDrive : public StorageResolver
     static void mergeStats(ReadStats *stats, const engine::OpStats &os,
                            Time makespan);
 
+    /** Record one drive-level request on the "requests" trace track
+     *  and its end-to-end latency histogram ([t0, engine_.now()];
+     *  @p name must be a string literal). One branch when obs is off. */
+    void noteRequest(const char *name, Time t0);
+
     Config cfg_;
     engine::ComputeEngine engine_;
     ssd::Ftl ftl_;
@@ -284,6 +296,12 @@ class FlashCosmosDrive : public StorageResolver
                                                 std::uint64_t>>
         group_info_;
     std::uint64_t next_auto_group_ = 1ULL << 32;
+
+    /** Request-level observability (epochs + track captured at
+     *  construction; see obs/obs.h). */
+    std::uint64_t trace_epoch_ = 0;
+    std::uint64_t m_epoch_ = 0;
+    std::uint32_t req_track_ = 0;
 };
 
 } // namespace fcos::core

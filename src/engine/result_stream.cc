@@ -9,6 +9,12 @@ OrderedChunkStream::OrderedChunkStream(std::uint64_t pages, Emit emit)
 {
     fcos_assert(pages_ > 0, "empty result stream");
     fcos_assert(emit_ != nullptr, "result stream without a consumer");
+    if (obs::metricsOn()) {
+        m_epoch_ = obs::metricsEpoch();
+        obs::Registry &m = obs::metrics();
+        chunk_counter_ = &m.counter("stream.chunks_emitted");
+        peak_gauge_ = &m.gauge("stream.peak_buffered_pages");
+    }
 }
 
 void
@@ -22,14 +28,19 @@ OrderedChunkStream::push(std::uint64_t index, BitVector page)
     if (index != next_) {
         pending_.emplace(index, std::move(page));
         peak_ = std::max<std::uint64_t>(peak_, pending_.size());
+        if (obs::metricsLive(m_epoch_))
+            peak_gauge_->noteMax(static_cast<double>(peak_));
         return;
     }
+    const std::uint64_t before = next_;
     emit_(next_++, std::move(page));
     // Flush the contiguous prefix the arrival unblocked.
     for (auto it = pending_.begin();
          it != pending_.end() && it->first == next_;
          it = pending_.erase(it))
         emit_(next_++, std::move(it->second));
+    if (obs::metricsLive(m_epoch_))
+        chunk_counter_->add(next_ - before);
 }
 
 } // namespace fcos::engine

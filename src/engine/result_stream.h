@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 
+#include "obs/obs.h"
 #include "util/bitvector.h"
 
 namespace fcos::engine {
@@ -63,6 +64,12 @@ class OrderedChunkStream
     std::uint64_t next_ = 0;           ///< lowest index not yet emitted
     std::map<std::uint64_t, BitVector> pending_;
     std::uint64_t peak_ = 0;
+
+    /** Metric handles resolved at construction (a serial context);
+     *  push() runs in commit phase, so updates are serial too. */
+    std::uint64_t m_epoch_ = 0;
+    obs::Counter *chunk_counter_ = nullptr;
+    obs::Gauge *peak_gauge_ = nullptr;
 };
 
 } // namespace fcos::engine

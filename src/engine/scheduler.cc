@@ -6,6 +6,28 @@
 
 namespace fcos::engine {
 
+namespace {
+
+/** Span label of a plane op, keyed by its energy component. */
+const char *
+spanName(ssd::EnergyComponent comp)
+{
+    switch (comp) {
+    case ssd::EnergyComponent::NandMws:
+        return "mws";
+    case ssd::EnergyComponent::NandRead:
+        return "read";
+    case ssd::EnergyComponent::NandProgram:
+        return "program";
+    case ssd::EnergyComponent::NandErase:
+        return "erase";
+    default:
+        return ssd::energyComponentName(comp);
+    }
+}
+
+} // namespace
+
 CommandScheduler::CommandScheduler(ChipFarm &farm)
     : farm_(farm), planes_per_die_(farm.geometry().planesPerDie),
       external_("external"), states_(farm.columnCount())
@@ -25,6 +47,39 @@ CommandScheduler::CommandScheduler(ChipFarm &farm)
         channels_.emplace_back("channel" + std::to_string(c));
         accel_ports_.emplace_back("accel" + std::to_string(c));
     }
+
+    // Register the trace topology once: one process per channel (its
+    // bus, accelerator port, and plane tracks), one for the drive
+    // (external link; the owning drive adds its request track). Hooks
+    // elsewhere cost one epoch branch when tracing is off.
+    if (obs::traceOn()) {
+        trace_epoch_ = obs::traceEpoch();
+        obs::Tracer &tr = obs::trace();
+        std::vector<std::uint32_t> chan_pids;
+        chan_pids.reserve(farm.channelCount());
+        for (std::uint32_t c = 0; c < farm.channelCount(); ++c) {
+            std::uint32_t pid =
+                tr.newProcess("channel" + std::to_string(c));
+            chan_pids.push_back(pid);
+            channel_tracks_.push_back(tr.newTrack(pid, "bus"));
+            accel_tracks_.push_back(tr.newTrack(pid, "accel"));
+        }
+        plane_tracks_.reserve(farm.columnCount());
+        wait_tracks_.reserve(farm.columnCount());
+        for (std::uint32_t d = 0; d < farm.dieCount(); ++d) {
+            const std::uint32_t pid = chan_pids[farm.channelOfDie(d)];
+            for (std::uint32_t p = 0; p < planes_per_die_; ++p) {
+                const std::string name = "die" + std::to_string(d) +
+                                         ".plane" + std::to_string(p);
+                plane_tracks_.push_back(tr.newTrack(pid, name));
+                wait_tracks_.push_back(tr.newTrack(pid, name + ".wait"));
+            }
+        }
+        drive_pid_ = tr.newProcess("drive");
+        external_track_ = tr.newTrack(drive_pid_, "external");
+    }
+    if (obs::metricsOn())
+        m_epoch_ = obs::metricsEpoch();
 }
 
 void
@@ -44,6 +99,7 @@ CommandScheduler::submitPlaneOp(std::uint32_t die, std::uint32_t plane,
     op->executed = std::move(executed);
     op->done = std::move(done);
     op->preDmaBytes = pre_dma_bytes;
+    op->submitted = queue_.now();
     states_[col].pending.push_back(std::move(op));
     prefetchDataIn(die, col);
     pump(die, col);
@@ -66,9 +122,12 @@ CommandScheduler::prefetchDataIn(std::uint32_t die, std::uint32_t col)
     const ssd::IoParams &io = farm_.config().io;
     energy_.add(ssd::EnergyComponent::ChannelDma,
                 io.channelEnergyJ(head->preDmaBytes));
-    Time finish =
-        channels_[ch].acquire(queue_.now(), io.channelTime(head->preDmaBytes));
+    const Time dur = io.channelTime(head->preDmaBytes);
+    Time finish = channels_[ch].acquire(queue_.now(), dur);
     ++dma_ops_;
+    if (obs::traceLive(trace_epoch_))
+        obs::trace().span(channel_tracks_[ch], "data-in", finish - dur,
+                          finish);
     queue_.schedule(finish, [this, die, col, op = head] {
         op->dmaDone = true;
         pump(die, col);
@@ -124,6 +183,28 @@ CommandScheduler::commitOp(std::uint32_t die, std::uint32_t col)
     energy_.add(op->comp, op->result.energyJ);
     Time finish = planes_[col].acquire(queue_.now(), op->result.latency);
     ++die_ops_;
+    const Time start = finish - op->result.latency;
+    if (obs::traceLive(trace_epoch_)) {
+        obs::trace().span(plane_tracks_[col], spanName(op->comp), start,
+                          finish);
+        // Queue-wait windows of ops stacked behind one plane overlap,
+        // so they live on the plane's ".wait" track as X overlays.
+        if (start > op->submitted)
+            obs::trace().overlay(wait_tracks_[col], "wait",
+                                 op->submitted, start);
+    }
+    if (obs::metricsLive(m_epoch_)) {
+        obs::Histogram *&h =
+            op_hist_[static_cast<std::size_t>(op->comp)];
+        if (!h)
+            h = &obs::metrics().histogram(
+                std::string("engine.op_latency.") +
+                ssd::energyComponentName(op->comp));
+        h->record(op->result.latency);
+        if (!wait_hist_)
+            wait_hist_ = &obs::metrics().histogram("engine.queue_wait");
+        wait_hist_->record(start - op->submitted);
+    }
     queue_.schedule(finish, [this, die, col, done = std::move(op->done)] {
         // The completion callback observes the plane's latches before
         // any later op on this plane mutates them.
@@ -141,8 +222,12 @@ CommandScheduler::submitDma(std::uint32_t die, std::uint64_t bytes,
     std::uint32_t ch = farm_.channelOfDie(die);
     const ssd::IoParams &io = farm_.config().io;
     energy_.add(ssd::EnergyComponent::ChannelDma, io.channelEnergyJ(bytes));
-    Time finish = channels_[ch].acquire(queue_.now(), io.channelTime(bytes));
+    const Time dur = io.channelTime(bytes);
+    Time finish = channels_[ch].acquire(queue_.now(), dur);
     ++dma_ops_;
+    if (obs::traceLive(trace_epoch_))
+        obs::trace().span(channel_tracks_[ch], "dma", finish - dur,
+                          finish);
     if (done)
         queue_.schedule(finish, std::move(done));
     else
@@ -155,8 +240,10 @@ CommandScheduler::submitExternal(std::uint64_t bytes, Callback done)
     const ssd::IoParams &io = farm_.config().io;
     energy_.add(ssd::EnergyComponent::ExternalLink,
                 io.externalEnergyJ(bytes));
-    Time finish =
-        external_.acquire(queue_.now(), io.externalTime(bytes));
+    const Time dur = io.externalTime(bytes);
+    Time finish = external_.acquire(queue_.now(), dur);
+    if (obs::traceLive(trace_epoch_))
+        obs::trace().span(external_track_, "ext", finish - dur, finish);
     if (done)
         queue_.schedule(finish, std::move(done));
     else
@@ -173,8 +260,11 @@ CommandScheduler::submitAccel(std::uint32_t channel, std::uint64_t bytes,
     energy_.add(ssd::EnergyComponent::IspAccel, io.accelEnergyJ(bytes));
     // The accelerator streams at channel rate; its port is per channel,
     // so accelerator work never outruns its input.
-    Time finish =
-        accel_ports_[channel].acquire(queue_.now(), io.channelTime(bytes));
+    const Time dur = io.channelTime(bytes);
+    Time finish = accel_ports_[channel].acquire(queue_.now(), dur);
+    if (obs::traceLive(trace_epoch_))
+        obs::trace().span(accel_tracks_[channel], "accel", finish - dur,
+                          finish);
     if (done)
         queue_.schedule(finish, std::move(done));
     else
@@ -189,6 +279,33 @@ CommandScheduler::drain()
     else
         queue_.run();
     makespan_ = std::max(makespan_, queue_.now());
+
+    queue_.publishMetrics();
+    if (pool_)
+        pool_->publishMetrics();
+    if (obs::metricsLive(m_epoch_)) {
+        obs::Registry &m = obs::metrics();
+        m.counter("engine.die_ops").add(die_ops_ - pub_die_ops_);
+        pub_die_ops_ = die_ops_;
+        m.counter("engine.dma_transfers").add(dma_ops_ - pub_dma_ops_);
+        pub_dma_ops_ = dma_ops_;
+        // Facility utilization is cumulative, so overwriting per drain
+        // leaves the registry with the end-of-run totals.
+        for (const Facility &f : planes_)
+            m.recordFacility(f.name(), f.busyTime(), f.grants(),
+                             makespan_);
+        for (const Facility &f : channels_)
+            m.recordFacility(f.name(), f.busyTime(), f.grants(),
+                             makespan_);
+        for (const Facility &f : accel_ports_) {
+            if (f.grants() > 0)
+                m.recordFacility(f.name(), f.busyTime(), f.grants(),
+                                 makespan_);
+        }
+        if (external_.grants() > 0)
+            m.recordFacility(external_.name(), external_.busyTime(),
+                             external_.grants(), makespan_);
+    }
     return makespan_;
 }
 

@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "engine/chip_farm.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/worker_pool.h"
 #include "ssd/energy.h"
@@ -161,6 +162,16 @@ class CommandScheduler
     std::uint64_t dieOpsExecuted() const { return die_ops_; }
     std::uint64_t dmaTransfers() const { return dma_ops_; }
 
+    /**
+     * Trace process (pid) of the drive-level tracks. The scheduler
+     * registers it with the "external" link track at construction;
+     * the owning drive adds its "requests" track under the same pid.
+     * Meaningful only while tracing is live for this scheduler.
+     */
+    std::uint32_t tracePid() const { return drive_pid_; }
+    /** Trace epoch this scheduler's tracks were registered against. */
+    std::uint64_t traceEpoch() const { return trace_epoch_; }
+
   private:
     struct PendingOp
     {
@@ -171,6 +182,8 @@ class CommandScheduler
         std::uint64_t preDmaBytes = 0;
         bool dmaIssued = false;
         bool dmaDone = false;
+        /** Submission instant, for queue-wait spans/histograms. */
+        Time submitted = 0;
         /** Filled by the worker phase, consumed by the commit phase
          *  (the pool barrier orders the two). */
         nand::OpResult result;
@@ -209,6 +222,27 @@ class CommandScheduler
     Time makespan_ = 0;
     std::uint64_t die_ops_ = 0;
     std::uint64_t dma_ops_ = 0;
+
+    /** Observability state, captured at construction (tracks resolved
+     *  once; every hot-path hook is one epoch branch when disabled).
+     *  All recording below happens in serial commit contexts, so the
+     *  trace is bit-identical at any worker count. */
+    std::uint64_t trace_epoch_ = 0;
+    std::uint64_t m_epoch_ = 0;
+    std::uint32_t drive_pid_ = 0;
+    std::vector<std::uint32_t> plane_tracks_;   ///< per column
+    std::vector<std::uint32_t> wait_tracks_;    ///< per column (X overlays)
+    std::vector<std::uint32_t> channel_tracks_; ///< per channel bus
+    std::vector<std::uint32_t> accel_tracks_;   ///< per channel port
+    std::uint32_t external_track_ = 0;
+    /** Lazily resolved per-op-kind latency histograms + queue wait
+     *  (commit phase is serial, so registration there is safe). */
+    obs::Histogram *
+        op_hist_[static_cast<std::size_t>(ssd::EnergyComponent::kCount)] =
+            {};
+    obs::Histogram *wait_hist_ = nullptr;
+    std::uint64_t pub_die_ops_ = 0;
+    std::uint64_t pub_dma_ops_ = 0;
 };
 
 } // namespace fcos::engine

@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/table.h"
+
+namespace fcos::obs {
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b];
+        if (static_cast<double>(seen) >= target) {
+            if (b == 0)
+                return 0;
+            if (b >= 64)
+                return max_;
+            // Upper bound of bucket b, clamped to the observed max.
+            return std::min<std::uint64_t>(max_, (1ULL << b) - 1);
+        }
+    }
+    return max_;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+Registry::recordFacility(const std::string &name, Time busy,
+                         std::uint64_t grants, Time span)
+{
+    facilities_[name] = FacilityUse{busy, grants, span};
+}
+
+namespace {
+
+bool
+isHostMetric(const std::string &name)
+{
+    return name.rfind("host.", 0) == 0;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+Registry::renderFacilityTable(std::size_t n) const
+{
+    std::vector<std::pair<std::string, FacilityUse>> rows(
+        facilities_.begin(), facilities_.end());
+    // Busiest first; name breaks ties so the order is deterministic.
+    std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+        if (a.second.busy != b.second.busy)
+            return a.second.busy > b.second.busy;
+        return a.first < b.first;
+    });
+    if (rows.size() > n)
+        rows.resize(n);
+
+    TablePrinter t("facility utilization (top " + std::to_string(n) +
+                   " by busy time)");
+    t.setHeader({"facility", "busy", "grants", "util%"});
+    for (const auto &[name, use] : rows) {
+        double util = use.span
+                          ? 100.0 * static_cast<double>(use.busy) /
+                                static_cast<double>(use.span)
+                          : 0.0;
+        t.addRow({name, formatTime(use.busy), fmtU64(use.grants),
+                  TablePrinter::cell(util, 1)});
+    }
+    return t.toString();
+}
+
+std::string
+Registry::render(bool include_host) const
+{
+    std::string out;
+
+    if (!counters_.empty()) {
+        TablePrinter t("counters");
+        t.setHeader({"name", "value"});
+        for (const auto &[name, c] : counters_) {
+            if (!include_host && isHostMetric(name))
+                continue;
+            t.addRow({name, fmtU64(c->value())});
+        }
+        out += t.toString();
+        out += "\n";
+    }
+
+    if (!gauges_.empty()) {
+        TablePrinter t("gauges");
+        t.setHeader({"name", "value", "max"});
+        for (const auto &[name, g] : gauges_) {
+            if (!include_host && isHostMetric(name))
+                continue;
+            // The deterministic view keeps only the high-water mark:
+            // "value" is whatever the last drain happened to set.
+            t.addRow({name,
+                      include_host ? TablePrinter::cell(g->value(), 1)
+                                   : TablePrinter::cell(g->max(), 1),
+                      TablePrinter::cell(g->max(), 1)});
+        }
+        out += t.toString();
+        out += "\n";
+    }
+
+    if (!histograms_.empty()) {
+        TablePrinter t("histograms (log2 buckets)");
+        t.setHeader({"name", "count", "min", "max", "mean", "p50",
+                     "p99"});
+        for (const auto &[name, h] : histograms_) {
+            if (!include_host && isHostMetric(name))
+                continue;
+            t.addRow({name, fmtU64(h->count()), fmtU64(h->min()),
+                      fmtU64(h->max()), TablePrinter::cell(h->mean(), 1),
+                      fmtU64(h->quantile(0.5)),
+                      fmtU64(h->quantile(0.99))});
+        }
+        out += t.toString();
+        out += "\n";
+    }
+
+    if (!facilities_.empty())
+        out += renderFacilityTable(10);
+
+    return out;
+}
+
+std::string
+Registry::renderReport() const
+{
+    return render(/*include_host=*/true);
+}
+
+std::string
+Registry::renderDeterministic() const
+{
+    return render(/*include_host=*/false);
+}
+
+} // namespace fcos::obs

@@ -46,6 +46,8 @@ EventQueue::push(Event ev)
     heap_.push_back(std::move(ev));
     siftUp(heap_.size() - 1);
     debugCheckHeap();
+    if (obs::metricsLive(obs_epoch_) && heap_.size() > stat_max_depth_)
+        stat_max_depth_ = heap_.size();
 }
 
 EventQueue::Event
@@ -95,10 +97,13 @@ EventQueue::enqueue(Event ev)
     // sub-batch directly: they were assigned increasing seqs in this
     // commit phase, so the ready list is already in (when, seq) order
     // and the heap's O(log n) churn is skipped entirely.
-    if (in_wave_ && ev.when == now_)
+    if (in_wave_ && ev.when == now_) {
+        if (obs::metricsLive(obs_epoch_))
+            ++stat_bypass_;
         ready_.push_back(std::move(ev));
-    else
+    } else {
         push(std::move(ev));
+    }
 }
 
 void
@@ -141,6 +146,8 @@ EventQueue::merge(std::vector<std::pair<Time, Callback>> stream)
             siftDown(i);
     }
     debugCheckHeap();
+    if (obs::metricsLive(obs_epoch_) && heap_.size() > stat_max_depth_)
+        stat_max_depth_ = heap_.size();
 }
 
 // --------------------------------------------------------------------------
@@ -236,6 +243,12 @@ EventQueue::run(WorkerPool &pool)
         return;
     }
     fcos_assert(!in_wave_, "re-entrant parallel run");
+    // Wave-shape metrics are resolved once per drain; recording happens
+    // on the caller's thread between phases (a serial context).
+    const bool mlive = obs::metricsLive(obs_epoch_);
+    obs::Histogram *wave_hist =
+        mlive ? &obs::metrics().histogram("sim.queue.wave_size")
+              : nullptr;
     std::vector<Event> batch;
     std::vector<std::vector<const Event *>> lanes(pool.workerCount());
     // One LaneFn for the whole drain — runBatch reuses it instead of
@@ -253,7 +266,11 @@ EventQueue::run(WorkerPool &pool)
         // extracted in (when, seq) order.
         while (!heap_.empty() && heap_.front().when == t)
             batch.push_back(popMin());
+        if (mlive)
+            ++stat_waves_;
         while (!batch.empty()) {
+            if (wave_hist)
+                wave_hist->record(batch.size());
             runBatch(batch, pool, lanes, lane_fn);
             // Commits scheduled same-time events straight onto the
             // ready list (in seq order): they form the wave's next
@@ -262,6 +279,22 @@ EventQueue::run(WorkerPool &pool)
         }
         in_wave_ = false;
     }
+}
+
+void
+EventQueue::publishMetrics()
+{
+    if (!obs::metricsLive(obs_epoch_))
+        return;
+    obs::Registry &m = obs::metrics();
+    m.counter("sim.queue.events_executed").add(executed_ - pub_executed_);
+    pub_executed_ = executed_;
+    m.counter("sim.queue.heap_bypass_hits").add(stat_bypass_ - pub_bypass_);
+    pub_bypass_ = stat_bypass_;
+    m.counter("sim.queue.waves").add(stat_waves_ - pub_waves_);
+    pub_waves_ = stat_waves_;
+    m.gauge("sim.queue.heap_depth_peak")
+        .noteMax(static_cast<double>(stat_max_depth_));
 }
 
 } // namespace fcos

@@ -1,5 +1,6 @@
 #include "sim/worker_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "util/log.h"
@@ -53,6 +54,17 @@ WorkerPool::WorkerPool(std::uint32_t workers) : workers_(workers)
     // caller's thread serves stripe 0, so spawn (threads - 1).
     std::uint32_t phys =
         forceThreads() ? workers_ : std::min(workers_, hw);
+    // Resolve the per-lane counters now, while construction is serial:
+    // worker threads may only bump them (relaxed-atomic adds).
+    if (obs::metricsOn()) {
+        obs_epoch_ = obs::metricsEpoch();
+        obs::Registry &m = obs::metrics();
+        lane_busy_.reserve(workers_);
+        for (std::uint32_t t = 0; t < workers_; ++t)
+            lane_busy_.push_back(&m.counter(
+                "host.pool.lane" + std::to_string(t) + ".busy_ns"));
+        wall_ = &m.counter("host.pool.wall_ns");
+    }
     for (std::uint32_t t = 1; t < phys; ++t)
         threads_.emplace_back([this, t] { threadMain(t); });
 }
@@ -66,6 +78,21 @@ WorkerPool::~WorkerPool()
     start_.notify_all();
     for (std::thread &t : threads_)
         t.join();
+}
+
+void
+WorkerPool::runLane(const LaneFn &fn, std::uint32_t lane)
+{
+    if (obs::metricsLive(obs_epoch_)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn(lane);
+        lane_busy_[lane]->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+    } else {
+        fn(lane);
+    }
 }
 
 void
@@ -84,7 +111,7 @@ WorkerPool::threadMain(std::uint32_t stripe)
         }
         const std::uint32_t stride = threadCount();
         for (std::uint32_t lane = stripe; lane < workers_; lane += stride)
-            (*job)(lane);
+            runLane(*job, lane);
         {
             std::lock_guard<std::mutex> lk(mutex_);
             --remaining_;
@@ -96,25 +123,50 @@ WorkerPool::threadMain(std::uint32_t stripe)
 void
 WorkerPool::run(const LaneFn &fn)
 {
+    const bool mlive = obs::metricsLive(obs_epoch_);
+    const auto w0 = mlive ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     if (threads_.empty()) {
         for (std::uint32_t lane = 0; lane < workers_; ++lane)
-            fn(lane);
+            runLane(fn, lane);
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(mutex_);
+            job_ = &fn;
+            remaining_ = static_cast<std::uint32_t>(threads_.size());
+            ++generation_;
+        }
+        start_.notify_all();
+        // The caller is stripe 0 of the round.
+        const std::uint32_t stride = threadCount();
+        for (std::uint32_t lane = 0; lane < workers_; lane += stride)
+            runLane(fn, lane);
+        std::unique_lock<std::mutex> lk(mutex_);
+        done_.wait(lk, [&] { return remaining_ == 0; });
+        job_ = nullptr;
+    }
+    if (mlive) {
+        wall_->add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - w0)
+                .count()));
+    }
+}
+
+void
+WorkerPool::publishMetrics()
+{
+    if (!obs::metricsLive(obs_epoch_))
         return;
+    const std::uint64_t wall = wall_->value();
+    if (wall == 0)
+        return;
+    obs::Registry &m = obs::metrics();
+    for (std::uint32_t t = 0; t < workers_; ++t) {
+        m.gauge("host.pool.lane" + std::to_string(t) + ".busy_frac")
+            .set(static_cast<double>(lane_busy_[t]->value()) /
+                 static_cast<double>(wall));
     }
-    {
-        std::lock_guard<std::mutex> lk(mutex_);
-        job_ = &fn;
-        remaining_ = static_cast<std::uint32_t>(threads_.size());
-        ++generation_;
-    }
-    start_.notify_all();
-    // The caller is stripe 0 of the round.
-    const std::uint32_t stride = threadCount();
-    for (std::uint32_t lane = 0; lane < workers_; lane += stride)
-        fn(lane);
-    std::unique_lock<std::mutex> lk(mutex_);
-    done_.wait(lk, [&] { return remaining_ == 0; });
-    job_ = nullptr;
 }
 
 } // namespace fcos

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace fcos {
 
 class WorkerPool
@@ -70,11 +72,30 @@ class WorkerPool
     /** True when FCOS_FORCE_THREADS=1 demands one OS thread per lane. */
     static bool forceThreads();
 
+    /**
+     * Publish per-lane busy fractions (lane wall time / pool wall
+     * time) as "host.pool.lane<i>.busy_frac" gauges. Host-clock
+     * derived, hence the "host." prefix — excluded from deterministic
+     * renders. Serial contexts only (e.g. after a drain). No-op unless
+     * metrics were on when the pool was constructed.
+     */
+    void publishMetrics();
+
   private:
     void threadMain(std::uint32_t stripe);
+    /** Run @p fn(lane), timing it into the lane's busy counter when
+     *  metrics are live (one branch otherwise). */
+    void runLane(const LaneFn &fn, std::uint32_t lane);
 
     std::uint32_t workers_;
     std::vector<std::thread> threads_;
+
+    /** Metrics epoch at construction plus per-lane busy-nanosecond
+     *  counters (Counter is relaxed-atomic: lanes bump concurrently)
+     *  and total run() wall time. Empty/0 when metrics are off. */
+    std::uint64_t obs_epoch_ = 0;
+    std::vector<obs::Counter *> lane_busy_;
+    obs::Counter *wall_ = nullptr;
 
     std::mutex mutex_;
     std::condition_variable start_;

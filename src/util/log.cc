@@ -1,26 +1,28 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
 namespace fcos {
 
 namespace {
-bool quiet_warnings = false;
+// Relaxed atomic: fcos_warn fires from worker-phase code, so the flag
+// is read concurrently with a test/bench toggling it. It only gates
+// log output — no ordering is needed, just a data-race-free load.
+std::atomic<bool> quiet_warnings{false};
 } // namespace
 
 bool
 quietWarnings()
 {
-    return quiet_warnings;
+    return quiet_warnings.load(std::memory_order_relaxed);
 }
 
 bool
 setQuietWarnings(bool quiet)
 {
-    bool prev = quiet_warnings;
-    quiet_warnings = quiet;
-    return prev;
+    return quiet_warnings.exchange(quiet, std::memory_order_relaxed);
 }
 
 namespace detail {

@@ -34,10 +34,13 @@ std::string format(const char *fmt, ...)
 
 } // namespace detail
 
-/** True once warn() output is suppressed (used by tests and benches). */
+/** True once warn() output is suppressed (used by tests and benches).
+ *  Safe to call from worker threads (relaxed atomic read). */
 bool quietWarnings();
 
-/** Enable/disable warn() output. Returns the previous setting. */
+/** Enable/disable warn() output. Returns the previous setting.
+ *  Thread-safe (atomic exchange), though toggling normally happens
+ *  from the main thread. */
 bool setQuietWarnings(bool quiet);
 
 } // namespace fcos

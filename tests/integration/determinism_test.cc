@@ -13,6 +13,7 @@
 
 #include "core/drive.h"
 #include "nand/command.h"
+#include "obs/obs.h"
 #include "reliability/error_injector.h"
 #include "reliability/randomizer.h"
 #include "reliability/vth_model.h"
@@ -253,6 +254,28 @@ TEST(DeterminismTest, EngineWorkerCountCannotPerturbAnything)
         EXPECT_EQ(run.channelBusy, serial.channelBusy);
         EXPECT_EQ(run.events, serial.events);
         EXPECT_EQ(run.energyJ, serial.energyJ);
+    }
+}
+
+TEST(DeterminismTest, TraceDigestWorkerCountInvariant)
+{
+    // The observability layer rides the same contract: spans are
+    // recorded only in serial/commit-phase contexts, so the exported
+    // trace JSON — certified by its FNV-1a digest — is bit-identical
+    // at any worker count. (Queue-shape *metrics* are allowed to vary
+    // with workers; that is why the capture is trace-only.)
+    std::uint64_t serial_digest = 0;
+    {
+        obs::ScopedCapture cap(/*trace=*/true, /*metrics=*/false);
+        runEngineWorkload(909, 2, 4, 2, /*workers=*/1);
+        EXPECT_GT(cap.tracer().events(), 0u);
+        serial_digest = cap.traceDigest();
+    }
+    for (std::uint32_t workers : {2u, 4u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        obs::ScopedCapture cap(/*trace=*/true, /*metrics=*/false);
+        runEngineWorkload(909, 2, 4, 2, workers);
+        EXPECT_EQ(cap.traceDigest(), serial_digest);
     }
 }
 

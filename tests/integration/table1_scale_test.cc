@@ -21,8 +21,10 @@
 #include <gtest/gtest.h>
 
 #include "core/drive.h"
+#include "obs/obs.h"
 #include "platforms/runner.h"
 #include "tests/support/golden.h"
+#include "tests/support/trace_check.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -91,6 +93,44 @@ TEST(Table1ScaleTest, DriveComputesBitExactAtFullGeometry)
     t.addRow({"engine energy", formatEnergy(drive.engine().totalEnergyJ())});
     EXPECT_TRUE(
         test::MatchesGolden(t.toString(), "golden/table1_drive.txt"));
+}
+
+TEST(Table1ScaleTest, TraceAtFullGeometryIsValidAndWorkerInvariant)
+{
+    // The ISSUE's acceptance gate: a full-geometry run under tracing
+    // produces schema-valid Chrome trace JSON whose digest is
+    // bit-identical at 1, 2, and 4 host workers.
+    auto traced_run = [](std::uint32_t workers) {
+        obs::ScopedCapture cap(/*trace=*/true, /*metrics=*/false);
+        FlashCosmosDrive::Config cfg;
+        cfg.channels = 8;
+        cfg.dies = 8;
+        cfg.geometry = nand::Geometry::table1();
+        cfg.workers = workers;
+        FlashCosmosDrive drive(cfg);
+        const std::uint64_t pages =
+            2 * cfg.channels * cfg.dies * cfg.geometry.planesPerDie;
+        auto gen = [](std::uint64_t vec) {
+            return [vec](std::uint64_t j) {
+                return nand::PageImage::random(Rng::mix(101 + vec, j));
+            };
+        };
+        core::VectorId a = drive.fcWritePages(gen(0), pages, {7, false});
+        core::VectorId b = drive.fcWritePages(gen(1), pages, {7, false});
+        drive.fcRead(Expr::And({Expr::leaf(a), Expr::leaf(b)}));
+        return std::pair<std::uint64_t, std::string>(cap.traceDigest(),
+                                                     cap.traceJson());
+    };
+
+    auto [serial_digest, serial_json] = traced_run(1);
+    ASSERT_FALSE(serial_json.empty());
+    EXPECT_TRUE(test::IsValidChromeTrace(serial_json));
+    for (std::uint32_t workers : {2u, 4u}) {
+        SCOPED_TRACE(std::to_string(workers) + " workers");
+        auto [digest, json] = traced_run(workers);
+        EXPECT_EQ(digest, serial_digest);
+        EXPECT_EQ(json == serial_json, true) << "trace JSON diverged";
+    }
 }
 
 TEST(Table1ScaleTest, FunctionalFigureWorkloadAtTable1Geometry)

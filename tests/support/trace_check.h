@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Schema validator for the tracer's Chrome trace_event JSON.
+ *
+ * The obs::Tracer emits one event object per line, which keeps this
+ * checker a line parser instead of a JSON library. Validated schema:
+ *
+ *  - the document is `{"displayTimeUnit":...,"traceEvents":[ ... ]}`;
+ *  - every event has ph/pid/tid; B and X carry name and ts, X carries
+ *    dur, M carries args.name;
+ *  - per (pid, tid) track: every B has a matching E (properly nested),
+ *    and begin timestamps are non-decreasing in record order;
+ *  - B/E pairs on one track never overlap (facility FIFO invariant);
+ *  - every event's pid/tid was announced by a metadata record.
+ */
+
+#ifndef FCOS_TESTS_SUPPORT_TRACE_CHECK_H
+#define FCOS_TESTS_SUPPORT_TRACE_CHECK_H
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fcos::test {
+
+namespace trace_detail {
+
+/** Extract the raw text after `"key":` (up to , or }); "" if absent. */
+inline std::string
+rawField(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return "";
+    at += needle.size();
+    std::size_t end = at;
+    if (line[at] == '"') {
+        end = line.find('"', at + 1);
+        return line.substr(at + 1, end - at - 1);
+    }
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    return line.substr(at, end - at);
+}
+
+} // namespace trace_detail
+
+/**
+ * Validate @p json against the schema above. Returns success or a
+ * failure naming the first offending line.
+ */
+inline ::testing::AssertionResult
+IsValidChromeTrace(const std::string &json)
+{
+    using trace_detail::rawField;
+
+    if (json.find("\"traceEvents\":[") == std::string::npos)
+        return ::testing::AssertionFailure()
+               << "missing traceEvents array";
+    if (json.find("]}") == std::string::npos)
+        return ::testing::AssertionFailure() << "unterminated document";
+
+    struct TrackState
+    {
+        std::vector<double> stack; ///< open B timestamps
+        double last_begin = -1.0;  ///< monotonicity check
+        double last_end = 0.0;     ///< B/E non-overlap check
+    };
+    std::map<std::pair<long, long>, TrackState> tracks;
+    std::set<std::pair<long, long>> announced;
+    std::set<long> announced_pids;
+
+    std::istringstream in(json);
+    std::string line;
+    std::uint64_t events = 0;
+    while (std::getline(in, line)) {
+        if (line.find("\"ph\"") == std::string::npos)
+            continue;
+        ++events;
+        const std::string ph = rawField(line, "ph");
+        const std::string pid_s = rawField(line, "pid");
+        const std::string tid_s = rawField(line, "tid");
+        if (pid_s.empty() || tid_s.empty())
+            return ::testing::AssertionFailure()
+                   << "event without pid/tid: " << line;
+        const long pid = std::stol(pid_s);
+        const long tid = std::stol(tid_s);
+
+        if (ph == "M") {
+            const std::string what = rawField(line, "name");
+            if (rawField(line, "args").empty() &&
+                line.find("\"args\"") == std::string::npos)
+                return ::testing::AssertionFailure()
+                       << "metadata without args: " << line;
+            if (what == "process_name")
+                announced_pids.insert(pid);
+            else if (what == "thread_name")
+                announced.insert({pid, tid});
+            continue;
+        }
+
+        if (!announced_pids.count(pid))
+            return ::testing::AssertionFailure()
+                   << "event on unannounced pid: " << line;
+
+        TrackState &t = tracks[{pid, tid}];
+        if (ph == "B" || ph == "X") {
+            if (rawField(line, "name").empty())
+                return ::testing::AssertionFailure()
+                       << "unnamed " << ph << " event: " << line;
+            const std::string ts_s = rawField(line, "ts");
+            if (ts_s.empty())
+                return ::testing::AssertionFailure()
+                       << "event without ts: " << line;
+            const double ts = std::stod(ts_s);
+            if (ts < t.last_begin)
+                return ::testing::AssertionFailure()
+                       << "timestamps decrease on track (" << pid << ", "
+                       << tid << "): " << ts << " after " << t.last_begin
+                       << ": " << line;
+            t.last_begin = ts;
+            if (ph == "B") {
+                if (!t.stack.empty())
+                    return ::testing::AssertionFailure()
+                           << "nested B on a serialized track: " << line;
+                if (ts < t.last_end)
+                    return ::testing::AssertionFailure()
+                           << "overlapping spans on track (" << pid
+                           << ", " << tid << "): " << line;
+                t.stack.push_back(ts);
+            } else if (rawField(line, "dur").empty()) {
+                return ::testing::AssertionFailure()
+                       << "X event without dur: " << line;
+            }
+        } else if (ph == "E") {
+            const std::string ts_s = rawField(line, "ts");
+            if (ts_s.empty())
+                return ::testing::AssertionFailure()
+                       << "E without ts: " << line;
+            if (t.stack.empty())
+                return ::testing::AssertionFailure()
+                       << "E without a matching B: " << line;
+            const double ts = std::stod(ts_s);
+            if (ts < t.stack.back())
+                return ::testing::AssertionFailure()
+                       << "span ends before it begins: " << line;
+            t.stack.pop_back();
+            t.last_end = ts;
+        } else {
+            return ::testing::AssertionFailure()
+                   << "unknown phase '" << ph << "': " << line;
+        }
+    }
+
+    for (const auto &[key, t] : tracks) {
+        if (!t.stack.empty())
+            return ::testing::AssertionFailure()
+                   << "track (" << key.first << ", " << key.second
+                   << ") has " << t.stack.size() << " unclosed B events";
+    }
+    if (events == 0)
+        return ::testing::AssertionFailure() << "trace has no events";
+    return ::testing::AssertionSuccess();
+}
+
+} // namespace fcos::test
+
+#endif // FCOS_TESTS_SUPPORT_TRACE_CHECK_H

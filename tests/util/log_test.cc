@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Logging-flag tests. The interesting one is thread-safety: fcos_warn
+ * fires from worker-phase code, so quietWarnings() is read concurrently
+ * with a test/bench toggling it. The concurrent test runs in the
+ * threads/tsan tier (FCOS_FORCE_THREADS=1) where every lane is a real
+ * OS thread, giving ThreadSanitizer an actual race to look for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/worker_pool.h"
+#include "util/log.h"
+
+namespace fcos {
+namespace {
+
+TEST(LogTest, SetQuietWarningsReturnsPreviousValue)
+{
+    const bool initial = quietWarnings();
+    EXPECT_EQ(setQuietWarnings(true), initial);
+    EXPECT_TRUE(quietWarnings());
+    EXPECT_TRUE(setQuietWarnings(false));
+    EXPECT_FALSE(quietWarnings());
+    setQuietWarnings(initial);
+}
+
+TEST(LogTest, QuietWarningsIsSafeToReadFromWorkerLanes)
+{
+    // Lane 0 toggles the flag while the other lanes hammer reads —
+    // exactly the warn-from-worker-phase pattern. The assertion is
+    // simply "no torn/undefined values and no TSan report"; both
+    // outcomes of each read are legal while the toggler runs.
+    const bool initial = setQuietWarnings(false);
+
+    WorkerPool pool(4);
+    std::atomic<std::uint64_t> reads{0};
+    pool.run([&reads](std::uint32_t lane) {
+        if (lane == 0) {
+            for (int i = 0; i < 2000; ++i)
+                setQuietWarnings((i & 1) == 0); // ends on false
+        } else {
+            for (int i = 0; i < 20000; ++i) {
+                const bool q = quietWarnings();
+                reads.fetch_add(q ? 1 : 0,
+                                std::memory_order_relaxed);
+            }
+        }
+    });
+
+    // The final write of the toggler is visible after the barrier.
+    EXPECT_FALSE(quietWarnings());
+    EXPECT_LE(reads.load(), 3u * 20000u);
+    setQuietWarnings(initial);
+}
+
+} // namespace
+} // namespace fcos
