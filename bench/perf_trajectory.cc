@@ -29,8 +29,10 @@
 #include "bench/bench_util.h"
 #include "core/drive.h"
 #include "core/result_sink.h"
+#include "core/traffic.h"
 #include "obs/obs.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace {
 
@@ -252,6 +254,65 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // ---- Mixed traffic (concurrent request API) ------------------------
+    // The heaviest bench/mixed_traffic sweep point — 2us arrivals, flat
+    // QoS — at 1/2/4 workers. Requests/second measures the host cost of
+    // the admission + overlap machinery; the digest and the (worker-
+    // invariant) latency quantiles gate the report the same way the
+    // scale workloads do.
+    core::TrafficConfig mixed_cfg;
+    mixed_cfg.interArrivalUs = 2.0;
+    struct MixedCell
+    {
+        std::uint32_t workers = 1;
+        core::TrafficPoint best;
+        bool set = false;
+    };
+    std::vector<MixedCell> mixed;
+    for (std::uint32_t workers : kWorkerCounts)
+        mixed.push_back({workers, {}, false});
+    mixed_cfg.workers = 1;
+    (void)core::runMixedTraffic(mixed_cfg); // warmup
+    for (int rep = 0; rep < reps; ++rep) {
+        for (MixedCell &cell : mixed) {
+            mixed_cfg.workers = cell.workers;
+            core::TrafficPoint p = core::runMixedTraffic(mixed_cfg);
+            if (cell.set && cell.best.digest != p.digest) {
+                std::fprintf(stderr,
+                             "FATAL: mixed-traffic digest changed "
+                             "between reps @%u workers\n",
+                             cell.workers);
+                return 1;
+            }
+            if (!cell.set || p.wallSeconds < cell.best.wallSeconds)
+                cell.best = p;
+            cell.set = true;
+        }
+    }
+    std::printf("\n");
+    for (const MixedCell &cell : mixed) {
+        if (cell.best.digest != mixed.front().best.digest) {
+            std::fprintf(stderr,
+                         "FATAL: mixed-traffic digest diverges at %u "
+                         "workers\n",
+                         cell.workers);
+            return 1;
+        }
+        std::printf("  %-18s %u worker(s): %8.3f s   %9.1f req/s\n",
+                    "mixed_traffic", cell.workers,
+                    cell.best.wallSeconds,
+                    cell.best.requestsPerSecond);
+    }
+    {
+        const core::TrafficPoint &p = mixed.front().best;
+        std::printf("  mixed_traffic p99 us: read %.1f  write %.1f  "
+                    "compute %.1f (%s, %u requests)\n",
+                    timeToUs(p.byClass[0].p99),
+                    timeToUs(p.byClass[1].p99),
+                    timeToUs(p.byClass[2].p99), mixed_cfg.label().c_str(),
+                    mixed_cfg.requests);
+    }
+
     // ---- BENCH_pr.json -------------------------------------------------
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -299,6 +360,33 @@ main(int argc, char **argv)
                  "    \"disabled_overhead_pct\": %.3f,\n"
                  "    \"enabled_overhead_pct\": %.3f\n  },\n",
                  off_pps, on_pps, off_overhead_pct, on_overhead_pct);
+    {
+        const core::TrafficPoint &p = mixed.front().best;
+        static const char *const kClassNames[] = {"read", "write",
+                                                  "compute"};
+        std::fprintf(f,
+                     "  \"mixed_traffic\": {\n"
+                     "    \"config\": \"%s\", \"requests\": %u,\n"
+                     "    \"stream_digest\": %llu,\n",
+                     mixed_cfg.label().c_str(), mixed_cfg.requests,
+                     (unsigned long long)p.digest);
+        std::fprintf(f, "    \"latency_us\": {\n");
+        for (int c = 0; c < 3; ++c)
+            std::fprintf(
+                f, "      \"%s\": {\"p50\": %.1f, \"p99\": %.1f}%s\n",
+                kClassNames[c], timeToUs(p.byClass[c].p50),
+                timeToUs(p.byClass[c].p99), c < 2 ? "," : "");
+        std::fprintf(f, "    },\n    \"runs\": [\n");
+        for (std::size_t j = 0; j < mixed.size(); ++j)
+            std::fprintf(
+                f,
+                "      {\"workers\": %u, \"wall_seconds\": %.6f, "
+                "\"requests_per_second\": %.1f}%s\n",
+                mixed[j].workers, mixed[j].best.wallSeconds,
+                mixed[j].best.requestsPerSecond,
+                j + 1 < mixed.size() ? "," : "");
+        std::fprintf(f, "    ]\n  },\n");
+    }
     // Scale-tier wall time per worker count: the sum over both
     // workloads, i.e. what the CTest scale label costs at that setting.
     std::fprintf(f, "  \"scale_tier\": [\n");

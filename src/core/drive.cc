@@ -1,6 +1,7 @@
 #include "core/drive.h"
 
 #include <algorithm>
+#include <map>
 
 #include "core/lowering.h"
 #include "engine/result_stream.h"
@@ -38,6 +39,20 @@ farmConfigFor(const FlashCosmosDrive::Config &cfg)
     return fc;
 }
 
+engine::RequestQueue::Config
+admissionConfigFor(const FlashCosmosDrive::Config &cfg)
+{
+    engine::RequestQueue::Config rc;
+    rc.depth = cfg.admissionDepth;
+    rc.weights[static_cast<std::size_t>(engine::RequestClass::Read)] =
+        cfg.qosReadWeight;
+    rc.weights[static_cast<std::size_t>(engine::RequestClass::Write)] =
+        cfg.qosWriteWeight;
+    rc.weights[static_cast<std::size_t>(engine::RequestClass::Compute)] =
+        cfg.qosComputeWeight;
+    return rc;
+}
+
 /** Emit adapter shared by every streamed read path: clamps page @p j
  *  to the vector's @p bits tail and hands it to @p sink. */
 engine::OrderedChunkStream::Emit
@@ -54,12 +69,35 @@ sinkEmitter(ResultSink &sink, std::uint64_t page_bits,
     };
 }
 
+/** Per-request state of a streamed (planned) read. */
+struct StreamJob
+{
+    engine::OpStats os;
+    std::unique_ptr<engine::OrderedChunkStream> stream;
+};
+
+/** Per-request state of a fallback read/compute: captured leaf pages
+ *  per column, evaluated controller-side at completion. */
+struct FallbackJob
+{
+    engine::OpStats os;
+    std::vector<std::shared_ptr<std::map<VectorId, BitVector>>> vals;
+    std::size_t leafReadsLeft = 0;
+};
+
+/** Per-request state of write-like ops (stats tallies only). */
+struct OpJob
+{
+    engine::OpStats os;
+};
+
 } // namespace
 
 FlashCosmosDrive::FlashCosmosDrive() : FlashCosmosDrive(Config{}) {}
 
 FlashCosmosDrive::FlashCosmosDrive(const Config &cfg)
     : cfg_(applyObsKnobs(cfg)), engine_(farmConfigFor(cfg)),
+      rq_(engine_.scheduler(), admissionConfigFor(cfg)),
       ftl_(cfg.channels * cfg.dies, cfg.geometry), planner_(*this)
 {
     fcos_assert(cfg.dies > 0, "drive needs at least one die");
@@ -120,40 +158,87 @@ FlashCosmosDrive::vectorPages(VectorId id) const
 
 FlashCosmosDrive::VectorInfo
 FlashCosmosDrive::makeVector(std::size_t bits, std::uint64_t group,
-                             bool inverted, std::uint64_t pages)
+                             bool inverted, std::uint64_t pages,
+                             std::uint32_t home_column)
 {
+    fcos_assert(home_column < ftl_.columns(),
+                "homeColumn %u out of %u columns", home_column,
+                ftl_.columns());
     if (group == kAutoGroup)
         group = next_auto_group_++;
-    auto &[count, group_pages] = group_info_[group];
-    if (count == 0) {
-        group_pages = pages;
+    GroupInfo &g = group_info_[group];
+    if (g.count == 0) {
+        g.pages = pages;
+        g.homeColumn = home_column;
     } else {
         // Lockstep invariant (see class comment).
-        fcos_assert(group_pages == pages,
+        fcos_assert(g.pages == pages,
                     "group %llu vectors must have equal page counts "
                     "(%llu vs %llu)",
                     (unsigned long long)group,
-                    (unsigned long long)group_pages,
+                    (unsigned long long)g.pages,
                     (unsigned long long)pages);
+        fcos_assert(g.homeColumn == home_column,
+                    "group %llu vectors must share homeColumn "
+                    "(%u vs %u)",
+                    (unsigned long long)group, g.homeColumn,
+                    home_column);
     }
     VectorInfo v;
     v.bits = bits;
     v.inverted = inverted;
     v.group = group;
-    v.orderInGroup = count++;
-    v.pages = ftl_.allocateInGroup(group, pages);
+    v.orderInGroup = g.count++;
+    v.pages = ftl_.allocateInGroup(group, pages, home_column);
     return v;
+}
+
+std::vector<std::uint64_t>
+FlashCosmosDrive::blockKeysOf(
+    const std::vector<ssd::PhysPage> &pages) const
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pages.size());
+    for (const ssd::PhysPage &p : pages) {
+        keys.push_back((std::uint64_t{p.die} << 40) |
+                       (std::uint64_t{p.addr.plane} << 32) |
+                       p.addr.block);
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+}
+
+std::vector<std::uint64_t>
+FlashCosmosDrive::readKeysOf(const std::vector<VectorId> &leaves) const
+{
+    std::vector<std::uint64_t> keys;
+    for (VectorId id : leaves) {
+        std::vector<std::uint64_t> k = blockKeysOf(info(id).pages);
+        keys.insert(keys.end(), k.begin(), k.end());
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+}
+
+Time
+FlashCosmosDrive::arrivalTime(const RequestOptions &ro) const
+{
+    return std::max(ro.arrival, engine_.now());
 }
 
 void
 FlashCosmosDrive::submitPageWrite(const ssd::PhysPage &dst,
                                   nand::PageImage page,
-                                  engine::OpStats *stats)
+                                  engine::OpStats *stats,
+                                  std::function<void()> done)
 {
     engine::ColumnProgram p;
     p.die = dst.die;
     p.plane = dst.addr.plane;
     p.readOutResult = false;
+    p.onComplete = std::move(done);
     engine::ColumnStep st;
     st.kind = engine::StepKind::Program;
     // Program data moves controller -> die over the channel first.
@@ -174,18 +259,42 @@ FlashCosmosDrive::submitPageWrite(const ssd::PhysPage &dst,
     engine_.submit(std::move(p), stats);
 }
 
-VectorId
-FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
+// --------------------------------------------------------------------------
+// Concurrent request API (the sync fc* calls are submit+wait wrappers)
+// --------------------------------------------------------------------------
+
+void
+FlashCosmosDrive::waitAll()
+{
+    engine_.drain();
+    fcos_assert(rq_.idle(), "waitAll left %zu requests unfinished",
+                rq_.pendingCount() + rq_.inFlightCount());
+}
+
+Time
+FlashCosmosDrive::advanceTo(Time t)
+{
+    return engine_.scheduler().runUntil(t);
+}
+
+FlashCosmosDrive::Submitted
+FlashCosmosDrive::submitWrite(const BitVector &data,
+                              const WriteOptions &opts,
+                              const RequestOptions &ro)
 {
     fcos_assert(!data.empty(), "fcWrite of empty vector");
-    std::uint64_t page_bits = cfg_.geometry.pageBits();
-    std::uint64_t pages =
+    const std::uint64_t page_bits = cfg_.geometry.pageBits();
+    const std::uint64_t pages =
         (data.size() + page_bits - 1) / page_bits;
 
-    VectorInfo v =
-        makeVector(data.size(), opts.group, opts.storeInverted, pages);
+    VectorInfo v = makeVector(data.size(), opts.group, opts.storeInverted,
+                              pages, opts.homeColumn);
 
-    const Time t0 = engine_.now();
+    // The payload is sliced into page images now, at submit: the host
+    // hands the data over with the request, so the caller's buffer may
+    // die before admission.
+    auto images = std::make_shared<std::vector<nand::PageImage>>();
+    images->reserve(pages);
     for (std::uint64_t j = 0; j < pages; ++j) {
         std::uint64_t begin = j * page_bits;
         std::uint64_t len =
@@ -194,44 +303,86 @@ FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
         page.paste(0, data.slice(begin, len));
         if (v.inverted)
             page.invert();
-        submitPageWrite(v.pages[j], nand::PageImage::dense(std::move(page)),
-                        nullptr);
+        images->push_back(nand::PageImage::dense(std::move(page)));
     }
-    engine_.drain();
-    noteRequest("fcWrite", t0);
 
-    VectorId id = static_cast<VectorId>(vectors_.size());
+    std::vector<ssd::PhysPage> page_list = v.pages;
+    std::vector<std::uint64_t> write_keys = blockKeysOf(page_list);
+    const VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
-    return id;
+
+    RequestId rid = rq_.submit(
+        engine::RequestClass::Write, arrivalTime(ro), {},
+        std::move(write_keys),
+        [this, images,
+         page_list = std::move(page_list)](RequestId req) {
+            for (std::size_t j = 0; j < page_list.size(); ++j) {
+                rq_.addWork(req);
+                submitPageWrite(page_list[j], std::move((*images)[j]),
+                                nullptr,
+                                [this, req] { rq_.workDone(req); });
+            }
+        },
+        [this, hook = ro.onOutcome](
+            const engine::RequestQueue::Outcome &oc) {
+            noteRequest("fcWrite", oc.admitted, oc.completed);
+            if (hook)
+                hook(oc);
+        });
+    return Submitted{rid, id};
 }
 
-VectorId
-FlashCosmosDrive::fcWritePages(
+FlashCosmosDrive::Submitted
+FlashCosmosDrive::submitWritePages(
     const std::function<nand::PageImage(std::uint64_t)> &gen,
-    std::uint64_t pages, const WriteOptions &opts)
+    std::uint64_t pages, const WriteOptions &opts,
+    const RequestOptions &ro)
 {
     fcos_assert(gen != nullptr, "fcWritePages without a generator");
     fcos_assert(pages >= 1, "fcWritePages of empty vector");
     VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(), opts.group,
-                              opts.storeInverted, pages);
-    const Time t0 = engine_.now();
+                              opts.storeInverted, pages, opts.homeColumn);
+
+    // Generator runs host-side at submit, in page order (its call
+    // sequence is part of the reproducibility contract).
+    auto images = std::make_shared<std::vector<nand::PageImage>>();
+    images->reserve(pages);
     for (std::uint64_t j = 0; j < pages; ++j) {
         nand::PageImage img = gen(j);
-        submitPageWrite(v.pages[j],
-                        v.inverted ? img.inverted() : std::move(img),
-                        nullptr);
+        images->push_back(v.inverted ? img.inverted() : std::move(img));
     }
-    engine_.drain();
-    noteRequest("fcWrite", t0);
 
-    VectorId id = static_cast<VectorId>(vectors_.size());
+    std::vector<ssd::PhysPage> page_list = v.pages;
+    std::vector<std::uint64_t> write_keys = blockKeysOf(page_list);
+    const VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
-    return id;
+
+    RequestId rid = rq_.submit(
+        engine::RequestClass::Write, arrivalTime(ro), {},
+        std::move(write_keys),
+        [this, images,
+         page_list = std::move(page_list)](RequestId req) {
+            for (std::size_t j = 0; j < page_list.size(); ++j) {
+                rq_.addWork(req);
+                submitPageWrite(page_list[j], std::move((*images)[j]),
+                                nullptr,
+                                [this, req] { rq_.workDone(req); });
+            }
+        },
+        [this, hook = ro.onOutcome](
+            const engine::RequestQueue::Outcome &oc) {
+            noteRequest("fcWrite", oc.admitted, oc.completed);
+            if (hook)
+                hook(oc);
+        });
+    return Submitted{rid, id};
 }
 
-VectorId
-FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
-                              const WriteOptions &opts, ReadStats *stats)
+FlashCosmosDrive::Submitted
+FlashCosmosDrive::submitReplicate(VectorId src, std::uint64_t pages,
+                                  const WriteOptions &opts,
+                                  ReadStats *stats,
+                                  const RequestOptions &ro)
 {
     const VectorInfo &s = info(src);
     fcos_assert(s.pages.size() == 1,
@@ -241,12 +392,10 @@ FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
     // The copies hold the source's *stored* bits, so polarity follows
     // the source; logically the result is the source page tiled.
     VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(),
-                              opts.group, s.inverted, pages);
+                              opts.group, s.inverted, pages,
+                              opts.homeColumn);
     const ssd::PhysPage src_page = s.pages[0];
 
-    engine::OpStats os;
-    Time t0 = engine_.now();
-    nand::EspParams esp{cfg_.espFactor};
     // Broadcast fan-out: the source page is sensed exactly once and
     // read out to the controller once; every copy then pays only its
     // own data-in transfer and ESP program, concurrently across dies.
@@ -254,14 +403,342 @@ FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
     targets.reserve(pages);
     for (std::uint64_t j = 0; j < pages; ++j)
         targets.push_back({v.pages[j].die, v.pages[j].addr});
-    engine_.broadcastPage(src_page.die, src_page.addr, targets, esp, &os);
-    engine_.drain();
-    mergeStats(stats, os, engine_.now() - t0);
-    noteRequest("fcReplicate", t0);
 
-    VectorId id = static_cast<VectorId>(vectors_.size());
+    std::vector<std::uint64_t> write_keys = blockKeysOf(v.pages);
+    const VectorId id = static_cast<VectorId>(vectors_.size());
     vectors_.push_back(std::move(v));
-    return id;
+
+    auto job = std::make_shared<OpJob>();
+    RequestId rid = rq_.submit(
+        engine::RequestClass::Write, arrivalTime(ro),
+        blockKeysOf({src_page}), std::move(write_keys),
+        [this, job, src_page, targets = std::move(targets),
+         esp = nand::EspParams{cfg_.espFactor}](RequestId req) {
+            for (std::size_t j = 0; j < targets.size(); ++j)
+                rq_.addWork(req);
+            engine_.broadcastPage(src_page.die, src_page.addr, targets,
+                                  esp, &job->os,
+                                  [this, req] { rq_.workDone(req); });
+        },
+        [this, job, stats, hook = ro.onOutcome](
+            const engine::RequestQueue::Outcome &oc) {
+            mergeStats(stats, job->os, oc.completed - oc.admitted);
+            noteRequest("fcReplicate", oc.admitted, oc.completed);
+            if (hook)
+                hook(oc);
+        });
+    return Submitted{rid, id};
+}
+
+engine::RequestId
+FlashCosmosDrive::submitStreamedRead(
+    const char *name, std::size_t pages, std::size_t bits,
+    std::vector<std::uint64_t> read_keys, ResultSink &sink,
+    ReadStats *stats,
+    std::function<engine::ColumnProgram(std::size_t)> make_program,
+    const RequestOptions &ro)
+{
+    auto job = std::make_shared<StreamJob>();
+    ResultSink *sink_p = &sink;
+    const std::uint64_t page_bits = cfg_.geometry.pageBits();
+    return rq_.submit(
+        engine::RequestClass::Read, arrivalTime(ro),
+        std::move(read_keys), {},
+        [this, job, sink_p, pages, bits, page_bits,
+         make_program = std::move(make_program)](RequestId req) {
+            sink_p->begin(StreamShape{pages, page_bits, bits});
+            job->stream = std::make_unique<engine::OrderedChunkStream>(
+                pages, sinkEmitter(*sink_p, page_bits, bits));
+            for (std::size_t j = 0; j < pages; ++j) {
+                engine::ColumnProgram prog = make_program(j);
+                prog.resultAtCapture = true;
+                prog.onResult = job->stream->handler(j);
+                prog.onComplete = [this, req] { rq_.workDone(req); };
+                rq_.addWork(req);
+                engine_.submit(std::move(prog), &job->os);
+            }
+        },
+        [this, job, sink_p, stats, pages, name,
+         hook = ro.onOutcome](const engine::RequestQueue::Outcome &oc) {
+            fcos_assert(job->stream->complete(),
+                        "streamed %s lost pages", name);
+            mergeStats(stats, job->os, oc.completed - oc.admitted);
+            noteRequest(name, oc.admitted, oc.completed);
+            if (stats) {
+                stats->resultPages += pages;
+                stats->streamChunks += pages;
+                stats->streamPeakPages = std::max<std::uint64_t>(
+                    stats->streamPeakPages,
+                    job->stream->peakBufferedPages());
+            }
+            sink_p->end();
+            if (hook)
+                hook(oc);
+        });
+}
+
+engine::RequestId
+FlashCosmosDrive::submitRead(const Expr &expr, ResultSink &sink,
+                             ReadStats *stats, const RequestOptions &ro)
+{
+    std::vector<VectorId> leaves = expr.leafIds();
+    fcos_assert(!leaves.empty(), "fcRead of constant expression");
+    std::size_t bits = info(leaves[0]).bits;
+    std::size_t pages = info(leaves[0]).pages.size();
+    for (VectorId id : leaves) {
+        fcos_assert(info(id).bits == bits,
+                    "fcRead operands must have equal sizes");
+        fcos_assert(info(id).pages.size() == pages, "page count mismatch");
+    }
+
+    MwsPlan plan = planner_.plan(expr);
+    if (stats) {
+        stats->planKind = plan.kind;
+        stats->planText = plan.toString();
+    }
+
+    if (plan.kind != MwsPlan::Kind::Fallback) {
+        return submitStreamedRead(
+            "fcRead", pages, bits, readKeysOf(leaves), sink, stats,
+            [this, plan = std::move(plan), expr](std::size_t j) {
+                return planProgram(plan, expr, j);
+            },
+            ro);
+    }
+
+    fcos_warn("fcRead falling back to serial reads: %s",
+              plan.fallbackReason.c_str());
+    // The fallback reads every leaf page to the controller and
+    // evaluates there at completion, so it inherently buffers every
+    // leaf page; the evaluated pages stream in order and the dense
+    // peak is reported honestly.
+    auto job = std::make_shared<FallbackJob>();
+    ResultSink *sink_p = &sink;
+    const std::uint64_t page_bits = cfg_.geometry.pageBits();
+    return rq_.submit(
+        engine::RequestClass::Read, arrivalTime(ro), readKeysOf(leaves),
+        {},
+        [this, job, sink_p, expr, pages, bits,
+         page_bits](RequestId req) {
+            sink_p->begin(StreamShape{pages, page_bits, bits});
+            job->vals.reserve(pages);
+            for (std::size_t j = 0; j < pages; ++j) {
+                job->vals.push_back(
+                    std::make_shared<std::map<VectorId, BitVector>>());
+                engine::ColumnProgram prog =
+                    fallbackProgram(expr, j, job->vals[j]);
+                prog.onComplete = [this, req] { rq_.workDone(req); };
+                rq_.addWork(req);
+                engine_.submit(std::move(prog), &job->os);
+            }
+        },
+        [this, job, sink_p, expr, stats, pages, bits, page_bits,
+         hook = ro.onOutcome](const engine::RequestQueue::Outcome &oc) {
+            engine::OrderedChunkStream::Emit emit =
+                sinkEmitter(*sink_p, page_bits, bits);
+            for (std::size_t j = 0; j < pages; ++j) {
+                emit(j, expr.evaluate(
+                            [&](VectorId id) -> const BitVector & {
+                                return job->vals[j]->at(id);
+                            }));
+            }
+            mergeStats(stats, job->os, oc.completed - oc.admitted);
+            noteRequest("fcRead", oc.admitted, oc.completed);
+            if (stats) {
+                stats->resultPages += pages;
+                stats->streamChunks += pages;
+                stats->streamPeakPages = std::max<std::uint64_t>(
+                    stats->streamPeakPages, pages);
+            }
+            sink_p->end();
+            if (hook)
+                hook(oc);
+        });
+}
+
+engine::RequestId
+FlashCosmosDrive::submitReadVector(VectorId id, ResultSink &sink,
+                                   ReadStats *stats,
+                                   const RequestOptions &ro)
+{
+    const VectorInfo &v = info(id);
+    return submitStreamedRead(
+        "readVector", v.pages.size(), v.bits, blockKeysOf(v.pages), sink,
+        stats,
+        [page_list = v.pages, inv = v.inverted](std::size_t j) {
+            const ssd::PhysPage &p = page_list[j];
+            engine::ColumnProgram prog;
+            prog.die = p.die;
+            prog.plane = p.addr.plane;
+            prog.steps.push_back(engine::ColumnStep{
+                engine::StepKind::PageRead,
+                [a = p.addr, inv](nand::NandChip &chip) {
+                    return chip.readPage(a, inv);
+                },
+                0, 0});
+            return prog;
+        },
+        ro);
+}
+
+FlashCosmosDrive::Submitted
+FlashCosmosDrive::submitCompute(const Expr &expr, const WriteOptions &opts,
+                                ReadStats *stats, const RequestOptions &ro)
+{
+    std::vector<VectorId> leaves = expr.leafIds();
+    fcos_assert(!leaves.empty(), "fcCompute of constant expression");
+    std::size_t bits = info(leaves[0]).bits;
+    std::size_t pages = info(leaves[0]).pages.size();
+    for (VectorId id : leaves) {
+        fcos_assert(info(id).bits == bits,
+                    "fcCompute operands must have equal sizes");
+        fcos_assert(info(id).pages.size() == pages,
+                    "page count mismatch");
+    }
+
+    // Inverted storage computes the complement into the latch.
+    Expr stored_expr = opts.storeInverted ? Expr::Not(expr) : expr;
+    MwsPlan plan = planner_.plan(stored_expr);
+    if (stats) {
+        stats->planKind = plan.kind;
+        stats->planText = plan.toString();
+    }
+
+    VectorInfo v = makeVector(bits, opts.group, opts.storeInverted, pages,
+                              opts.homeColumn);
+    std::vector<ssd::PhysPage> page_list = v.pages;
+    std::vector<std::uint64_t> read_keys = readKeysOf(leaves);
+    std::vector<std::uint64_t> write_keys = blockKeysOf(page_list);
+    const VectorId id = static_cast<VectorId>(vectors_.size());
+    vectors_.push_back(std::move(v));
+
+    RequestId rid = 0;
+    if (plan.kind == MwsPlan::Kind::Fallback) {
+        // Compute controller-side, then write the pages normally: the
+        // leaf reads are stage one; the instant the last one lands,
+        // the continuation evaluates and submits the page programs as
+        // stage two (registered before the final workDone, so the
+        // request stays open across the stage boundary).
+        fcos_warn("fcCompute falling back to serial reads: %s",
+                  plan.fallbackReason.c_str());
+        auto job = std::make_shared<FallbackJob>();
+        rid = rq_.submit(
+            engine::RequestClass::Compute, arrivalTime(ro),
+            std::move(read_keys), std::move(write_keys),
+            [this, job, stored_expr, pages,
+             page_list = std::move(page_list)](RequestId req) {
+                job->vals.reserve(pages);
+                job->leafReadsLeft = pages;
+                for (std::size_t j = 0; j < pages; ++j) {
+                    job->vals.push_back(std::make_shared<
+                                        std::map<VectorId, BitVector>>());
+                    engine::ColumnProgram prog =
+                        fallbackProgram(stored_expr, j, job->vals[j]);
+                    prog.onComplete = [this, req, job, stored_expr,
+                                       page_list] {
+                        if (--job->leafReadsLeft == 0) {
+                            for (std::size_t k = 0;
+                                 k < page_list.size(); ++k) {
+                                BitVector out = stored_expr.evaluate(
+                                    [&](VectorId vid)
+                                        -> const BitVector & {
+                                        return job->vals[k]->at(vid);
+                                    });
+                                rq_.addWork(req);
+                                submitPageWrite(
+                                    page_list[k],
+                                    nand::PageImage::dense(
+                                        std::move(out)),
+                                    &job->os, [this, req] {
+                                        rq_.workDone(req);
+                                    });
+                            }
+                        }
+                        rq_.workDone(req);
+                    };
+                    rq_.addWork(req);
+                    engine_.submit(std::move(prog), &job->os);
+                }
+            },
+            [this, job, stats, hook = ro.onOutcome](
+                const engine::RequestQueue::Outcome &oc) {
+                mergeStats(stats, job->os, oc.completed - oc.admitted);
+                noteRequest("fcCompute", oc.admitted, oc.completed);
+                if (hook)
+                    hook(oc);
+            });
+        return Submitted{rid, id};
+    }
+
+    auto job = std::make_shared<OpJob>();
+    rid = rq_.submit(
+        engine::RequestClass::Compute, arrivalTime(ro),
+        std::move(read_keys), std::move(write_keys),
+        [this, job, plan = std::move(plan), stored_expr, pages,
+         page_list = std::move(page_list),
+         esp = nand::EspParams{cfg_.espFactor}](RequestId req) {
+            for (std::size_t j = 0; j < pages; ++j) {
+                engine::ColumnProgram prog =
+                    planProgram(plan, stored_expr, j);
+                const ssd::PhysPage &dst = page_list[j];
+                // The operands' column and the destination column
+                // round-robin identically, so the latch holding the
+                // result belongs to the destination's plane.
+                fcos_assert(dst.die == prog.die &&
+                                dst.addr.plane == prog.plane,
+                            "fcCompute destination must share the plane");
+                prog.readOutResult = false;
+                prog.steps.push_back(engine::ColumnStep{
+                    engine::StepKind::Program,
+                    [addr = dst.addr, esp](nand::NandChip &chip) {
+                        return chip.programFromCache(
+                            addr, nand::ProgramMode::SlcEsp, esp);
+                    },
+                    0, 0});
+                prog.onComplete = [this, req] { rq_.workDone(req); };
+                rq_.addWork(req);
+                engine_.submit(std::move(prog), &job->os);
+            }
+        },
+        [this, job, stats, hook = ro.onOutcome](
+            const engine::RequestQueue::Outcome &oc) {
+            mergeStats(stats, job->os, oc.completed - oc.admitted);
+            noteRequest("fcCompute", oc.admitted, oc.completed);
+            if (hook)
+                hook(oc);
+        });
+    return Submitted{rid, id};
+}
+
+// --------------------------------------------------------------------------
+// Synchronous wrappers
+// --------------------------------------------------------------------------
+
+VectorId
+FlashCosmosDrive::fcWrite(const BitVector &data, const WriteOptions &opts)
+{
+    Submitted s = submitWrite(data, opts);
+    waitAll();
+    return s.vector;
+}
+
+VectorId
+FlashCosmosDrive::fcWritePages(
+    const std::function<nand::PageImage(std::uint64_t)> &gen,
+    std::uint64_t pages, const WriteOptions &opts)
+{
+    Submitted s = submitWritePages(gen, pages, opts);
+    waitAll();
+    return s.vector;
+}
+
+VectorId
+FlashCosmosDrive::fcReplicate(VectorId src, std::uint64_t pages,
+                              const WriteOptions &opts, ReadStats *stats)
+{
+    Submitted s = submitReplicate(src, pages, opts, stats);
+    waitAll();
+    return s.vector;
 }
 
 MwsPlan
@@ -271,17 +748,69 @@ FlashCosmosDrive::planFor(const Expr &expr) const
 }
 
 void
-FlashCosmosDrive::noteRequest(const char *name, Time t0)
+FlashCosmosDrive::fcRead(const Expr &expr, ResultSink &sink,
+                         ReadStats *stats)
+{
+    submitRead(expr, sink, stats);
+    waitAll();
+}
+
+BitVector
+FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
+{
+    DenseCollectSink dense;
+    fcRead(expr, dense, stats);
+    return dense.take();
+}
+
+VectorId
+FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
+                            ReadStats *stats)
+{
+    Submitted s = submitCompute(expr, opts, stats);
+    waitAll();
+    return s.vector;
+}
+
+void
+FlashCosmosDrive::readVector(VectorId id, ResultSink &sink,
+                             ReadStats *stats)
+{
+    submitReadVector(id, sink, stats);
+    waitAll();
+}
+
+BitVector
+FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
+{
+    DenseCollectSink dense;
+    readVector(id, dense, stats);
+    return dense.take();
+}
+
+// --------------------------------------------------------------------------
+// Observability and program construction
+// --------------------------------------------------------------------------
+
+void
+FlashCosmosDrive::noteRequest(const char *name, Time begin, Time end)
 {
     if (obs::traceLive(trace_epoch_)) {
-        // Requests execute one at a time, so [t0, now] spans never
-        // overlap on the track.
-        obs::trace().span(req_track_, name, t0, engine_.now());
+        // Serial traffic records B/E spans — byte-identical to the
+        // historical one-request-at-a-time trace. A request window
+        // overlapping the previous one on the track records as an X
+        // overlay instead (Perfetto orders X events by timestamp
+        // itself, so completion-order recording is safe).
+        if (begin >= req_last_end_)
+            obs::trace().span(req_track_, name, begin, end);
+        else
+            obs::trace().overlay(req_track_, name, begin, end);
+        req_last_end_ = std::max(req_last_end_, end);
     }
     if (obs::metricsLive(m_epoch_)) {
         obs::metrics()
             .histogram(std::string("drive.latency.") + name)
-            .record(engine_.now() - t0);
+            .record(end - begin);
     }
 }
 
@@ -383,9 +912,9 @@ FlashCosmosDrive::fallbackProgram(
     prog.readOutResult = false;
 
     // Serial page reads; every page crosses the channel to the
-    // controller, which evaluates the expression (after drain).
-    // Reads use inverse mode for inverse-stored vectors, recovering
-    // logical values directly.
+    // controller, which evaluates the expression at the request's
+    // completion. Reads use inverse mode for inverse-stored vectors,
+    // recovering logical values directly.
     for (VectorId id : expr.leafIds()) {
         const nand::WordlineAddr &a = info(id).pages[page_index].addr;
         prog.steps.push_back(engine::ColumnStep{
@@ -399,221 +928,6 @@ FlashCosmosDrive::fallbackProgram(
             /*dmaAfterBytes=*/cfg_.geometry.pageBytes, 0});
     }
     return prog;
-}
-
-std::vector<BitVector>
-FlashCosmosDrive::evaluateFallback(const Expr &expr, std::size_t pages,
-                                   engine::OpStats *os)
-{
-    std::vector<std::shared_ptr<std::map<VectorId, BitVector>>> vals;
-    vals.reserve(pages);
-    for (std::size_t j = 0; j < pages; ++j) {
-        vals.push_back(
-            std::make_shared<std::map<VectorId, BitVector>>());
-        engine_.submit(fallbackProgram(expr, j, vals[j]), os);
-    }
-    engine_.drain();
-    std::vector<BitVector> out;
-    out.reserve(pages);
-    for (std::size_t j = 0; j < pages; ++j)
-        out.push_back(expr.evaluate(
-            [&](VectorId id) -> const BitVector & {
-                return vals[j]->at(id);
-            }));
-    return out;
-}
-
-void
-FlashCosmosDrive::fcRead(const Expr &expr, ResultSink &sink,
-                         ReadStats *stats)
-{
-    std::vector<VectorId> leaves = expr.leafIds();
-    fcos_assert(!leaves.empty(), "fcRead of constant expression");
-    std::size_t bits = info(leaves[0]).bits;
-    std::size_t pages = info(leaves[0]).pages.size();
-    for (VectorId id : leaves) {
-        fcos_assert(info(id).bits == bits,
-                    "fcRead operands must have equal sizes");
-        fcos_assert(info(id).pages.size() == pages, "page count mismatch");
-    }
-
-    MwsPlan plan = planner_.plan(expr);
-    if (stats) {
-        stats->planKind = plan.kind;
-        stats->planText = plan.toString();
-    }
-    if (plan.kind == MwsPlan::Kind::Fallback) {
-        fcos_warn("fcRead falling back to serial reads: %s",
-                  plan.fallbackReason.c_str());
-    }
-
-    const std::uint64_t page_bits = cfg_.geometry.pageBits();
-    sink.begin(StreamShape{pages, page_bits, bits});
-    engine::OpStats os;
-    Time t0 = engine_.now();
-    std::uint64_t peak = 0;
-    engine::OrderedChunkStream::Emit emit =
-        sinkEmitter(sink, page_bits, bits);
-
-    if (plan.kind == MwsPlan::Kind::Fallback) {
-        // The fallback evaluates controller-side after drain, so it
-        // inherently buffers every leaf page; stream the evaluated
-        // pages in order and report the dense peak honestly.
-        std::vector<BitVector> out = evaluateFallback(expr, pages, &os);
-        for (std::size_t j = 0; j < pages; ++j)
-            emit(j, std::move(out[j]));
-        peak = pages;
-    } else {
-        engine::OrderedChunkStream stream(pages, emit);
-        for (std::size_t j = 0; j < pages; ++j) {
-            engine::ColumnProgram prog = planProgram(plan, expr, j);
-            prog.resultAtCapture = true;
-            prog.onResult = stream.handler(j);
-            engine_.submit(std::move(prog), &os);
-        }
-        engine_.drain();
-        fcos_assert(stream.complete(), "streamed fcRead lost pages");
-        peak = stream.peakBufferedPages();
-    }
-
-    mergeStats(stats, os, engine_.now() - t0);
-    noteRequest("fcRead", t0);
-    if (stats) {
-        stats->resultPages += pages;
-        stats->streamChunks += pages;
-        stats->streamPeakPages =
-            std::max<std::uint64_t>(stats->streamPeakPages, peak);
-    }
-    sink.end();
-}
-
-BitVector
-FlashCosmosDrive::fcRead(const Expr &expr, ReadStats *stats)
-{
-    DenseCollectSink dense;
-    fcRead(expr, dense, stats);
-    return dense.take();
-}
-
-VectorId
-FlashCosmosDrive::fcCompute(const Expr &expr, const WriteOptions &opts,
-                            ReadStats *stats)
-{
-    std::vector<VectorId> leaves = expr.leafIds();
-    fcos_assert(!leaves.empty(), "fcCompute of constant expression");
-    std::size_t bits = info(leaves[0]).bits;
-    std::size_t pages = info(leaves[0]).pages.size();
-    for (VectorId id : leaves) {
-        fcos_assert(info(id).bits == bits,
-                    "fcCompute operands must have equal sizes");
-        fcos_assert(info(id).pages.size() == pages,
-                    "page count mismatch");
-    }
-
-    // Inverted storage computes the complement into the latch.
-    Expr stored_expr = opts.storeInverted ? Expr::Not(expr) : expr;
-    MwsPlan plan = planner_.plan(stored_expr);
-    if (stats) {
-        stats->planKind = plan.kind;
-        stats->planText = plan.toString();
-    }
-
-    VectorInfo v = makeVector(bits, opts.group, opts.storeInverted, pages);
-
-    engine::OpStats os;
-    Time t0 = engine_.now();
-    nand::EspParams esp{cfg_.espFactor};
-
-    if (plan.kind == MwsPlan::Kind::Fallback) {
-        // Compute controller-side, then write the pages normally.
-        fcos_warn("fcCompute falling back to serial reads: %s",
-                  plan.fallbackReason.c_str());
-        std::vector<BitVector> out =
-            evaluateFallback(stored_expr, pages, &os);
-        for (std::size_t j = 0; j < pages; ++j)
-            submitPageWrite(v.pages[j],
-                            nand::PageImage::dense(std::move(out[j])),
-                            &os);
-        engine_.drain();
-    } else {
-        for (std::size_t j = 0; j < pages; ++j) {
-            engine::ColumnProgram prog =
-                planProgram(plan, stored_expr, j);
-            const ssd::PhysPage &dst = v.pages[j];
-            // The operands' column and the destination column
-            // round-robin identically, so the latch holding the result
-            // belongs to the destination's plane.
-            fcos_assert(dst.die == prog.die &&
-                            dst.addr.plane == prog.plane,
-                        "fcCompute destination must share the plane");
-            prog.readOutResult = false;
-            prog.steps.push_back(engine::ColumnStep{
-                engine::StepKind::Program,
-                [addr = dst.addr, esp](nand::NandChip &chip) {
-                    return chip.programFromCache(
-                        addr, nand::ProgramMode::SlcEsp, esp);
-                },
-                0, 0});
-            engine_.submit(std::move(prog), &os);
-        }
-        engine_.drain();
-    }
-
-    mergeStats(stats, os, engine_.now() - t0);
-    noteRequest("fcCompute", t0);
-    VectorId id = static_cast<VectorId>(vectors_.size());
-    vectors_.push_back(std::move(v));
-    return id;
-}
-
-void
-FlashCosmosDrive::readVector(VectorId id, ResultSink &sink,
-                             ReadStats *stats)
-{
-    const VectorInfo &v = info(id);
-    const std::uint64_t page_bits = cfg_.geometry.pageBits();
-    const std::size_t pages = v.pages.size();
-    sink.begin(StreamShape{pages, page_bits, v.bits});
-    engine::OpStats os;
-    Time t0 = engine_.now();
-
-    engine::OrderedChunkStream stream(
-        pages, sinkEmitter(sink, page_bits, v.bits));
-    for (std::size_t j = 0; j < pages; ++j) {
-        const ssd::PhysPage &p = v.pages[j];
-        engine::ColumnProgram prog;
-        prog.die = p.die;
-        prog.plane = p.addr.plane;
-        prog.steps.push_back(engine::ColumnStep{
-            engine::StepKind::PageRead,
-            [a = p.addr, inv = v.inverted](nand::NandChip &chip) {
-                return chip.readPage(a, inv);
-            },
-            0, 0});
-        prog.resultAtCapture = true;
-        prog.onResult = stream.handler(j);
-        engine_.submit(std::move(prog), &os);
-    }
-    engine_.drain();
-    fcos_assert(stream.complete(), "streamed readVector lost pages");
-
-    mergeStats(stats, os, engine_.now() - t0);
-    noteRequest("readVector", t0);
-    if (stats) {
-        stats->resultPages += pages;
-        stats->streamChunks += pages;
-        stats->streamPeakPages = std::max<std::uint64_t>(
-            stats->streamPeakPages, stream.peakBufferedPages());
-    }
-    sink.end();
-}
-
-BitVector
-FlashCosmosDrive::readVector(VectorId id, ReadStats *stats)
-{
-    DenseCollectSink dense;
-    readVector(id, dense, stats);
-    return dense.take();
 }
 
 } // namespace fcos::core

@@ -42,12 +42,48 @@
 #include "core/plan.h"
 #include "core/planner.h"
 #include "core/result_sink.h"
+#include "engine/admission.h"
 #include "engine/engine.h"
 #include "nand/chip.h"
 #include "ssd/ftl.h"
 #include "util/bitvector.h"
 
 namespace fcos::core {
+
+/** Sentinel: fcWrite allocates a fresh private group. */
+inline constexpr std::uint64_t kDriveAutoGroup = ~std::uint64_t{0};
+
+/** Placement options of write-like operations (namespace-scope so
+ *  member declarations can default-construct it; use it as
+ *  FlashCosmosDrive::WriteOptions). */
+struct DriveWriteOptions
+{
+    /** Placement group (vectors combined together must share it). */
+    std::uint64_t group = kDriveAutoGroup;
+    /** Store the complement (enables single-MWS OR via De Morgan). */
+    bool storeInverted = false;
+    /** Stripe start: page i lands on (die, plane) column
+     *  (homeColumn + i) % columns. All vectors of one group must
+     *  share it (lockstep). Spreading small independent vectors
+     *  across home columns is what lets concurrent requests land
+     *  on different dies. */
+    std::uint32_t homeColumn = 0;
+};
+
+/** Options of an async submit* call (FlashCosmosDrive::RequestOptions). */
+struct DriveRequestOptions
+{
+    /** Simulated arrival time; values <= now() arrive immediately,
+     *  later ones are staged on the engine clock (an open-loop
+     *  arrival process, as a traffic generator supplies). */
+    Time arrival = 0;
+    /** Optional completion hook: fires at the request's simulated
+     *  completion with its lifecycle timestamps (arrival / admitted /
+     *  completed) — end-to-end latency including queue wait, which
+     *  ReadStats::makespan deliberately excludes. Runs in a serial
+     *  context; may submit follow-up requests. */
+    std::function<void(const engine::RequestQueue::Outcome &)> onOutcome;
+};
 
 class FlashCosmosDrive : public StorageResolver
 {
@@ -79,6 +115,16 @@ class FlashCosmosDrive : public StorageResolver
         /** Non-empty: enable the metrics registry and write the
          *  end-of-run report here (same as FCOS_METRICS=<file>). */
         std::string metricsFile;
+        /** Admission window of the request queue: max concurrently
+         *  in-flight requests (submit* overlaps up to this many
+         *  conflict-free requests; the sync fc* wrappers never hold
+         *  more than one). */
+        std::uint32_t admissionDepth = 8;
+        /** QoS admission weights (reads : writes : compute) under
+         *  contention; see engine::RequestQueue. */
+        std::uint32_t qosReadWeight = 1;
+        std::uint32_t qosWriteWeight = 1;
+        std::uint32_t qosComputeWeight = 1;
     };
 
     /** Construct with a test-friendly tiny geometry. */
@@ -89,15 +135,9 @@ class FlashCosmosDrive : public StorageResolver
     void setErrorInjector(nand::ErrorInjector *injector);
 
     /** Sentinel: fcWrite allocates a fresh private group. */
-    static constexpr std::uint64_t kAutoGroup = ~std::uint64_t{0};
+    static constexpr std::uint64_t kAutoGroup = kDriveAutoGroup;
 
-    struct WriteOptions
-    {
-        /** Placement group (vectors combined together must share it). */
-        std::uint64_t group = kAutoGroup;
-        /** Store the complement (enables single-MWS OR via De Morgan). */
-        bool storeInverted = false;
-    };
+    using WriteOptions = DriveWriteOptions;
 
     /**
      * Store a bit vector (fc_write). Returns its handle.
@@ -209,6 +249,83 @@ class FlashCosmosDrive : public StorageResolver
      *  wrapper over the streamed path). */
     BitVector readVector(VectorId id, ReadStats *stats = nullptr);
 
+    // ------------------------------------------------------------------
+    // Concurrent request API
+    //
+    // Every fc* operation above is a thin submit-and-wait wrapper over
+    // these: submit* hands the operation to the admission queue
+    // (engine::RequestQueue) and returns immediately with a handle;
+    // independent requests overlap on the engine's shared timeline
+    // while conflicting ones (block-grained read/write footprints)
+    // serialize in arrival order. Submitted serially — each waitAll()ed
+    // before the next — the schedule, timeline, energy ledger, and
+    // streamed payloads are bit-identical to the historical
+    // drain-per-op behavior at any worker count.
+    //
+    // Lifetime: sinks, ReadStats, and generator callbacks passed to
+    // submit* must stay alive until waitAll() (or advanceTo() past the
+    // request's completion). ReadStats::makespan of a concurrent
+    // request is its admitted->completed span; queue wait is recorded
+    // separately ("engine.admission.wait.*").
+    // ------------------------------------------------------------------
+
+    using RequestId = engine::RequestId;
+    using RequestOptions = DriveRequestOptions;
+
+    /** Handle pair of a submitted write-like request: the request plus
+     *  the vector it will have produced once completed. */
+    struct Submitted
+    {
+        RequestId request = 0;
+        VectorId vector = 0;
+    };
+
+    /** Async fcRead. @p sink streams this request's pages only. */
+    RequestId submitRead(const Expr &expr, ResultSink &sink,
+                         ReadStats *stats = nullptr,
+                         const RequestOptions &ro = {});
+
+    /** Async fcWrite (the payload is copied at submit). */
+    Submitted submitWrite(const BitVector &data,
+                          const WriteOptions &opts = {},
+                          const RequestOptions &ro = {});
+
+    /** Async fcWritePages (@p gen runs host-side at submit). */
+    Submitted submitWritePages(
+        const std::function<nand::PageImage(std::uint64_t)> &gen,
+        std::uint64_t pages, const WriteOptions &opts = {},
+        const RequestOptions &ro = {});
+
+    /** Async fcCompute. */
+    Submitted submitCompute(const Expr &expr, const WriteOptions &opts,
+                            ReadStats *stats = nullptr,
+                            const RequestOptions &ro = {});
+
+    /** Async fcReplicate. */
+    Submitted submitReplicate(VectorId src, std::uint64_t pages,
+                              const WriteOptions &opts,
+                              ReadStats *stats = nullptr,
+                              const RequestOptions &ro = {});
+
+    /** Async readVector. */
+    RequestId submitReadVector(VectorId id, ResultSink &sink,
+                               ReadStats *stats = nullptr,
+                               const RequestOptions &ro = {});
+
+    /** Run the timeline until every submitted request has completed. */
+    void waitAll();
+
+    /** Run the timeline up to @p t, leaving later work in flight —
+     *  the pacing/backpressure primitive for paced submission loops.
+     *  @return the clock (== max(now(), t)). */
+    Time advanceTo(Time t);
+
+    /** Current simulated time. */
+    Time now() const { return engine_.now(); }
+
+    /** The admission queue (inspection: depth, per-class counts). */
+    const engine::RequestQueue &admission() const { return rq_; }
+
     /** Logical size of a stored vector in bits. */
     std::size_t vectorBits(VectorId id) const;
 
@@ -246,7 +363,8 @@ class FlashCosmosDrive : public StorageResolver
 
     /** Allocate the VectorInfo bookkeeping for a new vector. */
     VectorInfo makeVector(std::size_t bits, std::uint64_t group,
-                          bool inverted, std::uint64_t pages);
+                          bool inverted, std::uint64_t pages,
+                          std::uint32_t home_column);
 
     /** Column program executing @p plan on page column @p page_index
      *  (Kind::Mws / Kind::Xor plans). */
@@ -260,41 +378,70 @@ class FlashCosmosDrive : public StorageResolver
         const Expr &expr, std::size_t page_index,
         std::shared_ptr<std::map<VectorId, BitVector>> values) const;
 
-    /** Run the fallback path for all @p pages columns and evaluate
-     *  @p expr controller-side; returns one page per column. */
-    std::vector<BitVector> evaluateFallback(const Expr &expr,
-                                            std::size_t pages,
-                                            engine::OpStats *os);
-
     /** Resolve (die, plane) of a page column; asserts co-location. */
     void columnLocation(const Expr &expr, std::size_t page_index,
                         std::uint32_t *die, std::uint32_t *plane) const;
 
-    /** Submit one page-program write (data-in over the channel). */
+    /** Submit one page-program write (data-in over the channel);
+     *  @p done fires at the program's simulated completion. */
     void submitPageWrite(const ssd::PhysPage &dst, nand::PageImage page,
-                         engine::OpStats *stats);
+                         engine::OpStats *stats,
+                         std::function<void()> done = {});
 
     /** Merge engine counters into @p stats (except resultPages). */
     static void mergeStats(ReadStats *stats, const engine::OpStats &os,
                            Time makespan);
 
-    /** Record one drive-level request on the "requests" trace track
-     *  and its end-to-end latency histogram ([t0, engine_.now()];
-     *  @p name must be a string literal). One branch when obs is off. */
-    void noteRequest(const char *name, Time t0);
+    /** Block-grained conflict keys ((die, plane, block) packed) of a
+     *  page set, sorted and deduped. */
+    std::vector<std::uint64_t>
+    blockKeysOf(const std::vector<ssd::PhysPage> &pages) const;
+
+    /** Union of blockKeysOf over every leaf vector of @p leaves. */
+    std::vector<std::uint64_t>
+    readKeysOf(const std::vector<VectorId> &leaves) const;
+
+    /** Clamp a requested arrival to the engine clock. */
+    Time arrivalTime(const RequestOptions &ro) const;
+
+    /** Streamed-read request core shared by submitRead (planned
+     *  paths) and submitReadVector: per-request OpStats + ordered
+     *  chunk stream, one engine program per page column from
+     *  @p make_program, completion finalizing stats and the sink. */
+    RequestId submitStreamedRead(
+        const char *name, std::size_t pages, std::size_t bits,
+        std::vector<std::uint64_t> read_keys, ResultSink &sink,
+        ReadStats *stats,
+        std::function<engine::ColumnProgram(std::size_t)> make_program,
+        const RequestOptions &ro);
+
+    /** Record one drive-level request window [@p begin, @p end] on the
+     *  "requests" trace track and its end-to-end latency histogram
+     *  (@p name must be a string literal). Non-overlapping windows
+     *  render as spans (bit-identical to the historical serial trace);
+     *  a window overlapping the previous one records as an X overlay.
+     *  One branch when obs is off. */
+    void noteRequest(const char *name, Time begin, Time end);
 
     Config cfg_;
     engine::ComputeEngine engine_;
+    /** Admission/request queue fronting the scheduler (tentpole of the
+     *  concurrent request API; constructed after engine_). */
+    engine::RequestQueue rq_;
     ssd::Ftl ftl_;
     Planner planner_;
     std::vector<VectorInfo> vectors_;
     /** Per column: a reserved, never-programmed wordline (senses as
      *  all-'1'; used by the final-NOT XOR trick). */
     std::vector<ssd::PhysPage> erased_ref_;
-    /** group id -> {vector count, page count} for lockstep checking. */
-    std::unordered_map<std::uint64_t, std::pair<std::uint64_t,
-                                                std::uint64_t>>
-        group_info_;
+    /** Per-group lockstep bookkeeping (see makeVector). */
+    struct GroupInfo
+    {
+        std::uint64_t count = 0;
+        std::uint64_t pages = 0;
+        std::uint32_t homeColumn = 0;
+    };
+    std::unordered_map<std::uint64_t, GroupInfo> group_info_;
     std::uint64_t next_auto_group_ = 1ULL << 32;
 
     /** Request-level observability (epochs + track captured at
@@ -302,6 +449,9 @@ class FlashCosmosDrive : public StorageResolver
     std::uint64_t trace_epoch_ = 0;
     std::uint64_t m_epoch_ = 0;
     std::uint32_t req_track_ = 0;
+    /** Latest request-window end recorded on the track (span vs
+     *  overlay decision; see noteRequest). */
+    Time req_last_end_ = 0;
 };
 
 } // namespace fcos::core

@@ -1,0 +1,199 @@
+#include "core/traffic.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fcos::core {
+namespace {
+
+// Same FNV-1a constants as DigestSink — the traffic digest is a fold
+// of per-request stream digests in submission order.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::size_t kPoolGroups = 4;
+constexpr std::size_t kVectorBits = 1000; ///< 4 tiny-geometry pages
+
+/** Request class of open-loop slot @p i (6:2:2 read:write:compute). */
+std::size_t
+classOfSlot(std::uint32_t i)
+{
+    const std::uint32_t slot = i % 10;
+    return slot < 6 ? 0 : (slot < 8 ? 1 : 2);
+}
+
+ClassLatency
+summarize(std::vector<Time> &lat)
+{
+    ClassLatency s;
+    s.count = lat.size();
+    if (lat.empty())
+        return s;
+    std::sort(lat.begin(), lat.end());
+    s.p50 = lat[(lat.size() - 1) / 2];
+    s.p99 = lat[(lat.size() - 1) * 99 / 100];
+    return s;
+}
+
+} // namespace
+
+std::string
+TrafficConfig::label() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%gus %u:%u:%u", interArrivalUs,
+                  qosReadWeight, qosWriteWeight, qosComputeWeight);
+    return buf;
+}
+
+TrafficPoint
+runMixedTraffic(const TrafficConfig &cfg)
+{
+    FlashCosmosDrive::Config dc;
+    dc.channels = cfg.channels;
+    dc.dies = cfg.dies;
+    dc.workers = cfg.workers;
+    dc.admissionDepth = cfg.admissionDepth;
+    dc.qosReadWeight = cfg.qosReadWeight;
+    dc.qosWriteWeight = cfg.qosWriteWeight;
+    dc.qosComputeWeight = cfg.qosComputeWeight;
+    FlashCosmosDrive drive(dc);
+
+    const std::uint32_t columns =
+        cfg.channels * cfg.dies * dc.geometry.planesPerDie;
+    const auto home = [columns](std::size_t g) {
+        return static_cast<std::uint32_t>((g * 3) % columns);
+    };
+
+    // Operand pool: two co-located vectors per group, groups spread
+    // over home columns so independent requests land on distinct dies.
+    Rng rng = Rng::seeded(20260808);
+    std::vector<VectorId> pool;
+    for (std::size_t g = 0; g < kPoolGroups; ++g) {
+        for (int v = 0; v < 2; ++v) {
+            BitVector vec(kVectorBits);
+            vec.randomize(rng);
+            FlashCosmosDrive::WriteOptions opts;
+            opts.group = g + 1;
+            opts.homeColumn = home(g);
+            pool.push_back(drive.fcWrite(vec, opts));
+        }
+    }
+
+    const Time t0 = drive.now();
+    const Time gap = usToTime(cfg.interArrivalUs);
+
+    std::size_t read_count = 0;
+    for (std::uint32_t i = 0; i < cfg.requests; ++i)
+        read_count += classOfSlot(i) == 0;
+    std::vector<DigestSink> sinks(read_count);
+    std::vector<Time> lats[3];
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::size_t r = 0;
+    for (std::uint32_t i = 0; i < cfg.requests; ++i) {
+        const std::size_t cls = classOfSlot(i);
+        const std::size_t g = i % kPoolGroups;
+        FlashCosmosDrive::RequestOptions ro;
+        ro.arrival = t0 + gap * i;
+        ro.onOutcome =
+            [&lats, cls](const engine::RequestQueue::Outcome &oc) {
+                lats[cls].push_back(oc.completed - oc.arrival);
+            };
+        if (cls == 0) {
+            drive.submitReadVector(pool[(i * 5 + 1) % pool.size()],
+                                   sinks[r++], nullptr, ro);
+        } else if (cls == 1) {
+            BitVector vec(kVectorBits);
+            vec.randomize(rng);
+            FlashCosmosDrive::WriteOptions opts;
+            opts.group = g + 1;
+            opts.homeColumn = home(g);
+            drive.submitWrite(vec, opts, ro);
+        } else {
+            FlashCosmosDrive::WriteOptions opts;
+            opts.group = g + 1;
+            opts.homeColumn = home(g);
+            drive.submitCompute(Expr::leaf(pool[2 * g]) &
+                                    Expr::leaf(pool[2 * g + 1]),
+                                opts, nullptr, ro);
+        }
+        // Paced (open-loop) submission: drain the clock up to the
+        // current arrival so the staged-request window stays bounded.
+        if ((i & 31) == 31)
+            drive.advanceTo(ro.arrival);
+    }
+    drive.waitAll();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall0;
+
+    TrafficPoint p;
+    for (int c = 0; c < 3; ++c)
+        p.byClass[c] = summarize(lats[c]);
+    p.makespan = drive.now() - t0;
+    p.energyJ = drive.engine().totalEnergyJ();
+    std::uint64_t d = kFnvOffset;
+    for (const DigestSink &s : sinks) {
+        d ^= s.digest();
+        d *= kFnvPrime;
+    }
+    p.digest = d;
+    p.wallSeconds = wall.count();
+    p.requestsPerSecond =
+        wall.count() > 0.0 ? cfg.requests / wall.count() : 0.0;
+    return p;
+}
+
+std::vector<TrafficConfig>
+defaultTrafficSweep()
+{
+    std::vector<TrafficConfig> sweep;
+    for (double gap_us : {50.0, 10.0, 2.0}) {
+        for (int qos = 0; qos < 2; ++qos) {
+            TrafficConfig cfg;
+            cfg.interArrivalUs = gap_us;
+            if (qos == 1) {
+                cfg.qosReadWeight = 4;
+                cfg.qosWriteWeight = 2;
+                cfg.qosComputeWeight = 1;
+            }
+            sweep.push_back(cfg);
+        }
+    }
+    return sweep;
+}
+
+TablePrinter
+trafficReport(const std::vector<TrafficConfig> &configs,
+              std::vector<TrafficPoint> *points)
+{
+    TablePrinter table("mixed traffic: simulated throughput vs latency");
+    table.setHeader({"config", "reqs", "rd p50us", "rd p99us",
+                     "wr p50us", "wr p99us", "cp p50us", "cp p99us",
+                     "span us", "energy J", "digest"});
+    for (const TrafficConfig &cfg : configs) {
+        const TrafficPoint p = runMixedTraffic(cfg);
+        char digest[24];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(p.digest));
+        table.addRow({cfg.label(),
+                      TablePrinter::cellInt(cfg.requests),
+                      TablePrinter::cell(timeToUs(p.byClass[0].p50), 1),
+                      TablePrinter::cell(timeToUs(p.byClass[0].p99), 1),
+                      TablePrinter::cell(timeToUs(p.byClass[1].p50), 1),
+                      TablePrinter::cell(timeToUs(p.byClass[1].p99), 1),
+                      TablePrinter::cell(timeToUs(p.byClass[2].p50), 1),
+                      TablePrinter::cell(timeToUs(p.byClass[2].p99), 1),
+                      TablePrinter::cell(timeToUs(p.makespan), 1),
+                      TablePrinter::cellSci(p.energyJ, 3), digest});
+        if (points)
+            points->push_back(p);
+    }
+    return table;
+}
+
+} // namespace fcos::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Mixed-traffic generator and throughput-vs-latency sweep over the
+ * drive's concurrent request API.
+ *
+ * An open-loop arrival process submits interleaved read / write /
+ * compute requests (paced with FlashCosmosDrive::advanceTo so the
+ * staged-request window stays bounded) and collects per-class
+ * end-to-end latency quantiles — simulated arrival-to-completion,
+ * queue wait included. The simulated side of every point (quantiles,
+ * makespan, energy, payload digest) is bit-deterministic at any
+ * worker count; the wall-clock side (requests/second of the host
+ * simulator) is measured per run. bench/mixed_traffic prints both,
+ * and the golden test pins the deterministic table.
+ */
+
+#ifndef FCOS_CORE_TRAFFIC_H
+#define FCOS_CORE_TRAFFIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/drive.h"
+#include "util/table.h"
+
+namespace fcos::core {
+
+struct TrafficConfig
+{
+    std::uint32_t channels = 2;
+    std::uint32_t dies = 2; ///< per channel (tiny geometry)
+    /** 0 = FCOS_WORKERS env default; results are worker-invariant. */
+    std::uint32_t workers = 0;
+    std::uint32_t admissionDepth = 8;
+    std::uint32_t qosReadWeight = 1;
+    std::uint32_t qosWriteWeight = 1;
+    std::uint32_t qosComputeWeight = 1;
+    /** Open-loop request count (6:2:2 read:write:compute mix). */
+    std::uint32_t requests = 120;
+    /** Mean inter-arrival gap of the open-loop process. */
+    double interArrivalUs = 10.0;
+
+    /** "20us 4:2:1" style row label. */
+    std::string label() const;
+};
+
+/** Per-class simulated latency summary (arrival -> completion). */
+struct ClassLatency
+{
+    std::uint64_t count = 0;
+    Time p50 = 0;
+    Time p99 = 0;
+};
+
+struct TrafficPoint
+{
+    ClassLatency byClass[3]; ///< indexed by engine::RequestClass
+    /** Traffic span on the simulated clock (first arrival to last
+     *  completion). */
+    Time makespan = 0;
+    double energyJ = 0.0;
+    /** Order-sensitive fold of every read request's stream digest —
+     *  the cross-worker-count determinism certificate. */
+    std::uint64_t digest = 0;
+    double wallSeconds = 0.0;
+    double requestsPerSecond = 0.0;
+};
+
+/** Run one mixed-traffic configuration to completion. */
+TrafficPoint runMixedTraffic(const TrafficConfig &cfg);
+
+/** The default sweep: arrival rates x QoS weight settings, serial. */
+std::vector<TrafficConfig> defaultTrafficSweep();
+
+/**
+ * Deterministic throughput-vs-latency table over @p configs (the
+ * wall-clock columns are deliberately excluded so the table can be
+ * pinned as a golden). Points are appended to @p points when given.
+ */
+TablePrinter trafficReport(const std::vector<TrafficConfig> &configs,
+                           std::vector<TrafficPoint> *points = nullptr);
+
+} // namespace fcos::core
+
+#endif // FCOS_CORE_TRAFFIC_H

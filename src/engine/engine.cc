@@ -54,8 +54,20 @@ ComputeEngine::submit(ColumnProgram program, OpStats *stats)
         CommandScheduler::Callback done;
         if (last) {
             done = [this, state, stats, dma_after] {
-                if (dma_after > 0)
+                if (dma_after > 0) {
+                    // With no readout phase, a trailing transfer is
+                    // the program's final timeline event: completion
+                    // rides it, so per-request accounting sees the
+                    // instant the data actually lands.
+                    if (!state->readOutResult && state->onComplete) {
+                        scheduler_.submitDma(state->die, dma_after,
+                                             [state] {
+                                                 state->onComplete();
+                                             });
+                        return;
+                    }
                     scheduler_.submitDma(state->die, dma_after);
+                }
                 finishProgram(state, stats);
             };
         } else if (dma_after > 0) {
@@ -118,7 +130,8 @@ void
 ComputeEngine::broadcastPage(std::uint32_t src_die,
                              const nand::WordlineAddr &src,
                              const std::vector<BroadcastTarget> &targets,
-                             const nand::EspParams &esp, OpStats *stats)
+                             const nand::EspParams &esp, OpStats *stats,
+                             std::function<void()> on_target_done)
 {
     fcos_assert(src_die < farm_.dieCount(),
                 "broadcast source beyond the farm");
@@ -138,13 +151,15 @@ ComputeEngine::broadcastPage(std::uint32_t src_die,
             *page = chip.dataOut(src.plane);
             return r;
         },
-        [this, src_die, targets, esp, page, stats, bytes] {
+        [this, src_die, targets, esp, page, stats, bytes,
+         on_target_done = std::move(on_target_done)] {
             // One readout to the controller, then fan out: each
             // destination pays its own data-in transfer and program,
             // but the sense happened exactly once.
             scheduler_.submitDma(
                 src_die, bytes,
-                [this, targets, esp, page, stats, bytes] {
+                [this, targets, esp, page, stats, bytes,
+                 on_target_done] {
                     // All destinations reference one payload buffer
                     // (copy-on-write dense image): N-way fan-out costs
                     // one page of memory regardless of N.
@@ -164,7 +179,13 @@ ComputeEngine::broadcastPage(std::uint32_t src_die,
                                 return chip.programPageEsp(dst, image,
                                                            esp);
                             },
-                            {}, /*pre_dma_bytes=*/bytes,
+                            on_target_done
+                                ? CommandScheduler::Callback(
+                                      [on_target_done] {
+                                          on_target_done();
+                                      })
+                                : CommandScheduler::Callback{},
+                            /*pre_dma_bytes=*/bytes,
                             std::move(executed));
                     }
                 });

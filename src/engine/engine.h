@@ -86,11 +86,16 @@ class ComputeEngine
      * the input-replication primitive sharding uses to satisfy
      * Equation-1 co-location; the single sense is what makes
      * replication scale on wide farms.
+     *
+     * @p on_target_done (optional) fires once per destination at its
+     * program's simulated completion — the per-unit completion hook
+     * request-tracking callers need.
      */
     void broadcastPage(std::uint32_t src_die, const nand::WordlineAddr &src,
                        const std::vector<BroadcastTarget> &targets,
                        const nand::EspParams &esp = nand::EspParams{},
-                       OpStats *stats = nullptr);
+                       OpStats *stats = nullptr,
+                       std::function<void()> on_target_done = {});
 
     /** Single-destination convenience wrapper over broadcastPage(). */
     void replicatePage(std::uint32_t src_die, const nand::WordlineAddr &src,

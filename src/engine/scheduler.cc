@@ -205,11 +205,14 @@ CommandScheduler::commitOp(std::uint32_t die, std::uint32_t col)
             wait_hist_ = &obs::metrics().histogram("engine.queue_wait");
         wait_hist_->record(start - op->submitted);
     }
-    queue_.schedule(finish, [this, die, col, done = std::move(op->done)] {
+    // Capturing the shared op (16 bytes) instead of moving its `done`
+    // callable (64) keeps this closure inside the SmallFn inline
+    // window — the completion event is the hottest allocation site.
+    queue_.schedule(finish, [this, die, col, op = std::move(op)] {
         // The completion callback observes the plane's latches before
         // any later op on this plane mutates them.
-        if (done)
-            done();
+        if (op->done)
+            op->done();
         states_[col].running = false;
         pump(die, col);
     });
@@ -269,6 +272,14 @@ CommandScheduler::submitAccel(std::uint32_t channel, std::uint64_t bytes,
         queue_.schedule(finish, std::move(done));
     else
         queue_.schedule(finish, [] {});
+}
+
+Time
+CommandScheduler::runUntil(Time deadline)
+{
+    if (pool_)
+        return queue_.runUntil(deadline, *pool_);
+    return queue_.runUntil(deadline);
 }
 
 Time

@@ -75,7 +75,10 @@ namespace fcos::engine {
 class CommandScheduler
 {
   public:
-    using Callback = std::function<void()>;
+    /** Completion callback. Same SBO callable as the event queue's
+     *  payloads, so submitting a lambda here never heap-allocates on
+     *  its way into a sim::Event. */
+    using Callback = EventQueue::Callback;
     /** A functional die mutation reporting its latency and energy.
      *  Runs in the (possibly parallel) worker phase: it must only
      *  touch its die's state and op-private buffers. */
@@ -140,6 +143,12 @@ class CommandScheduler
 
     /** Run all submitted work to completion; @return the makespan. */
     Time drain();
+
+    /** Run the timeline up to (and including) @p deadline, leaving
+     *  later work queued — the pacing primitive a paced submitter uses
+     *  to bound its staged-request window. Bit-identical at any worker
+     *  count. @return the clock (== max(now, deadline)). */
+    Time runUntil(Time deadline);
 
     /** Simulated completion time of the last drain(). */
     Time makespan() const { return makespan_; }

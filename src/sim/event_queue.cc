@@ -242,6 +242,16 @@ EventQueue::run(WorkerPool &pool)
         run();
         return;
     }
+    // The unbounded deadline never advances the clock past the last
+    // event, matching run()'s clock semantics exactly.
+    runUntil(~Time{0}, pool);
+}
+
+Time
+EventQueue::runUntil(Time deadline, WorkerPool &pool)
+{
+    if (pool.workerCount() <= 1)
+        return runUntil(deadline);
     fcos_assert(!in_wave_, "re-entrant parallel run");
     // Wave-shape metrics are resolved once per drain; recording happens
     // on the caller's thread between phases (a serial context).
@@ -258,7 +268,7 @@ EventQueue::run(WorkerPool &pool)
             for (const Event *ev : lanes[lane])
                 ev->work();
         };
-    while (!heap_.empty()) {
+    while (!heap_.empty() && heap_.front().when <= deadline) {
         const Time t = heap_.front().when;
         now_ = t;
         in_wave_ = true;
@@ -279,6 +289,12 @@ EventQueue::run(WorkerPool &pool)
         }
         in_wave_ = false;
     }
+    // Same deadline-advance contract as the serial runUntil; a full
+    // run() passes an unbounded deadline and never moves the clock
+    // past the last executed event.
+    if (deadline != ~Time{0} && now_ < deadline)
+        now_ = deadline;
+    return now_;
 }
 
 void

@@ -52,15 +52,20 @@ Ftl::allocateStriped(std::uint64_t pages)
 }
 
 std::vector<PhysPage>
-Ftl::allocateInGroup(std::uint64_t group, std::uint64_t pages)
+Ftl::allocateInGroup(std::uint64_t group, std::uint64_t pages,
+                     std::uint32_t start_column)
 {
+    fcos_assert(start_column < columns(),
+                "start column %u out of %u columns", start_column,
+                columns());
     auto &per_column = groups_[group];
     if (per_column.empty())
         per_column.resize(columns());
     std::vector<PhysPage> out;
     out.reserve(pages);
     for (std::uint64_t i = 0; i < pages; ++i) {
-        std::uint32_t column = static_cast<std::uint32_t>(i % columns());
+        std::uint32_t column =
+            static_cast<std::uint32_t>((start_column + i) % columns());
         std::size_t row = static_cast<std::size_t>(i / columns());
         auto &slots = per_column[column];
         if (slots.size() <= row)

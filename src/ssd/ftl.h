@@ -65,9 +65,17 @@ class Ftl
      * Allocate @p pages pages for one vector of group @p group.
      * Successive vectors of the same group stack at successive
      * wordlines of shared sub-blocks (see file comment).
+     *
+     * @p start_column rotates the stripe: page i lands on column
+     * (start_column + i) % columns(). Every vector of one group must
+     * use the same start so group wordlines stay in lockstep; the
+     * offset is what lets independent small vectors (e.g. one-page
+     * requests) land on *different* dies instead of all piling onto
+     * column 0 — the placement knob concurrent mixed traffic uses.
      */
     std::vector<PhysPage> allocateInGroup(std::uint64_t group,
-                                          std::uint64_t pages);
+                                          std::uint64_t pages,
+                                          std::uint32_t start_column = 0);
 
     /** Sub-blocks consumed on (die, plane) so far. */
     std::uint64_t usedSubBlocks(std::uint32_t die,

@@ -5,12 +5,67 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/worker_pool.h"
 #include "util/rng.h"
+
+// TU-wide allocation counter backing the SmallFn no-allocation
+// assertions below: every global new/delete in this test binary ticks
+// it, so a window where the count stays flat proves the event loop
+// touched the heap not at all.
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+static void *
+countedAlloc(std::size_t n)
+{
+    ++g_heap_allocs;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace fcos {
 namespace {
@@ -183,6 +238,59 @@ TEST(EventQueueTest, ParallelRunIsBitIdenticalToSerial)
     EXPECT_EQ(shardedWorkloadTrace(2), serial);
     EXPECT_EQ(shardedWorkloadTrace(4), serial);
     EXPECT_EQ(shardedWorkloadTrace(7), serial);
+}
+
+TEST(EventQueueTest, SteadyStateEventsDoNotTouchTheHeap)
+{
+    // Satellite guarantee of the SmallFn payload switch: once the
+    // queue's backing vector has its capacity, scheduling and running
+    // events with engine-typical captures (a this-pointer, indices, a
+    // shared_ptr — up to the inline window) performs zero allocations.
+    EventQueue q;
+    for (int i = 0; i < 128; ++i)
+        q.schedule(static_cast<Time>(i), [] {});
+    q.run();
+
+    auto tally = std::make_shared<std::uint64_t>(0);
+    const EventQueue *self = &q;
+    const std::uint64_t before = g_heap_allocs.load();
+    for (int i = 0; i < 64; ++i) {
+        // 32-byte capture: shared_ptr + pointer + two indices — the
+        // shape of the scheduler's completion closures.
+        q.schedule(static_cast<Time>(200 + i),
+                   [tally, self, die = i, col = i + 1] {
+                       *tally += self->now() + std::uint64_t(die + col);
+                   });
+    }
+    // Sharded two-phase events ride the same payload type.
+    q.scheduleSharded(
+        300, 0, [tally] { *tally += 1; }, [tally] { *tally += 2; });
+    q.run();
+    EXPECT_EQ(g_heap_allocs.load() - before, 0u)
+        << "steady-state event churn must not allocate";
+    EXPECT_GT(*tally, 0u);
+}
+
+TEST(EventQueueTest, OversizedCapturesFallBackToTheHeap)
+{
+    // Captures beyond the inline window still work — they pay one
+    // allocation at construction and none per heap swap.
+    EventQueue q;
+    q.schedule(0, [] {});
+    q.run();
+    struct Huge
+    {
+        std::uint64_t pad[12]; // 96 bytes > kSmallFnCapacity
+    };
+    Huge h{};
+    h.pad[3] = 7;
+    std::uint64_t out = 0;
+    const std::uint64_t before = g_heap_allocs.load();
+    q.schedule(1, [h, &out] { out = h.pad[3]; });
+    EXPECT_EQ(g_heap_allocs.load() - before, 1u);
+    q.run();
+    EXPECT_EQ(out, 7u);
+    EXPECT_EQ(g_heap_allocs.load() - before, 1u);
 }
 
 TEST(EventQueueTest, SchedulingIntoThePastPanics)
