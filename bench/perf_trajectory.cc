@@ -313,6 +313,64 @@ main(int argc, char **argv)
                     mixed_cfg.requests);
     }
 
+    // ---- Closed-loop soak (capacity recycling) -------------------------
+    // A bench-sized slice of the soak tier: 200k closed-loop requests
+    // with overwrite/trim churn, so GC copyback + erase traffic is on
+    // the timeline the whole run. Requests/second measures the host
+    // cost of serving at steady state; the digest gates the report
+    // across reps and worker counts; GC write amplification is the
+    // recycling trajectory number.
+    core::ClosedLoopConfig soak_cfg;
+    soak_cfg.requests = 200'000;
+    struct SoakCell
+    {
+        std::uint32_t workers = 1;
+        core::ClosedLoopPoint best;
+        bool set = false;
+    };
+    std::vector<SoakCell> soak;
+    for (std::uint32_t workers : kWorkerCounts)
+        soak.push_back({workers, {}, false});
+    for (int rep = 0; rep < reps; ++rep) {
+        for (SoakCell &cell : soak) {
+            soak_cfg.workers = cell.workers;
+            core::ClosedLoopPoint p = core::runClosedLoopTraffic(soak_cfg);
+            if (cell.set && cell.best.digest != p.digest) {
+                std::fprintf(stderr,
+                             "FATAL: soak digest changed between reps "
+                             "@%u workers\n",
+                             cell.workers);
+                return 1;
+            }
+            if (!cell.set || p.wallSeconds < cell.best.wallSeconds)
+                cell.best = p;
+            cell.set = true;
+        }
+    }
+    std::printf("\n");
+    for (const SoakCell &cell : soak) {
+        if (cell.best.digest != soak.front().best.digest) {
+            std::fprintf(stderr,
+                         "FATAL: soak digest diverges at %u workers\n",
+                         cell.workers);
+            return 1;
+        }
+        std::printf("  %-18s %u worker(s): %8.3f s   %9.1f req/s\n",
+                    "closed_loop_soak", cell.workers,
+                    cell.best.wallSeconds,
+                    cell.best.requestsPerSecond);
+    }
+    {
+        const core::ClosedLoopPoint &p = soak.front().best;
+        std::printf("  closed_loop_soak gc: %llu runs, %llu copies, "
+                    "%llu erases, write amplification %.3f\n",
+                    (unsigned long long)p.gcRuns,
+                    (unsigned long long)p.gcPageCopies,
+                    (unsigned long long)p.gcBlocksErased,
+                    1.0 + static_cast<double>(p.gcPageCopies) /
+                              static_cast<double>(p.hostPagesWritten));
+    }
+
     // ---- BENCH_pr.json -------------------------------------------------
     FILE *f = std::fopen(out_path, "w");
     if (!f) {
@@ -385,6 +443,45 @@ main(int argc, char **argv)
                 mixed[j].workers, mixed[j].best.wallSeconds,
                 mixed[j].best.requestsPerSecond,
                 j + 1 < mixed.size() ? "," : "");
+        std::fprintf(f, "    ]\n  },\n");
+    }
+    {
+        const core::ClosedLoopPoint &p = soak.front().best;
+        static const char *const kClassNames[] = {"read", "write",
+                                                  "compute"};
+        std::fprintf(f,
+                     "  \"soak\": {\n"
+                     "    \"config\": \"%s\", \"requests\": %llu,\n"
+                     "    \"stream_digest\": %llu,\n"
+                     "    \"gc_runs\": %llu,\n"
+                     "    \"gc_page_copies\": %llu,\n"
+                     "    \"gc_blocks_erased\": %llu,\n"
+                     "    \"host_pages_written\": %llu,\n"
+                     "    \"write_amplification\": %.4f,\n",
+                     soak_cfg.label().c_str(),
+                     (unsigned long long)soak_cfg.requests,
+                     (unsigned long long)p.digest,
+                     (unsigned long long)p.gcRuns,
+                     (unsigned long long)p.gcPageCopies,
+                     (unsigned long long)p.gcBlocksErased,
+                     (unsigned long long)p.hostPagesWritten,
+                     1.0 + static_cast<double>(p.gcPageCopies) /
+                               static_cast<double>(p.hostPagesWritten));
+        std::fprintf(f, "    \"latency_us\": {\n");
+        for (int c = 0; c < 3; ++c)
+            std::fprintf(
+                f, "      \"%s\": {\"p50\": %.1f, \"p99\": %.1f}%s\n",
+                kClassNames[c], timeToUs(p.byClass[c].p50),
+                timeToUs(p.byClass[c].p99), c < 2 ? "," : "");
+        std::fprintf(f, "    },\n    \"runs\": [\n");
+        for (std::size_t j = 0; j < soak.size(); ++j)
+            std::fprintf(
+                f,
+                "      {\"workers\": %u, \"wall_seconds\": %.6f, "
+                "\"requests_per_second\": %.1f}%s\n",
+                soak[j].workers, soak[j].best.wallSeconds,
+                soak[j].best.requestsPerSecond,
+                j + 1 < soak.size() ? "," : "");
         std::fprintf(f, "    ]\n  },\n");
     }
     // Scale-tier wall time per worker count: the sum over both

@@ -102,8 +102,13 @@ FlashCosmosDrive::FlashCosmosDrive(const Config &cfg)
 {
     fcos_assert(cfg.dies > 0, "drive needs at least one die");
     fcos_assert(cfg.channels > 0, "drive needs at least one channel");
-    // Reserve one erased wordline per column for the final-NOT trick.
-    erased_ref_ = ftl_.allocateStriped(ftl_.columns());
+    // Reserve one erased wordline per column for the final-NOT trick,
+    // pinned so GC never relocates it (it must stay unprogrammed).
+    erased_ref_.reserve(ftl_.columns());
+    for (ssd::Lpn lpn : ftl_.allocateStriped(ftl_.columns())) {
+        ftl_.pin(lpn);
+        erased_ref_.push_back(ftl_.physOf(lpn));
+    }
     // Request spans share the scheduler's "drive" trace process.
     const engine::CommandScheduler &sched = engine_.scheduler();
     if (obs::traceLive(sched.traceEpoch())) {
@@ -124,7 +129,57 @@ const FlashCosmosDrive::VectorInfo &
 FlashCosmosDrive::info(VectorId id) const
 {
     fcos_assert(id < vectors_.size(), "vector id %u out of range", id);
+    fcos_assert(vectors_[id].live, "vector %u was trimmed", id);
     return vectors_[id];
+}
+
+std::vector<ssd::PhysPage>
+FlashCosmosDrive::resolvePages(const std::vector<ssd::Lpn> &lpns) const
+{
+    std::vector<ssd::PhysPage> pages;
+    pages.reserve(lpns.size());
+    for (ssd::Lpn lpn : lpns)
+        pages.push_back(ftl_.physOf(lpn));
+    return pages;
+}
+
+VectorId
+FlashCosmosDrive::allocVectorId(VectorInfo &&v)
+{
+    if (!free_ids_.empty()) {
+        const VectorId id = free_ids_.back();
+        free_ids_.pop_back();
+        vectors_[id] = std::move(v);
+        return id;
+    }
+    const VectorId id = static_cast<VectorId>(vectors_.size());
+    vectors_.push_back(std::move(v));
+    return id;
+}
+
+void
+FlashCosmosDrive::trimVector(VectorId id)
+{
+    fcos_assert(id < vectors_.size(), "vector id %u out of range", id);
+    VectorInfo &v = vectors_[id];
+    fcos_assert(v.live, "double trim of vector %u", id);
+    for (ssd::Lpn lpn : v.pages)
+        ftl_.free(lpn);
+    v.pages.clear();
+    v.pages.shrink_to_fit();
+    v.bits = 0;
+    v.live = false;
+    auto it = group_info_.find(v.group);
+    fcos_assert(it != group_info_.end(), "vector %u lost its group", id);
+    fcos_assert(it->second.live > 0, "group live-count underflow");
+    if (--it->second.live == 0) {
+        // Last vector of the group gone: release the group's write
+        // cursors so its (now hole-ridden) sub-blocks can die and a
+        // later reuse of the same group id starts fresh.
+        ftl_.dropGroup(v.group);
+        group_info_.erase(it);
+    }
+    free_ids_.push_back(id);
 }
 
 bool
@@ -150,10 +205,10 @@ FlashCosmosDrive::vectorBits(VectorId id) const
     return info(id).bits;
 }
 
-const std::vector<ssd::PhysPage> &
+std::vector<ssd::PhysPage>
 FlashCosmosDrive::vectorPages(VectorId id) const
 {
-    return info(id).pages;
+    return resolvePages(info(id).pages);
 }
 
 FlashCosmosDrive::VectorInfo
@@ -164,6 +219,10 @@ FlashCosmosDrive::makeVector(std::size_t bits, std::uint64_t group,
     fcos_assert(home_column < ftl_.columns(),
                 "homeColumn %u out of %u columns", home_column,
                 ftl_.columns());
+    // Recycle capacity before allocating: GC runs as foreground work
+    // ahead of the write that needed the room, exactly the blocking
+    // collection a real FTL charges the triggering host write.
+    maybeCollect();
     if (group == kAutoGroup)
         group = next_auto_group_++;
     GroupInfo &g = group_info_[group];
@@ -187,10 +246,93 @@ FlashCosmosDrive::makeVector(std::size_t bits, std::uint64_t group,
     VectorInfo v;
     v.bits = bits;
     v.inverted = inverted;
+    v.live = true;
     v.group = group;
     v.orderInGroup = g.count++;
+    ++g.live;
     v.pages = ftl_.allocateInGroup(group, pages, home_column);
+    gc_.hostPagesWritten += pages;
     return v;
+}
+
+void
+FlashCosmosDrive::maybeCollect()
+{
+    for (std::uint32_t col = 0; col < ftl_.columns(); ++col) {
+        while (ftl_.gcNeeded(col)) {
+            // The busy set is recomputed per victim: blocks any live
+            // request captured physical addresses for must not move,
+            // and each submitted GC plan protects its own destination
+            // blocks against the next round.
+            ssd::Ftl::GcPlan plan;
+            if (!ftl_.collect(col, rq_.liveKeys(), &plan))
+                break;
+            submitGcPlan(plan);
+        }
+    }
+}
+
+void
+FlashCosmosDrive::submitGcPlan(const ssd::Ftl::GcPlan &plan)
+{
+    ++gc_.runs;
+    gc_.pageCopies += plan.moves.size();
+    ++gc_.blocksErased;
+
+    const std::uint32_t die = plan.column / cfg_.geometry.planesPerDie;
+    const std::uint32_t plane = plan.column % cfg_.geometry.planesPerDie;
+
+    // The request writes the victim (erase) and every destination
+    // block: host traffic touching the recycled or refilled blocks
+    // serializes after this request in arrival order.
+    std::vector<std::uint64_t> write_keys;
+    write_keys.reserve(plan.moves.size() + 1);
+    write_keys.push_back(ssd::Ftl::blockKey(die, plane, plan.block));
+    for (const ssd::Ftl::GcMove &m : plan.moves)
+        write_keys.push_back(ssd::Ftl::blockKey(m.dst));
+
+    auto moves =
+        std::make_shared<std::vector<ssd::Ftl::GcMove>>(plan.moves);
+    rq_.submit(
+        engine::RequestClass::Write, engine_.now(), {},
+        std::move(write_keys),
+        [this, moves, die, plane, block = plan.block](RequestId req) {
+            // One copyback program per live page, then the erase: all
+            // on one plane, so the plane FIFO runs the copies strictly
+            // before the erase regardless of admission interleaving.
+            for (const ssd::Ftl::GcMove &m : *moves) {
+                rq_.addWork(req);
+                engine::ColumnProgram p;
+                p.die = die;
+                p.plane = plane;
+                p.readOutResult = false;
+                p.onComplete = [this, req] { rq_.workDone(req); };
+                p.steps.push_back(engine::ColumnStep{
+                    engine::StepKind::Copyback,
+                    [src = m.src.addr,
+                     dst = m.dst.addr](nand::NandChip &chip) {
+                        return chip.copyback(src, dst);
+                    },
+                    0, 0});
+                engine_.submit(std::move(p), nullptr);
+            }
+            rq_.addWork(req);
+            engine::ColumnProgram e;
+            e.die = die;
+            e.plane = plane;
+            e.readOutResult = false;
+            e.onComplete = [this, req] { rq_.workDone(req); };
+            e.steps.push_back(engine::ColumnStep{
+                engine::StepKind::Erase,
+                [plane, block](nand::NandChip &chip) {
+                    return chip.eraseBlock(plane, block);
+                },
+                0, 0});
+            engine_.submit(std::move(e), nullptr);
+        },
+        [this](const engine::RequestQueue::Outcome &oc) {
+            noteRequest("gc", oc.admitted, oc.completed);
+        });
 }
 
 std::vector<std::uint64_t>
@@ -214,7 +356,8 @@ FlashCosmosDrive::readKeysOf(const std::vector<VectorId> &leaves) const
 {
     std::vector<std::uint64_t> keys;
     for (VectorId id : leaves) {
-        std::vector<std::uint64_t> k = blockKeysOf(info(id).pages);
+        std::vector<std::uint64_t> k =
+            blockKeysOf(resolvePages(info(id).pages));
         keys.insert(keys.end(), k.begin(), k.end());
     }
     std::sort(keys.begin(), keys.end());
@@ -287,6 +430,8 @@ FlashCosmosDrive::submitWrite(const BitVector &data,
     const std::uint64_t pages =
         (data.size() + page_bits - 1) / page_bits;
 
+    if (opts.replaces != kNoVector)
+        trimVector(opts.replaces);
     VectorInfo v = makeVector(data.size(), opts.group, opts.storeInverted,
                               pages, opts.homeColumn);
 
@@ -306,10 +451,9 @@ FlashCosmosDrive::submitWrite(const BitVector &data,
         images->push_back(nand::PageImage::dense(std::move(page)));
     }
 
-    std::vector<ssd::PhysPage> page_list = v.pages;
+    std::vector<ssd::PhysPage> page_list = resolvePages(v.pages);
     std::vector<std::uint64_t> write_keys = blockKeysOf(page_list);
-    const VectorId id = static_cast<VectorId>(vectors_.size());
-    vectors_.push_back(std::move(v));
+    const VectorId id = allocVectorId(std::move(v));
 
     RequestId rid = rq_.submit(
         engine::RequestClass::Write, arrivalTime(ro), {},
@@ -340,6 +484,8 @@ FlashCosmosDrive::submitWritePages(
 {
     fcos_assert(gen != nullptr, "fcWritePages without a generator");
     fcos_assert(pages >= 1, "fcWritePages of empty vector");
+    if (opts.replaces != kNoVector)
+        trimVector(opts.replaces);
     VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(), opts.group,
                               opts.storeInverted, pages, opts.homeColumn);
 
@@ -352,10 +498,9 @@ FlashCosmosDrive::submitWritePages(
         images->push_back(v.inverted ? img.inverted() : std::move(img));
     }
 
-    std::vector<ssd::PhysPage> page_list = v.pages;
+    std::vector<ssd::PhysPage> page_list = resolvePages(v.pages);
     std::vector<std::uint64_t> write_keys = blockKeysOf(page_list);
-    const VectorId id = static_cast<VectorId>(vectors_.size());
-    vectors_.push_back(std::move(v));
+    const VectorId id = allocVectorId(std::move(v));
 
     RequestId rid = rq_.submit(
         engine::RequestClass::Write, arrivalTime(ro), {},
@@ -384,29 +529,31 @@ FlashCosmosDrive::submitReplicate(VectorId src, std::uint64_t pages,
                                   ReadStats *stats,
                                   const RequestOptions &ro)
 {
-    const VectorInfo &s = info(src);
-    fcos_assert(s.pages.size() == 1,
+    fcos_assert(info(src).pages.size() == 1,
                 "fcReplicate source must be a single-page vector");
     fcos_assert(pages >= 1, "fcReplicate needs >= 1 copy");
 
     // The copies hold the source's *stored* bits, so polarity follows
     // the source; logically the result is the source page tiled.
+    // makeVector may run GC, so the source's physical address is
+    // resolved only afterwards (its block is then protected by this
+    // request's read key until completion).
     VectorInfo v = makeVector(pages * cfg_.geometry.pageBits(),
-                              opts.group, s.inverted, pages,
+                              opts.group, info(src).inverted, pages,
                               opts.homeColumn);
-    const ssd::PhysPage src_page = s.pages[0];
+    const ssd::PhysPage src_page = pageAt(info(src), 0);
 
     // Broadcast fan-out: the source page is sensed exactly once and
     // read out to the controller once; every copy then pays only its
     // own data-in transfer and ESP program, concurrently across dies.
+    std::vector<ssd::PhysPage> dst_pages = resolvePages(v.pages);
     std::vector<engine::ComputeEngine::BroadcastTarget> targets;
     targets.reserve(pages);
     for (std::uint64_t j = 0; j < pages; ++j)
-        targets.push_back({v.pages[j].die, v.pages[j].addr});
+        targets.push_back({dst_pages[j].die, dst_pages[j].addr});
 
-    std::vector<std::uint64_t> write_keys = blockKeysOf(v.pages);
-    const VectorId id = static_cast<VectorId>(vectors_.size());
-    vectors_.push_back(std::move(v));
+    std::vector<std::uint64_t> write_keys = blockKeysOf(dst_pages);
+    const VectorId id = allocVectorId(std::move(v));
 
     auto job = std::make_shared<OpJob>();
     RequestId rid = rq_.submit(
@@ -562,10 +709,12 @@ FlashCosmosDrive::submitReadVector(VectorId id, ResultSink &sink,
                                    const RequestOptions &ro)
 {
     const VectorInfo &v = info(id);
+    std::vector<ssd::PhysPage> page_list = resolvePages(v.pages);
+    std::vector<std::uint64_t> read_keys = blockKeysOf(page_list);
     return submitStreamedRead(
-        "readVector", v.pages.size(), v.bits, blockKeysOf(v.pages), sink,
+        "readVector", v.pages.size(), v.bits, std::move(read_keys), sink,
         stats,
-        [page_list = v.pages, inv = v.inverted](std::size_t j) {
+        [page_list = std::move(page_list), inv = v.inverted](std::size_t j) {
             const ssd::PhysPage &p = page_list[j];
             engine::ColumnProgram prog;
             prog.die = p.die;
@@ -604,13 +753,16 @@ FlashCosmosDrive::submitCompute(const Expr &expr, const WriteOptions &opts,
         stats->planText = plan.toString();
     }
 
+    if (opts.replaces != kNoVector)
+        trimVector(opts.replaces);
+    // Keys resolve after makeVector (which may run GC and relocate
+    // operands); once submitted, they pin every touched block.
     VectorInfo v = makeVector(bits, opts.group, opts.storeInverted, pages,
                               opts.homeColumn);
-    std::vector<ssd::PhysPage> page_list = v.pages;
+    std::vector<ssd::PhysPage> page_list = resolvePages(v.pages);
     std::vector<std::uint64_t> read_keys = readKeysOf(leaves);
     std::vector<std::uint64_t> write_keys = blockKeysOf(page_list);
-    const VectorId id = static_cast<VectorId>(vectors_.size());
-    vectors_.push_back(std::move(v));
+    const VectorId id = allocVectorId(std::move(v));
 
     RequestId rid = 0;
     if (plan.kind == MwsPlan::Kind::Fallback) {
@@ -836,9 +988,9 @@ FlashCosmosDrive::columnLocation(const Expr &expr, std::size_t page_index,
 {
     std::vector<VectorId> leaves = expr.leafIds();
     fcos_assert(!leaves.empty(), "expression with no leaves");
-    const ssd::PhysPage &first = info(leaves[0]).pages[page_index];
+    const ssd::PhysPage first = pageAt(info(leaves[0]), page_index);
     for (VectorId id : leaves) {
-        const ssd::PhysPage &p = info(id).pages[page_index];
+        const ssd::PhysPage p = pageAt(info(id), page_index);
         fcos_assert(p.die == first.die &&
                         p.addr.plane == first.addr.plane,
                     "operands of one expression must stripe identically");
@@ -864,7 +1016,7 @@ FlashCosmosDrive::planProgram(const MwsPlan &plan, const Expr &expr,
     LoweringContext ctx;
     ctx.plane = plane;
     ctx.addrOf = [this, page_index](VectorId id) {
-        return info(id).pages[page_index].addr;
+        return pageAt(info(id), page_index).addr;
     };
     ctx.storedInverted = [this](VectorId id) {
         return info(id).inverted;
@@ -916,7 +1068,7 @@ FlashCosmosDrive::fallbackProgram(
     // completion. Reads use inverse mode for inverse-stored vectors,
     // recovering logical values directly.
     for (VectorId id : expr.leafIds()) {
-        const nand::WordlineAddr &a = info(id).pages[page_index].addr;
+        const nand::WordlineAddr a = pageAt(info(id), page_index).addr;
         prog.steps.push_back(engine::ColumnStep{
             engine::StepKind::PageRead,
             [a, inv = info(id).inverted, id, values,

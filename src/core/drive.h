@@ -53,6 +53,9 @@ namespace fcos::core {
 /** Sentinel: fcWrite allocates a fresh private group. */
 inline constexpr std::uint64_t kDriveAutoGroup = ~std::uint64_t{0};
 
+/** Sentinel VectorId: "no vector" (DriveWriteOptions::replaces). */
+inline constexpr VectorId kDriveNoVector = ~VectorId{0};
+
 /** Placement options of write-like operations (namespace-scope so
  *  member declarations can default-construct it; use it as
  *  FlashCosmosDrive::WriteOptions). */
@@ -68,6 +71,11 @@ struct DriveWriteOptions
      *  across home columns is what lets concurrent requests land
      *  on different dies. */
     std::uint32_t homeColumn = 0;
+    /** Overwrite semantics: trim this vector before allocating the
+     *  new one (its pages become invalid capacity GC can reclaim;
+     *  the handle is recycled). The closed-loop update traffic a
+     *  served drive sees. kDriveNoVector = plain append. */
+    VectorId replaces = kDriveNoVector;
 };
 
 /** Options of an async submit* call (FlashCosmosDrive::RequestOptions). */
@@ -136,6 +144,9 @@ class FlashCosmosDrive : public StorageResolver
 
     /** Sentinel: fcWrite allocates a fresh private group. */
     static constexpr std::uint64_t kAutoGroup = kDriveAutoGroup;
+
+    /** Sentinel: WriteOptions::replaces "no vector". */
+    static constexpr VectorId kNoVector = kDriveNoVector;
 
     using WriteOptions = DriveWriteOptions;
 
@@ -326,11 +337,47 @@ class FlashCosmosDrive : public StorageResolver
     /** The admission queue (inspection: depth, per-class counts). */
     const engine::RequestQueue &admission() const { return rq_; }
 
+    /**
+     * Trim (delete) a stored vector: every logical page is freed in
+     * the FTL — the physical pages become invalid capacity garbage
+     * collection reclaims — and the handle is recycled for a later
+     * write. The host-side contract of a served drive: without trim
+     * (or WriteOptions::replaces) capacity only ever fills.
+     *
+     * The caller must not trim a vector any in-flight request reads
+     * or computes from (the sync fc* wrappers make this trivial; a
+     * closed-loop generator trims only its own completed chains).
+     */
+    void trimVector(VectorId id);
+
+    /** Stored (live, not-trimmed) vectors. Steady state under
+     *  overwrite/trim traffic: O(working set), not O(total writes). */
+    std::size_t liveVectorCount() const
+    {
+        return vectors_.size() - free_ids_.size();
+    }
+
+    /** Garbage-collection lifetime totals (monotonic). */
+    struct GcTotals
+    {
+        std::uint64_t runs = 0;         ///< collect() invocations
+        std::uint64_t pageCopies = 0;   ///< live pages relocated
+        std::uint64_t blocksErased = 0; ///< victim blocks recycled
+        /** Host-visible pages written (fcWrite/fcCompute/...); GC
+         *  write amplification = 1 + pageCopies / hostPagesWritten. */
+        std::uint64_t hostPagesWritten = 0;
+    };
+    const GcTotals &gcTotals() const { return gc_; }
+
+    /** The FTL (capacity/occupancy inspection). */
+    const ssd::Ftl &ftl() const { return ftl_; }
+
     /** Logical size of a stored vector in bits. */
     std::size_t vectorBits(VectorId id) const;
 
-    /** Physical pages of a vector (placement inspection). */
-    const std::vector<ssd::PhysPage> &vectorPages(VectorId id) const;
+    /** Physical pages of a vector, resolved through the FTL at call
+     *  time (placement inspection; by value — GC may relocate). */
+    std::vector<ssd::PhysPage> vectorPages(VectorId id) const;
 
     std::uint32_t dieCount() const
     {
@@ -354,17 +401,44 @@ class FlashCosmosDrive : public StorageResolver
     {
         std::size_t bits = 0;
         bool inverted = false;
+        bool live = false;
         std::uint64_t group = 0;
         std::uint64_t orderInGroup = 0;
-        std::vector<ssd::PhysPage> pages;
+        /** Logical pages; physical placement goes through
+         *  ftl_.physOf() so GC relocation is transparent. */
+        std::vector<ssd::Lpn> pages;
     };
 
     const VectorInfo &info(VectorId id) const;
 
-    /** Allocate the VectorInfo bookkeeping for a new vector. */
+    /** Physical address of logical page @p j of a vector. */
+    ssd::PhysPage pageAt(const VectorInfo &v, std::size_t j) const
+    {
+        return ftl_.physOf(v.pages[j]);
+    }
+
+    /** Resolve a vector's logical pages to physical pages (snapshot
+     *  at call time). */
+    std::vector<ssd::PhysPage>
+    resolvePages(const std::vector<ssd::Lpn> &lpns) const;
+
+    /** Allocate the VectorInfo bookkeeping for a new vector. Runs
+     *  GC first when the write would breach the free-block reserve. */
     VectorInfo makeVector(std::size_t bits, std::uint64_t group,
                           bool inverted, std::uint64_t pages,
                           std::uint32_t home_column);
+
+    /** Register @p v under a (possibly recycled) VectorId. */
+    VectorId allocVectorId(VectorInfo &&v);
+
+    /** Collect every column whose free-block reserve is breached,
+     *  submitting relocation+erase traffic onto the timeline. */
+    void maybeCollect();
+
+    /** Submit one column's GC plan as an engine request: copyback of
+     *  each live page, then the victim-block erase (the plane FIFO
+     *  orders copies before the erase). */
+    void submitGcPlan(const ssd::Ftl::GcPlan &plan);
 
     /** Column program executing @p plan on page column @p page_index
      *  (Kind::Mws / Kind::Xor plans). */
@@ -431,13 +505,20 @@ class FlashCosmosDrive : public StorageResolver
     ssd::Ftl ftl_;
     Planner planner_;
     std::vector<VectorInfo> vectors_;
+    /** Recycled VectorId slots (LIFO), from trimVector. */
+    std::vector<VectorId> free_ids_;
+    GcTotals gc_;
     /** Per column: a reserved, never-programmed wordline (senses as
-     *  all-'1'; used by the final-NOT XOR trick). */
+     *  all-'1'; used by the final-NOT XOR trick). Pinned in the FTL
+     *  so GC never relocates it — it must stay unprogrammed. */
     std::vector<ssd::PhysPage> erased_ref_;
     /** Per-group lockstep bookkeeping (see makeVector). */
     struct GroupInfo
     {
         std::uint64_t count = 0;
+        /** Vectors of the group still live; the last trim drops the
+         *  group (and its FTL slots). */
+        std::uint64_t live = 0;
         std::uint64_t pages = 0;
         std::uint32_t homeColumn = 0;
     };

@@ -1,8 +1,10 @@
 #include "core/traffic.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 
 #include "util/rng.h"
 #include "util/units.h"
@@ -145,6 +147,283 @@ runMixedTraffic(const TrafficConfig &cfg)
     p.wallSeconds = wall.count();
     p.requestsPerSecond =
         wall.count() > 0.0 ? cfg.requests / wall.count() : 0.0;
+    return p;
+}
+
+namespace {
+
+/** Log2-bucket latency histogram: O(1) memory for any request count,
+ *  quantiles reported as bucket lower bounds (deterministic). */
+struct LatencyBuckets
+{
+    std::uint64_t counts[65] = {};
+    std::uint64_t total = 0;
+
+    void record(Time lat)
+    {
+        ++counts[std::bit_width(static_cast<std::uint64_t>(lat))];
+        ++total;
+    }
+
+    Time quantile(std::uint64_t pct) const
+    {
+        if (total == 0)
+            return 0;
+        const std::uint64_t rank = (total - 1) * pct / 100;
+        std::uint64_t cum = 0;
+        for (int b = 0; b <= 64; ++b) {
+            cum += counts[b];
+            if (cum > rank)
+                return b == 0 ? 0 : Time{1} << (b - 1);
+        }
+        return 0;
+    }
+
+    ClassLatency summary() const
+    {
+        return ClassLatency{total, quantile(50), quantile(99)};
+    }
+};
+
+/** Request class of closed-loop op @p n (6:3:1 read:write:compute). */
+std::size_t
+classOfOp(std::uint64_t n)
+{
+    const std::uint64_t slot = n % 10;
+    if (slot == 7)
+        return 2;
+    return (slot == 3 || slot == 5 || slot == 9) ? 1 : 0;
+}
+
+} // namespace
+
+std::string
+ClosedLoopConfig::label() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%lluk x%u %u:%u:%u",
+                  static_cast<unsigned long long>(requests / 1000),
+                  inflight, qosReadWeight, qosWriteWeight,
+                  qosComputeWeight);
+    return buf;
+}
+
+ClosedLoopPoint
+runClosedLoopTraffic(const ClosedLoopConfig &cfg)
+{
+    FlashCosmosDrive::Config dc;
+    dc.channels = cfg.channels;
+    dc.dies = cfg.dies;
+    dc.workers = cfg.workers;
+    dc.admissionDepth = cfg.admissionDepth;
+    dc.qosReadWeight = cfg.qosReadWeight;
+    dc.qosWriteWeight = cfg.qosWriteWeight;
+    dc.qosComputeWeight = cfg.qosComputeWeight;
+    FlashCosmosDrive drive(dc);
+
+    const std::uint32_t columns =
+        cfg.channels * cfg.dies * dc.geometry.planesPerDie;
+    const std::uint32_t inflight = std::max(1u, cfg.inflight);
+    const std::uint32_t slots = std::max(1u, cfg.slots);
+    const std::uint64_t seed = 0x50a6'20260808ULL;
+    const auto home = [columns](std::uint64_t g) {
+        return static_cast<std::uint32_t>((g * 3) % columns);
+    };
+    const auto slotHome = [columns](std::uint32_t s) {
+        return static_cast<std::uint32_t>((s * 5 + 1) % columns);
+    };
+    /** Single-page image of write @p n (procedural: no host payload
+     *  is materialized, so a million writes stay O(1) memory). */
+    const auto pageGen = [seed](std::uint64_t n) {
+        return [seed, n](std::uint64_t) {
+            return nand::PageImage::random(Rng::mix(seed, n));
+        };
+    };
+    // Churn groups sit far above the stable pool ids and far below the
+    // drive's auto-group range.
+    constexpr std::uint64_t kChurnGroupBase = 1000;
+    constexpr std::uint64_t kResidentGroup = 999;
+    const std::uint32_t residents = std::max(1u, cfg.residents);
+    const std::uint32_t resident_home = 2 % columns;
+
+    // Stable compute-operand pool: two co-located single-page vectors
+    // per group, never trimmed. GC must relocate these live sub-blocks
+    // as units whenever churn garbage accumulates around them.
+    std::vector<VectorId> pool;
+    for (std::uint64_t g = 0; g < kPoolGroups; ++g) {
+        for (std::uint64_t v = 0; v < 2; ++v) {
+            FlashCosmosDrive::WriteOptions wo;
+            wo.group = g + 1;
+            wo.homeColumn = home(g);
+            pool.push_back(
+                drive.submitWritePages(pageGen(g * 2 + v), 1, wo, {})
+                    .vector);
+        }
+    }
+    // Churn working set: the vectors the closed loop overwrites and
+    // trims — the invalid-capacity source that forces recycling.
+    std::vector<VectorId> slot_vec(slots);
+    for (std::uint32_t s = 0; s < slots; ++s) {
+        FlashCosmosDrive::WriteOptions wo;
+        wo.group = kChurnGroupBase + s;
+        wo.homeColumn = slotHome(s);
+        slot_vec[s] =
+            drive.submitWritePages(pageGen(1000 + s), 1, wo, {}).vector;
+    }
+    // Resident working set: one stripe row per vector, all in one
+    // group, so 8 successive residents pack the 8 wordlines of one
+    // sub-block per column. Out-of-phase overwrites punch holes into
+    // those shared sub-blocks — the garbage only live-page relocation
+    // can reclaim.
+    std::vector<VectorId> resident_vec(residents);
+    for (std::uint32_t r = 0; r < residents; ++r) {
+        FlashCosmosDrive::WriteOptions wo;
+        wo.group = kResidentGroup;
+        wo.homeColumn = resident_home;
+        resident_vec[r] =
+            drive.submitWritePages(pageGen(3000 + r), columns, wo, {})
+                .vector;
+    }
+    drive.waitAll();
+    const Time t0 = drive.now();
+
+    // One chain per inflight unit; chain c serves ops c, c+inflight,
+    // c+2*inflight, ... — a fixed per-chain sequence, so the schedule
+    // (and the digest fold) is worker-invariant.
+    struct Chain
+    {
+        DigestSink sink;
+        FlashCosmosDrive::ReadStats stats;
+        std::uint64_t next = 0;
+        VectorId scratch = kDriveNoVector;
+    };
+    std::vector<Chain> chains(inflight);
+    LatencyBuckets lats[3];
+    std::uint64_t completed = 0;
+    std::uint64_t write_counter = 2000; // page-image stream, post-setup
+    // Residents are rewritten in a sequential sweep, not hashed: the
+    // FTL reclaims holes only when a whole sub-block dies (unit moves
+    // preserve wordline offsets), so a sweep — which kills the 8
+    // wordlines of each resident sub-block back to back — keeps the
+    // partially-dead sub count bounded. Hashed selection drains subs
+    // so slowly that holes accumulate past device capacity.
+    std::uint64_t resident_sweep = 0;
+
+    std::function<void(std::uint32_t)> submitNext =
+        [&](std::uint32_t c) {
+            Chain &ch = chains[c];
+            if (ch.next >= cfg.requests)
+                return;
+            const std::uint64_t n = ch.next;
+            ch.next += inflight;
+            const std::size_t cls = classOfOp(n);
+            FlashCosmosDrive::RequestOptions ro;
+            ro.onOutcome =
+                [&, c, cls](const engine::RequestQueue::Outcome &oc) {
+                    lats[cls].record(oc.completed - oc.arrival);
+                    ++completed;
+                    submitNext(c); // closed loop: completion refills
+                };
+            const std::uint32_t s =
+                static_cast<std::uint32_t>((n * 7 + c) % slots);
+            const std::uint64_t sel = n % 10;
+            if (cls == 0) {
+                // Read whatever version of the slot is current at
+                // submit — deterministic, since submits happen in
+                // serial contexts on the simulated clock.
+                drive.submitReadVector(slot_vec[s], ch.sink, &ch.stats,
+                                       ro);
+            } else if (cls == 1 && sel == 9) {
+                // Resident overwrite: invalidates one wordline of a
+                // packed, mostly-live sub-block per column.
+                const std::uint32_t r = static_cast<std::uint32_t>(
+                    resident_sweep++ % residents);
+                FlashCosmosDrive::WriteOptions wo;
+                wo.group = kResidentGroup;
+                wo.homeColumn = resident_home;
+                wo.replaces = resident_vec[r];
+                resident_vec[r] =
+                    drive
+                        .submitWritePages(pageGen(write_counter++),
+                                          columns, wo, ro)
+                        .vector;
+            } else if (cls == 1) {
+                FlashCosmosDrive::WriteOptions wo;
+                wo.group = kChurnGroupBase + s;
+                wo.homeColumn = slotHome(s);
+                if (sel == 5) {
+                    // Explicit trim, then append (the two-call form).
+                    drive.trimVector(slot_vec[s]);
+                } else {
+                    // Overwrite semantics: one call trims + appends.
+                    wo.replaces = slot_vec[s];
+                }
+                slot_vec[s] =
+                    drive
+                        .submitWritePages(pageGen(write_counter++), 1,
+                                          wo, ro)
+                        .vector;
+            } else {
+                // In-flash compute over a stable pair. The scratch
+                // result must co-locate with its operands (program-
+                // from-latch stays on the operand column), so it is
+                // trimmed right at completion — otherwise every chain
+                // could pile a scratch sub-block onto one column.
+                const std::uint64_t g = (c + n) % kPoolGroups;
+                FlashCosmosDrive::WriteOptions wo;
+                wo.homeColumn = home(g);
+                ro.onOutcome =
+                    [&, c, cls](const engine::RequestQueue::Outcome &oc) {
+                        Chain &self = chains[c];
+                        drive.trimVector(self.scratch);
+                        self.scratch = kDriveNoVector;
+                        lats[cls].record(oc.completed - oc.arrival);
+                        ++completed;
+                        submitNext(c);
+                    };
+                ch.scratch =
+                    drive
+                        .submitCompute(Expr::leaf(pool[2 * g]) &
+                                           Expr::leaf(pool[2 * g + 1]),
+                                       wo, &ch.stats, ro)
+                        .vector;
+            }
+        };
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    for (std::uint32_t c = 0; c < inflight; ++c) {
+        chains[c].next = c;
+        submitNext(c);
+    }
+    drive.waitAll();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall0;
+
+    ClosedLoopPoint p;
+    p.completed = completed;
+    for (int c = 0; c < 3; ++c)
+        p.byClass[c] = lats[c].summary();
+    p.makespan = drive.now() - t0;
+    p.energyJ = drive.engine().totalEnergyJ();
+    std::uint64_t d = kFnvOffset;
+    for (const Chain &ch : chains) {
+        d ^= ch.sink.digest();
+        d *= kFnvPrime;
+    }
+    p.digest = d;
+    p.wallSeconds = wall.count();
+    p.requestsPerSecond =
+        wall.count() > 0.0 ? completed / wall.count() : 0.0;
+    p.liveVectors = drive.liveVectorCount();
+    p.liveRequests = drive.admission().liveRequestCount();
+    for (const Chain &ch : chains)
+        p.peakStreamPages =
+            std::max(p.peakStreamPages, ch.stats.streamPeakPages);
+    const FlashCosmosDrive::GcTotals &gc = drive.gcTotals();
+    p.gcRuns = gc.runs;
+    p.gcPageCopies = gc.pageCopies;
+    p.gcBlocksErased = gc.blocksErased;
+    p.hostPagesWritten = gc.hostPagesWritten;
     return p;
 }
 

@@ -70,6 +70,72 @@ struct TrafficPoint
 /** Run one mixed-traffic configuration to completion. */
 TrafficPoint runMixedTraffic(const TrafficConfig &cfg);
 
+/**
+ * Closed-loop steady-state generator: @p inflight independent request
+ * chains, each keeping exactly one request in flight, continuously
+ * reading, overwriting, trimming, and computing over a bounded working
+ * set until @p requests requests have completed. Overwrites and trims
+ * invalidate old pages, so the drive must recycle capacity (GC) to
+ * serve the stream — unlike the open-loop mixed sweep, which only
+ * appends. Every drive-side quantity is bit-deterministic at any
+ * worker count; host memory stays O(working set + inflight) no matter
+ * how many requests are served — the soak tier's contract.
+ */
+struct ClosedLoopConfig
+{
+    std::uint32_t channels = 2;
+    std::uint32_t dies = 2; ///< per channel (tiny geometry)
+    /** 0 = FCOS_WORKERS env default; results are worker-invariant. */
+    std::uint32_t workers = 0;
+    std::uint32_t admissionDepth = 8;
+    std::uint32_t qosReadWeight = 1;
+    std::uint32_t qosWriteWeight = 1;
+    std::uint32_t qosComputeWeight = 1;
+    /** Closed-loop requests to serve (6:3:1 read:write:compute). */
+    std::uint64_t requests = 1'000'000;
+    /** Concurrent request chains (each chain: one request at a time). */
+    std::uint32_t inflight = 8;
+    /** Churn working set: single-page vectors being overwritten and
+     *  trimmed (the invalid-capacity source GC reclaims). */
+    std::uint32_t slots = 16;
+    /** Resident working set: one-row vectors packed into a shared
+     *  placement group (8 per sub-block wordline-stacked) and
+     *  overwritten out of phase — garbage accumulates as holes in
+     *  mostly-live sub-blocks, so GC has to *relocate* live pages
+     *  (copyback traffic), not just erase dead blocks. Sized to keep
+     *  the drive ~2/3 full. */
+    std::uint32_t residents = 40;
+
+    std::string label() const;
+};
+
+struct ClosedLoopPoint
+{
+    std::uint64_t completed = 0;
+    /** Per-class end-to-end latency (log2-bucket approximation, so
+     *  recording a million requests stays O(1) memory). */
+    ClassLatency byClass[3];
+    Time makespan = 0;
+    double energyJ = 0.0;
+    /** Order-sensitive fold of per-chain read digests — the
+     *  cross-worker-count determinism certificate. */
+    std::uint64_t digest = 0;
+    double wallSeconds = 0.0;
+    double requestsPerSecond = 0.0;
+
+    // Steady-state bookkeeping at quiesce:
+    std::uint64_t liveVectors = 0;  ///< stored vectors (bounded)
+    std::uint64_t liveRequests = 0; ///< must be 0 after waitAll
+    std::uint64_t peakStreamPages = 0;
+    std::uint64_t gcRuns = 0;
+    std::uint64_t gcPageCopies = 0;
+    std::uint64_t gcBlocksErased = 0;
+    std::uint64_t hostPagesWritten = 0;
+};
+
+/** Run one closed-loop configuration to completion. */
+ClosedLoopPoint runClosedLoopTraffic(const ClosedLoopConfig &cfg);
+
 /** The default sweep: arrival rates x QoS weight settings, serial. */
 std::vector<TrafficConfig> defaultTrafficSweep();
 

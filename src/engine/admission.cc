@@ -99,6 +99,19 @@ RequestQueue::submit(RequestClass cls, Time arrival,
     return id;
 }
 
+std::vector<std::uint64_t>
+RequestQueue::liveKeys() const
+{
+    std::vector<std::uint64_t> keys;
+    for (const auto &[id, r] : reqs_) {
+        (void)id;
+        keys.insert(keys.end(), r.reads.begin(), r.reads.end());
+        keys.insert(keys.end(), r.writes.begin(), r.writes.end());
+    }
+    sortKeys(keys);
+    return keys;
+}
+
 void
 RequestQueue::onArrival(RequestId id)
 {

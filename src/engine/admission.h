@@ -121,6 +121,17 @@ class RequestQueue
     /** True when no request is staged, pending, or in flight. */
     bool idle() const { return reqs_.empty(); }
 
+    /** Requests holding any state: staged + pending + in flight. The
+     *  steady-state memory bound — completed requests are erased, so
+     *  this never grows with traffic served. */
+    std::size_t liveRequestCount() const { return reqs_.size(); }
+
+    /** Union of every live request's read and write keys, sorted and
+     *  deduped — the busy set the drive's GC victim selection must
+     *  avoid (those requests captured physical addresses at submit).
+     *  O(live requests), not O(completed). */
+    std::vector<std::uint64_t> liveKeys() const;
+
     std::size_t inFlightCount() const { return in_flight_.size(); }
     /** Arrived but not yet admitted. */
     std::size_t pendingCount() const { return pending_.size(); }

@@ -15,7 +15,10 @@ energyComponentFor(StepKind kind)
       case StepKind::OrDump:
         return ssd::EnergyComponent::NandRead;
       case StepKind::Program:
+      case StepKind::Copyback:
         return ssd::EnergyComponent::NandProgram;
+      case StepKind::Erase:
+        return ssd::EnergyComponent::NandErase;
     }
     return ssd::EnergyComponent::NandRead;
 }

@@ -26,6 +26,12 @@ OpStats::tally(StepKind kind, const nand::OpResult &op)
         break;
       case StepKind::OrDump:
         break;
+      case StepKind::Copyback:
+        ++copybacks;
+        break;
+      case StepKind::Erase:
+        ++erases;
+        break;
     }
 }
 

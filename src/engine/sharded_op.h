@@ -51,6 +51,8 @@ enum class StepKind : std::uint8_t
     PageRead, ///< regular serial page read (fallback path)
     Program,  ///< page program (data-in or program-from-latch)
     OrDump,   ///< legacy cache-read OR transfer (no array activity)
+    Copyback, ///< in-plane read + program (GC relocation; no channel)
+    Erase,    ///< block erase (GC capacity reclaim)
 };
 
 /** One die-local step of a column program. */
@@ -107,6 +109,8 @@ struct OpStats
     std::uint64_t pageReads = 0;   ///< fallback serial page reads
     std::uint64_t programs = 0;    ///< page programs
     std::uint64_t resultPages = 0; ///< pages read out of the chips
+    std::uint64_t copybacks = 0;   ///< GC in-plane page relocations
+    std::uint64_t erases = 0;      ///< GC block erases
     Time nandTime = 0;             ///< summed NAND busy time
     double nandEnergyJ = 0.0;      ///< summed NAND energy
 

